@@ -1,0 +1,430 @@
+// Package delta_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (one benchmark per
+// artifact; see DESIGN.md's per-experiment index), plus microbenchmarks
+// for the hot algorithmic paths. Benchmarks run at a reduced scale so
+// `go test -bench=. -benchmem` completes in minutes; `cmd/delta-bench
+// -scale 1` reproduces the full 500k-event runs and EXPERIMENTS.md
+// records paper-vs-measured for those.
+package delta_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/experiments"
+	"github.com/deltacache/delta/internal/flow"
+	"github.com/deltacache/delta/internal/gds"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/htm"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/sim"
+	"github.com/deltacache/delta/internal/trace"
+)
+
+// benchScale keeps a single policy run around 20k events.
+const benchScale = 0.04
+
+func benchSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	s, err := experiments.NewSetup(experiments.Options{Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFig7a_TraceGeneration measures producing the Figure 7(a)
+// workload scatter: survey construction plus trace generation.
+func BenchmarkFig7a_TraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewSetup(experiments.Options{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.Fig7a(s, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7b_CumulativeTraffic replays the trace through all five
+// policies of Figure 7(b) and reports their final traffic.
+func BenchmarkFig7b_CumulativeTraffic(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var results map[string]*sim.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = s.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	post := experiments.PostWarmup(results, 0.5)
+	for _, name := range experiments.PolicyNames {
+		b.ReportMetric(post[name].GBf(), name+"_postGB")
+	}
+}
+
+// BenchmarkFig7b_VCoverOnly isolates the paper's core algorithm on the
+// reference trace.
+func BenchmarkFig7b_VCoverOnly(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunOne(core.NewVCover(core.VCoverConfig{Seed: s.Seed, GDSF: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Total().GBf(), "totalGB")
+			b.ReportMetric(float64(res.QueriesAtCache), "atCache")
+		}
+	}
+}
+
+// BenchmarkFig8a_VaryUpdates runs the update-count sweep of Figure 8(a).
+func BenchmarkFig8a_VaryUpdates(b *testing.B) {
+	base := int(250_000 * benchScale)
+	counts := []int{base / 2, base, 3 * base / 2}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8a(experiments.Options{Scale: benchScale}, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Totals["Replica"].GBf(), "replicaMaxGB")
+		}
+	}
+}
+
+// BenchmarkFig8b_Granularity runs the object-granularity sweep of
+// Figure 8(b).
+func BenchmarkFig8b_Granularity(b *testing.B) {
+	counts := []int{10, 68, 134}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig8b(experiments.Options{Scale: benchScale}, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rows {
+				b.ReportMetric(row.Final.GBf(), "gb_at_"+itoa(row.NumObjects))
+			}
+		}
+	}
+}
+
+// BenchmarkCacheSizeSweep runs the cache-fraction sweep behind the
+// paper's "half the traffic with one-fifth the cache" headline.
+func BenchmarkCacheSizeSweep(b *testing.B) {
+	fracs := []float64{0.2, 0.3}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CacheSize(experiments.Options{Scale: benchScale}, fracs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Totals["VCover"].GBf(), "vcover_fifth_GB")
+			b.ReportMetric(rows[0].Totals["NoCache"].GBf(), "nocache_GB")
+		}
+	}
+}
+
+// BenchmarkBenefitWindowSweep runs the δ sweep the paper used to tune
+// Benefit.
+func BenchmarkBenefitWindowSweep(b *testing.B) {
+	windows := []int{100, 1000}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BenefitWindowSweep(experiments.Options{Scale: benchScale}, windows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmup measures the warm-up characterization across seeds.
+func BenchmarkWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Warmup(experiments.Options{Scale: benchScale}, []int64{1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationCounterLoading compares the paper's randomized cost
+// attribution against explicit per-object counters: traffic should be
+// similar (the randomization exists for space efficiency, not traffic).
+func BenchmarkAblationCounterLoading(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		randomized, err := s.RunOne(core.NewVCover(core.VCoverConfig{Seed: s.Seed, GDSF: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		counted, err := s.RunOne(core.NewVCover(core.VCoverConfig{
+			Seed: s.Seed, GDSF: true, CounterLoading: true,
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(randomized.Total().GBf(), "randomizedGB")
+			b.ReportMetric(counted.Total().GBf(), "counterGB")
+		}
+	}
+}
+
+// BenchmarkAblationPreship measures the traffic cost of the Section 4
+// preshipping extension (it trades extra update traffic for response
+// time on hot objects).
+func BenchmarkAblationPreship(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		plain, err := s.RunOne(core.NewVCover(core.VCoverConfig{Seed: s.Seed, GDSF: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		preship, err := s.RunOne(core.NewVCover(core.VCoverConfig{
+			Seed: s.Seed, GDSF: true, Preship: true, PreshipAfter: 3,
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(plain.Total().GBf(), "plainGB")
+			b.ReportMetric(preship.Total().GBf(), "preshipGB")
+		}
+	}
+}
+
+// BenchmarkAblationGDSvsGDSF compares plain Greedy-Dual-Size against the
+// frequency-aware variant in the LoadManager.
+func BenchmarkAblationGDSvsGDSF(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		gdsRes, err := s.RunOne(core.NewVCover(core.VCoverConfig{Seed: s.Seed, GDSF: false}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gdsfRes, err := s.RunOne(core.NewVCover(core.VCoverConfig{Seed: s.Seed, GDSF: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(gdsRes.Total().GBf(), "gdsGB")
+			b.ReportMetric(gdsfRes.Total().GBf(), "gdsfGB")
+		}
+	}
+}
+
+// --- microbenchmarks for the algorithmic substrates ---
+
+// BenchmarkVCoverDecisions measures per-event decision latency of the
+// core algorithm (both managers, steady state).
+func BenchmarkVCoverDecisions(b *testing.B) {
+	s := benchSetup(b)
+	p := core.NewVCover(core.VCoverConfig{Seed: 1, GDSF: true})
+	if err := p.Init(s.Survey.Objects(), s.Capacity()); err != nil {
+		b.Fatal(err)
+	}
+	events := s.Events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &events[i%len(events)]
+		var err error
+		if e.Kind == model.EventQuery {
+			// Fresh IDs per pass: the trace is replayed cyclically and
+			// query/update identifiers must stay unique.
+			q := *e.Query
+			q.ID = model.QueryID(i + 1_000_000)
+			_, err = p.OnQuery(&q)
+		} else {
+			u := *e.Update
+			u.ID = model.UpdateID(i + 1_000_000)
+			_, err = p.OnUpdate(&u)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBenefitDecisions measures the heuristic's per-event cost.
+func BenchmarkBenefitDecisions(b *testing.B) {
+	s := benchSetup(b)
+	p := core.NewBenefit(core.DefaultBenefitConfig())
+	if err := p.Init(s.Survey.Objects(), s.Capacity()); err != nil {
+		b.Fatal(err)
+	}
+	events := s.Events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &events[i%len(events)]
+		var err error
+		if e.Kind == model.EventQuery {
+			_, err = p.OnQuery(e.Query)
+		} else {
+			_, err = p.OnUpdate(e.Update)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalVertexCover measures the incremental min-weight
+// vertex cover under churn: add a query + edges, solve, remove covered
+// updates — VCover's inner loop.
+func BenchmarkIncrementalVertexCover(b *testing.B) {
+	bip := flow.NewBipartite()
+	for u := int64(0); u < 64; u++ {
+		if err := bip.AddRight(u, u%7+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := int64(i)
+		if err := bip.AddLeft(q, int64(i%11+1)); err != nil {
+			b.Fatal(err)
+		}
+		for k := int64(0); k < 3; k++ {
+			u := (q*3 + k) % 64
+			if !bip.HasRight(u) {
+				if err := bip.AddRight(u, u%7+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bip.Connect(q, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cover := bip.Solve()
+		for _, u := range cover.Right {
+			if err := bip.RemoveRight(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, l := range bip.Lefts() {
+			if !cover.ContainsLeft(l) || bip.DegreeLeft(l) == 0 {
+				if err := bip.RemoveLeft(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGDSAdmit measures Greedy-Dual-Size admissions with eviction
+// pressure.
+func BenchmarkGDSAdmit(b *testing.B) {
+	c, err := gds.New(1<<30, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Admit(gds.Entry{
+			Key:  int64(i % 256),
+			Size: int64(i%64+1) << 20,
+			Cost: int64(i%64+1) << 20,
+		})
+	}
+}
+
+// BenchmarkHTMCover measures the query→object mapping (cap coverage).
+func BenchmarkHTMCover(b *testing.B) {
+	p, err := htm.BuildLeveled(nil, 68)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caps := make([]geom.Cap, 64)
+	for i := range caps {
+		caps[i] = geom.CapFromRADec(float64(i*5%360), float64(i%120-60), 1.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Cover(caps[i%len(caps)]); len(got) == 0 {
+			b.Fatal("empty cover")
+		}
+	}
+}
+
+// BenchmarkHTMLocate measures point location at the paper's default
+// granularity.
+func BenchmarkHTMLocate(b *testing.B) {
+	pts := make([]geom.Vec3, 128)
+	for i := range pts {
+		pts[i] = geom.FromRADec(float64(i*7%360), float64(i%160-80))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := htm.Locate(pts[i%len(pts)], 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGobRoundTrip measures trace serialization throughput.
+func BenchmarkTraceGobRoundTrip(b *testing.B) {
+	events := make([]model.Event, 4096)
+	for i := range events {
+		events[i] = model.Event{
+			Seq:  int64(i),
+			Kind: model.EventUpdate,
+			Update: &model.Update{
+				ID: model.UpdateID(i), Object: model.ObjectID(i%68 + 1),
+				Cost: cost.Bytes(i), Time: time.Duration(i) * time.Second,
+			},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf countingBuffer
+		if err := trace.WriteGob(&buf, events); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadGob(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingBuffer struct {
+	data []byte
+	off  int
+}
+
+func (c *countingBuffer) Write(p []byte) (int, error) {
+	c.data = append(c.data, p...)
+	return len(p), nil
+}
+
+func (c *countingBuffer) Read(p []byte) (int, error) {
+	if c.off >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.data[c.off:])
+	c.off += n
+	return n, nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,85 @@
+// Command delta-cache runs the Delta middleware node: the dynamic data
+// cache that sits near the clients and decouples data objects between
+// itself and the repository using the configured policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/deltacache/delta/internal/cache"
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delta-cache:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7708", "client-facing listen address")
+		repoAddr   = flag.String("repo", "127.0.0.1:7707", "repository address")
+		policyName = flag.String("policy", "vcover", "decoupling policy: vcover|benefit|nocache|replica")
+		objects    = flag.Int("objects", 68, "number of data objects (must match the repository)")
+		seed       = flag.Int64("seed", 2, "survey seed (must match the repository)")
+		cacheFrac  = flag.Float64("cache-frac", 0.3, "cache size as a fraction of the server total")
+		bytesPerGB = flag.Int64("bytes-per-gb", 4096, "physical payload bytes per logical GB")
+	)
+	flag.Parse()
+
+	scfg := catalog.DefaultConfig()
+	scfg.Seed = *seed
+	scfg.NumObjects = *objects
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		return err
+	}
+	capacity := cost.Bytes(float64(survey.TotalSize()) * *cacheFrac)
+
+	var policy core.Policy
+	switch *policyName {
+	case "vcover":
+		policy = core.NewVCover(core.DefaultVCoverConfig())
+	case "benefit":
+		policy = core.NewBenefit(core.DefaultBenefitConfig())
+	case "nocache":
+		policy = core.NewNoCache()
+	case "replica":
+		policy = core.NewReplica()
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	mw, err := cache.New(cache.Config{
+		Addr:     *addr,
+		RepoAddr: *repoAddr,
+		Policy:   policy,
+		Objects:  survey.Objects(),
+		Capacity: capacity,
+		Scale:    netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := mw.Start(); err != nil {
+		return err
+	}
+	log.Printf("cache ready on %s (policy %s, capacity %v)", mw.Addr(), policy.Name(), capacity)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down; final ledger: %+v", mw.Ledger())
+	return mw.Close()
+}

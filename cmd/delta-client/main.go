@@ -1,0 +1,133 @@
+// Command delta-client submits queries to a Delta deployment. It speaks
+// the astronomy SQL dialect:
+//
+//	delta-client -cache 127.0.0.1:7708 \
+//	  -sql "SELECT ra, dec FROM PhotoObj WHERE CONTAINS(POINT(180,0), CIRCLE(180,0,1)) WITH STALENESS '10m'"
+//
+// or drives a random demo workload with -demo N, and prints the cache's
+// statistics with -stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/sqlmini"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delta-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cacheAddr = flag.String("cache", "127.0.0.1:7708", "cache address")
+		sql       = flag.String("sql", "", "SQL query to run")
+		demo      = flag.Int("demo", 0, "run N random demo queries")
+		stats     = flag.Bool("stats", false, "print cache statistics")
+		objects   = flag.Int("objects", 68, "objects (must match deployment)")
+		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
+	)
+	flag.Parse()
+
+	scfg := catalog.DefaultConfig()
+	scfg.Seed = *seed
+	scfg.NumObjects = *objects
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		return err
+	}
+
+	cl, err := client.Dial(*cacheAddr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	switch {
+	case *sql != "":
+		if err := runSQL(cl, survey, *sql, start); err != nil {
+			return err
+		}
+	case *demo > 0:
+		if err := runDemo(cl, survey, *demo, start); err != nil {
+			return err
+		}
+	case *stats:
+		// handled below
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -sql, -demo, -stats is required")
+	}
+
+	if *stats || *demo > 0 {
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy=%s queries=%d atCache=%d shipped=%d\n",
+			st.Policy, st.Queries, st.AtCache, st.Shipped)
+		fmt.Printf("traffic: query-ship=%v update-ship=%v loads=%v total=%v\n",
+			st.Ledger.QueryShip, st.Ledger.UpdateShip, st.Ledger.ObjectLoad, st.Ledger.Total())
+		fmt.Printf("cached objects: %v\n", st.Cached)
+	}
+	return nil
+}
+
+func runSQL(cl *client.Client, survey *catalog.Survey, sql string, start time.Time) error {
+	st, q, err := sqlmini.Compile(sql, survey)
+	if err != nil {
+		return err
+	}
+	q.Time = time.Since(start)
+	res, err := cl.Query(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("answered by %s in %v; result size %v; B(q)=%v\n",
+		res.Source, res.Elapsed, model.Query{Cost: q.Cost}.Cost, q.Objects)
+	if st.Count {
+		fmt.Println("(count query)")
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  objID=%d ra=%.4f dec=%.4f r=%.2f\n", row.ObjID, row.RA, row.Dec, row.R)
+	}
+	return nil
+}
+
+func runDemo(cl *client.Client, survey *catalog.Survey, n int, start time.Time) error {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var atCache int
+	for i := 0; i < n; i++ {
+		pos := survey.SamplePosition(rng)
+		ra, dec := pos.RADec()
+		radius := 0.3 + rng.Float64()*2
+		sql := fmt.Sprintf(
+			"SELECT objID, ra, dec, r FROM PhotoObj WHERE CONTAINS(POINT(%.3f, %.3f), CIRCLE(%.3f, %.3f, %.3f))",
+			ra, dec, ra, dec, radius)
+		_, q, err := sqlmini.Compile(sql, survey)
+		if err != nil {
+			return err
+		}
+		q.Time = time.Since(start)
+		res, err := cl.Query(*q)
+		if err != nil {
+			return err
+		}
+		if res.Source == "cache" {
+			atCache++
+		}
+	}
+	fmt.Printf("demo: %d queries, %d answered at cache\n", n, atCache)
+	return nil
+}

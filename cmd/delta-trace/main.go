@@ -1,0 +1,112 @@
+// Command delta-trace generates, converts and summarizes workload
+// traces.
+//
+//	delta-trace -gen -queries 250000 -updates 250000 -out trace.gob
+//	delta-trace -stats trace.gob
+//	delta-trace -scatter trace.gob > fig7a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/trace"
+	"github.com/deltacache/delta/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delta-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		gen     = flag.Bool("gen", false, "generate a trace")
+		out     = flag.String("out", "trace.gob", "output path for -gen (.gob or .jsonl)")
+		queries = flag.Int("queries", 250_000, "number of queries")
+		updates = flag.Int("updates", 250_000, "number of updates")
+		objects = flag.Int("objects", 68, "number of data objects")
+		seed    = flag.Int64("seed", 2, "workload seed")
+		statsIn = flag.String("stats", "", "summarize an existing trace file")
+		scatter = flag.String("scatter", "", "write the Figure 7(a) scatter CSV for a trace file to stdout")
+		sample  = flag.Int("sample", 50, "scatter sampling stride")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		return generate(*out, *queries, *updates, *objects, *seed)
+	case *statsIn != "":
+		events, err := readTrace(*statsIn)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trace.Summarize(events).String())
+		return nil
+	case *scatter != "":
+		events, err := readTrace(*scatter)
+		if err != nil {
+			return err
+		}
+		return trace.ScatterCSV(os.Stdout, events, *sample)
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -gen, -stats, -scatter is required")
+	}
+}
+
+func generate(out string, queries, updates, objects int, seed int64) error {
+	scfg := catalog.DefaultConfig()
+	scfg.Seed = seed
+	scfg.NumObjects = objects
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		return err
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = seed
+	wcfg.NumQueries = queries
+	wcfg.NumUpdates = updates
+	g, err := workload.NewGenerator(survey, wcfg)
+	if err != nil {
+		return err
+	}
+	events, err := g.Generate()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(out, ".jsonl") {
+		err = trace.WriteJSONL(f, events)
+	} else {
+		err = trace.WriteGob(f, events)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events to %s\n", len(events), out)
+	fmt.Print(trace.Summarize(events).String())
+	return nil
+}
+
+func readTrace(path string) ([]model.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return trace.ReadJSONL(f)
+	}
+	return trace.ReadGob(f)
+}

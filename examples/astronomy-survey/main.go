@@ -1,0 +1,135 @@
+// astronomy-survey: an end-to-end Delta deployment in one process —
+// repository, middleware cache (VCover) and astronomer clients speaking
+// the SQL dialect over real TCP sockets, with a live update pipeline.
+//
+//	go run ./examples/astronomy-survey
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/deltacache/delta/internal/cache"
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/server"
+	"github.com/deltacache/delta/internal/sqlmini"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A small survey so loads are quick in the demo.
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 32
+	scfg.TotalSize = 8 * cost.GB
+	scfg.MinObjectSize = 20 * cost.MB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		return err
+	}
+
+	// Repository.
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.DefaultScale()})
+	if err != nil {
+		return err
+	}
+	if err := repo.Start(); err != nil {
+		return err
+	}
+	defer repo.Close()
+	fmt.Printf("repository: %s (%d objects, %v)\n", repo.Addr(), survey.NumObjects(), survey.TotalSize())
+
+	// Middleware cache with VCover.
+	mw, err := cache.New(cache.Config{
+		RepoAddr:   repo.Addr(),
+		Policy:     core.NewVCover(core.DefaultVCoverConfig()),
+		Objects:    survey.Objects(),
+		Capacity:   3 * cost.GB,
+		Scale:      netproto.DefaultScale(),
+		SampleRows: survey.SampleRows(2000, scfg.Seed),
+	})
+	if err != nil {
+		return err
+	}
+	if err := mw.Start(); err != nil {
+		return err
+	}
+	defer mw.Close()
+	fmt.Printf("cache:      %s (VCover, capacity 3GB)\n\n", mw.Addr())
+
+	// An astronomer issues SQL against a hotspot region while the
+	// pipeline keeps observing.
+	cl, err := client.Dial(mw.Addr())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	hot := survey.Sky().Blobs(catalog.QueryHot)[0]
+	ra, dec := hot.Center.RADec()
+
+	start := time.Now()
+	queries := []string{
+		// A regional bulk extract: its result is object-scale, so its
+		// shipping cost quickly justifies loading the hotspot objects.
+		fmt.Sprintf("SELECT * FROM PhotoObj WHERE CONTAINS(POINT(%.2f, %.2f), CIRCLE(%.2f, %.2f, 25))", ra, dec, ra, dec),
+		fmt.Sprintf("SELECT objID, ra, dec, r FROM PhotoObj WHERE CONTAINS(POINT(%.2f, %.2f), CIRCLE(%.2f, %.2f, 20))", ra, dec, ra, dec),
+		fmt.Sprintf("SELECT ra, dec FROM PhotoObj WHERE ra BETWEEN %.2f AND %.2f AND dec BETWEEN %.2f AND %.2f AND r < 20 WITH STALENESS '5m'",
+			ra-12, ra+12, dec-12, dec+12),
+	}
+	var uid model.UpdateID
+
+	fmt.Println("--- a research campaign on one region; the region grows as the telescope observes ---")
+	for round := 0; round < 12; round++ {
+		// The telescope adds data near the hotspot while we work.
+		uid++
+		pos := hot.Center
+		repo.ApplyUpdate(model.Update{
+			ID:     uid,
+			Object: survey.ObjectAt(pos),
+			Cost:   cost.Bytes(rng.Intn(20)+1) * cost.MB,
+			Time:   time.Since(start),
+		})
+
+		sql := queries[round%len(queries)]
+		_, q, err := sqlmini.Compile(sql, survey)
+		if err != nil {
+			return err
+		}
+		q.Time = time.Since(start)
+		res, err := cl.Query(*q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %2d: answered by %-10s result=%8v rows=%d\n",
+			round+1, res.Source, cost.Bytes(res.Logical), len(res.Rows))
+	}
+
+	stats, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncache stats: %d queries, %d at cache, %d shipped\n",
+		stats.Queries, stats.AtCache, stats.Shipped)
+	fmt.Printf("traffic:     query-ship=%v update-ship=%v loads=%v total=%v\n",
+		stats.Ledger.QueryShip, stats.Ledger.UpdateShip,
+		stats.Ledger.ObjectLoad, stats.Ledger.Total())
+	fmt.Printf("cached:      %v\n", stats.Cached)
+	fmt.Println("\nThe first rounds ship to the repository; once the hotspot's shipping costs")
+	fmt.Println("cover its load cost, VCover loads it and later rounds answer at the cache,")
+	fmt.Println("shipping only the cheap updates the staleness tolerances require.")
+	return nil
+}

@@ -1,0 +1,157 @@
+// evolving-hotspots: demonstrates design choice (B) of the paper —
+// robustness to workload evolution. The workload's query hotspots flip
+// to entirely different sky mid-trace; VCover adapts because its cover
+// computations are grounded in online analysis, while Benefit trails the
+// shift by whole windows and keeps paying for yesterday's hotspot.
+//
+//	go run ./examples/evolving-hotspots
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/sim"
+	"github.com/deltacache/delta/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 68
+	scfg.TotalSize = 64 * cost.GB
+	scfg.MinObjectSize = 20 * cost.MB
+	scfg.MaxObjectSize = 8 * cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		return err
+	}
+
+	// Two trace halves with different campaign seeds — the second half
+	// queries entirely different regions, like a new observing season.
+	wcfg := workload.DefaultConfig()
+	wcfg.NumQueries = 20_000
+	wcfg.NumUpdates = 20_000
+	wcfg.WarmupFrac = 0 // no ramp: make the flip the only nonstationarity
+	firstHalf, err := generate(survey, wcfg, 11)
+	if err != nil {
+		return err
+	}
+	secondHalf, err := generate(survey, wcfg, 99)
+	if err != nil {
+		return err
+	}
+	events := splice(firstHalf, secondHalf)
+	fmt.Printf("trace: %d events; hotspots flip at the midpoint\n\n", len(events))
+
+	capacity := 20 * cost.GB
+	slowBenefit := core.DefaultBenefitConfig()
+	slowBenefit.Window = 10_000 // a mis-tuned δ: replans only 4 times
+	policies := []core.Policy{
+		core.NewNoCache(),
+		core.NewBenefit(core.DefaultBenefitConfig()),
+		core.NewBenefit(slowBenefit),
+		core.NewVCover(core.DefaultVCoverConfig()),
+	}
+	fmt.Printf("%-14s %14s %14s %14s\n", "policy", "total", "1st half", "2nd half")
+	for _, p := range policies {
+		res, err := sim.Run(p, survey.Objects(), events, sim.Config{
+			CacheCapacity: capacity, SampleEvery: len(events) / 100,
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("%s: %v", p.Name(), res.Violations[0])
+		}
+		half := halfCost(res)
+		label := res.Policy
+		if p, ok := p.(*core.Benefit); ok {
+			label = fmt.Sprintf("Benefit δ=%d", p.Config().Window)
+		}
+		fmt.Printf("%-14s %14v %14v %14v\n", label, res.Total(), half, res.Total()-half)
+	}
+	fmt.Println("\nVCover's second-half cost stays controlled after the flip: stale decision")
+	fmt.Println("state is dropped with each vertex cover, and the new hotspot's objects are")
+	fmt.Println("loaded as soon as their shipping costs justify it. Benefit's behaviour")
+	fmt.Println("swings with its window size δ — the dependence Section 5 calls out.")
+	return nil
+}
+
+func generate(survey *catalog.Survey, cfg workload.Config, seed int64) ([]model.Event, error) {
+	cfg.Seed = seed
+	g, err := workload.NewGenerator(survey, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate()
+}
+
+// splice concatenates two traces, renumbering the second half's
+// sequence, IDs and times to continue the first.
+func splice(a, b []model.Event) []model.Event {
+	out := make([]model.Event, 0, len(a)+len(b))
+	out = append(out, a...)
+	var (
+		lastTime = a[len(a)-1].Time()
+		seq      = int64(len(a))
+		qBase    model.QueryID
+		uBase    model.UpdateID
+	)
+	for i := range a {
+		switch a[i].Kind {
+		case model.EventQuery:
+			if a[i].Query.ID > qBase {
+				qBase = a[i].Query.ID
+			}
+		case model.EventUpdate:
+			if a[i].Update.ID > uBase {
+				uBase = a[i].Update.ID
+			}
+		}
+	}
+	for i := range b {
+		e := b[i]
+		e.Seq = seq
+		seq++
+		switch e.Kind {
+		case model.EventQuery:
+			q := *e.Query
+			q.ID += qBase
+			q.Time += lastTime
+			e.Query = &q
+		case model.EventUpdate:
+			u := *e.Update
+			u.ID += uBase
+			u.Time += lastTime
+			e.Update = &u
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// halfCost reads the cumulative cost at the trace midpoint.
+func halfCost(res *sim.Result) cost.Bytes {
+	if len(res.Series) == 0 {
+		return 0
+	}
+	mid := res.Series[len(res.Series)-1].Seq / 2
+	var c cost.Bytes
+	for _, pt := range res.Series {
+		if pt.Seq > mid {
+			break
+		}
+		c = pt.Total
+	}
+	return c
+}

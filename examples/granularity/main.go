@@ -1,0 +1,44 @@
+// granularity: the Figure 8(b) scenario in miniature — how the choice of
+// data-object granularity (the HTM level) changes VCover's traffic. Too
+// few objects waste cache space on unqueried data; too many make it
+// unlikely that a query's whole B(q) is resident.
+//
+//	go run ./examples/granularity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/deltacache/delta/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	counts := []int{10, 20, 68, 91, 134, 285, 532}
+	fmt.Println("VCover final traffic by object-set granularity (Figure 8b):")
+	fmt.Printf("%-10s %15s\n", "objects", "total traffic")
+	rows, err := experiments.Fig8b(experiments.Options{Scale: 0.05}, counts)
+	if err != nil {
+		return err
+	}
+	best := rows[0]
+	for _, row := range rows {
+		fmt.Printf("%-10d %15v\n", row.NumObjects, row.Final)
+		if row.Final < best.Final {
+			best = row
+		}
+	}
+	fmt.Printf("\nbest granularity here: %d objects\n", best.NumObjects)
+	fmt.Println("Coarse partitions (10–20 objects) pay heavily: loading one object drags in")
+	fmt.Println("sky nobody queries. The paper additionally observes a penalty at very fine")
+	fmt.Println("granularity (best at 91 of its object sets) because its real queries were")
+	fmt.Println("spatially diffuse enough to straddle many small partitions; the synthetic")
+	fmt.Println("campaigns here are tighter, so the fine-grained penalty is milder.")
+	return nil
+}

@@ -1,0 +1,415 @@
+// Package cache implements the Delta middleware node: the service that
+// sits close to the clients, accepts their queries, and uses a
+// decoupling policy (VCover by default) to decide, per query, whether to
+// answer from its local object store, ship outstanding updates first, or
+// ship the query to the repository — and, in the background, whether to
+// load objects. It subscribes to the repository's invalidation stream so
+// its policy sees every update the moment the repository ingests it.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// Config parameterizes the middleware.
+type Config struct {
+	// Addr is the client-facing listen address.
+	Addr string
+	// RepoAddr is the repository's address.
+	RepoAddr string
+	// Policy decides; nil defaults to VCover.
+	Policy core.Policy
+	// Objects is the object universe (must match the repository's).
+	Objects []model.Object
+	// Capacity is the cache size.
+	Capacity cost.Bytes
+	// Scale converts logical sizes to physical payloads.
+	Scale netproto.PayloadScale
+	// SampleRows optionally provides catalog rows so locally answered
+	// queries can return result samples like the repository does.
+	SampleRows []catalog.Row
+	// Logf logs events; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Middleware is a running cache node.
+type Middleware struct {
+	cfg    Config
+	ln     net.Listener
+	ledger cost.Ledger
+
+	// mu serializes policy decisions and the repository request
+	// connection: the decision framework is sequential by design.
+	mu       sync.Mutex
+	policy   core.Policy
+	repo     *netproto.Conn
+	repoRaw  net.Conn
+	invRaw   net.Conn
+	resident map[model.ObjectID]struct{}
+
+	queries int64
+	atCache int64
+	shipped int64
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds the middleware, connects it to the repository, initializes
+// the policy and subscribes to invalidations.
+func New(cfg Config) (*Middleware, error) {
+	if cfg.RepoAddr == "" {
+		return nil, fmt.Errorf("cache: repository address required")
+	}
+	if len(cfg.Objects) == 0 {
+		return nil, fmt.Errorf("cache: object universe required")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = core.NewVCover(core.DefaultVCoverConfig())
+	}
+	m := &Middleware{
+		cfg:      cfg,
+		policy:   cfg.Policy,
+		resident: make(map[model.ObjectID]struct{}),
+	}
+	if err := m.policy.Init(cfg.Objects, cfg.Capacity); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+
+	// Request/response channel to the repository.
+	rc, err := net.Dial("tcp", cfg.RepoAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cache: dial repository: %w", err)
+	}
+	m.repoRaw = rc
+	m.repo = netproto.NewConn(rc)
+	if err := m.repo.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "cache"}}); err != nil {
+		rc.Close()
+		return nil, fmt.Errorf("cache: hello: %w", err)
+	}
+
+	// Invalidation subscription.
+	ic, err := net.Dial("tcp", cfg.RepoAddr)
+	if err != nil {
+		rc.Close()
+		return nil, fmt.Errorf("cache: dial invalidations: %w", err)
+	}
+	m.invRaw = ic
+	invConn := netproto.NewConn(ic)
+	if err := invConn.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
+		rc.Close()
+		ic.Close()
+		return nil, fmt.Errorf("cache: subscribe: %w", err)
+	}
+	m.wg.Add(1)
+	go m.invalidationLoop(invConn)
+
+	// Apply any preload the policy requests (Replica/SOptimal).
+	if pre, ok := m.policy.(core.Preloader); ok {
+		objs, charge := pre.Preload()
+		for _, id := range objs {
+			if err := m.loadObjectLocked(id, charge); err != nil {
+				rc.Close()
+				ic.Close()
+				return nil, fmt.Errorf("cache: preload %d: %w", id, err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Start begins serving clients.
+func (m *Middleware) Start() error {
+	ln, err := net.Listen("tcp", m.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cache: listen: %w", err)
+	}
+	m.ln = ln
+	m.wg.Add(1)
+	go m.acceptLoop()
+	m.cfg.Logf("cache listening on %s (policy %s)", ln.Addr(), m.policy.Name())
+	return nil
+}
+
+// Addr returns the client-facing address (after Start).
+func (m *Middleware) Addr() string { return m.ln.Addr().String() }
+
+// Ledger returns a snapshot of the cache's traffic accounting.
+func (m *Middleware) Ledger() cost.Snapshot { return m.ledger.Snapshot() }
+
+// Stats returns a stats message describing the node.
+func (m *Middleware) Stats() netproto.StatsMsg {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cached := make([]model.ObjectID, 0, len(m.resident))
+	for id := range m.resident {
+		cached = append(cached, id)
+	}
+	sortIDs(cached)
+	return netproto.StatsMsg{
+		Ledger:  m.ledger.Snapshot(),
+		Cached:  cached,
+		Policy:  m.policy.Name(),
+		Queries: m.queries,
+		AtCache: m.atCache,
+		Shipped: m.shipped,
+	}
+}
+
+// Close shuts the middleware down.
+func (m *Middleware) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	var err error
+	if m.ln != nil {
+		err = m.ln.Close()
+	}
+	m.repoRaw.Close()
+	m.invRaw.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *Middleware) invalidationLoop(c *netproto.Conn) {
+	defer m.wg.Done()
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return
+		}
+		inv, ok := f.Body.(netproto.InvalidateMsg)
+		if !ok {
+			m.cfg.Logf("invalidation stream sent %s", f.Type)
+			continue
+		}
+		m.mu.Lock()
+		d, err := m.policy.OnUpdate(&inv.Update)
+		if err != nil {
+			m.cfg.Logf("policy OnUpdate: %v", err)
+			m.mu.Unlock()
+			continue
+		}
+		if err := m.applyDecisionLocked(d, nil); err != nil {
+			m.cfg.Logf("apply update decision: %v", err)
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Middleware) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer conn.Close()
+			if err := m.serveClient(netproto.NewConn(conn)); err != nil {
+				m.cfg.Logf("client %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (m *Middleware) serveClient(c *netproto.Conn) error {
+	first, err := c.Recv()
+	if err != nil {
+		return ignoreEOF(err)
+	}
+	if first.Type != netproto.MsgHello {
+		return fmt.Errorf("cache: expected hello, got %s", first.Type)
+	}
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return ignoreEOF(err)
+		}
+		q, ok := f.Body.(netproto.QueryMsg)
+		if !ok {
+			if f.Type == netproto.MsgStats {
+				if err := c.Send(netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("cache: client sent %s", f.Type)
+		}
+		reply := m.handleQuery(&q.Query)
+		if err := c.Send(reply); err != nil {
+			return ignoreEOF(err)
+		}
+	}
+}
+
+func (m *Middleware) handleQuery(q *model.Query) netproto.Frame {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	d, err := m.policy.OnQuery(q)
+	if err != nil {
+		return errorFrame("policy: %v", err)
+	}
+	var result netproto.QueryResultMsg
+	if err := m.applyDecisionLocked(d, &result); err != nil {
+		return errorFrame("apply: %v", err)
+	}
+	if d.ShipQuery {
+		m.shipped++
+		reply, err := m.roundTripLocked(netproto.Frame{Type: netproto.MsgQuery, Body: netproto.QueryMsg{Query: *q}})
+		if err != nil {
+			return errorFrame("ship query: %v", err)
+		}
+		res, ok := reply.Body.(netproto.QueryResultMsg)
+		if !ok {
+			return errorFrame("repository replied %s", reply.Type)
+		}
+		m.ledger.Charge(cost.QueryShip, q.Cost)
+		res.Elapsed = time.Since(start)
+		return netproto.Frame{Type: netproto.MsgQueryResult, Body: res}
+	}
+	m.atCache++
+	result.QueryID = q.ID
+	result.Logical = q.Cost
+	result.Source = "cache"
+	result.Rows = m.sampleRowsFor(q.Objects)
+	result.Payload = netproto.MakePayload(m.cfg.Scale, q.Cost, int64(q.ID))
+	result.Elapsed = time.Since(start)
+	return netproto.Frame{Type: netproto.MsgQueryResult, Body: result}
+}
+
+// applyDecisionLocked executes a decision's evictions, loads and update
+// shipments against the repository. mu must be held.
+func (m *Middleware) applyDecisionLocked(d core.Decision, _ *netproto.QueryResultMsg) error {
+	for _, id := range d.Evict {
+		if _, ok := m.resident[id]; !ok {
+			return fmt.Errorf("evict of non-resident object %d", id)
+		}
+		delete(m.resident, id)
+	}
+	for _, id := range d.Load {
+		if err := m.loadObjectLocked(id, true); err != nil {
+			return err
+		}
+	}
+	if len(d.ApplyUpdates) > 0 {
+		reply, err := m.roundTripLocked(netproto.Frame{
+			Type: netproto.MsgShipUpdates,
+			Body: netproto.ShipUpdatesMsg{IDs: d.ApplyUpdates},
+		})
+		if err != nil {
+			return fmt.Errorf("ship updates: %w", err)
+		}
+		ups, ok := reply.Body.(netproto.UpdatesMsg)
+		if !ok {
+			return fmt.Errorf("repository replied %s to update shipment", reply.Type)
+		}
+		var total cost.Bytes
+		for _, u := range ups.Updates {
+			total += u.Cost
+		}
+		m.ledger.Charge(cost.UpdateShip, total)
+	}
+	return nil
+}
+
+func (m *Middleware) loadObjectLocked(id model.ObjectID, charge bool) error {
+	if _, dup := m.resident[id]; dup {
+		return fmt.Errorf("object %d already resident", id)
+	}
+	reply, err := m.roundTripLocked(netproto.Frame{
+		Type: netproto.MsgLoadObject,
+		Body: netproto.LoadObjectMsg{Object: id},
+	})
+	if err != nil {
+		return fmt.Errorf("load object %d: %w", id, err)
+	}
+	data, ok := reply.Body.(netproto.ObjectDataMsg)
+	if !ok {
+		return fmt.Errorf("repository replied %s to load", reply.Type)
+	}
+	m.resident[id] = struct{}{}
+	if charge {
+		m.ledger.Charge(cost.ObjectLoad, data.Object.Size)
+	}
+	return nil
+}
+
+func (m *Middleware) roundTripLocked(f netproto.Frame) (netproto.Frame, error) {
+	if err := m.repo.Send(f); err != nil {
+		return netproto.Frame{}, err
+	}
+	reply, err := m.repo.Recv()
+	if err != nil {
+		return netproto.Frame{}, err
+	}
+	if e, ok := reply.Body.(netproto.ErrorMsg); ok {
+		return netproto.Frame{}, errors.New(e.Message)
+	}
+	return reply, nil
+}
+
+// sampleRowsFor returns demo rows for locally answered queries.
+func (m *Middleware) sampleRowsFor(objs []model.ObjectID) []netproto.ResultRow {
+	if len(m.cfg.SampleRows) == 0 {
+		return nil
+	}
+	want := make(map[model.ObjectID]struct{}, len(objs))
+	for _, id := range objs {
+		want[id] = struct{}{}
+	}
+	var rows []netproto.ResultRow
+	for _, row := range m.cfg.SampleRows {
+		if _, ok := want[row.Object]; !ok {
+			continue
+		}
+		rows = append(rows, netproto.ResultRow{
+			ObjID: row.ObjID, RA: row.RA, Dec: row.Dec, R: row.R,
+		})
+		if len(rows) >= 8 {
+			break
+		}
+	}
+	return rows
+}
+
+func errorFrame(format string, args ...any) netproto.Frame {
+	return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{
+		Message: fmt.Sprintf(format, args...),
+	}}
+}
+
+func ignoreEOF(err error) error {
+	if err == nil || errors.Is(err, net.ErrClosed) || err.Error() == "EOF" {
+		return nil
+	}
+	return err
+}
+
+func sortIDs(ids []model.ObjectID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

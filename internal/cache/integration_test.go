@@ -1,0 +1,306 @@
+package cache_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cache"
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/server"
+)
+
+// deployment spins up a repository + middleware pair on loopback.
+type deployment struct {
+	survey *catalog.Survey
+	repo   *server.Repository
+	mw     *cache.Middleware
+}
+
+func startDeployment(t *testing.T, policy core.Policy) *deployment {
+	t.Helper()
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 16
+	scfg.TotalSize = 16 * cost.GB
+	scfg.MinObjectSize = 100 * cost.MB
+	scfg.MaxObjectSize = 4 * cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.DefaultScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+
+	mw, err := cache.New(cache.Config{
+		RepoAddr: repo.Addr(),
+		Policy:   policy,
+		Objects:  survey.Objects(),
+		Capacity: 8 * cost.GB,
+		Scale:    netproto.DefaultScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mw.Close() })
+	return &deployment{survey: survey, repo: repo, mw: mw}
+}
+
+func TestEndToEndQueryThroughCache(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	obj := d.survey.Objects()[0]
+	res, err := cl.Query(model.Query{
+		Objects:   []model.ObjectID{obj.ID},
+		Cost:      10 * cost.MB,
+		Tolerance: model.NoTolerance,
+		Time:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "repository" {
+		t.Errorf("cold cache should ship to repository, got %q", res.Source)
+	}
+	if res.Logical != int64(10*cost.MB) {
+		t.Errorf("logical size = %d", res.Logical)
+	}
+	// The ledger must have charged exactly one query shipment.
+	snap := d.mw.Ledger()
+	if snap.QueryShip != 10*cost.MB {
+		t.Errorf("ledger query ship = %v, want 10MB", snap.QueryShip)
+	}
+}
+
+func TestEndToEndLoadThenHit(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	obj := d.survey.Objects()[0]
+	// A query whose cost covers the object's load cost forces a
+	// deterministic load (VCover's LoadManager).
+	if _, err := cl.Query(model.Query{
+		Objects:   []model.ObjectID{obj.ID},
+		Cost:      obj.Size,
+		Tolerance: model.NoTolerance,
+		Time:      time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.mw.Ledger()
+	if snap.ObjectLoad != obj.Size {
+		t.Fatalf("expected the object to load (ledger %v, want %v)", snap.ObjectLoad, obj.Size)
+	}
+	// Second query on the same object answers at the cache for free.
+	res, err := cl.Query(model.Query{
+		Objects:   []model.ObjectID{obj.ID},
+		Cost:      5 * cost.MB,
+		Tolerance: model.NoTolerance,
+		Time:      2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "cache" {
+		t.Errorf("warm query should hit the cache, got %q", res.Source)
+	}
+	if got := d.mw.Ledger().QueryShip; got != obj.Size {
+		t.Errorf("no extra query shipping expected, ledger shows %v", got)
+	}
+}
+
+func TestEndToEndInvalidationAndUpdateShipping(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	obj := d.survey.Objects()[0]
+	// Warm the object into the cache.
+	if _, err := cl.Query(model.Query{
+		Objects: []model.ObjectID{obj.ID}, Cost: obj.Size,
+		Tolerance: model.NoTolerance, Time: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline delivers an update; the invalidation must reach the
+	// cache's policy before a currency-demanding query arrives.
+	d.repo.ApplyUpdate(model.Update{ID: 1, Object: obj.ID, Cost: cost.MB, Time: 2 * time.Second})
+	waitFor(t, func() bool {
+		// The cheap update should be shipped in response to an
+		// expensive fresh query; poll until the invalidation landed.
+		res, err := cl.Query(model.Query{
+			Objects: []model.ObjectID{obj.ID}, Cost: 100 * cost.MB,
+			Tolerance: model.NoTolerance, Time: 3 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Source == "cache" && d.mw.Ledger().UpdateShip >= cost.MB
+	})
+}
+
+func TestEndToEndReplicaPolicy(t *testing.T) {
+	d := startDeployment(t, core.NewReplica())
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Replica preloads everything (uncharged) and answers locally.
+	res, err := cl.Query(model.Query{
+		Objects:   []model.ObjectID{1, 2, 3},
+		Cost:      50 * cost.MB,
+		Tolerance: model.NoTolerance,
+		Time:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "cache" {
+		t.Errorf("replica must answer at cache, got %q", res.Source)
+	}
+	if d.mw.Ledger().Total() != 0 {
+		t.Errorf("replica preload must be free, ledger %v", d.mw.Ledger().Total())
+	}
+	// Every pipeline update is pushed to the replica.
+	d.repo.ApplyUpdate(model.Update{ID: 1, Object: 1, Cost: 3 * cost.MB, Time: 2 * time.Second})
+	waitFor(t, func() bool { return d.mw.Ledger().UpdateShip == 3*cost.MB })
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(model.Query{
+		Objects: []model.ObjectID{1}, Cost: cost.MB,
+		Tolerance: model.NoTolerance, Time: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Policy != "VCover" || stats.Queries != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			cl, err := client.Dial(d.mw.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 20; j++ {
+				_, err := cl.Query(model.Query{
+					Objects:   []model.ObjectID{model.ObjectID(j%16 + 1)},
+					Cost:      cost.MB,
+					Tolerance: model.AnyStaleness,
+					Time:      time.Duration(i*100+j) * time.Second,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d: %w", i, j, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := d.mw.Stats()
+	if stats.Queries != n*20 {
+		t.Errorf("queries = %d, want %d", stats.Queries, n*20)
+	}
+}
+
+func TestServerRejectsUnknownRole(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	nc, err := net.Dial("tcp", d.repo.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := netproto.NewConn(nc)
+	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "intruder"}}); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the connection; the next receive fails.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Recv(); err == nil {
+		t.Error("expected connection close for unknown role")
+	}
+}
+
+func TestPipelineOverNetwork(t *testing.T) {
+	d := startDeployment(t, core.NewReplica())
+	nc, err := net.Dial("tcp", d.repo.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := netproto.NewConn(nc)
+	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "pipeline"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(netproto.Frame{Type: netproto.MsgUpdateFeed, Body: netproto.UpdateFeedMsg{
+		Update: model.Update{ID: 42, Object: 2, Cost: 7 * cost.MB, Time: time.Second},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// The update reaches the repository and is pushed to the replica.
+	waitFor(t, func() bool { return d.mw.Ledger().UpdateShip == 7*cost.MB })
+}
+
+// waitFor polls a condition with a deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}

@@ -1,0 +1,240 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/deltacache/delta/internal/geom"
+)
+
+func testSurvey(t *testing.T) *Survey {
+	t.Helper()
+	s, err := NewSurvey(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSurveyDefault(t *testing.T) {
+	s := testSurvey(t)
+	if s.NumObjects() != 68 {
+		t.Errorf("NumObjects = %d, want 68", s.NumObjects())
+	}
+}
+
+func TestNewSurveyValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"too few objects", func(c *Config) { c.NumObjects = 3 }},
+		{"zero total", func(c *Config) { c.TotalSize = 0 }},
+		{"min above max", func(c *Config) { c.MinObjectSize = 2 * c.MaxObjectSize }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if _, err := NewSurvey(cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestObjectSizesWithinBounds(t *testing.T) {
+	s := testSurvey(t)
+	cfg := s.Config()
+	for _, o := range s.Objects() {
+		if o.Size < cfg.MinObjectSize || o.Size > cfg.MaxObjectSize {
+			t.Errorf("object %d size %v outside [%v, %v]",
+				o.ID, o.Size, cfg.MinObjectSize, cfg.MaxObjectSize)
+		}
+	}
+}
+
+func TestObjectSizesVary(t *testing.T) {
+	// The paper reports sizes from 50 MB to 90 GB; ours must at least
+	// span an order of magnitude.
+	s := testSurvey(t)
+	minS, maxS := s.Objects()[0].Size, s.Objects()[0].Size
+	for _, o := range s.Objects() {
+		if o.Size < minS {
+			minS = o.Size
+		}
+		if o.Size > maxS {
+			maxS = o.Size
+		}
+	}
+	if maxS < 10*minS {
+		t.Errorf("object sizes too uniform: min %v max %v", minS, maxS)
+	}
+}
+
+func TestTotalSizeNearTarget(t *testing.T) {
+	s := testSurvey(t)
+	got := float64(s.TotalSize())
+	want := float64(s.Config().TotalSize)
+	if got < 0.5*want || got > 1.5*want {
+		t.Errorf("total size %v too far from target %v", s.TotalSize(), s.Config().TotalSize)
+	}
+}
+
+func TestObjectLookup(t *testing.T) {
+	s := testSurvey(t)
+	if _, err := s.Object(1); err != nil {
+		t.Errorf("Object(1): %v", err)
+	}
+	if _, err := s.Object(0); err == nil {
+		t.Error("Object(0) should fail")
+	}
+	if _, err := s.Object(69); err == nil {
+		t.Error("Object(69) should fail")
+	}
+}
+
+func TestObjectAtInRange(t *testing.T) {
+	s := testSurvey(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		id := s.ObjectAt(randomUnit(rng))
+		if id < 1 || int(id) > s.NumObjects() {
+			t.Fatalf("ObjectAt returned out-of-range ID %d", id)
+		}
+	}
+}
+
+func TestCoverCapNonEmptyAndValid(t *testing.T) {
+	s := testSurvey(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		c := geom.NewCap(randomUnit(rng), rng.Float64()*10+0.1)
+		ids := s.CoverCap(c)
+		if len(ids) == 0 {
+			t.Fatal("empty cover")
+		}
+		for _, id := range ids {
+			if id < 1 || int(id) > s.NumObjects() {
+				t.Fatalf("cover contains invalid ID %d", id)
+			}
+		}
+	}
+}
+
+func TestSkyDensityPositiveAndClustered(t *testing.T) {
+	sky := NewSky(7, 10)
+	rng := rand.New(rand.NewSource(5))
+	minD, maxD := 1e18, 0.0
+	for i := 0; i < 5000; i++ {
+		d := sky.Density(randomUnit(rng))
+		if d <= 0 {
+			t.Fatalf("non-positive density %v", d)
+		}
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD < 3*minD {
+		t.Errorf("density not clustered: min %v max %v", minD, maxD)
+	}
+}
+
+func TestSkyBlobRoles(t *testing.T) {
+	sky := NewSky(7, 10)
+	q := sky.Blobs(QueryHot)
+	u := sky.Blobs(UpdateHot)
+	if len(q) != 5 || len(u) != 5 {
+		t.Errorf("blob roles: %d query, %d update, want 5/5", len(q), len(u))
+	}
+	if got := len(sky.Blobs(0)); got != 10 {
+		t.Errorf("Blobs(0) = %d, want 10", got)
+	}
+}
+
+func TestSurveyDeterministic(t *testing.T) {
+	a := testSurvey(t)
+	b := testSurvey(t)
+	oa, ob := a.Objects(), b.Objects()
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("object %d differs across identical builds", i)
+		}
+	}
+}
+
+func TestSamplePositionFollowsDensity(t *testing.T) {
+	s := testSurvey(t)
+	rng := rand.New(rand.NewSource(6))
+	// Average density at sampled positions must exceed the sky average
+	// (samples concentrate in blobs).
+	var sampleAvg, skyAvg float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sampleAvg += s.Density(s.SamplePosition(rng))
+		skyAvg += s.Density(randomUnit(rng))
+	}
+	if sampleAvg <= skyAvg {
+		t.Errorf("density-weighted sampling not concentrating: %v <= %v", sampleAvg/n, skyAvg/n)
+	}
+}
+
+func TestSampleRows(t *testing.T) {
+	s := testSurvey(t)
+	rows := s.SampleRows(500, 42)
+	if len(rows) != 500 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.RA < 0 || r.RA >= 360 || r.Dec < -90 || r.Dec > 90 {
+			t.Fatalf("row %d has invalid coordinates (%v, %v)", i, r.RA, r.Dec)
+		}
+		if r.Object < 1 || int(r.Object) > s.NumObjects() {
+			t.Fatalf("row %d has invalid object %d", i, r.Object)
+		}
+		if r.R < 13 || r.R > 23 {
+			t.Fatalf("row %d magnitude out of range: %v", i, r.R)
+		}
+	}
+	again := s.SampleRows(500, 42)
+	if rows[123] != again[123] {
+		t.Error("SampleRows not deterministic for equal seeds")
+	}
+}
+
+func TestPaperGranularityObjectCounts(t *testing.T) {
+	// The Fig 8(b) sweep requires surveys at each of the paper's object
+	// counts.
+	for _, n := range []int{10, 20, 68, 91} {
+		cfg := DefaultConfig()
+		cfg.NumObjects = n
+		s, err := NewSurvey(cfg)
+		if err != nil {
+			t.Fatalf("NewSurvey(%d): %v", n, err)
+		}
+		if s.NumObjects() != n {
+			t.Errorf("NumObjects = %d, want %d", s.NumObjects(), n)
+		}
+	}
+}
+
+func TestObjectSizeTotalForDifferentGranularities(t *testing.T) {
+	// Total size should stay near the target regardless of granularity
+	// (each object set covers the same sky).
+	for _, n := range []int{20, 134} {
+		cfg := DefaultConfig()
+		cfg.NumObjects = n
+		s, err := NewSurvey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.TotalSize())
+		want := float64(cfg.TotalSize)
+		if got < 0.4*want || got > 1.6*want {
+			t.Errorf("n=%d: total %v too far from %v", n, s.TotalSize(), cfg.TotalSize)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package client provides the astronomer-facing library for querying a
+// Delta deployment: it connects to the middleware cache, submits
+// queries with currency requirements, and returns results along with
+// where they were answered (cache or repository).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// Client is a connection to the middleware cache. It is safe for
+// sequential use; wrap with your own pool for concurrency.
+type Client struct {
+	conn   net.Conn
+	proto  *netproto.Conn
+	nextID model.QueryID
+}
+
+// Dial connects to the cache's client endpoint.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, proto: netproto.NewConn(conn)}
+	if err := c.proto.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "client"}}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Result is a query answer.
+type Result struct {
+	// Source reports who answered: "cache" or "repository".
+	Source string
+	// Logical is the result's logical size (the traffic the answer cost
+	// if it was shipped).
+	Logical int64
+	// Rows is a sample of result rows.
+	Rows []netproto.ResultRow
+	// Elapsed is the server-side handling time.
+	Elapsed time.Duration
+}
+
+// Query submits a query and waits for its result.
+func (c *Client) Query(q model.Query) (*Result, error) {
+	if q.ID == 0 {
+		c.nextID++
+		q.ID = c.nextID
+	}
+	if err := c.proto.Send(netproto.Frame{Type: netproto.MsgQuery, Body: netproto.QueryMsg{Query: q}}); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	reply, err := c.proto.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("client: recv: %w", err)
+	}
+	switch body := reply.Body.(type) {
+	case netproto.QueryResultMsg:
+		return &Result{
+			Source:  body.Source,
+			Logical: int64(body.Logical),
+			Rows:    body.Rows,
+			Elapsed: body.Elapsed,
+		}, nil
+	case netproto.ErrorMsg:
+		return nil, errors.New(body.Message)
+	default:
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+}
+
+// Stats fetches the middleware's statistics.
+func (c *Client) Stats() (*netproto.StatsMsg, error) {
+	if err := c.proto.Send(netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{}}); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	reply, err := c.proto.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("client: recv: %w", err)
+	}
+	stats, ok := reply.Body.(netproto.StatsMsg)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return &stats, nil
+}

@@ -1,0 +1,117 @@
+package client
+
+import (
+	"net"
+	"testing"
+
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+}
+
+// TestQueryAgainstFakeCache exercises the client against a minimal
+// hand-rolled cache endpoint (the full path is covered by the
+// internal/cache integration tests).
+func TestQueryAgainstFakeCache(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		c := netproto.NewConn(conn)
+		if _, err := c.Recv(); err != nil { // hello
+			return
+		}
+		f, err := c.Recv() // query
+		if err != nil {
+			return
+		}
+		q := f.Body.(netproto.QueryMsg).Query
+		_ = c.Send(netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+			QueryID: q.ID,
+			Logical: q.Cost,
+			Source:  "cache",
+		}})
+		f, err = c.Recv() // second query -> error reply
+		if err != nil {
+			return
+		}
+		_ = f
+		_ = c.Send(netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{Message: "boom"}})
+	}()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	res, err := cl.Query(model.Query{Objects: []model.ObjectID{1}, Cost: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "cache" || res.Logical != 42 {
+		t.Errorf("result = %+v", res)
+	}
+
+	if _, err := cl.Query(model.Query{Objects: []model.ObjectID{1}, Cost: 1}); err == nil {
+		t.Error("error frame should surface as an error")
+	}
+}
+
+// TestQueryAssignsIDs verifies the client fills in missing query IDs.
+func TestQueryAssignsIDs(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ids := make(chan model.QueryID, 2)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		c := netproto.NewConn(conn)
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+		for i := 0; i < 2; i++ {
+			f, err := c.Recv()
+			if err != nil {
+				return
+			}
+			q := f.Body.(netproto.QueryMsg).Query
+			ids <- q.ID
+			_ = c.Send(netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+				QueryID: q.ID, Source: "cache",
+			}})
+		}
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Query(model.Query{Objects: []model.ObjectID{1}, Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := <-ids, <-ids
+	if a == 0 || b == 0 || a == b {
+		t.Errorf("auto-assigned IDs wrong: %d, %d", a, b)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func TestCounterLoadingDeterministicThreshold(t *testing.T) {
+	p := NewVCover(VCoverConfig{Seed: 1, GDSF: true, CounterLoading: true})
+	if err := p.Init(vcObjects(), 30*cost.GB); err != nil {
+		t.Fatal(err)
+	}
+	// Object 3 is 5 GB. Two queries of 2 GB must not load it; the third
+	// (total 6 GB ≥ 5 GB) must.
+	for i := 1; i <= 2; i++ {
+		d, err := p.OnQuery(&model.Query{
+			ID: model.QueryID(i), Objects: []model.ObjectID{3}, Cost: 2 * cost.GB,
+			Tolerance: model.NoTolerance, Time: time.Duration(i) * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Load) != 0 {
+			t.Fatalf("query %d: premature load %+v", i, d)
+		}
+	}
+	d, err := p.OnQuery(&model.Query{
+		ID: 3, Objects: []model.ObjectID{3}, Cost: 2 * cost.GB,
+		Tolerance: model.NoTolerance, Time: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Load) != 1 || d.Load[0] != 3 {
+		t.Fatalf("counter should trip at accumulated 6GB >= 5GB: %+v", d)
+	}
+}
+
+func TestCounterLoadingResetsAfterCandidate(t *testing.T) {
+	p := NewVCover(VCoverConfig{Seed: 1, GDSF: true, CounterLoading: true})
+	if err := p.Init(vcObjects(), 30*cost.GB); err != nil {
+		t.Fatal(err)
+	}
+	// One big query loads object 3 immediately (5 GB >= 5 GB).
+	d, err := p.OnQuery(&model.Query{
+		ID: 1, Objects: []model.ObjectID{3}, Cost: 5 * cost.GB,
+		Tolerance: model.NoTolerance, Time: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Load) != 1 {
+		t.Fatalf("expected immediate load: %+v", d)
+	}
+	if p.attributed[3] != 0 {
+		t.Errorf("counter not reset: %d", p.attributed[3])
+	}
+}
+
+func TestPreshipArmsAfterRepeatedCoverShips(t *testing.T) {
+	p := NewVCover(VCoverConfig{Seed: 1, GDSF: true, Preship: true, PreshipAfter: 2})
+	if err := p.Init(vcObjects(), 30*cost.GB); err != nil {
+		t.Fatal(err)
+	}
+	warmLoad(t, p, 1, 1, time.Second)
+
+	// Two rounds of: cheap update, expensive query -> cover ships the
+	// update. That arms preshipping.
+	qid := model.QueryID(1)
+	for i := 1; i <= 2; i++ {
+		if _, err := p.OnUpdate(&model.Update{
+			ID: model.UpdateID(i), Object: 1, Cost: cost.MB,
+			Time: time.Duration(10*i) * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		qid++
+		d, err := p.OnQuery(&model.Query{
+			ID: qid, Objects: []model.ObjectID{1}, Cost: cost.GB,
+			Tolerance: model.NoTolerance, Time: time.Duration(10*i+1) * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.ApplyUpdates) != 1 {
+			t.Fatalf("round %d: cover should ship the update: %+v", i, d)
+		}
+	}
+	// The third update must now be preshipped on arrival.
+	d, err := p.OnUpdate(&model.Update{ID: 99, Object: 1, Cost: cost.MB, Time: 100 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ApplyUpdates) != 1 || d.ApplyUpdates[0] != 99 {
+		t.Fatalf("expected preship: %+v", d)
+	}
+	if p.Stats().UpdatesPreshipped != 1 {
+		t.Errorf("stats: %+v", p.Stats())
+	}
+	// A zero-tolerance query right after is answered at cache with no
+	// waiting for update shipment — the response-time win.
+	d2, err := p.OnQuery(&model.Query{
+		ID: 50, Objects: []model.ObjectID{1}, Cost: cost.GB,
+		Tolerance: model.NoTolerance, Time: 101 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.IsNoop() {
+		t.Errorf("preshipped object should be fresh: %+v", d2)
+	}
+}
+
+func TestPreshipDisabledByDefault(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	for i := 1; i <= 5; i++ {
+		p.coverShips[1]++ // simulate history
+	}
+	d, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: cost.MB, Time: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ApplyUpdates) != 0 {
+		t.Errorf("preship must be off by default: %+v", d)
+	}
+}

@@ -1,0 +1,159 @@
+// Package core implements Delta's decision framework: the data
+// decoupling problem and the algorithms the paper evaluates on it.
+//
+// The decoupling problem (Section 3): given the repository's object set,
+// an online sequence of queries at the cache and updates at the
+// repository, decide which objects to load, which to evict, which
+// queries to ship and which updates to ship, such that the cache never
+// exceeds its capacity, every query is answered within its tolerance for
+// staleness, and total network traffic is minimized.
+//
+// Five policies are provided:
+//
+//   - VCover — the paper's contribution: an online algorithm whose
+//     UpdateManager solves incremental minimum-weight vertex covers on
+//     the query–update interaction graph, and whose LoadManager does
+//     randomized, lazily-batched Greedy-Dual-Size object loading.
+//   - Benefit — the exponential-smoothing greedy heuristic
+//     representative of commercial dynamic-data caches.
+//   - NoCache, Replica, SOptimal — the three yardsticks of Section 6.
+//
+// Policies are deliberately passive: they return Decisions and the
+// caller (the simulator or the live cache service) applies them. Each
+// policy maintains an internal mirror of cache state that is, by
+// construction, consistent with the caller's ground truth; the simulator
+// cross-checks the two on every event.
+package core
+
+import (
+	"fmt"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// Decision is a policy's response to one event. The caller applies the
+// parts in this order: Evict, Load, ApplyUpdates, then answers the query
+// (shipping it if ShipQuery, otherwise from the cache).
+type Decision struct {
+	// ShipQuery routes the query to the repository; its result (of size
+	// ν(q)) travels the network.
+	ShipQuery bool
+	// ApplyUpdates ships the identified outstanding updates from the
+	// repository and applies them to cached objects.
+	ApplyUpdates []model.UpdateID
+	// Load bulk-copies whole objects into the cache (cost ν(o) each);
+	// loaded objects are fresh: all their outstanding updates are
+	// included in the copy.
+	Load []model.ObjectID
+	// Evict drops objects from the cache (no network cost).
+	Evict []model.ObjectID
+}
+
+// IsNoop reports whether the decision takes no action.
+func (d Decision) IsNoop() bool {
+	return !d.ShipQuery && len(d.ApplyUpdates) == 0 && len(d.Load) == 0 && len(d.Evict) == 0
+}
+
+// Policy is a decoupling algorithm. Implementations are single-threaded:
+// the caller serializes OnQuery/OnUpdate.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Init provides the object universe and cache capacity. It must be
+	// called exactly once before any event.
+	Init(objects []model.Object, capacity cost.Bytes) error
+	// OnQuery decides how to answer a query.
+	OnQuery(q *model.Query) (Decision, error)
+	// OnUpdate reacts to an update arriving at the repository. Most
+	// policies only record it; push-based policies return
+	// ApplyUpdates to ship it to the cache immediately.
+	OnUpdate(u *model.Update) (Decision, error)
+}
+
+// Preloader is implemented by policies whose cache starts non-empty
+// (Replica, SOptimal). Preload returns the initially resident objects
+// and whether their load cost is charged to the ledger (the paper
+// charges SOptimal but not Replica).
+type Preloader interface {
+	Preload() (objs []model.ObjectID, charge bool)
+}
+
+// objectIndex is the shared bookkeeping helper for policies: object
+// metadata plus a mirror of cache residency.
+type objectIndex struct {
+	objects  map[model.ObjectID]model.Object
+	capacity cost.Bytes
+
+	cached map[model.ObjectID]struct{}
+	used   cost.Bytes
+}
+
+func newObjectIndex(objects []model.Object, capacity cost.Bytes) (*objectIndex, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("core: negative cache capacity")
+	}
+	idx := &objectIndex{
+		objects:  make(map[model.ObjectID]model.Object, len(objects)),
+		capacity: capacity,
+		cached:   make(map[model.ObjectID]struct{}),
+	}
+	for _, o := range objects {
+		if o.Size < 0 {
+			return nil, fmt.Errorf("core: object %d has negative size", o.ID)
+		}
+		if _, dup := idx.objects[o.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate object %d", o.ID)
+		}
+		idx.objects[o.ID] = o
+	}
+	return idx, nil
+}
+
+func (idx *objectIndex) size(id model.ObjectID) (cost.Bytes, error) {
+	o, ok := idx.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown object %d", id)
+	}
+	return o.Size, nil
+}
+
+func (idx *objectIndex) isCached(id model.ObjectID) bool {
+	_, ok := idx.cached[id]
+	return ok
+}
+
+func (idx *objectIndex) allCached(ids []model.ObjectID) bool {
+	for _, id := range ids {
+		if !idx.isCached(id) {
+			return false
+		}
+	}
+	return true
+}
+
+func (idx *objectIndex) markCached(id model.ObjectID) error {
+	if idx.isCached(id) {
+		return fmt.Errorf("core: object %d already cached", id)
+	}
+	size, err := idx.size(id)
+	if err != nil {
+		return err
+	}
+	idx.cached[id] = struct{}{}
+	idx.used += size
+	return nil
+}
+
+func (idx *objectIndex) markEvicted(id model.ObjectID) error {
+	if !idx.isCached(id) {
+		return fmt.Errorf("core: object %d not cached", id)
+	}
+	size, err := idx.size(id)
+	if err != nil {
+		return err
+	}
+	delete(idx.cached, id)
+	idx.used -= size
+	return nil
+}

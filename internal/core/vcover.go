@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/flow"
+	"github.com/deltacache/delta/internal/gds"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// VCoverConfig parameterizes VCover.
+type VCoverConfig struct {
+	// Seed drives the LoadManager's randomized cost attribution.
+	Seed int64
+	// GDSF selects the frequency-aware Greedy-Dual-Size variant for the
+	// LoadManager's object-usage tracking (the paper measures usage
+	// "from frequency and recency of use").
+	GDSF bool
+	// CounterLoading replaces the randomized cost attribution with
+	// explicit per-object counters: an object becomes a load candidate
+	// exactly when its accumulated attributed cost reaches its load
+	// cost. The paper rejects this variant as space-inefficient
+	// ("counters on each object are not maintained") but it is the
+	// natural ablation: both variants should produce similar traffic,
+	// which BenchmarkAblationCounterLoading verifies.
+	CounterLoading bool
+	// Preship enables the response-time extension sketched in the
+	// paper's Section 4 discussion: once an object's updates have been
+	// shipped by vertex covers repeatedly, further updates for it are
+	// preshipped (proactively sent on arrival), trading update traffic
+	// for lower response times on currency-demanding queries.
+	Preship bool
+	// PreshipAfter is the number of cover-driven update shipments on an
+	// object that arms preshipping for it (default 3).
+	PreshipAfter int
+}
+
+// DefaultVCoverConfig returns the configuration used in the experiments.
+func DefaultVCoverConfig() VCoverConfig {
+	return VCoverConfig{Seed: 1, GDSF: true, PreshipAfter: 3}
+}
+
+// VCover is the paper's online algorithm for the data decoupling
+// problem (Section 4). It is composed of two managers:
+//
+//   - UpdateManager: for queries whose objects are all cached, it
+//     maintains a *remainder* interaction graph of query and update
+//     vertices (weights ν(q), ν(u)) and computes the minimum-weight
+//     vertex cover incrementally via network flow. Updates in the cover
+//     are shipped; if the query is in the cover it is shipped. Update
+//     vertices picked in a cover and query vertices not picked are
+//     excluded from the remainder graph, keeping it small and making the
+//     cover computation robust to workload changes.
+//   - LoadManager: for queries that miss, the query is shipped, and in
+//     the background the query's cost is attributed to its missing
+//     objects in random order; an object whose attributed cost covers
+//     its load cost becomes a load candidate deterministically,
+//     otherwise with probability c/l(o) — in expectation an object is
+//     loaded only after shipping costs equal to its load cost have been
+//     paid, the bound shown optimal in the bypass-caching work the paper
+//     builds on. Candidates pass through a lazy Greedy-Dual-Size cache
+//     that decides actual loads and evictions.
+type VCover struct {
+	cfg VCoverConfig
+
+	idx   *objectIndex
+	bip   *flow.Bipartite
+	loads *gds.Cache
+	rng   *rand.Rand
+
+	// outstanding[o] holds updates received for cached object o that
+	// have not been shipped, in arrival order.
+	outstanding map[model.ObjectID][]pendingUpdate
+	// updObject maps update vertices present in the interaction graph to
+	// their object.
+	updObject map[model.UpdateID]model.ObjectID
+	// attributed holds per-object accumulated query costs when
+	// CounterLoading is enabled.
+	attributed map[model.ObjectID]int64
+	// coverShips counts cover-driven update shipments per object; when
+	// Preship is enabled and the count reaches PreshipAfter, the object
+	// switches to push mode.
+	coverShips map[model.ObjectID]int
+
+	stats VCoverStats
+}
+
+type pendingUpdate struct {
+	update model.Update
+}
+
+// VCoverStats counts internal decisions, exposed for experiments and
+// tests.
+type VCoverStats struct {
+	QueriesAtCache    int64 // answered from cache without shipping
+	QueriesShipped    int64
+	UpdatesShipped    int64
+	ObjectsLoaded     int64
+	ObjectsEvicted    int64
+	CoverComputations int64
+	UpdatesPreshipped int64
+}
+
+// NewVCover returns a VCover policy with the given configuration.
+func NewVCover(cfg VCoverConfig) *VCover {
+	return &VCover{cfg: cfg}
+}
+
+// Name implements Policy.
+func (p *VCover) Name() string { return "VCover" }
+
+// Stats returns internal decision counters.
+func (p *VCover) Stats() VCoverStats { return p.stats }
+
+// Init implements Policy.
+func (p *VCover) Init(objects []model.Object, capacity cost.Bytes) error {
+	if p.idx != nil {
+		return fmt.Errorf("core: VCover initialized twice")
+	}
+	idx, err := newObjectIndex(objects, capacity)
+	if err != nil {
+		return err
+	}
+	loadCache, err := gds.New(int64(capacity), p.cfg.GDSF)
+	if err != nil {
+		return err
+	}
+	p.idx = idx
+	p.bip = flow.NewBipartite()
+	p.loads = loadCache
+	p.rng = rand.New(rand.NewSource(p.cfg.Seed))
+	p.outstanding = make(map[model.ObjectID][]pendingUpdate)
+	p.updObject = make(map[model.UpdateID]model.ObjectID)
+	p.attributed = make(map[model.ObjectID]int64)
+	p.coverShips = make(map[model.ObjectID]int)
+	if p.cfg.PreshipAfter <= 0 {
+		p.cfg.PreshipAfter = 3
+	}
+	return nil
+}
+
+// OnUpdate implements Policy. Updates are never shipped eagerly: the
+// cached copy is merely invalidated (design choice A of Section 1); the
+// update becomes outstanding and a vertex for it enters the interaction
+// graph only when a query interacts with it.
+func (p *VCover) OnUpdate(u *model.Update) (Decision, error) {
+	if p.idx == nil {
+		return Decision{}, fmt.Errorf("core: VCover not initialized")
+	}
+	if _, err := p.idx.size(u.Object); err != nil {
+		return Decision{}, err
+	}
+	if p.idx.isCached(u.Object) {
+		if p.cfg.Preship && p.coverShips[u.Object] >= p.cfg.PreshipAfter {
+			// The object has proven query-hot and update-cheap: push the
+			// update immediately so currency-demanding queries are not
+			// delayed by on-demand shipping (Section 4 discussion).
+			p.stats.UpdatesPreshipped++
+			return Decision{ApplyUpdates: []model.UpdateID{u.ID}}, nil
+		}
+		p.outstanding[u.Object] = append(p.outstanding[u.Object], pendingUpdate{update: *u})
+	}
+	return Decision{}, nil
+}
+
+// OnQuery implements Policy (Figure 3 of the paper).
+func (p *VCover) OnQuery(q *model.Query) (Decision, error) {
+	if p.idx == nil {
+		return Decision{}, fmt.Errorf("core: VCover not initialized")
+	}
+	for _, id := range q.Objects {
+		if _, err := p.idx.size(id); err != nil {
+			return Decision{}, err
+		}
+	}
+	// Track usage of cached objects for the LoadManager's eviction
+	// decisions regardless of which manager handles the query.
+	for _, id := range q.Objects {
+		if p.idx.isCached(id) {
+			p.loads.Touch(int64(id))
+		}
+	}
+	if p.idx.allCached(q.Objects) {
+		return p.updateManager(q)
+	}
+	return p.loadManager(q)
+}
+
+// updateManager decides between shipping q and shipping its outstanding
+// interacting updates (Figure 4 of the paper).
+func (p *VCover) updateManager(q *model.Query) (Decision, error) {
+	// Collect the updates q interacts with: outstanding updates on B(q)
+	// outside q's tolerance for staleness.
+	var needed []model.Update
+	for _, id := range q.Objects {
+		for _, pu := range p.outstanding[id] {
+			if model.UpdateRequired(&pu.update, q) {
+				needed = append(needed, pu.update)
+			}
+		}
+	}
+	if len(needed) == 0 {
+		// Every interacting update has been shipped: execute at cache.
+		p.stats.QueriesAtCache++
+		return Decision{}, nil
+	}
+
+	// Grow the interaction graph: query vertex, update vertices, edges.
+	if err := p.bip.AddLeft(int64(q.ID), int64(q.Cost)); err != nil {
+		return Decision{}, fmt.Errorf("core: VCover: %w", err)
+	}
+	for i := range needed {
+		u := &needed[i]
+		if !p.bip.HasRight(int64(u.ID)) {
+			if err := p.bip.AddRight(int64(u.ID), int64(u.Cost)); err != nil {
+				return Decision{}, fmt.Errorf("core: VCover: %w", err)
+			}
+			p.updObject[u.ID] = u.Object
+		}
+		if err := p.bip.Connect(int64(q.ID), int64(u.ID)); err != nil {
+			return Decision{}, fmt.Errorf("core: VCover: %w", err)
+		}
+	}
+
+	// Incremental minimum-weight vertex cover.
+	cover := p.bip.Solve()
+	p.stats.CoverComputations++
+
+	var d Decision
+	// Ship every update vertex picked in the cover and drop it from the
+	// remainder graph — its shipping is justified by past queries alone
+	// and will never be revisited.
+	for _, key := range cover.Right {
+		uid := model.UpdateID(key)
+		obj, ok := p.updObject[uid]
+		if !ok {
+			return Decision{}, fmt.Errorf("core: VCover: cover update %d not tracked", uid)
+		}
+		if err := p.applyOutstanding(obj, uid); err != nil {
+			return Decision{}, err
+		}
+		if err := p.bip.RemoveRight(key); err != nil {
+			return Decision{}, fmt.Errorf("core: VCover: %w", err)
+		}
+		delete(p.updObject, uid)
+		d.ApplyUpdates = append(d.ApplyUpdates, uid)
+		p.coverShips[obj]++
+		p.stats.UpdatesShipped++
+	}
+	if cover.ContainsLeft(int64(q.ID)) {
+		// Cheaper to ship the query; its vertex stays in the remainder
+		// graph so its sunk cost keeps justifying future update covers.
+		d.ShipQuery = true
+		p.stats.QueriesShipped++
+	} else {
+		p.stats.QueriesAtCache++
+	}
+	// Remainder subgraph maintenance: drop query vertices not picked in
+	// the cover (their currency was paid for by shipped updates) and
+	// query vertices that have become isolated.
+	for _, key := range p.bip.Lefts() {
+		if !cover.ContainsLeft(key) || p.bip.DegreeLeft(key) == 0 {
+			if err := p.bip.RemoveLeft(key); err != nil {
+				return Decision{}, fmt.Errorf("core: VCover: %w", err)
+			}
+		}
+	}
+	return d, nil
+}
+
+// applyOutstanding removes one update from an object's outstanding list.
+func (p *VCover) applyOutstanding(obj model.ObjectID, uid model.UpdateID) error {
+	lst := p.outstanding[obj]
+	for i := range lst {
+		if lst[i].update.ID == uid {
+			p.outstanding[obj] = append(lst[:i], lst[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: VCover: update %d not outstanding on object %d", uid, obj)
+}
+
+// loadManager ships the query and decides, in the background, whether to
+// load the missing objects (Figure 6 of the paper).
+func (p *VCover) loadManager(q *model.Query) (Decision, error) {
+	d := Decision{ShipQuery: true}
+	p.stats.QueriesShipped++
+
+	// Missing objects in random order: the random sequence plus the
+	// probabilistic admission below implement the randomized cost
+	// attribution that avoids per-object counters.
+	var missing []model.ObjectID
+	for _, id := range q.Objects {
+		if !p.idx.isCached(id) {
+			missing = append(missing, id)
+		}
+	}
+	p.rng.Shuffle(len(missing), func(i, j int) {
+		missing[i], missing[j] = missing[j], missing[i]
+	})
+
+	c := int64(q.Cost)
+	var candidates []gds.Entry
+	for _, id := range missing {
+		if c <= 0 {
+			break
+		}
+		size, err := p.idx.size(id)
+		if err != nil {
+			return Decision{}, err
+		}
+		l := int64(size)
+		entry := gds.Entry{Key: int64(id), Size: l, Cost: l}
+		if p.cfg.CounterLoading {
+			// Ablation: explicit per-object counters instead of the
+			// randomized attribution. Deterministic, but needs state for
+			// every object ever queried.
+			take := c
+			if take > l {
+				take = l
+			}
+			p.attributed[id] += take
+			c -= take
+			if p.attributed[id] >= l {
+				candidates = append(candidates, entry)
+				p.attributed[id] = 0
+			}
+			continue
+		}
+		if c >= l {
+			// The query's cost alone covers the load cost: the object is
+			// made a candidate immediately.
+			candidates = append(candidates, entry)
+			c -= l
+			continue
+		}
+		// Randomized loading: candidate with probability c/l(o), so in
+		// expectation the object becomes a candidate once total
+		// attributed cost reaches its load cost — without maintaining a
+		// counter.
+		if l > 0 && p.rng.Float64() < float64(c)/float64(l) {
+			candidates = append(candidates, entry)
+		}
+		c = 0
+	}
+	if len(candidates) == 0 {
+		return d, nil
+	}
+
+	// Lazy Greedy-Dual-Size decides the actual loads and evictions.
+	res := p.loads.AdmitBatch(candidates)
+	for _, key := range res.Evict {
+		id := model.ObjectID(key)
+		if err := p.evictObject(id); err != nil {
+			return Decision{}, err
+		}
+		d.Evict = append(d.Evict, id)
+		p.stats.ObjectsEvicted++
+	}
+	for _, key := range res.Load {
+		id := model.ObjectID(key)
+		if err := p.idx.markCached(id); err != nil {
+			return Decision{}, err
+		}
+		// A load bulk-copies the object including all updates received
+		// while it was away: the object arrives fresh on both sides
+		// ("Both server and cache mark o fresh").
+		p.outstanding[id] = nil
+		d.Load = append(d.Load, id)
+		p.stats.ObjectsLoaded++
+	}
+	return d, nil
+}
+
+// evictObject drops an object from the mirror along with every piece of
+// decision state attached to it: outstanding updates and their
+// interaction-graph vertices.
+func (p *VCover) evictObject(id model.ObjectID) error {
+	if err := p.idx.markEvicted(id); err != nil {
+		return err
+	}
+	for _, pu := range p.outstanding[id] {
+		uid := pu.update.ID
+		if p.bip.HasRight(int64(uid)) {
+			if err := p.bip.RemoveRight(int64(uid)); err != nil {
+				return fmt.Errorf("core: VCover: %w", err)
+			}
+			delete(p.updObject, uid)
+		}
+	}
+	delete(p.outstanding, id)
+	return nil
+}
+
+// CachedObjects returns the mirror's resident set, for tests and the
+// live cache service.
+func (p *VCover) CachedObjects() []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(p.idx.cached))
+	for id := range p.idx.cached {
+		out = append(out, id)
+	}
+	sortObjectIDs(out)
+	return out
+}
+
+func sortObjectIDs(ids []model.ObjectID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

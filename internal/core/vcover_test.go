@@ -1,0 +1,395 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func vcObjects() []model.Object {
+	return []model.Object{
+		{ID: 1, Size: 10 * cost.GB},
+		{ID: 2, Size: 20 * cost.GB},
+		{ID: 3, Size: 5 * cost.GB},
+	}
+}
+
+func newTestVCover(t *testing.T, capacity cost.Bytes) *VCover {
+	t.Helper()
+	p := NewVCover(DefaultVCoverConfig())
+	if err := p.Init(vcObjects(), capacity); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// warmLoad gets an object into VCover's cache deterministically: a query
+// on just that object with cost >= its size always makes it a load
+// candidate.
+func warmLoad(t *testing.T, p *VCover, id model.ObjectID, qid model.QueryID, at time.Duration) {
+	t.Helper()
+	size, err := p.idx.size(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.OnQuery(&model.Query{
+		ID: qid, Objects: []model.ObjectID{id}, Cost: size,
+		Tolerance: model.NoTolerance, Time: at,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ShipQuery {
+		t.Fatal("warm query must be shipped (object was missing)")
+	}
+	if len(d.Load) != 1 || d.Load[0] != id {
+		t.Fatalf("warm load of %d failed: %+v", id, d)
+	}
+}
+
+func TestVCoverInitValidation(t *testing.T) {
+	p := NewVCover(DefaultVCoverConfig())
+	if err := p.Init(vcObjects(), 30*cost.GB); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(vcObjects(), 30*cost.GB); err == nil {
+		t.Error("double init should fail")
+	}
+	q := NewVCover(DefaultVCoverConfig())
+	if err := q.Init(vcObjects(), -1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	r := NewVCover(DefaultVCoverConfig())
+	if _, err := r.OnQuery(&model.Query{ID: 1, Objects: []model.ObjectID{1}, Cost: 1}); err == nil {
+		t.Error("use before init should fail")
+	}
+}
+
+func TestVCoverUnknownObjectRejected(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	if _, err := p.OnQuery(&model.Query{ID: 1, Objects: []model.ObjectID{99}, Cost: 1}); err == nil {
+		t.Error("query on unknown object should fail")
+	}
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 99, Cost: 1}); err == nil {
+		t.Error("update on unknown object should fail")
+	}
+}
+
+func TestVCoverMissShipsQuery(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	d, err := p.OnQuery(&model.Query{
+		ID: 1, Objects: []model.ObjectID{1}, Cost: cost.MB,
+		Tolerance: model.NoTolerance, Time: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ShipQuery {
+		t.Error("miss must ship the query")
+	}
+}
+
+func TestVCoverDeterministicLoadWhenCostCoversSize(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	if got := p.CachedObjects(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("cached = %v, want [1]", got)
+	}
+	if p.Stats().ObjectsLoaded != 1 {
+		t.Errorf("stats: %+v", p.Stats())
+	}
+}
+
+func TestVCoverHitAnswersAtCacheFree(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	d, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1}, Cost: cost.GB,
+		Tolerance: model.NoTolerance, Time: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsNoop() {
+		t.Errorf("fresh hit must be free: %+v", d)
+	}
+	if p.Stats().QueriesAtCache != 1 {
+		t.Errorf("stats: %+v", p.Stats())
+	}
+}
+
+func TestVCoverShipsCheapUpdatesOverExpensiveQuery(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	// A cheap update invalidates the object.
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: cost.MB, Time: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// An expensive zero-tolerance query: the cover must ship the update.
+	d, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1}, Cost: cost.GB,
+		Tolerance: model.NoTolerance, Time: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ShipQuery {
+		t.Error("query should be answered at cache")
+	}
+	if len(d.ApplyUpdates) != 1 || d.ApplyUpdates[0] != 1 {
+		t.Errorf("expected update 1 shipped, got %+v", d)
+	}
+	// The update is applied: a follow-up query is free.
+	d2, err := p.OnQuery(&model.Query{
+		ID: 3, Objects: []model.ObjectID{1}, Cost: cost.GB,
+		Tolerance: model.NoTolerance, Time: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.IsNoop() {
+		t.Errorf("update should have been applied: %+v", d2)
+	}
+}
+
+func TestVCoverShipsCheapQueryOverExpensiveUpdate(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: cost.GB, Time: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1}, Cost: cost.MB,
+		Tolerance: model.NoTolerance, Time: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ShipQuery || len(d.ApplyUpdates) != 0 {
+		t.Errorf("cheap query should ship, not the 1GB update: %+v", d)
+	}
+}
+
+// TestVCoverAccumulationFlipsToUpdates is the heart of the online
+// behaviour: repeated cheap queries against the same outstanding update
+// accumulate weight in the remainder graph until shipping the update
+// becomes the minimum cover.
+func TestVCoverAccumulationFlipsToUpdates(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: 10 * cost.MB, Time: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// First query (6 MB) < update (10 MB): ship the query.
+	d, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1}, Cost: 6 * cost.MB,
+		Tolerance: model.NoTolerance, Time: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ShipQuery || len(d.ApplyUpdates) != 0 {
+		t.Fatalf("first query should ship: %+v", d)
+	}
+	// Second query (6 MB): accumulated 12 MB > 10 MB: the cover flips
+	// and the update ships; this query is answered at the cache.
+	d2, err := p.OnQuery(&model.Query{
+		ID: 3, Objects: []model.ObjectID{1}, Cost: 6 * cost.MB,
+		Tolerance: model.NoTolerance, Time: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.ShipQuery {
+		t.Errorf("second query should be answered at cache: %+v", d2)
+	}
+	if len(d2.ApplyUpdates) != 1 || d2.ApplyUpdates[0] != 1 {
+		t.Errorf("update should finally ship: %+v", d2)
+	}
+}
+
+func TestVCoverToleranceSkipsFreshUpdates(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: cost.GB, Time: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// The update arrived 1s before the query; tolerance 5s covers it.
+	d, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1}, Cost: cost.MB,
+		Tolerance: 5 * time.Second, Time: 11 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsNoop() {
+		t.Errorf("tolerant query must be free: %+v", d)
+	}
+	// An infinitely tolerant query likewise.
+	d2, err := p.OnQuery(&model.Query{
+		ID: 3, Objects: []model.ObjectID{1}, Cost: cost.MB,
+		Tolerance: model.AnyStaleness, Time: 12 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.IsNoop() {
+		t.Errorf("AnyStaleness query must be free: %+v", d2)
+	}
+	// A zero-tolerance query must interact with the update.
+	d3, err := p.OnQuery(&model.Query{
+		ID: 4, Objects: []model.ObjectID{1}, Cost: cost.MB,
+		Tolerance: model.NoTolerance, Time: 13 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.ShipQuery {
+		t.Errorf("zero-tolerance query should ship (update is 1GB): %+v", d3)
+	}
+}
+
+func TestVCoverUpdatesForUncachedObjectIgnored(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 2, Cost: cost.GB, Time: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.outstanding[2]) != 0 {
+		t.Error("updates for uncached objects must not accumulate")
+	}
+}
+
+func TestVCoverLoadClearsOutstanding(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: cost.GB, Time: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// Evict 1 by loading 2 and 3 (capacity 30 GB: 10+20+5 > 30).
+	warmLoad(t, p, 2, 2, 3*time.Second)
+	// Whether 1 survived depends on GDS credits; force the point by
+	// checking graph consistency instead: no vertices for evicted
+	// objects' updates.
+	for uid, obj := range p.updObject {
+		if !p.idx.isCached(obj) {
+			t.Errorf("graph retains update %d for evicted object %d", uid, obj)
+		}
+	}
+	for obj := range p.outstanding {
+		if len(p.outstanding[obj]) > 0 && !p.idx.isCached(obj) {
+			t.Errorf("outstanding updates retained for evicted object %d", obj)
+		}
+	}
+}
+
+func TestVCoverMirrorMatchesGDS(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	warmLoad(t, p, 3, 2, 2*time.Second)
+	cached := p.CachedObjects()
+	gdsKeys := p.loads.Keys()
+	if len(cached) != len(gdsKeys) {
+		t.Fatalf("mirror %v vs gds %v", cached, gdsKeys)
+	}
+	for i := range cached {
+		if int64(cached[i]) != gdsKeys[i] {
+			t.Fatalf("mirror %v vs gds %v", cached, gdsKeys)
+		}
+	}
+}
+
+func TestVCoverDeterministicAcrossRuns(t *testing.T) {
+	run := func() []model.ObjectID {
+		p := NewVCover(VCoverConfig{Seed: 7, GDSF: true})
+		if err := p.Init(vcObjects(), 30*cost.GB); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			id := model.ObjectID(i%3 + 1)
+			_, err := p.OnQuery(&model.Query{
+				ID: model.QueryID(i + 1), Objects: []model.ObjectID{id},
+				Cost: cost.Bytes(i%7+1) * cost.GB, Tolerance: model.NoTolerance,
+				Time: time.Duration(i) * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.CachedObjects()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestVCoverMultiObjectQueryNeedsAll(t *testing.T) {
+	p := newTestVCover(t, 35*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	// Query touching cached 1 and uncached 3 must ship.
+	d, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1, 3}, Cost: cost.MB,
+		Tolerance: model.NoTolerance, Time: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ShipQuery {
+		t.Error("partially-cached query must ship")
+	}
+}
+
+func TestVCoverCoverSharedUpdateAcrossQueries(t *testing.T) {
+	// Two queries on different objects share no updates; a query on two
+	// objects interacts with updates on both.
+	p := newTestVCover(t, 35*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	warmLoad(t, p, 3, 2, 2*time.Second)
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: 2 * cost.MB, Time: 3 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OnUpdate(&model.Update{ID: 2, Object: 3, Cost: 3 * cost.MB, Time: 4 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// Query on both objects, cost 100 MB >> 5 MB of updates: cover ships
+	// both updates.
+	d, err := p.OnQuery(&model.Query{
+		ID: 3, Objects: []model.ObjectID{1, 3}, Cost: 100 * cost.MB,
+		Tolerance: model.NoTolerance, Time: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ShipQuery || len(d.ApplyUpdates) != 2 {
+		t.Errorf("both updates should ship: %+v", d)
+	}
+}
+
+func TestVCoverStatsProgress(t *testing.T) {
+	p := newTestVCover(t, 30*cost.GB)
+	warmLoad(t, p, 1, 1, time.Second)
+	st := p.Stats()
+	if st.QueriesShipped != 1 || st.ObjectsLoaded != 1 {
+		t.Errorf("stats after warm: %+v", st)
+	}
+	if _, err := p.OnUpdate(&model.Update{ID: 1, Object: 1, Cost: cost.KB, Time: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OnQuery(&model.Query{
+		ID: 2, Objects: []model.ObjectID{1}, Cost: cost.GB,
+		Tolerance: model.NoTolerance, Time: 3 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.UpdatesShipped != 1 || st.CoverComputations != 1 || st.QueriesAtCache != 1 {
+		t.Errorf("stats after cover: %+v", st)
+	}
+}

@@ -1,0 +1,184 @@
+// Package cost defines the network-traffic cost model used throughout
+// Delta. The paper charges every data-communication mechanism by the
+// number of bytes it moves: shipping a query costs the size of its
+// result, shipping an update costs the size of its payload, and loading
+// an object costs the size of the object. Costs are tracked as logical
+// bytes; the networking layer may physically move a scaled-down payload,
+// but ledgers always account logical sizes.
+package cost
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Bytes is a logical data size in bytes. All traffic costs in Delta are
+// expressed in Bytes, mirroring the paper's "network traffic cost is
+// proportional to the size of the data being communicated".
+type Bytes int64
+
+// Convenience multiples for building sizes in code and tests.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// GBf returns the size in (floating point) gigabytes, the unit used by
+// every figure in the paper.
+func (b Bytes) GBf() float64 { return float64(b) / float64(GB) }
+
+// String renders the size with a binary-prefix unit, choosing the widest
+// unit that keeps the value at or above one.
+func (b Bytes) String() string {
+	switch {
+	case b >= TB:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// Mechanism identifies one of the three data-communication mechanisms of
+// Section 3 of the paper.
+type Mechanism int
+
+const (
+	// QueryShip redirects a query to the repository; the result is sent
+	// directly to the client.
+	QueryShip Mechanism = iota + 1
+	// UpdateShip sends an update specification (inserted or modified
+	// rows) from the repository to the cache.
+	UpdateShip
+	// ObjectLoad bulk-copies an entire data object (including all
+	// outstanding updates) from the repository into the cache.
+	ObjectLoad
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case QueryShip:
+		return "query-ship"
+	case UpdateShip:
+		return "update-ship"
+	case ObjectLoad:
+		return "object-load"
+	default:
+		return fmt.Sprintf("mechanism(%d)", int(m))
+	}
+}
+
+// Ledger accumulates network traffic per mechanism. The zero value is an
+// empty ledger ready for use. Ledger is safe for concurrent use.
+type Ledger struct {
+	mu sync.Mutex
+
+	queryShip  Bytes
+	updateShip Bytes
+	objectLoad Bytes
+
+	queryShips  int64
+	updateShips int64
+	objectLoads int64
+}
+
+// Charge records traffic of the given size against a mechanism.
+func (l *Ledger) Charge(m Mechanism, size Bytes) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch m {
+	case QueryShip:
+		l.queryShip += size
+		l.queryShips++
+	case UpdateShip:
+		l.updateShip += size
+		l.updateShips++
+	case ObjectLoad:
+		l.objectLoad += size
+		l.objectLoads++
+	}
+}
+
+// Total returns the total traffic across all mechanisms — the quantity
+// every experiment in the paper minimizes.
+func (l *Ledger) Total() Bytes {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queryShip + l.updateShip + l.objectLoad
+}
+
+// ByMechanism returns the traffic charged to a single mechanism.
+func (l *Ledger) ByMechanism(m Mechanism) Bytes {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch m {
+	case QueryShip:
+		return l.queryShip
+	case UpdateShip:
+		return l.updateShip
+	case ObjectLoad:
+		return l.objectLoad
+	default:
+		return 0
+	}
+}
+
+// Count returns the number of operations charged to a mechanism.
+func (l *Ledger) Count(m Mechanism) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch m {
+	case QueryShip:
+		return l.queryShips
+	case UpdateShip:
+		return l.updateShips
+	case ObjectLoad:
+		return l.objectLoads
+	default:
+		return 0
+	}
+}
+
+// Snapshot is an immutable copy of a ledger's counters.
+type Snapshot struct {
+	QueryShip  Bytes `json:"queryShipBytes"`
+	UpdateShip Bytes `json:"updateShipBytes"`
+	ObjectLoad Bytes `json:"objectLoadBytes"`
+
+	QueryShips  int64 `json:"queryShips"`
+	UpdateShips int64 `json:"updateShips"`
+	ObjectLoads int64 `json:"objectLoads"`
+}
+
+// Total returns the total traffic recorded in the snapshot.
+func (s Snapshot) Total() Bytes { return s.QueryShip + s.UpdateShip + s.ObjectLoad }
+
+// Snapshot returns a point-in-time copy of the ledger.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Snapshot{
+		QueryShip:   l.queryShip,
+		UpdateShip:  l.updateShip,
+		ObjectLoad:  l.objectLoad,
+		QueryShips:  l.queryShips,
+		UpdateShips: l.updateShips,
+		ObjectLoads: l.objectLoads,
+	}
+}
+
+// Reset zeroes all counters.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.queryShip, l.updateShip, l.objectLoad = 0, 0, 0
+	l.queryShips, l.updateShips, l.objectLoads = 0, 0, 0
+}

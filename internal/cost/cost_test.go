@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{2 * KB, "2.00KB"},
+		{GB + GB/2, "1.50GB"},
+		{3 * TB, "3.00TB"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestGBf(t *testing.T) {
+	if got := (10 * GB).GBf(); got != 10 {
+		t.Errorf("GBf = %v, want 10", got)
+	}
+	if got := (GB / 2).GBf(); got != 0.5 {
+		t.Errorf("GBf = %v, want 0.5", got)
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	if QueryShip.String() != "query-ship" ||
+		UpdateShip.String() != "update-ship" ||
+		ObjectLoad.String() != "object-load" {
+		t.Error("mechanism names wrong")
+	}
+	if Mechanism(0).String() != "mechanism(0)" {
+		t.Error("unknown mechanism rendering wrong")
+	}
+}
+
+func TestLedgerCharges(t *testing.T) {
+	var l Ledger
+	l.Charge(QueryShip, 10)
+	l.Charge(QueryShip, 5)
+	l.Charge(UpdateShip, 3)
+	l.Charge(ObjectLoad, 100)
+	if got := l.Total(); got != 118 {
+		t.Errorf("Total = %d, want 118", got)
+	}
+	if got := l.ByMechanism(QueryShip); got != 15 {
+		t.Errorf("QueryShip = %d, want 15", got)
+	}
+	if got := l.Count(QueryShip); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	snap := l.Snapshot()
+	if snap.Total() != 118 || snap.ObjectLoads != 1 {
+		t.Errorf("snapshot wrong: %+v", snap)
+	}
+	l.Reset()
+	if l.Total() != 0 || l.Count(UpdateShip) != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestLedgerConcurrentSafety(t *testing.T) {
+	var l Ledger
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Charge(QueryShip, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != 8000 {
+		t.Errorf("Total = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/deltacache/delta/internal/cost"
+)
+
+// testSetup builds a reduced but statistically meaningful trace (100k
+// events — enough for the paper's post-warmup shape to be stable).
+func testSetup(t *testing.T) *Setup {
+	t.Helper()
+	s, err := NewSetup(Options{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSetupDefaults(t *testing.T) {
+	s := testSetup(t)
+	if s.Survey.NumObjects() != 68 {
+		t.Errorf("objects = %d, want 68", s.Survey.NumObjects())
+	}
+	if len(s.Events) != 100000 {
+		t.Errorf("events = %d, want 100000", len(s.Events))
+	}
+	if s.Capacity() <= 0 || s.Capacity() >= s.Survey.TotalSize() {
+		t.Errorf("capacity = %v out of range", s.Capacity())
+	}
+}
+
+// TestPaperOrdering is the headline reproduction check at reduced scale:
+// post-warmup (the paper's Figure 7b excludes warm-up-period costs), the
+// five policies must land in the paper's order —
+// SOptimal <= VCover < Replica, Benefit, NoCache — with no violations.
+func TestPaperOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering test needs the full small trace")
+	}
+	s := testSetup(t)
+	results, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := PostWarmup(results, 0.5)
+	get := func(name string) cost.Bytes {
+		v, ok := totals[name]
+		if !ok {
+			t.Fatalf("missing result for %s", name)
+		}
+		return v
+	}
+	noCache, replica := get("NoCache"), get("Replica")
+	benefit, vcover, soptimal := get("Benefit"), get("VCover"), get("SOptimal")
+	t.Logf("post-warmup: NoCache=%v Replica=%v Benefit=%v VCover=%v SOptimal=%v",
+		noCache, replica, benefit, vcover, soptimal)
+	t.Logf("full trace:  NoCache=%v Replica=%v Benefit=%v VCover=%v SOptimal=%v",
+		results["NoCache"].Total(), results["Replica"].Total(),
+		results["Benefit"].Total(), results["VCover"].Total(), results["SOptimal"].Total())
+
+	if vcover >= noCache {
+		t.Errorf("VCover (%v) must beat NoCache (%v)", vcover, noCache)
+	}
+	if vcover >= benefit {
+		t.Errorf("VCover (%v) must beat Benefit (%v)", vcover, benefit)
+	}
+	if vcover >= replica {
+		t.Errorf("VCover (%v) must beat Replica (%v)", vcover, replica)
+	}
+	if soptimal > vcover {
+		t.Errorf("SOptimal (%v) must not exceed VCover (%v)", soptimal, vcover)
+	}
+}
+
+func TestFig7aCSV(t *testing.T) {
+	s := testSetup(t)
+	var buf bytes.Buffer
+	if err := Fig7a(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 1000 {
+		t.Errorf("scatter too sparse: %d lines", len(lines))
+	}
+	if lines[0] != "event,object,kind" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestFig7bSeriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs full small trace")
+	}
+	s := testSetup(t)
+	rows, results, err := Fig7b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 50 {
+		t.Fatalf("too few samples: %d", len(rows))
+	}
+	for _, name := range PolicyNames {
+		if _, ok := results[name]; !ok {
+			t.Errorf("missing policy %s", name)
+		}
+		prev := cost.Bytes(-1)
+		for _, row := range rows {
+			if row.Totals[name] < prev {
+				t.Errorf("%s series decreases", name)
+				break
+			}
+			prev = row.Totals[name]
+		}
+	}
+}
+
+func TestFig8aReplicaScalesWithUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	rows, err := Fig8a(Options{Scale: 0.016}, []int{2000, 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// NoCache is flat (same queries); Replica grows with updates.
+	if rows[0].Totals["NoCache"] != rows[1].Totals["NoCache"] {
+		t.Errorf("NoCache must be independent of update count: %v vs %v",
+			rows[0].Totals["NoCache"], rows[1].Totals["NoCache"])
+	}
+	if rows[1].Totals["Replica"] <= rows[0].Totals["Replica"] {
+		t.Errorf("Replica must grow with updates: %v vs %v",
+			rows[0].Totals["Replica"], rows[1].Totals["Replica"])
+	}
+	// Replica growth should be roughly proportional (3x updates -> ~3x
+	// cost, within a factor).
+	ratio := float64(rows[1].Totals["Replica"]) / float64(rows[0].Totals["Replica"])
+	if ratio < 1.8 || ratio > 4.5 {
+		t.Errorf("Replica growth ratio %v, want near 3", ratio)
+	}
+}
+
+func TestFig8bRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	rows, err := Fig8b(Options{Scale: 0.008}, []int{10, 68})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Final <= 0 {
+			t.Errorf("granularity %d: zero cost", r.NumObjects)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("granularity %d: no series", r.NumObjects)
+		}
+	}
+}
+
+func TestBenefitWindowSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	rows, err := BenefitWindowSweep(Options{Scale: 0.008}, []int{100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Total <= 0 || rows[1].Total <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestWarmupRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	rows, err := Warmup(Options{Scale: 0.008}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

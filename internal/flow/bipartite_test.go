@@ -1,0 +1,364 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteCover computes the minimum-weight vertex cover of a bipartite
+// graph by enumerating subsets of the left side: for a fixed left
+// subset, every right vertex adjacent to an uncovered left vertex is
+// forced into the cover.
+func bruteCover(leftW, rightW map[int64]int64, edges [][2]int64) int64 {
+	var leftKeys []int64
+	for k := range leftW {
+		leftKeys = append(leftKeys, k)
+	}
+	sortInt64s(leftKeys)
+	best := int64(1) << 62
+	for mask := 0; mask < 1<<len(leftKeys); mask++ {
+		inCover := make(map[int64]bool, len(leftKeys))
+		var w int64
+		for i, k := range leftKeys {
+			if mask&(1<<i) != 0 {
+				inCover[k] = true
+				w += leftW[k]
+			}
+		}
+		forced := make(map[int64]bool)
+		for _, e := range edges {
+			if !inCover[e[0]] {
+				forced[e[1]] = true
+			}
+		}
+		for r := range forced {
+			w += rightW[r]
+		}
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func checkCoverValid(t *testing.T, c Cover, edges [][2]int64) {
+	t.Helper()
+	for _, e := range edges {
+		if !c.ContainsLeft(e[0]) && !c.ContainsRight(e[1]) {
+			t.Fatalf("edge (%d,%d) not covered by %+v", e[0], e[1], c)
+		}
+	}
+}
+
+func TestBipartitePaperExampleSubgraph(t *testing.T) {
+	// The internal interaction graph of Section 3.1: cached objects form
+	// a subgraph with updates u1 (1 GB), u6 (2 GB) and query q7 (4 GB);
+	// q7 interacts with both. Shipping u1+u6 (3 GB) beats shipping q7
+	// (4 GB).
+	b := NewBipartite()
+	if err := b.AddLeft(7, 4); err != nil { // q7
+		t.Fatal(err)
+	}
+	if err := b.AddRight(1, 1); err != nil { // u1
+		t.Fatal(err)
+	}
+	if err := b.AddRight(6, 2); err != nil { // u6
+		t.Fatal(err)
+	}
+	if err := b.Connect(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(7, 6); err != nil {
+		t.Fatal(err)
+	}
+	c := b.Solve()
+	if c.Weight != 3 {
+		t.Errorf("cover weight = %d, want 3", c.Weight)
+	}
+	if c.ContainsLeft(7) {
+		t.Error("q7 should not be in the cover (updates are cheaper)")
+	}
+	if !c.ContainsRight(1) || !c.ContainsRight(6) {
+		t.Errorf("u1 and u6 should be in the cover, got %+v", c)
+	}
+}
+
+func TestBipartiteShipQueryWhenUpdatesExpensive(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 2)   // cheap query
+	_ = b.AddRight(1, 10) // expensive update
+	_ = b.Connect(1, 1)
+	c := b.Solve()
+	if !c.ContainsLeft(1) || c.Weight != 2 {
+		t.Errorf("expected query in cover with weight 2, got %+v", c)
+	}
+}
+
+func TestBipartiteIsolatedVerticesNeverInCover(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 5)
+	_ = b.AddRight(2, 7)
+	c := b.Solve()
+	if len(c.Left) != 0 || len(c.Right) != 0 || c.Weight != 0 {
+		t.Errorf("isolated vertices must not appear in cover: %+v", c)
+	}
+}
+
+func TestBipartiteZeroWeightPreferred(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 0)
+	_ = b.AddRight(1, 3)
+	_ = b.Connect(1, 1)
+	c := b.Solve()
+	if c.Weight != 0 {
+		t.Errorf("cover weight = %d, want 0 (zero-weight query)", c.Weight)
+	}
+	if !c.ContainsLeft(1) {
+		t.Errorf("zero-weight left vertex should cover the edge: %+v", c)
+	}
+}
+
+func TestBipartiteDuplicateVertexRejected(t *testing.T) {
+	b := NewBipartite()
+	if err := b.AddLeft(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLeft(1, 2); err == nil {
+		t.Error("duplicate left vertex should fail")
+	}
+	if err := b.AddRight(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRight(1, 2); err == nil {
+		t.Error("duplicate right vertex should fail")
+	}
+}
+
+func TestBipartiteConnectUnknownVertex(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 1)
+	if err := b.Connect(1, 99); err == nil {
+		t.Error("connect to unknown right vertex should fail")
+	}
+	if err := b.Connect(99, 1); err == nil {
+		t.Error("connect from unknown left vertex should fail")
+	}
+}
+
+func TestBipartiteDuplicateEdgeIgnored(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 3)
+	_ = b.AddRight(1, 5)
+	_ = b.Connect(1, 1)
+	_ = b.Connect(1, 1)
+	if got := b.DegreeLeft(1); got != 1 {
+		t.Errorf("DegreeLeft = %d, want 1", got)
+	}
+	c := b.Solve()
+	if c.Weight != 3 {
+		t.Errorf("cover weight = %d, want 3", c.Weight)
+	}
+}
+
+func TestBipartiteRemoveLeftRecomputes(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 10)
+	_ = b.AddRight(1, 4)
+	_ = b.Connect(1, 1)
+	if c := b.Solve(); c.Weight != 4 {
+		t.Fatalf("cover weight = %d, want 4", c.Weight)
+	}
+	if err := b.RemoveLeft(1); err != nil {
+		t.Fatal(err)
+	}
+	if c := b.Solve(); c.Weight != 0 {
+		t.Errorf("cover weight after removal = %d, want 0", c.Weight)
+	}
+	if b.HasLeft(1) {
+		t.Error("left vertex still present after removal")
+	}
+	if got := b.DegreeRight(1); got != 0 {
+		t.Errorf("right degree = %d, want 0", got)
+	}
+}
+
+func TestBipartiteRemoveRightRecomputes(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(1, 2)
+	_ = b.AddRight(1, 1)
+	_ = b.AddRight(2, 1)
+	_ = b.Connect(1, 1)
+	_ = b.Connect(1, 2)
+	if c := b.Solve(); c.Weight != 2 {
+		t.Fatalf("cover weight = %d, want 2", c.Weight)
+	}
+	_ = b.RemoveRight(1)
+	if c := b.Solve(); c.Weight != 1 {
+		t.Errorf("cover weight = %d, want 1 (only u2 remains)", c.Weight)
+	}
+}
+
+func TestBipartiteNeighbors(t *testing.T) {
+	b := NewBipartite()
+	_ = b.AddLeft(5, 1)
+	_ = b.AddRight(2, 1)
+	_ = b.AddRight(9, 1)
+	_ = b.Connect(5, 9)
+	_ = b.Connect(5, 2)
+	got := b.Neighbors(5)
+	if len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Errorf("Neighbors = %v, want [2 9]", got)
+	}
+}
+
+// TestBipartiteMatchesBruteForce cross-validates the flow-based cover
+// against exhaustive enumeration on random small graphs.
+func TestBipartiteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		nLeft := rng.Intn(7) + 1
+		nRight := rng.Intn(7) + 1
+		b := NewBipartite()
+		leftW := make(map[int64]int64)
+		rightW := make(map[int64]int64)
+		for i := 0; i < nLeft; i++ {
+			w := int64(rng.Intn(30))
+			leftW[int64(i)] = w
+			if err := b.AddLeft(int64(i), w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < nRight; i++ {
+			w := int64(rng.Intn(30))
+			rightW[int64(i)] = w
+			if err := b.AddRight(int64(i), w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var edges [][2]int64
+		for i := 0; i < nLeft; i++ {
+			for j := 0; j < nRight; j++ {
+				if rng.Float64() < 0.35 {
+					edges = append(edges, [2]int64{int64(i), int64(j)})
+					if err := b.Connect(int64(i), int64(j)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		c := b.Solve()
+		checkCoverValid(t, c, edges)
+		want := bruteCover(leftW, rightW, edges)
+		if c.Weight != want {
+			t.Fatalf("trial %d: cover weight %d != brute force %d (edges %v, lw %v, rw %v)",
+				trial, c.Weight, want, edges, leftW, rightW)
+		}
+	}
+}
+
+// TestBipartiteIncrementalMatchesFresh interleaves vertex/edge additions
+// and removals with Solve calls and checks the final answer equals a
+// from-scratch solver on the surviving graph.
+func TestBipartiteIncrementalMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 80; trial++ {
+		b := NewBipartite()
+		leftW := make(map[int64]int64)
+		rightW := make(map[int64]int64)
+		type edgeKey = [2]int64
+		liveEdges := make(map[edgeKey]bool)
+		nextL, nextR := int64(0), int64(0)
+
+		for step := 0; step < 60; step++ {
+			switch op := rng.Intn(12); {
+			case op < 3:
+				if len(leftW) >= 9 { // keep brute-force enumeration tractable
+					continue
+				}
+				w := int64(rng.Intn(25))
+				leftW[nextL] = w
+				_ = b.AddLeft(nextL, w)
+				nextL++
+			case op < 6:
+				w := int64(rng.Intn(25))
+				rightW[nextR] = w
+				_ = b.AddRight(nextR, w)
+				nextR++
+			case op < 10:
+				if nextL == 0 || nextR == 0 {
+					continue
+				}
+				l := int64(rng.Intn(int(nextL)))
+				r := int64(rng.Intn(int(nextR)))
+				if _, okL := leftW[l]; !okL {
+					continue
+				}
+				if _, okR := rightW[r]; !okR {
+					continue
+				}
+				if err := b.Connect(l, r); err != nil {
+					t.Fatal(err)
+				}
+				liveEdges[edgeKey{l, r}] = true
+			case op < 11:
+				if nextL == 0 {
+					continue
+				}
+				l := int64(rng.Intn(int(nextL)))
+				if _, ok := leftW[l]; !ok {
+					continue
+				}
+				if err := b.RemoveLeft(l); err != nil {
+					t.Fatal(err)
+				}
+				delete(leftW, l)
+				for ek := range liveEdges {
+					if ek[0] == l {
+						delete(liveEdges, ek)
+					}
+				}
+			default:
+				if nextR == 0 {
+					continue
+				}
+				r := int64(rng.Intn(int(nextR)))
+				if _, ok := rightW[r]; !ok {
+					continue
+				}
+				if err := b.RemoveRight(r); err != nil {
+					t.Fatal(err)
+				}
+				delete(rightW, r)
+				for ek := range liveEdges {
+					if ek[1] == r {
+						delete(liveEdges, ek)
+					}
+				}
+			}
+			if rng.Intn(4) == 0 {
+				b.Solve()
+			}
+		}
+
+		got := b.Solve()
+		var edges [][2]int64
+		for ek := range liveEdges {
+			edges = append(edges, ek)
+		}
+		checkCoverValid(t, got, edges)
+		want := bruteCover(leftW, rightW, edges)
+		if got.Weight != want {
+			t.Fatalf("trial %d: incremental cover %d != brute force %d", trial, got.Weight, want)
+		}
+	}
+}
+
+func TestCoverContainsHelpers(t *testing.T) {
+	c := Cover{Left: []int64{1, 5, 9}, Right: []int64{2}}
+	if !c.ContainsLeft(5) || c.ContainsLeft(4) {
+		t.Error("ContainsLeft wrong")
+	}
+	if !c.ContainsRight(2) || c.ContainsRight(1) {
+		t.Error("ContainsRight wrong")
+	}
+}

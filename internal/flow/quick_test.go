@@ -1,0 +1,197 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickGraph describes a random bipartite instance for property tests.
+type quickGraph struct {
+	leftW  []int64
+	rightW []int64
+	edges  [][2]int
+}
+
+func genGraph(rng *rand.Rand) quickGraph {
+	g := quickGraph{
+		leftW:  make([]int64, rng.Intn(6)+1),
+		rightW: make([]int64, rng.Intn(6)+1),
+	}
+	for i := range g.leftW {
+		g.leftW[i] = int64(rng.Intn(40))
+	}
+	for i := range g.rightW {
+		g.rightW[i] = int64(rng.Intn(40))
+	}
+	for l := range g.leftW {
+		for r := range g.rightW {
+			if rng.Intn(100) < 40 {
+				g.edges = append(g.edges, [2]int{l, r})
+			}
+		}
+	}
+	return g
+}
+
+func buildBipartite(t testing.TB, g quickGraph) *Bipartite {
+	b := NewBipartite()
+	for i, w := range g.leftW {
+		if err := b.AddLeft(int64(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range g.rightW {
+		if err := b.AddRight(int64(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range g.edges {
+		if err := b.Connect(int64(e[0]), int64(e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// TestQuickCoverWeightEqualsFlow: LP duality — the minimum vertex cover
+// weight must equal the maximum flow value on every instance.
+func TestQuickCoverWeightEqualsFlow(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(rand.New(rand.NewSource(seed)))
+		b := buildBipartite(t, g)
+		cover := b.Solve()
+		return cover.Weight == b.FlowValue()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoverIsValid: every edge has an endpoint in the cover.
+func TestQuickCoverIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(rand.New(rand.NewSource(seed)))
+		b := buildBipartite(t, g)
+		cover := b.Solve()
+		for _, e := range g.edges {
+			if !cover.ContainsLeft(int64(e[0])) && !cover.ContainsRight(int64(e[1])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoverIsMinimal: no cheaper cover exists (brute force).
+func TestQuickCoverIsMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(rand.New(rand.NewSource(seed)))
+		b := buildBipartite(t, g)
+		cover := b.Solve()
+		leftW := make(map[int64]int64, len(g.leftW))
+		for i, w := range g.leftW {
+			leftW[int64(i)] = w
+		}
+		rightW := make(map[int64]int64, len(g.rightW))
+		for i, w := range g.rightW {
+			rightW[int64(i)] = w
+		}
+		var edges [][2]int64
+		for _, e := range g.edges {
+			edges = append(edges, [2]int64{int64(e[0]), int64(e[1])})
+		}
+		return cover.Weight == bruteCover(leftW, rightW, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolveIdempotent: solving twice without mutations returns the
+// same cover.
+func TestQuickSolveIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := genGraph(rand.New(rand.NewSource(seed)))
+		b := buildBipartite(t, g)
+		a := b.Solve()
+		c := b.Solve()
+		if a.Weight != c.Weight || len(a.Left) != len(c.Left) || len(a.Right) != len(c.Right) {
+			return false
+		}
+		for i := range a.Left {
+			if a.Left[i] != c.Left[i] {
+				return false
+			}
+		}
+		for i := range a.Right {
+			if a.Right[i] != c.Right[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRemovalKeepsValidity: after removing random vertices, the
+// recomputed cover is still valid for the surviving edges and minimal.
+func TestQuickRemovalKeepsValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGraph(rng)
+		b := buildBipartite(t, g)
+		b.Solve()
+
+		removedL := make(map[int]bool)
+		removedR := make(map[int]bool)
+		for i := range g.leftW {
+			if rng.Intn(3) == 0 {
+				if err := b.RemoveLeft(int64(i)); err != nil {
+					return false
+				}
+				removedL[i] = true
+			}
+		}
+		for i := range g.rightW {
+			if rng.Intn(3) == 0 {
+				if err := b.RemoveRight(int64(i)); err != nil {
+					return false
+				}
+				removedR[i] = true
+			}
+		}
+		cover := b.Solve()
+		leftW := make(map[int64]int64)
+		rightW := make(map[int64]int64)
+		for i, w := range g.leftW {
+			if !removedL[i] {
+				leftW[int64(i)] = w
+			}
+		}
+		for i, w := range g.rightW {
+			if !removedR[i] {
+				rightW[int64(i)] = w
+			}
+		}
+		var edges [][2]int64
+		for _, e := range g.edges {
+			if removedL[e[0]] || removedR[e[1]] {
+				continue
+			}
+			edges = append(edges, [2]int64{int64(e[0]), int64(e[1])})
+			if !cover.ContainsLeft(int64(e[0])) && !cover.ContainsRight(int64(e[1])) {
+				return false
+			}
+		}
+		return cover.Weight == bruteCover(leftW, rightW, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package gds implements the Greedy-Dual-Size web-caching algorithm of
+// Cao and Irani (USITS 1997) and its frequency-aware variant GDSF, plus
+// the lazy batched admission mode VCover's LoadManager relies on
+// (Section 4 of the paper, "we use a lazy version of Aobj").
+//
+// Greedy-Dual-Size keeps a credit H for every cached object. When an
+// object is requested it receives H = L + cost/size (GDSF additionally
+// multiplies by the object's hit count), where L is an inflation value
+// equal to the credit of the last evicted object. Eviction removes the
+// minimum-H object, so objects fall out of the cache once their credit
+// is overtaken by the inflation level — a smooth blend of recency,
+// frequency, fetch cost and size.
+package gds
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry describes an admission candidate.
+type Entry struct {
+	// Key identifies the object.
+	Key int64
+	// Size is the object's size; the cache charges Size units of
+	// capacity for it.
+	Size int64
+	// Cost is the cost of fetching the object on a miss (for Delta, the
+	// object's load cost).
+	Cost int64
+}
+
+// Cache is a Greedy-Dual-Size cache over abstract objects. It tracks
+// only metadata: the caller moves actual data. Cache is not safe for
+// concurrent use.
+type Cache struct {
+	capacity int64
+	used     int64
+	inflate  float64 // the running L value
+	gdsf     bool
+
+	entries map[int64]*entry
+}
+
+type entry struct {
+	size, cost int64
+	h          float64
+	freq       int64
+}
+
+// New returns an empty cache with the given capacity. If gdsf is true
+// the frequency-aware GDSF credit function is used.
+func New(capacity int64, gdsf bool) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("gds: negative capacity %d", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		gdsf:     gdsf,
+		entries:  make(map[int64]*entry),
+	}, nil
+}
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Used returns the capacity currently consumed.
+func (c *Cache) Used() int64 { return c.used }
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Contains reports whether the key is cached.
+func (c *Cache) Contains(key int64) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Keys returns the cached keys in ascending order.
+func (c *Cache) Keys() []int64 {
+	out := make([]int64, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Credit returns the current H value of a cached key (0, false if
+// absent). Exposed for tests and introspection.
+func (c *Cache) Credit(key int64) (float64, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.h, true
+}
+
+func (c *Cache) credit(e *entry) float64 {
+	if e.size <= 0 {
+		return c.inflate + float64(e.cost)
+	}
+	ratio := float64(e.cost) / float64(e.size)
+	if c.gdsf {
+		return c.inflate + float64(e.freq)*ratio
+	}
+	return c.inflate + ratio
+}
+
+// Touch records a hit on a cached object, refreshing its credit. It is
+// a no-op for absent keys.
+func (c *Cache) Touch(key int64) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	e.freq++
+	e.h = c.credit(e)
+}
+
+// Remove evicts the key unconditionally (e.g. the simulator invalidated
+// it). It is a no-op for absent keys.
+func (c *Cache) Remove(key int64) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	c.used -= e.size
+	delete(c.entries, key)
+}
+
+// Admit inserts the candidate, evicting minimum-credit objects until it
+// fits. It returns the evicted keys and whether the candidate was
+// admitted. Candidates larger than the whole cache are rejected without
+// disturbing current contents. Admitting a cached key refreshes it
+// (Touch) and evicts nothing.
+func (c *Cache) Admit(cand Entry) (evicted []int64, admitted bool) {
+	if cand.Size > c.capacity || cand.Size < 0 || cand.Cost < 0 {
+		return nil, false
+	}
+	if _, ok := c.entries[cand.Key]; ok {
+		c.Touch(cand.Key)
+		return nil, true
+	}
+	for c.used+cand.Size > c.capacity {
+		victim, ok := c.minCredit()
+		if !ok {
+			return evicted, false // nothing left to evict; cannot happen with valid sizes
+		}
+		// The inflation level rises to the evicted credit: this is the
+		// "aging" that lets stale high-cost objects eventually leave.
+		c.inflate = c.entries[victim].h
+		c.used -= c.entries[victim].size
+		delete(c.entries, victim)
+		evicted = append(evicted, victim)
+	}
+	e := &entry{size: cand.Size, cost: cand.Cost, freq: 1}
+	e.h = c.credit(e)
+	c.entries[cand.Key] = e
+	c.used += cand.Size
+	return evicted, true
+}
+
+// BatchResult reports the net effect of a lazy batched admission.
+type BatchResult struct {
+	// Load holds candidate keys that should actually be loaded: they
+	// were admitted and survived the whole batch.
+	Load []int64
+	// Evict holds previously-cached keys that must be evicted to make
+	// room. Keys admitted and evicted within the same batch appear in
+	// neither list — that is the laziness: such objects are never
+	// physically loaded (Section 4: "loading oi is not useful").
+	Evict []int64
+}
+
+// AdmitBatch processes the candidates of one query in order with the
+// lazy semantics of the paper's LoadManager: credits and inflation are
+// updated exactly as sequential Admit calls would, but objects that a
+// later candidate of the same batch would displace are elided from the
+// physical load plan.
+func (c *Cache) AdmitBatch(cands []Entry) BatchResult {
+	newly := make(map[int64]bool, len(cands))
+	evictedOld := make(map[int64]bool)
+	for _, cand := range cands {
+		wasPresent := c.Contains(cand.Key)
+		evicted, admitted := c.Admit(cand)
+		for _, v := range evicted {
+			if newly[v] {
+				delete(newly, v) // loaded and dropped within the batch: elide
+			} else {
+				evictedOld[v] = true
+			}
+		}
+		if admitted && !wasPresent {
+			newly[cand.Key] = true
+		}
+	}
+	var res BatchResult
+	for k := range newly {
+		res.Load = append(res.Load, k)
+	}
+	for k := range evictedOld {
+		res.Evict = append(res.Evict, k)
+	}
+	sort.Slice(res.Load, func(i, j int) bool { return res.Load[i] < res.Load[j] })
+	sort.Slice(res.Evict, func(i, j int) bool { return res.Evict[i] < res.Evict[j] })
+	return res
+}
+
+// minCredit returns the key with the smallest credit, breaking ties by
+// smaller key for determinism.
+func (c *Cache) minCredit() (int64, bool) {
+	var (
+		bestKey int64
+		bestH   float64
+		found   bool
+	)
+	for k, e := range c.entries {
+		if !found || e.h < bestH || (e.h == bestH && k < bestKey) {
+			bestKey, bestH, found = k, e.h, true
+		}
+	}
+	return bestKey, found
+}

@@ -1,0 +1,177 @@
+// Package geom provides the spherical geometry primitives the HTM index
+// and the workload generator are built on: unit vectors on the celestial
+// sphere, RA/Dec conversions, angular distances, spherical caps (cones)
+// and great-circle scans.
+//
+// Conventions: right ascension (RA) and declination (Dec) are degrees,
+// RA ∈ [0, 360), Dec ∈ [-90, +90]. Unit vectors use the standard
+// astronomical frame: x toward (RA=0, Dec=0), z toward the north
+// celestial pole.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Degrees per radian.
+const degPerRad = 180 / math.Pi
+
+// Vec3 is a three-dimensional vector. Points on the celestial sphere are
+// represented as unit vectors.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// FromRADec converts equatorial coordinates in degrees to a unit vector.
+func FromRADec(raDeg, decDeg float64) Vec3 {
+	ra := raDeg / degPerRad
+	dec := decDeg / degPerRad
+	cd := math.Cos(dec)
+	return Vec3{
+		X: cd * math.Cos(ra),
+		Y: cd * math.Sin(ra),
+		Z: math.Sin(dec),
+	}
+}
+
+// RADec converts a unit vector back to equatorial coordinates in
+// degrees, with RA normalized to [0, 360).
+func (v Vec3) RADec() (raDeg, decDeg float64) {
+	ra := math.Atan2(v.Y, v.X) * degPerRad
+	if ra < 0 {
+		ra += 360
+	}
+	dec := math.Asin(clamp(v.Z, -1, 1)) * degPerRad
+	return ra, dec
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|. It returns v unchanged if |v| is zero.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// AngleTo returns the angular separation between two unit vectors, in
+// radians. It is numerically stable for both small and near-antipodal
+// separations.
+func (v Vec3) AngleTo(w Vec3) float64 {
+	// atan2 of |v×w| and v·w is stable across the full range, unlike
+	// acos(v·w) which loses precision near 0 and π.
+	return math.Atan2(v.Cross(w).Norm(), v.Dot(w))
+}
+
+// AngleToDeg returns the angular separation in degrees.
+func (v Vec3) AngleToDeg(w Vec3) float64 { return v.AngleTo(w) * degPerRad }
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%.6f, %.6f, %.6f)", v.X, v.Y, v.Z) }
+
+// Cap is a spherical cap (a cone about an axis): the set of unit vectors
+// u with u·Center ≥ CosRadius. Caps model cone-search query regions.
+type Cap struct {
+	Center    Vec3
+	CosRadius float64
+}
+
+// NewCap builds a cap centered on the given unit vector with the given
+// angular radius in degrees.
+func NewCap(center Vec3, radiusDeg float64) Cap {
+	return Cap{Center: center.Normalize(), CosRadius: math.Cos(radiusDeg / degPerRad)}
+}
+
+// CapFromRADec builds a cap from equatorial coordinates in degrees.
+func CapFromRADec(raDeg, decDeg, radiusDeg float64) Cap {
+	return NewCap(FromRADec(raDeg, decDeg), radiusDeg)
+}
+
+// Contains reports whether the unit vector lies inside the cap.
+func (c Cap) Contains(v Vec3) bool { return v.Dot(c.Center) >= c.CosRadius }
+
+// RadiusDeg returns the cap's angular radius in degrees.
+func (c Cap) RadiusDeg() float64 { return math.Acos(clamp(c.CosRadius, -1, 1)) * degPerRad }
+
+// GreatCircle is an oriented great circle defined by its pole. Telescope
+// surveys scan the sky along great circles in a coordinated fashion
+// (Section 6.1 of the paper); the workload generator walks points along
+// circles produced by this type.
+type GreatCircle struct {
+	// Pole is the unit normal of the circle's plane.
+	Pole Vec3
+	// u, v span the circle's plane; Point(θ) = u·cosθ + v·sinθ.
+	u, v Vec3
+}
+
+// NewGreatCircle builds the great circle whose plane is normal to pole.
+func NewGreatCircle(pole Vec3) GreatCircle {
+	p := pole.Normalize()
+	// Pick any vector not parallel to the pole to seed the in-plane
+	// basis.
+	seed := Vec3{X: 1}
+	if math.Abs(p.X) > 0.9 {
+		seed = Vec3{Y: 1}
+	}
+	u := seed.Sub(p.Scale(seed.Dot(p))).Normalize()
+	v := p.Cross(u)
+	return GreatCircle{Pole: p, u: u, v: v}
+}
+
+// Point returns the point at phase angle theta (radians) along the
+// circle.
+func (g GreatCircle) Point(theta float64) Vec3 {
+	return g.u.Scale(math.Cos(theta)).Add(g.v.Scale(math.Sin(theta)))
+}
+
+// SphereAreaSr is the total solid angle of the sphere in steradians.
+const SphereAreaSr = 4 * math.Pi
+
+// TriangleAreaSr returns the solid angle of the spherical triangle with
+// the given unit-vector vertices, via L'Huilier's theorem.
+func TriangleAreaSr(a, b, c Vec3) float64 {
+	sa := b.AngleTo(c)
+	sb := c.AngleTo(a)
+	sc := a.AngleTo(b)
+	s := (sa + sb + sc) / 2
+	t := math.Tan(s/2) * math.Tan((s-sa)/2) * math.Tan((s-sb)/2) * math.Tan((s-sc)/2)
+	if t <= 0 {
+		return 0
+	}
+	return 4 * math.Atan(math.Sqrt(t))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRADecCardinalPoints(t *testing.T) {
+	tests := []struct {
+		name    string
+		ra, dec float64
+		want    Vec3
+	}{
+		{"vernal equinox", 0, 0, Vec3{1, 0, 0}},
+		{"ra 90", 90, 0, Vec3{0, 1, 0}},
+		{"ra 180", 180, 0, Vec3{-1, 0, 0}},
+		{"ra 270", 270, 0, Vec3{0, -1, 0}},
+		{"north pole", 0, 90, Vec3{0, 0, 1}},
+		{"south pole", 123, -90, Vec3{0, 0, -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FromRADec(tt.ra, tt.dec)
+			if !almostEqual(got.X, tt.want.X, eps) ||
+				!almostEqual(got.Y, tt.want.Y, eps) ||
+				!almostEqual(got.Z, tt.want.Z, eps) {
+				t.Errorf("FromRADec(%v, %v) = %v, want %v", tt.ra, tt.dec, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRADecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*178 - 89 // avoid pole degeneracy where RA is undefined
+		v := FromRADec(ra, dec)
+		gotRA, gotDec := v.RADec()
+		if !almostEqual(gotRA, ra, 1e-9) || !almostEqual(gotDec, dec, 1e-9) {
+			t.Fatalf("round trip (%v,%v) -> (%v,%v)", ra, dec, gotRA, gotDec)
+		}
+	}
+}
+
+func TestUnitVectorProperty(t *testing.T) {
+	f := func(raRaw, decRaw float64) bool {
+		ra := math.Mod(math.Abs(raRaw), 360)
+		dec := math.Mod(math.Abs(decRaw), 180) - 90
+		v := FromRADec(ra, dec)
+		return almostEqual(v.Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	a := FromRADec(0, 0)
+	tests := []struct {
+		name string
+		b    Vec3
+		want float64 // degrees
+	}{
+		{"same point", FromRADec(0, 0), 0},
+		{"orthogonal", FromRADec(90, 0), 90},
+		{"antipodal", FromRADec(180, 0), 180},
+		{"small sep", FromRADec(0.001, 0), 0.001},
+		{"to pole", FromRADec(0, 90), 90},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := a.AngleToDeg(tt.b)
+			if !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("AngleToDeg = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAngleToSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := FromRADec(rng.Float64()*360, rng.Float64()*180-90)
+		b := FromRADec(rng.Float64()*360, rng.Float64()*180-90)
+		if !almostEqual(a.AngleTo(b), b.AngleTo(a), 1e-12) {
+			t.Fatalf("AngleTo not symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	// Generate unit vectors from bounded angles; unconstrained float64
+	// inputs overflow the intermediate products.
+	f := func(ra1, dec1, ra2, dec2 float64) bool {
+		a := FromRADec(math.Mod(math.Abs(ra1), 360), math.Mod(math.Abs(dec1), 180)-90)
+		b := FromRADec(math.Mod(math.Abs(ra2), 360), math.Mod(math.Abs(dec2), 180)-90)
+		c := a.Cross(b)
+		return almostEqual(c.Dot(a), 0, 1e-9) && almostEqual(c.Dot(b), 0, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapContains(t *testing.T) {
+	c := CapFromRADec(180, 0, 10)
+	tests := []struct {
+		name    string
+		ra, dec float64
+		want    bool
+	}{
+		{"center", 180, 0, true},
+		{"inside", 185, 3, true},
+		{"just inside boundary", 189.99, 0, true},
+		{"just outside boundary", 190.01, 0, false},
+		{"far away", 0, 0, false},
+		{"north pole", 0, 90, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Contains(FromRADec(tt.ra, tt.dec)); got != tt.want {
+				t.Errorf("Contains(%v,%v) = %v, want %v", tt.ra, tt.dec, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCapRadiusRoundTrip(t *testing.T) {
+	for _, r := range []float64{0.1, 1, 5, 30, 90, 150} {
+		c := CapFromRADec(10, 20, r)
+		if !almostEqual(c.RadiusDeg(), r, 1e-9) {
+			t.Errorf("RadiusDeg() = %v, want %v", c.RadiusDeg(), r)
+		}
+	}
+}
+
+func TestGreatCirclePointsOnSphereAndPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		pole := FromRADec(rng.Float64()*360, rng.Float64()*180-90)
+		g := NewGreatCircle(pole)
+		for j := 0; j < 16; j++ {
+			theta := float64(j) / 16 * 2 * math.Pi
+			p := g.Point(theta)
+			if !almostEqual(p.Norm(), 1, 1e-12) {
+				t.Fatalf("point off unit sphere: %v", p)
+			}
+			if !almostEqual(p.Dot(g.Pole), 0, 1e-12) {
+				t.Fatalf("point off great-circle plane: %v", p)
+			}
+		}
+	}
+}
+
+func TestGreatCirclePhaseSpacing(t *testing.T) {
+	g := NewGreatCircle(Vec3{0, 0, 1})
+	// Consecutive points spaced dθ apart must be dθ apart on the sphere.
+	const dTheta = 0.01
+	for i := 0; i < 100; i++ {
+		a := g.Point(float64(i) * dTheta)
+		b := g.Point(float64(i+1) * dTheta)
+		if !almostEqual(a.AngleTo(b), dTheta, 1e-9) {
+			t.Fatalf("spacing %v, want %v", a.AngleTo(b), dTheta)
+		}
+	}
+}
+
+func TestTriangleAreaOctant(t *testing.T) {
+	// One octant of the sphere has area 4π/8.
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	c := Vec3{0, 0, 1}
+	got := TriangleAreaSr(a, b, c)
+	want := SphereAreaSr / 8
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("octant area = %v, want %v", got, want)
+	}
+}
+
+func TestTriangleAreaDegenerate(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	if got := TriangleAreaSr(a, a, Vec3{0, 1, 0}); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("degenerate triangle area = %v, want 0", got)
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	var v Vec3
+	if got := v.Normalize(); got != v {
+		t.Errorf("Normalize(zero) = %v, want zero", got)
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+}

@@ -1,0 +1,235 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/deltacache/delta/internal/geom"
+)
+
+func TestRootsCoverSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := randomPoint(rng)
+		found := 0
+		for _, r := range Roots() {
+			if r.Contains(v) {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Fatalf("point %v not contained in any root", v)
+		}
+	}
+}
+
+func TestRootsAreOctants(t *testing.T) {
+	for _, r := range Roots() {
+		want := geom.SphereAreaSr / 8
+		if got := r.AreaSr(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("root %s area = %v, want %v", Name(r.ID), got, want)
+		}
+	}
+}
+
+func TestChildrenPartitionParentArea(t *testing.T) {
+	for _, r := range Roots() {
+		cur := r
+		for level := 0; level < 4; level++ {
+			kids := cur.Children()
+			sum := 0.0
+			for _, k := range kids {
+				sum += k.AreaSr()
+			}
+			if math.Abs(sum-cur.AreaSr()) > 1e-9 {
+				t.Fatalf("children of %s: area sum %v != parent %v", Name(cur.ID), sum, cur.AreaSr())
+			}
+			cur = kids[3] // descend via the middle child
+		}
+	}
+}
+
+func TestChildrenIDEncoding(t *testing.T) {
+	r := Roots()[0]
+	kids := r.Children()
+	for i, k := range kids {
+		if k.ID != r.ID*4+uint64(i) {
+			t.Errorf("child %d ID = %d, want %d", i, k.ID, r.ID*4+uint64(i))
+		}
+		if k.Level() != r.Level()+1 {
+			t.Errorf("child level = %d, want %d", k.Level(), r.Level()+1)
+		}
+	}
+}
+
+func TestLevel(t *testing.T) {
+	tests := []struct {
+		id   uint64
+		want int
+	}{
+		{8, 0}, {15, 0},
+		{32, 1}, {63, 1},
+		{128, 2},
+		{8 << 10, 5},
+	}
+	for _, tt := range tests {
+		tr := Trixel{ID: tt.id}
+		if got := tr.Level(); got != tt.want {
+			t.Errorf("Level(%d) = %d, want %d", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	tests := []struct {
+		id   uint64
+		want string
+	}{
+		{8, "S0"},
+		{11, "S3"},
+		{12, "N0"},
+		{15, "N3"},
+		{32, "S00"},        // 8*4+0
+		{63, "N33"},        // 15*4+3
+		{8*16 + 5, "S011"}, // 8*4*4 + 1*4 + 1
+		{7, "invalid(7)"},
+	}
+	for _, tt := range tests {
+		if got := Name(tt.id); got != tt.want {
+			t.Errorf("Name(%d) = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestLocateConsistentWithContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, level := range []int{0, 1, 3, 6} {
+		for i := 0; i < 500; i++ {
+			v := randomPoint(rng)
+			tr, err := Locate(v, level)
+			if err != nil {
+				t.Fatalf("Locate: %v", err)
+			}
+			if tr.Level() != level {
+				t.Fatalf("Locate returned level %d, want %d", tr.Level(), level)
+			}
+			if !tr.Contains(v) {
+				// Snapping on cracks is allowed, but the point must at
+				// least be extremely close to the trixel.
+				if tr.Center().AngleTo(v) > 2*tr.BoundingRadius() {
+					t.Fatalf("Locate(%v, %d) = %s does not contain the point", v, level, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestLocateLevelOutOfRange(t *testing.T) {
+	if _, err := Locate(geom.Vec3{X: 1}, -1); err == nil {
+		t.Error("Locate(level=-1) should fail")
+	}
+	if _, err := Locate(geom.Vec3{X: 1}, 26); err == nil {
+		t.Error("Locate(level=26) should fail")
+	}
+}
+
+func TestLocateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		v := randomPoint(rng)
+		a, _ := Locate(v, 5)
+		b, _ := Locate(v, 5)
+		if a.ID != b.ID {
+			t.Fatalf("Locate not deterministic: %d vs %d", a.ID, b.ID)
+		}
+	}
+}
+
+func TestLevelAreasShrinkFourfold(t *testing.T) {
+	// Average trixel area must shrink ~4x per level.
+	v := geom.FromRADec(42, 17)
+	prev := math.Inf(1)
+	for level := 0; level <= 6; level++ {
+		tr, err := Locate(v, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := tr.AreaSr()
+		if a >= prev {
+			t.Fatalf("area did not shrink at level %d: %v >= %v", level, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestIntersectsCapConservative(t *testing.T) {
+	// If a cap contains a point, the trixel containing that point must
+	// be reported as intersecting the cap.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		center := randomPoint(rng)
+		radius := rng.Float64()*20 + 0.1
+		c := geom.NewCap(center, radius)
+		// Sample a point inside the cap.
+		probe := perturb(rng, center, radius*0.9)
+		if !c.Contains(probe) {
+			continue
+		}
+		tr, err := Locate(probe, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.IntersectsCap(c) {
+			t.Fatalf("trixel %s containing in-cap point reported disjoint", tr)
+		}
+	}
+}
+
+func TestIntersectsCapRejectsFar(t *testing.T) {
+	c := geom.CapFromRADec(0, 0, 1)
+	tr, err := Locate(geom.FromRADec(180, 0), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IntersectsCap(c) {
+		t.Error("antipodal trixel reported intersecting a 1° cap")
+	}
+}
+
+func TestBoundingRadiusContainsVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		v := randomPoint(rng)
+		tr, err := Locate(v, rng.Intn(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := tr.BoundingRadius()
+		c := tr.Center()
+		for _, vert := range tr.V {
+			if c.AngleTo(vert) > r+1e-12 {
+				t.Fatalf("vertex outside bounding radius for %s", tr)
+			}
+		}
+	}
+}
+
+func randomPoint(rng *rand.Rand) geom.Vec3 {
+	// Uniform on the sphere via normalized Gaussians.
+	return geom.Vec3{
+		X: rng.NormFloat64(),
+		Y: rng.NormFloat64(),
+		Z: rng.NormFloat64(),
+	}.Normalize()
+}
+
+// perturb returns a point at most maxDeg away from v.
+func perturb(rng *rand.Rand, v geom.Vec3, maxDeg float64) geom.Vec3 {
+	off := geom.Vec3{
+		X: rng.NormFloat64(),
+		Y: rng.NormFloat64(),
+		Z: rng.NormFloat64(),
+	}.Normalize().Scale(math.Tan(maxDeg / 180 * math.Pi * rng.Float64()))
+	return v.Add(off).Normalize()
+}

@@ -1,0 +1,148 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/deltacache/delta/internal/geom"
+)
+
+func TestBuildLeveledExactCounts(t *testing.T) {
+	for _, n := range []int{8, 10, 20, 68, 91, 134, 285, 532} {
+		p, err := BuildLeveled(gaussianWeight, n)
+		if err != nil {
+			t.Fatalf("BuildLeveled(%d): %v", n, err)
+		}
+		if p.N() != n || len(p.Objects()) != n {
+			t.Errorf("n=%d: got %d objects", n, len(p.Objects()))
+		}
+	}
+}
+
+func TestBuildLeveledTooSmall(t *testing.T) {
+	if _, err := BuildLeveled(nil, 5); err == nil {
+		t.Error("BuildLeveled(5) should fail")
+	}
+}
+
+func TestBuildLeveledUniformLevel(t *testing.T) {
+	// All objects of a leveled partition sit at the same HTM level (the
+	// paper's equi-area construction).
+	p, err := BuildLeveled(gaussianWeight, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := p.Objects()[0].Level()
+	for _, tr := range p.Objects() {
+		if tr.Level() != level {
+			t.Fatalf("mixed levels: %d and %d", level, tr.Level())
+		}
+	}
+	// 68 objects need level 2 (128 trixels).
+	if level != 2 {
+		t.Errorf("level = %d, want 2", level)
+	}
+}
+
+func TestBuildLeveledEquiArea(t *testing.T) {
+	p, err := BuildLeveled(gaussianWeight, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := p.Objects()
+	minA, maxA := math.Inf(1), 0.0
+	for _, tr := range objs {
+		a := tr.AreaSr()
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	// Spherical-triangle subdivision is not perfectly uniform, but
+	// areas must agree within a factor ~2 (they do for HTM).
+	if maxA > 2.5*minA {
+		t.Errorf("areas too spread: %v .. %v", minA, maxA)
+	}
+}
+
+func TestBuildLeveledKeepsDensest(t *testing.T) {
+	// The kept objects must be the heaviest trixels of the level.
+	p, err := BuildLeveled(gaussianWeight, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make(map[uint64]bool, 20)
+	minKept := math.Inf(1)
+	for i, tr := range p.Objects() {
+		kept[tr.ID] = true
+		if w := p.Weights()[i]; w < minKept {
+			minKept = w
+		}
+	}
+	// Walk all level-1 trixels (20 objects → level 1, 32 trixels) and
+	// verify no dropped trixel outweighs a kept one.
+	for _, r := range Roots() {
+		for _, ch := range r.Children() {
+			if kept[ch.ID] {
+				continue
+			}
+			if w := gaussianWeight(ch); w > minKept+1e-12 {
+				t.Errorf("dropped trixel %s (w=%v) outweighs kept minimum %v",
+					Name(ch.ID), w, minKept)
+			}
+		}
+	}
+}
+
+func TestBuildLeveledEveryPointMapsToObject(t *testing.T) {
+	p, err := BuildLeveled(gaussianWeight, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		idx := p.ObjectFor(randomPoint(rng))
+		if idx < 0 || idx >= 68 {
+			t.Fatalf("ObjectFor out of range: %d", idx)
+		}
+	}
+}
+
+func TestBuildLeveledCoverConsistency(t *testing.T) {
+	p, err := BuildLeveled(gaussianWeight, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 300; i++ {
+		center := randomPoint(rng)
+		cover := p.Cover(geom.NewCap(center, rng.Float64()*5+0.1))
+		if len(cover) == 0 {
+			t.Fatal("empty cover")
+		}
+		for _, idx := range cover {
+			if idx < 0 || idx >= 68 {
+				t.Fatalf("cover index out of range: %d", idx)
+			}
+		}
+	}
+}
+
+func TestBuildLeveledDefaultWeightIsArea(t *testing.T) {
+	p, err := BuildLeveled(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Objects()); got != 8 {
+		t.Fatalf("objects = %d", got)
+	}
+	// With area weight and n=8, the roots themselves are the objects.
+	for _, tr := range p.Objects() {
+		if tr.Level() != 0 {
+			t.Errorf("n=8 should keep the roots, got level %d", tr.Level())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+)
+
+func TestEventKindString(t *testing.T) {
+	if EventQuery.String() != "query" || EventUpdate.String() != "update" {
+		t.Error("event kind names wrong")
+	}
+	if EventKind(9).String() != "event(9)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func queryEvent(seq int64, id QueryID, objs []ObjectID, c cost.Bytes) Event {
+	return Event{
+		Seq:   seq,
+		Kind:  EventQuery,
+		Query: &Query{ID: id, Objects: objs, Cost: c, Time: time.Duration(seq) * time.Second},
+	}
+}
+
+func updateEvent(seq int64, id UpdateID, obj ObjectID, c cost.Bytes) Event {
+	return Event{
+		Seq:    seq,
+		Kind:   EventUpdate,
+		Update: &Update{ID: id, Object: obj, Cost: c, Time: time.Duration(seq) * time.Second},
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		event   Event
+		wantErr bool
+	}{
+		{"valid query", queryEvent(1, 1, []ObjectID{1}, 5), false},
+		{"valid update", updateEvent(2, 1, 3, 5), false},
+		{"query without objects", queryEvent(3, 1, nil, 5), true},
+		{"query negative cost", queryEvent(4, 1, []ObjectID{1}, -1), true},
+		{"update bad object", updateEvent(5, 1, 0, 5), true},
+		{"update negative cost", updateEvent(6, 1, 1, -2), true},
+		{"kind mismatch", Event{Seq: 7, Kind: EventQuery, Update: &Update{}}, true},
+		{"unknown kind", Event{Seq: 8, Kind: EventKind(42)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.event.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEventTime(t *testing.T) {
+	q := queryEvent(3, 1, []ObjectID{1}, 5)
+	if q.Time() != 3*time.Second {
+		t.Errorf("query time = %v", q.Time())
+	}
+	u := updateEvent(7, 1, 1, 5)
+	if u.Time() != 7*time.Second {
+		t.Errorf("update time = %v", u.Time())
+	}
+}
+
+func TestTotalCosts(t *testing.T) {
+	events := []Event{
+		queryEvent(1, 1, []ObjectID{1}, 10),
+		updateEvent(2, 1, 1, 3),
+		queryEvent(3, 2, []ObjectID{2}, 7),
+		updateEvent(4, 2, 2, 4),
+	}
+	if got := TotalQueryCost(events); got != 17 {
+		t.Errorf("TotalQueryCost = %d, want 17", got)
+	}
+	if got := TotalUpdateCost(events); got != 7 {
+		t.Errorf("TotalUpdateCost = %d, want 7", got)
+	}
+}

@@ -1,0 +1,79 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickUpdateRequiredMonotoneInTolerance: loosening the tolerance
+// can only reduce the set of required updates, never grow it.
+func TestQuickUpdateRequiredMonotoneInTolerance(t *testing.T) {
+	f := func(uTimeRaw, qTimeRaw uint32, tolARaw, tolBRaw uint32) bool {
+		u := &Update{Time: time.Duration(uTimeRaw) * time.Millisecond}
+		qTime := time.Duration(qTimeRaw) * time.Millisecond
+		tolA := time.Duration(tolARaw) * time.Millisecond
+		tolB := time.Duration(tolBRaw) * time.Millisecond
+		if tolA > tolB {
+			tolA, tolB = tolB, tolA
+		}
+		strict := UpdateRequired(u, &Query{Time: qTime, Tolerance: tolA})
+		loose := UpdateRequired(u, &Query{Time: qTime, Tolerance: tolB})
+		// loose implies strict: if the looser tolerance requires it, the
+		// stricter one must too.
+		return !loose || strict
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUpdateRequiredMonotoneInTime: for a fixed query, an older
+// update is required whenever a newer one is.
+func TestQuickUpdateRequiredMonotoneInTime(t *testing.T) {
+	f := func(t1Raw, t2Raw, qTimeRaw, tolRaw uint32) bool {
+		t1 := time.Duration(t1Raw) * time.Millisecond
+		t2 := time.Duration(t2Raw) * time.Millisecond
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		q := &Query{
+			Time:      time.Duration(qTimeRaw) * time.Millisecond,
+			Tolerance: time.Duration(tolRaw) * time.Millisecond,
+		}
+		older := UpdateRequired(&Update{Time: t1}, q)
+		newer := UpdateRequired(&Update{Time: t2}, q)
+		return !newer || older
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAnyStalenessNeverRequires pins the AnyStaleness sentinel.
+func TestQuickAnyStalenessNeverRequires(t *testing.T) {
+	f := func(uTimeRaw, qTimeRaw uint32) bool {
+		u := &Update{Time: time.Duration(uTimeRaw) * time.Millisecond}
+		q := &Query{Time: time.Duration(qTimeRaw) * time.Millisecond, Tolerance: AnyStaleness}
+		return !UpdateRequired(u, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickZeroToleranceRequiresPast pins zero tolerance: any update at
+// or before the query time is required.
+func TestQuickZeroToleranceRequiresPast(t *testing.T) {
+	f := func(uTimeRaw, qTimeRaw uint32) bool {
+		uTime := time.Duration(uTimeRaw) * time.Millisecond
+		qTime := time.Duration(qTimeRaw) * time.Millisecond
+		u := &Update{Time: uTime}
+		q := &Query{Time: qTime, Tolerance: NoTolerance}
+		want := uTime <= qTime
+		return UpdateRequired(u, q) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

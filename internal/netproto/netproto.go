@@ -1,0 +1,320 @@
+// Package netproto defines Delta's wire protocol: length-prefixed,
+// gob-encoded frames carrying the three data-communication mechanisms of
+// the paper (query shipping, update shipping, object loading) plus the
+// control-plane messages (invalidation notices, statistics).
+//
+// Payload scaling: the paper's traffic costs are logical data sizes; a
+// laptop deployment cannot move hundreds of gigabytes, so messages carry
+// a declared logical size plus a physically scaled payload (BytesPerGB
+// configurable, see PayloadScale). Ledgers always account logical sizes,
+// which is what every experiment reports.
+package netproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// MaxFrame bounds a frame's encoded size (16 MiB): large enough for any
+// scaled payload, small enough to catch stream corruption early.
+const MaxFrame = 16 << 20
+
+// PayloadScale converts logical sizes to physical payload bytes.
+type PayloadScale struct {
+	// BytesPerGB is how many physical bytes represent one logical
+	// gigabyte. Zero means no payload bytes at all (metadata only).
+	BytesPerGB int64
+}
+
+// DefaultScale ships 4 KiB per logical gigabyte.
+func DefaultScale() PayloadScale { return PayloadScale{BytesPerGB: 4 << 10} }
+
+// PayloadLen returns the physical payload length for a logical size.
+func (s PayloadScale) PayloadLen(logical cost.Bytes) int {
+	if s.BytesPerGB <= 0 {
+		return 0
+	}
+	n := int64(float64(logical) / float64(cost.GB) * float64(s.BytesPerGB))
+	if n < 1 && logical > 0 {
+		n = 1
+	}
+	if n > MaxFrame/2 {
+		n = MaxFrame / 2
+	}
+	return int(n)
+}
+
+// MsgType discriminates frames.
+type MsgType uint8
+
+const (
+	// MsgQuery ships a query from cache to repository.
+	MsgQuery MsgType = iota + 1
+	// MsgQueryResult returns a query's result.
+	MsgQueryResult
+	// MsgUpdateFeed pushes an update into the repository (data
+	// pipeline → repository).
+	MsgUpdateFeed
+	// MsgShipUpdates requests outstanding updates by ID (cache →
+	// repository).
+	MsgShipUpdates
+	// MsgUpdates carries shipped updates (repository → cache).
+	MsgUpdates
+	// MsgLoadObject requests a whole object (cache → repository).
+	MsgLoadObject
+	// MsgObjectData carries a loaded object (repository → cache).
+	MsgObjectData
+	// MsgInvalidate notifies the cache that an update arrived for an
+	// object (control plane; not charged).
+	MsgInvalidate
+	// MsgStats requests / carries traffic statistics.
+	MsgStats
+	// MsgError carries a server-side failure.
+	MsgError
+	// MsgClientQuery is a client's query submission to the cache.
+	MsgClientQuery
+	// MsgHello introduces a connection and its role.
+	MsgHello
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgQuery: "query", MsgQueryResult: "query-result",
+		MsgUpdateFeed: "update-feed", MsgShipUpdates: "ship-updates",
+		MsgUpdates: "updates", MsgLoadObject: "load-object",
+		MsgObjectData: "object-data", MsgInvalidate: "invalidate",
+		MsgStats: "stats", MsgError: "error", MsgClientQuery: "client-query",
+		MsgHello: "hello",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Hello introduces a connection.
+type Hello struct {
+	Role string // "cache", "client", "pipeline"
+}
+
+// QueryMsg ships a query.
+type QueryMsg struct {
+	Query model.Query
+}
+
+// QueryResultMsg returns a result with a scaled payload.
+type QueryResultMsg struct {
+	QueryID model.QueryID
+	// Logical is ν(q), the result's logical size.
+	Logical cost.Bytes
+	// Rows is a small sample of result rows (for demos; may be empty).
+	Rows []ResultRow
+	// Payload is the scaled physical payload.
+	Payload []byte
+	// Source says who answered: "cache" or "repository".
+	Source string
+	// Elapsed is the server-side processing time.
+	Elapsed time.Duration
+}
+
+// ResultRow is one row of a demo result set.
+type ResultRow struct {
+	ObjID int64
+	RA    float64
+	Dec   float64
+	R     float64
+}
+
+// UpdateFeedMsg pushes one update into the repository.
+type UpdateFeedMsg struct {
+	Update model.Update
+}
+
+// ShipUpdatesMsg requests specific outstanding updates.
+type ShipUpdatesMsg struct {
+	IDs []model.UpdateID
+}
+
+// UpdatesMsg carries shipped updates.
+type UpdatesMsg struct {
+	Updates []model.Update
+	// Payload is the scaled physical payload covering all updates.
+	Payload []byte
+}
+
+// LoadObjectMsg requests a full object copy.
+type LoadObjectMsg struct {
+	Object model.ObjectID
+}
+
+// ObjectDataMsg carries a full object copy.
+type ObjectDataMsg struct {
+	Object model.Object
+	// FreshAsOf is the repository time of the newest update included.
+	FreshAsOf time.Duration
+	Payload   []byte
+}
+
+// InvalidateMsg tells the cache an object has a new outstanding update.
+type InvalidateMsg struct {
+	Update model.Update
+}
+
+// StatsMsg carries a ledger snapshot.
+type StatsMsg struct {
+	Ledger  cost.Snapshot
+	Cached  []model.ObjectID
+	Policy  string
+	Queries int64
+	AtCache int64
+	Shipped int64
+}
+
+// ErrorMsg carries a failure description.
+type ErrorMsg struct {
+	Message string
+}
+
+// Frame is the unit of transmission.
+type Frame struct {
+	Type MsgType
+	Body any
+}
+
+func init() {
+	// gob needs concrete types registered for the Frame.Body interface.
+	gob.Register(Hello{})
+	gob.Register(QueryMsg{})
+	gob.Register(QueryResultMsg{})
+	gob.Register(UpdateFeedMsg{})
+	gob.Register(ShipUpdatesMsg{})
+	gob.Register(UpdatesMsg{})
+	gob.Register(LoadObjectMsg{})
+	gob.Register(ObjectDataMsg{})
+	gob.Register(InvalidateMsg{})
+	gob.Register(StatsMsg{})
+	gob.Register(ErrorMsg{})
+}
+
+// Conn wraps a stream with framed gob encoding. It is safe for one
+// reader and one writer goroutine concurrently, but not for multiple
+// concurrent writers.
+type Conn struct {
+	rw io.ReadWriter
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{
+		rw: rw,
+		br: bufio.NewReaderSize(rw, 64<<10),
+		bw: bufio.NewWriterSize(rw, 64<<10),
+	}
+}
+
+// Send writes one frame.
+func (c *Conn) Send(f Frame) error {
+	var body frameBody
+	body.Type = f.Type
+	body.Body = f.Body
+	var buf lenBuffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&body); err != nil {
+		return fmt.Errorf("netproto: encode %s: %w", f.Type, err)
+	}
+	if buf.Len() > MaxFrame {
+		return fmt.Errorf("netproto: frame %s too large (%d bytes)", f.Type, buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netproto: write header: %w", err)
+	}
+	if _, err := c.bw.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("netproto: write body: %w", err)
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return Frame{}, fmt.Errorf("netproto: read body: %w", err)
+	}
+	var fb frameBody
+	dec := gob.NewDecoder(&byteReader{b: body})
+	if err := dec.Decode(&fb); err != nil {
+		return Frame{}, fmt.Errorf("netproto: decode frame: %w", err)
+	}
+	return Frame{Type: fb.Type, Body: fb.Body}, nil
+}
+
+// frameBody is the gob-encoded frame content.
+type frameBody struct {
+	Type MsgType
+	Body any
+}
+
+// lenBuffer is a minimal append-only buffer (avoids importing bytes just
+// for this).
+type lenBuffer struct {
+	b []byte
+}
+
+func (l *lenBuffer) Write(p []byte) (int, error) {
+	l.b = append(l.b, p...)
+	return len(p), nil
+}
+
+func (l *lenBuffer) Len() int      { return len(l.b) }
+func (l *lenBuffer) Bytes() []byte { return l.b }
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// MakePayload builds a deterministic pseudo-payload of the scaled size
+// for a logical transfer. The content is reproducible from the seed so
+// integration tests can verify integrity end to end.
+func MakePayload(scale PayloadScale, logical cost.Bytes, seed int64) []byte {
+	n := scale.PayloadLen(logical)
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	state := uint64(seed)*2654435761 + 1
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = byte(state >> 56)
+	}
+	return out
+}

@@ -1,0 +1,365 @@
+// Package server implements the repository node: it owns the survey's
+// data objects, ingests the update pipeline, and serves the three
+// data-communication mechanisms to the middleware cache — query
+// execution, update shipping and object loading — over the netproto wire
+// protocol. Caches additionally subscribe to an invalidation stream that
+// carries update notices (control plane, not charged as traffic, per
+// Section 3's invalidation model).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// Config parameterizes a repository.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Survey provides objects and demo rows.
+	Survey *catalog.Survey
+	// Scale converts logical sizes to physical payload bytes.
+	Scale netproto.PayloadScale
+	// SampleRows bounds the demo rows returned with query results.
+	SampleRows int
+	// Logf logs server events; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Repository is a running repository node.
+type Repository struct {
+	cfg    Config
+	ln     net.Listener
+	ledger cost.Ledger
+	rows   []catalog.Row
+
+	mu          sync.Mutex
+	updates     map[model.UpdateID]model.Update
+	perObject   map[model.ObjectID][]model.UpdateID
+	freshAsOf   map[model.ObjectID]time.Duration
+	subscribers map[int]chan model.Update
+	nextSub     int
+	closed      bool
+
+	wg sync.WaitGroup
+}
+
+// New validates the config and creates a repository (not yet listening).
+func New(cfg Config) (*Repository, error) {
+	if cfg.Survey == nil {
+		return nil, fmt.Errorf("server: nil survey")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.SampleRows <= 0 {
+		cfg.SampleRows = 8
+	}
+	return &Repository{
+		cfg:         cfg,
+		rows:        cfg.Survey.SampleRows(2000, cfg.Survey.Config().Seed),
+		updates:     make(map[model.UpdateID]model.Update),
+		perObject:   make(map[model.ObjectID][]model.UpdateID),
+		freshAsOf:   make(map[model.ObjectID]time.Duration),
+		subscribers: make(map[int]chan model.Update),
+	}, nil
+}
+
+// Start begins listening and serving.
+func (r *Repository) Start() error {
+	ln, err := net.Listen("tcp", r.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	r.cfg.Logf("repository listening on %s", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound address (after Start).
+func (r *Repository) Addr() string { return r.ln.Addr().String() }
+
+// Ledger returns a snapshot of the server-side traffic accounting.
+func (r *Repository) Ledger() cost.Snapshot { return r.ledger.Snapshot() }
+
+// Close stops the server and waits for connection handlers.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	for id, ch := range r.subscribers {
+		close(ch)
+		delete(r.subscribers, id)
+	}
+	r.mu.Unlock()
+	var err error
+	if r.ln != nil {
+		err = r.ln.Close()
+	}
+	r.wg.Wait()
+	return err
+}
+
+// ApplyUpdate ingests one pipeline update directly (the in-process
+// pipeline path used by tests and the simulator bridge; the network path
+// arrives via MsgUpdateFeed).
+func (r *Repository) ApplyUpdate(u model.Update) {
+	r.mu.Lock()
+	r.updates[u.ID] = u
+	r.perObject[u.Object] = append(r.perObject[u.Object], u.ID)
+	subs := make([]chan model.Update, 0, len(r.subscribers))
+	for _, ch := range r.subscribers {
+		subs = append(subs, ch)
+	}
+	r.mu.Unlock()
+	for _, ch := range subs {
+		// Non-blocking: a stalled cache must not wedge the pipeline;
+		// dropped notices only cost freshness, and loading repairs it.
+		select {
+		case ch <- u:
+		default:
+		}
+	}
+}
+
+// OutstandingSince returns updates for an object newer than the given
+// time (used when a cache loads an object and needs the frontier).
+func (r *Repository) OutstandingSince(obj model.ObjectID, since time.Duration) []model.Update {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []model.Update
+	for _, id := range r.perObject[obj] {
+		if u := r.updates[id]; u.Time > since {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (r *Repository) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			if err := r.serveConn(conn); err != nil && !errors.Is(err, net.ErrClosed) {
+				r.cfg.Logf("connection from %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (r *Repository) serveConn(nc net.Conn) error {
+	c := netproto.NewConn(nc)
+	first, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	hello, ok := first.Body.(netproto.Hello)
+	if !ok || first.Type != netproto.MsgHello {
+		return fmt.Errorf("server: expected hello, got %s", first.Type)
+	}
+	switch hello.Role {
+	case "pipeline":
+		return r.servePipeline(c)
+	case "invalidations":
+		return r.serveInvalidations(nc, c)
+	case "cache", "client":
+		return r.serveRequests(c)
+	default:
+		return fmt.Errorf("server: unknown role %q", hello.Role)
+	}
+}
+
+func (r *Repository) servePipeline(c *netproto.Conn) error {
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return ignoreEOF(err)
+		}
+		feed, ok := f.Body.(netproto.UpdateFeedMsg)
+		if !ok {
+			return fmt.Errorf("server: pipeline sent %s", f.Type)
+		}
+		r.ApplyUpdate(feed.Update)
+	}
+}
+
+func (r *Repository) serveInvalidations(nc net.Conn, c *netproto.Conn) error {
+	ch := make(chan model.Update, 1024)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	id := r.nextSub
+	r.nextSub++
+	r.subscribers[id] = ch
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		if _, ok := r.subscribers[id]; ok {
+			delete(r.subscribers, id)
+			close(ch)
+		}
+		r.mu.Unlock()
+	}()
+	for u := range ch {
+		if err := c.Send(netproto.Frame{
+			Type: netproto.MsgInvalidate,
+			Body: netproto.InvalidateMsg{Update: u},
+		}); err != nil {
+			return ignoreEOF(err)
+		}
+	}
+	_ = nc // held open until server close
+	return nil
+}
+
+func (r *Repository) serveRequests(c *netproto.Conn) error {
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return ignoreEOF(err)
+		}
+		var reply netproto.Frame
+		switch body := f.Body.(type) {
+		case netproto.QueryMsg:
+			reply = r.execQuery(&body.Query)
+		case netproto.ShipUpdatesMsg:
+			reply = r.shipUpdates(body.IDs)
+		case netproto.LoadObjectMsg:
+			reply = r.loadObject(body.Object)
+		case netproto.StatsMsg:
+			reply = netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{
+				Ledger: r.ledger.Snapshot(),
+				Policy: "repository",
+			}}
+		default:
+			reply = errorFrame("unsupported request %s", f.Type)
+		}
+		if err := c.Send(reply); err != nil {
+			return ignoreEOF(err)
+		}
+	}
+}
+
+func (r *Repository) execQuery(q *model.Query) netproto.Frame {
+	start := time.Now()
+	if len(q.Objects) == 0 {
+		return errorFrame("query %d accesses no objects", q.ID)
+	}
+	for _, id := range q.Objects {
+		if _, err := r.cfg.Survey.Object(id); err != nil {
+			return errorFrame("query %d: %v", q.ID, err)
+		}
+	}
+	r.ledger.Charge(cost.QueryShip, q.Cost)
+	rows := r.sampleRowsFor(q.Objects)
+	return netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+		QueryID: q.ID,
+		Logical: q.Cost,
+		Rows:    rows,
+		Payload: netproto.MakePayload(r.cfg.Scale, q.Cost, int64(q.ID)),
+		Source:  "repository",
+		Elapsed: time.Since(start),
+	}}
+}
+
+func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
+	r.mu.Lock()
+	var (
+		ships []model.Update
+		total cost.Bytes
+	)
+	for _, id := range ids {
+		u, ok := r.updates[id]
+		if !ok {
+			r.mu.Unlock()
+			return errorFrame("unknown update %d", id)
+		}
+		ships = append(ships, u)
+		total += u.Cost
+	}
+	r.mu.Unlock()
+	r.ledger.Charge(cost.UpdateShip, total)
+	return netproto.Frame{Type: netproto.MsgUpdates, Body: netproto.UpdatesMsg{
+		Updates: ships,
+		Payload: netproto.MakePayload(r.cfg.Scale, total, int64(len(ids))),
+	}}
+}
+
+func (r *Repository) loadObject(id model.ObjectID) netproto.Frame {
+	obj, err := r.cfg.Survey.Object(id)
+	if err != nil {
+		return errorFrame("load: %v", err)
+	}
+	r.mu.Lock()
+	var fresh time.Duration
+	for _, uid := range r.perObject[id] {
+		if u := r.updates[uid]; u.Time > fresh {
+			fresh = u.Time
+		}
+	}
+	r.freshAsOf[id] = fresh
+	r.mu.Unlock()
+	r.ledger.Charge(cost.ObjectLoad, obj.Size)
+	return netproto.Frame{Type: netproto.MsgObjectData, Body: netproto.ObjectDataMsg{
+		Object:    obj,
+		FreshAsOf: fresh,
+		Payload:   netproto.MakePayload(r.cfg.Scale, obj.Size, int64(obj.ID)),
+	}}
+}
+
+func (r *Repository) sampleRowsFor(objs []model.ObjectID) []netproto.ResultRow {
+	want := make(map[model.ObjectID]struct{}, len(objs))
+	for _, id := range objs {
+		want[id] = struct{}{}
+	}
+	var rows []netproto.ResultRow
+	for _, row := range r.rows {
+		if _, ok := want[row.Object]; !ok {
+			continue
+		}
+		rows = append(rows, netproto.ResultRow{
+			ObjID: row.ObjID, RA: row.RA, Dec: row.Dec, R: row.R,
+		})
+		if len(rows) >= r.cfg.SampleRows {
+			break
+		}
+	}
+	return rows
+}
+
+func errorFrame(format string, args ...any) netproto.Frame {
+	return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{
+		Message: fmt.Sprintf(format, args...),
+	}}
+}
+
+func ignoreEOF(err error) error {
+	if errors.Is(err, net.ErrClosed) || err.Error() == "EOF" {
+		return nil
+	}
+	return err
+}
+
+var _ = log.Printf // reserved for future verbose logging

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+func testRepo(t *testing.T) *Repository {
+	t.Helper()
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 12
+	scfg.TotalSize = 4 * cost.GB
+	scfg.MinObjectSize = 50 * cost.MB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := New(Config{Survey: survey, Scale: netproto.DefaultScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil survey should fail")
+	}
+}
+
+func TestOutstandingSince(t *testing.T) {
+	repo := testRepo(t)
+	repo.ApplyUpdate(model.Update{ID: 1, Object: 3, Cost: 1, Time: 10 * time.Second})
+	repo.ApplyUpdate(model.Update{ID: 2, Object: 3, Cost: 1, Time: 20 * time.Second})
+	repo.ApplyUpdate(model.Update{ID: 3, Object: 4, Cost: 1, Time: 30 * time.Second})
+
+	got := repo.OutstandingSince(3, 15*time.Second)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("OutstandingSince(3, 15s) = %+v, want update 2", got)
+	}
+	if got := repo.OutstandingSince(3, 0); len(got) != 2 {
+		t.Errorf("OutstandingSince(3, 0) = %d updates, want 2", len(got))
+	}
+	if got := repo.OutstandingSince(9, 0); len(got) != 0 {
+		t.Errorf("unrelated object has %d outstanding", len(got))
+	}
+}
+
+func TestRequestResponsesDirect(t *testing.T) {
+	repo := testRepo(t)
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	nc, err := net.Dial("tcp", repo.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := netproto.NewConn(nc)
+	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "cache"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query execution.
+	if err := c.Send(netproto.Frame{Type: netproto.MsgQuery, Body: netproto.QueryMsg{
+		Query: model.Query{ID: 1, Objects: []model.ObjectID{1}, Cost: 5 * cost.MB, Time: time.Second},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := reply.Body.(netproto.QueryResultMsg)
+	if !ok {
+		t.Fatalf("reply %s", reply.Type)
+	}
+	if res.Source != "repository" || res.Logical != 5*cost.MB {
+		t.Errorf("result = %+v", res)
+	}
+	if len(res.Payload) == 0 {
+		t.Error("scaled payload missing")
+	}
+	if got := repo.Ledger().QueryShip; got != 5*cost.MB {
+		t.Errorf("ledger = %v", got)
+	}
+
+	// Unknown object load fails with an error frame.
+	if err := c.Send(netproto.Frame{Type: netproto.MsgLoadObject, Body: netproto.LoadObjectMsg{Object: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.Body.(netproto.ErrorMsg); !ok {
+		t.Errorf("expected error frame, got %s", reply.Type)
+	}
+
+	// Unknown update shipment fails.
+	if err := c.Send(netproto.Frame{Type: netproto.MsgShipUpdates, Body: netproto.ShipUpdatesMsg{
+		IDs: []model.UpdateID{12345},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.Body.(netproto.ErrorMsg); !ok {
+		t.Errorf("expected error frame, got %s", reply.Type)
+	}
+
+	// Valid update shipment after a pipeline feed.
+	repo.ApplyUpdate(model.Update{ID: 7, Object: 2, Cost: 3 * cost.MB, Time: time.Second})
+	if err := c.Send(netproto.Frame{Type: netproto.MsgShipUpdates, Body: netproto.ShipUpdatesMsg{
+		IDs: []model.UpdateID{7},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, ok := reply.Body.(netproto.UpdatesMsg)
+	if !ok {
+		t.Fatalf("reply %s", reply.Type)
+	}
+	if len(ups.Updates) != 1 || ups.Updates[0].ID != 7 {
+		t.Errorf("updates = %+v", ups.Updates)
+	}
+	if got := repo.Ledger().UpdateShip; got != 3*cost.MB {
+		t.Errorf("update ledger = %v", got)
+	}
+
+	// Object load returns size-accurate metadata.
+	if err := c.Send(netproto.Frame{Type: netproto.MsgLoadObject, Body: netproto.LoadObjectMsg{Object: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := reply.Body.(netproto.ObjectDataMsg)
+	if !ok {
+		t.Fatalf("reply %s", reply.Type)
+	}
+	if data.Object.ID != 2 || data.Object.Size <= 0 {
+		t.Errorf("object = %+v", data.Object)
+	}
+	if data.FreshAsOf != time.Second {
+		t.Errorf("FreshAsOf = %v, want 1s (the shipped update)", data.FreshAsOf)
+	}
+}
+
+func TestInvalidationBroadcastNonBlocking(t *testing.T) {
+	repo := testRepo(t)
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	// Subscribe but never read: the pipeline must not block even with a
+	// stalled subscriber.
+	nc, err := net.Dial("tcp", repo.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := netproto.NewConn(nc)
+	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			repo.ApplyUpdate(model.Update{
+				ID: model.UpdateID(i + 1), Object: 1, Cost: 1,
+				Time: time.Duration(i) * time.Millisecond,
+			})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline blocked on a stalled subscriber")
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// LatencyModel estimates per-query response times from the decisions a
+// policy makes. The paper focuses its evaluation on network traffic and
+// defers latency to Section 4's discussion ("decisions that reduce
+// network traffic naturally decrease response times of queries that
+// access objects in cache, but queries for which updates need to be
+// applied may be delayed"); this model quantifies exactly that effect
+// and is what the preshipping extension improves.
+//
+// Response time of a query:
+//
+//   - answered at cache, fresh:        LocalTime
+//   - answered at cache after updates: LocalTime + RTT + update bytes / Bandwidth
+//   - shipped to the repository:       RTT + result bytes / Bandwidth
+//
+// Object loads happen in the background and do not delay the query that
+// triggered them.
+type LatencyModel struct {
+	// RTT is the cache↔repository round-trip time.
+	RTT time.Duration
+	// Bandwidth is the WAN bandwidth in bytes per second.
+	Bandwidth cost.Bytes
+	// LocalTime is the cache-local execution time of a query.
+	LocalTime time.Duration
+}
+
+// DefaultLatencyModel models a well-provisioned research WAN: 40 ms
+// RTT, 1 Gbit/s (125 MB/s), 5 ms local execution.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		RTT:       40 * time.Millisecond,
+		Bandwidth: 125 * cost.MB,
+		LocalTime: 5 * time.Millisecond,
+	}
+}
+
+func (m LatencyModel) transfer(b cost.Bytes) time.Duration {
+	if m.Bandwidth <= 0 {
+		return 0
+	}
+	sec := float64(b) / float64(m.Bandwidth)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// QueryTime returns the modeled response time for one query decision.
+// updateBytes is the total size of updates shipped synchronously for the
+// query (zero if none).
+func (m LatencyModel) QueryTime(shipped bool, resultBytes, updateBytes cost.Bytes) time.Duration {
+	if shipped {
+		return m.RTT + m.transfer(resultBytes)
+	}
+	t := m.LocalTime
+	if updateBytes > 0 {
+		t += m.RTT + m.transfer(updateBytes)
+	}
+	return t
+}
+
+// LatencySummary aggregates per-query response times.
+type LatencySummary struct {
+	Queries int64         `json:"queries"`
+	Mean    time.Duration `json:"mean"`
+	P50     time.Duration `json:"p50"`
+	P95     time.Duration `json:"p95"`
+	P99     time.Duration `json:"p99"`
+	Max     time.Duration `json:"max"`
+}
+
+// RunWithLatency replays events like Run and additionally models
+// response times for every query under the given latency model. The
+// traffic accounting is identical to Run.
+func RunWithLatency(policy core.Policy, objects []model.Object, events []model.Event,
+	cfg Config, lm LatencyModel) (*Result, *LatencySummary, error) {
+
+	// Wrap the policy to observe decisions alongside the normal run.
+	obs := &latencyObserver{inner: policy, lm: lm}
+	res, err := Run(obs, objects, events, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, obs.summary(), nil
+}
+
+// latencyObserver decorates a policy, recording modeled response times.
+type latencyObserver struct {
+	inner core.Policy
+	lm    LatencyModel
+
+	updCost map[model.UpdateID]cost.Bytes
+	samples []time.Duration
+}
+
+var _ core.Policy = (*latencyObserver)(nil)
+
+func (o *latencyObserver) Name() string { return o.inner.Name() }
+
+func (o *latencyObserver) Init(objects []model.Object, capacity cost.Bytes) error {
+	o.updCost = make(map[model.UpdateID]cost.Bytes)
+	return o.inner.Init(objects, capacity)
+}
+
+// Preload forwards the inner policy's preload if any.
+func (o *latencyObserver) Preload() ([]model.ObjectID, bool) {
+	if pre, ok := o.inner.(core.Preloader); ok {
+		return pre.Preload()
+	}
+	return nil, false
+}
+
+func (o *latencyObserver) OnUpdate(u *model.Update) (core.Decision, error) {
+	o.updCost[u.ID] = u.Cost
+	return o.inner.OnUpdate(u)
+}
+
+func (o *latencyObserver) OnQuery(q *model.Query) (core.Decision, error) {
+	d, err := o.inner.OnQuery(q)
+	if err != nil {
+		return d, err
+	}
+	var updBytes cost.Bytes
+	for _, uid := range d.ApplyUpdates {
+		updBytes += o.updCost[uid]
+	}
+	o.samples = append(o.samples, o.lm.QueryTime(d.ShipQuery, q.Cost, updBytes))
+	return d, nil
+}
+
+func (o *latencyObserver) summary() *LatencySummary {
+	s := &LatencySummary{Queries: int64(len(o.samples))}
+	if len(o.samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), o.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, t := range sorted {
+		total += t
+	}
+	s.Mean = total / time.Duration(len(sorted))
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

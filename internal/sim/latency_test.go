@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func TestLatencyModelQueryTime(t *testing.T) {
+	m := LatencyModel{
+		RTT:       40 * time.Millisecond,
+		Bandwidth: 100 * cost.MB, // 100 MB/s
+		LocalTime: 5 * time.Millisecond,
+	}
+	// Shipped query with a 100 MB result: 40ms + 1s.
+	if got, want := m.QueryTime(true, 100*cost.MB, 0), 1040*time.Millisecond; got != want {
+		t.Errorf("shipped = %v, want %v", got, want)
+	}
+	// Fresh cache hit: local time only.
+	if got := m.QueryTime(false, 100*cost.MB, 0); got != 5*time.Millisecond {
+		t.Errorf("fresh hit = %v, want 5ms", got)
+	}
+	// Cache hit waiting for a 50 MB update shipment: 5ms + 40ms + 0.5s.
+	if got, want := m.QueryTime(false, 100*cost.MB, 50*cost.MB), 545*time.Millisecond; got != want {
+		t.Errorf("hit with updates = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyModelZeroBandwidth(t *testing.T) {
+	m := LatencyModel{RTT: 10 * time.Millisecond}
+	if got := m.QueryTime(true, cost.GB, 0); got != 10*time.Millisecond {
+		t.Errorf("zero bandwidth should skip transfer: %v", got)
+	}
+}
+
+func TestRunWithLatencyNoCache(t *testing.T) {
+	// Every NoCache query is shipped: response = RTT + transfer.
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, 125*cost.MB, 0), // 1s at 125MB/s
+		qEvent(1, 2, []model.ObjectID{1}, 125*cost.MB, 0),
+	}
+	res, lat, err := RunWithLatency(core.NewNoCache(), twoObjects(), events,
+		Config{CacheCapacity: cost.GB}, DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatal(res.Violations)
+	}
+	if lat.Queries != 2 {
+		t.Fatalf("queries = %d", lat.Queries)
+	}
+	want := 40*time.Millisecond + time.Second
+	if lat.Mean != want || lat.P50 != want || lat.Max != want {
+		t.Errorf("latency = %+v, want uniform %v", lat, want)
+	}
+}
+
+func TestRunWithLatencyReplicaIsLocal(t *testing.T) {
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0),
+	}
+	_, lat, err := RunWithLatency(core.NewReplica(), twoObjects(), events,
+		Config{CacheCapacity: cost.GB}, DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Mean != 5*time.Millisecond {
+		t.Errorf("replica answers locally: %v", lat.Mean)
+	}
+}
+
+func TestRunWithLatencyPreservesPreload(t *testing.T) {
+	// The observer must forward Preload; otherwise Replica would answer
+	// at an empty cache and the simulator would flag violations.
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1, 2}, cost.GB, 0),
+	}
+	res, _, err := RunWithLatency(core.NewReplica(), twoObjects(), events,
+		Config{CacheCapacity: cost.GB}, DefaultLatencyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+// TestPreshipImprovesResponseTime is the point of the Section 4
+// extension: on an update-then-query hot loop, preshipping removes the
+// synchronous update wait from the query path.
+func TestPreshipImprovesResponseTime(t *testing.T) {
+	objects := []model.Object{{ID: 1, Size: 10 * cost.GB}}
+	var events []model.Event
+	seq := int64(0)
+	// A big warm query to load the object deterministically, then
+	// alternating update/query rounds.
+	events = append(events, qEvent(seq, 1, []model.ObjectID{1}, 10*cost.GB, 0))
+	seq++
+	uid := model.UpdateID(0)
+	qid := model.QueryID(1)
+	for i := 0; i < 40; i++ {
+		uid++
+		events = append(events, uEvent(seq, uid, 1, 10*cost.MB))
+		seq++
+		qid++
+		events = append(events, qEvent(seq, qid, []model.ObjectID{1}, cost.GB, 0))
+		seq++
+	}
+
+	run := func(preship bool) *LatencySummary {
+		p := core.NewVCover(core.VCoverConfig{
+			Seed: 1, GDSF: true, Preship: preship, PreshipAfter: 3,
+		})
+		res, lat, err := RunWithLatency(p, objects, events,
+			Config{CacheCapacity: 20 * cost.GB}, DefaultLatencyModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatal(res.Violations)
+		}
+		return lat
+	}
+	plain := run(false)
+	preship := run(true)
+	if preship.Mean >= plain.Mean {
+		t.Errorf("preshipping should cut mean response time: %v >= %v",
+			preship.Mean, plain.Mean)
+	}
+	if preship.P95 > plain.P95 {
+		t.Errorf("preshipping should not raise the tail: %v > %v",
+			preship.P95, plain.P95)
+	}
+}

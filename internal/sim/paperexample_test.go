@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// TestPaperExamplePlanA replays the optimal strategy of Section 3.1:
+// evict o3 and load o4 at the beginning, ship u1, u2, u4 and q7, for a
+// total of 26 GB.
+func TestPaperExamplePlanA(t *testing.T) {
+	objects, initial, capacity, events := core.PaperExample()
+	plan := &Scripted{
+		PolicyName: "PlanA",
+		Preloaded:  initial,
+		Decisions: []core.Decision{
+			{Evict: []model.ObjectID{3}, Load: []model.ObjectID{4}}, // u1 arrives; reshape cache first
+			{},                                     // u2
+			{ApplyUpdates: []model.UpdateID{1, 2}}, // q3: ship u1, u2; answer at cache
+			{},                                     // u4
+			{},                                     // u6
+			{ShipQuery: true},                      // q7: cheaper than shipping u6
+			{},                                     // u5
+			{ApplyUpdates: []model.UpdateID{4}},    // q8: ship u4; u5 is within tolerance
+		},
+	}
+	res, err := Run(plan, objects, events, Config{CacheCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if got, want := res.Total(), 26*cost.GB; got != want {
+		t.Errorf("Plan A cost = %v, want %v", got, want)
+	}
+	if res.QueriesAtCache != 2 || res.QueriesShipped != 1 {
+		t.Errorf("query split = %d at cache / %d shipped, want 2/1",
+			res.QueriesAtCache, res.QueriesShipped)
+	}
+}
+
+// TestPaperExamplePlanB replays the alternative: load nothing, ship
+// queries q3, q7, q8, for 28 GB.
+func TestPaperExamplePlanB(t *testing.T) {
+	objects, initial, capacity, events := core.PaperExample()
+	plan := &Scripted{
+		PolicyName: "PlanB",
+		Preloaded:  initial,
+		Decisions: []core.Decision{
+			{}, {}, // u1, u2
+			{ShipQuery: true}, // q3
+			{}, {},            // u4, u6
+			{ShipQuery: true}, // q7
+			{},                // u5
+			{ShipQuery: true}, // q8
+		},
+	}
+	res, err := Run(plan, objects, events, Config{CacheCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if got, want := res.Total(), 28*cost.GB; got != want {
+		t.Errorf("Plan B cost = %v, want %v", got, want)
+	}
+}
+
+// TestPaperExampleStaleAnswerCaught verifies the simulator rejects the
+// illegal variant of Plan A that skips shipping u4 before answering q8
+// at the cache.
+func TestPaperExampleStaleAnswerCaught(t *testing.T) {
+	objects, initial, capacity, events := core.PaperExample()
+	plan := &Scripted{
+		Preloaded: initial,
+		Decisions: []core.Decision{
+			{Evict: []model.ObjectID{3}, Load: []model.ObjectID{4}},
+			{},
+			{ApplyUpdates: []model.UpdateID{1, 2}},
+			{}, {},
+			{ShipQuery: true},
+			{},
+			{}, // q8 answered at cache WITHOUT shipping u4: stale!
+		},
+	}
+	res, err := Run(plan, objects, events, Config{CacheCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a staleness violation")
+	}
+}
+
+// TestPaperExampleToleranceMatters verifies that u5 really is skippable
+// only because of q8's tolerance: a zero-tolerance q8 must trigger a
+// violation under Plan A.
+func TestPaperExampleToleranceMatters(t *testing.T) {
+	objects, initial, capacity, events := core.PaperExample()
+	// Make q8 demand full currency.
+	q8 := *events[7].Query
+	q8.Tolerance = model.NoTolerance
+	events[7].Query = &q8
+	plan := &Scripted{
+		Preloaded: initial,
+		Decisions: []core.Decision{
+			{Evict: []model.ObjectID{3}, Load: []model.ObjectID{4}},
+			{},
+			{ApplyUpdates: []model.UpdateID{1, 2}},
+			{}, {},
+			{ShipQuery: true},
+			{},
+			{ApplyUpdates: []model.UpdateID{4}}, // u5 now missing
+		},
+	}
+	res, err := Run(plan, objects, events, Config{CacheCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a staleness violation for unapplied u5")
+	}
+}
+
+// TestPaperExampleVCover runs the actual VCover policy over the example
+// sequence: starting from a cold cache it must satisfy every constraint
+// and spend no more than NoCache would.
+func TestPaperExampleVCover(t *testing.T) {
+	objects, _, capacity, events := core.PaperExample()
+	res, err := Run(core.NewVCover(core.DefaultVCoverConfig()), objects, events,
+		Config{CacheCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// On an 8-event trace VCover's speculative loads cannot pay off, so
+	// only bound its cost by NoCache plus the total size of everything
+	// it could possibly load (o1+o2+o4 = 34 GB; o3 is never queried).
+	noCache := model.TotalQueryCost(events)
+	if res.Total() > noCache+34*cost.GB {
+		t.Errorf("VCover cost %v above the NoCache+loads bound (%v)", res.Total(), noCache+34*cost.GB)
+	}
+}

@@ -1,0 +1,279 @@
+// Package sim replays a workload trace against a decoupling policy,
+// maintaining the ground-truth state of the repository and the cache,
+// charging every data movement to a traffic ledger, and verifying on
+// every event that the policy respected the two hard constraints of the
+// decoupling problem: the cache capacity and each query's tolerance for
+// staleness.
+//
+// The simulator is deliberately paranoid: policies keep their own state
+// mirrors, and any divergence (shipping an update that is not
+// outstanding, loading an object that is already resident, answering a
+// stale query at the cache) is recorded as a violation. Experiments
+// assert zero violations.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// CacheCapacity is the middleware cache size (paper default: 30% of
+	// the server's total).
+	CacheCapacity cost.Bytes
+	// SampleEvery controls the cumulative-cost series resolution: one
+	// point per this many events (default 5000).
+	SampleEvery int
+}
+
+// Point is one sample of the cumulative traffic series (the y-axis of
+// Figures 7b and 8b).
+type Point struct {
+	Seq        int64      `json:"seq"`
+	Total      cost.Bytes `json:"total"`
+	QueryShip  cost.Bytes `json:"queryShip"`
+	UpdateShip cost.Bytes `json:"updateShip"`
+	ObjectLoad cost.Bytes `json:"objectLoad"`
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Policy string        `json:"policy"`
+	Ledger cost.Snapshot `json:"ledger"`
+	Series []Point       `json:"series"`
+
+	Queries        int64 `json:"queries"`
+	QueriesShipped int64 `json:"queriesShipped"`
+	QueriesAtCache int64 `json:"queriesAtCache"`
+	Updates        int64 `json:"updates"`
+	UpdatesShipped int64 `json:"updatesShipped"`
+	Loads          int64 `json:"loads"`
+	Evictions      int64 `json:"evictions"`
+
+	// MaxUsed is the peak cache occupancy observed.
+	MaxUsed cost.Bytes `json:"maxUsed"`
+	// Violations lists every constraint breach; correct policies produce
+	// none.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Total returns the final total traffic.
+func (r *Result) Total() cost.Bytes { return r.Ledger.Total() }
+
+// state is the simulator's ground truth.
+type state struct {
+	sizes    map[model.ObjectID]cost.Bytes
+	cached   map[model.ObjectID]struct{}
+	used     cost.Bytes
+	capacity cost.Bytes
+	// exemptUsed is the preload occupancy of capacity-exempt yardsticks
+	// (Replica); dynamic violations are measured against
+	// max(capacity, exemptUsed).
+	exemptUsed cost.Bytes
+
+	// pending maps outstanding update IDs (for cached objects) to the
+	// update; perObject indexes them for eviction cleanup and currency
+	// checks.
+	pending   map[model.UpdateID]model.Update
+	perObject map[model.ObjectID]map[model.UpdateID]struct{}
+}
+
+// Run replays events against the policy and returns the accounting. An
+// error is returned for structural problems (nil policy, invalid
+// events); constraint breaches by the policy are reported as violations
+// in the Result instead.
+func Run(policy core.Policy, objects []model.Object, events []model.Event, cfg Config) (*Result, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if cfg.CacheCapacity < 0 {
+		return nil, fmt.Errorf("sim: negative capacity")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5000
+	}
+	st := &state{
+		sizes:     make(map[model.ObjectID]cost.Bytes, len(objects)),
+		cached:    make(map[model.ObjectID]struct{}),
+		capacity:  cfg.CacheCapacity,
+		pending:   make(map[model.UpdateID]model.Update),
+		perObject: make(map[model.ObjectID]map[model.UpdateID]struct{}),
+	}
+	for _, o := range objects {
+		st.sizes[o.ID] = o.Size
+	}
+
+	if err := policy.Init(objects, cfg.CacheCapacity); err != nil {
+		return nil, fmt.Errorf("sim: init %s: %w", policy.Name(), err)
+	}
+
+	res := &Result{Policy: policy.Name()}
+	var ledger cost.Ledger
+
+	// Preloading yardsticks start with a resident set.
+	if pre, ok := policy.(core.Preloader); ok {
+		objs, charge := pre.Preload()
+		for _, id := range objs {
+			size, ok := st.sizes[id]
+			if !ok {
+				return nil, fmt.Errorf("sim: preload of unknown object %d", id)
+			}
+			if _, dup := st.cached[id]; dup {
+				return nil, fmt.Errorf("sim: duplicate preload of object %d", id)
+			}
+			st.cached[id] = struct{}{}
+			st.used += size
+			if charge {
+				ledger.Charge(cost.ObjectLoad, size)
+				res.Loads++
+			}
+		}
+		st.exemptUsed = st.used
+	}
+	if st.used > res.MaxUsed {
+		res.MaxUsed = st.used
+	}
+
+	violate := func(format string, args ...any) {
+		if len(res.Violations) < 100 { // cap memory on broken policies
+			res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	for i := range events {
+		e := &events[i]
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+
+		var (
+			d   core.Decision
+			err error
+		)
+		switch e.Kind {
+		case model.EventQuery:
+			res.Queries++
+			d, err = policy.OnQuery(e.Query)
+		case model.EventUpdate:
+			res.Updates++
+			d, err = policy.OnUpdate(e.Update)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s at event %d: %w", policy.Name(), e.Seq, err)
+		}
+
+		// 1. Evictions.
+		for _, id := range d.Evict {
+			if _, ok := st.cached[id]; !ok {
+				violate("event %d: evict of non-resident object %d", e.Seq, id)
+				continue
+			}
+			delete(st.cached, id)
+			st.used -= st.sizes[id]
+			for uid := range st.perObject[id] {
+				delete(st.pending, uid)
+			}
+			delete(st.perObject, id)
+			res.Evictions++
+		}
+		// 2. Loads (the object arrives fresh: any updates that occurred
+		// while it was away are part of the copy).
+		for _, id := range d.Load {
+			size, ok := st.sizes[id]
+			if !ok {
+				violate("event %d: load of unknown object %d", e.Seq, id)
+				continue
+			}
+			if _, dup := st.cached[id]; dup {
+				violate("event %d: load of already-resident object %d", e.Seq, id)
+				continue
+			}
+			st.cached[id] = struct{}{}
+			st.used += size
+			ledger.Charge(cost.ObjectLoad, size)
+			res.Loads++
+		}
+		if limit := maxBytes(st.capacity, st.exemptUsed); st.used > limit {
+			violate("event %d: cache over capacity: %v > %v", e.Seq, st.used, limit)
+		}
+		if st.used > res.MaxUsed {
+			res.MaxUsed = st.used
+		}
+
+		// 3. The update itself arrives at the repository; outstanding
+		// bookkeeping applies only to resident objects.
+		if e.Kind == model.EventUpdate {
+			u := e.Update
+			if _, ok := st.cached[u.Object]; ok {
+				st.pending[u.ID] = *u
+				if st.perObject[u.Object] == nil {
+					st.perObject[u.Object] = make(map[model.UpdateID]struct{})
+				}
+				st.perObject[u.Object][u.ID] = struct{}{}
+			}
+		}
+
+		// 4. Update shipments.
+		for _, uid := range d.ApplyUpdates {
+			u, ok := st.pending[uid]
+			if !ok {
+				violate("event %d: shipping update %d that is not outstanding", e.Seq, uid)
+				continue
+			}
+			ledger.Charge(cost.UpdateShip, u.Cost)
+			res.UpdatesShipped++
+			delete(st.pending, uid)
+			delete(st.perObject[u.Object], uid)
+		}
+
+		// 5. Answer the query.
+		if e.Kind == model.EventQuery {
+			q := e.Query
+			if d.ShipQuery {
+				ledger.Charge(cost.QueryShip, q.Cost)
+				res.QueriesShipped++
+			} else {
+				res.QueriesAtCache++
+				for _, id := range q.Objects {
+					if _, ok := st.cached[id]; !ok {
+						violate("event %d: query %d answered at cache but object %d absent",
+							e.Seq, q.ID, id)
+						continue
+					}
+					for uid := range st.perObject[id] {
+						u := st.pending[uid]
+						if model.UpdateRequired(&u, q) {
+							violate("event %d: query %d answered stale: update %d on object %d unapplied",
+								e.Seq, q.ID, uid, id)
+						}
+					}
+				}
+			}
+		}
+
+		if (i+1)%cfg.SampleEvery == 0 || i == len(events)-1 {
+			snap := ledger.Snapshot()
+			res.Series = append(res.Series, Point{
+				Seq:        e.Seq,
+				Total:      snap.Total(),
+				QueryShip:  snap.QueryShip,
+				UpdateShip: snap.UpdateShip,
+				ObjectLoad: snap.ObjectLoad,
+			})
+		}
+	}
+
+	res.Ledger = ledger.Snapshot()
+	return res, nil
+}
+
+func maxBytes(a, b cost.Bytes) cost.Bytes {
+	if a > b {
+		return a
+	}
+	return b
+}

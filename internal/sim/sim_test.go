@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func twoObjects() []model.Object {
+	return []model.Object{
+		{ID: 1, Size: 10 * cost.GB},
+		{ID: 2, Size: 20 * cost.GB},
+	}
+}
+
+func qEvent(seq int64, id model.QueryID, objs []model.ObjectID, c cost.Bytes, tol time.Duration) model.Event {
+	return model.Event{Seq: seq, Kind: model.EventQuery, Query: &model.Query{
+		ID: id, Objects: objs, Cost: c, Tolerance: tol,
+		Time: time.Duration(seq+1) * time.Second,
+	}}
+}
+
+func uEvent(seq int64, id model.UpdateID, obj model.ObjectID, c cost.Bytes) model.Event {
+	return model.Event{Seq: seq, Kind: model.EventUpdate, Update: &model.Update{
+		ID: id, Object: obj, Cost: c, Time: time.Duration(seq+1) * time.Second,
+	}}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	if _, err := Run(nil, nil, nil, Config{}); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := Run(core.NewNoCache(), twoObjects(), nil, Config{CacheCapacity: -1}); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestNoCacheAccounting(t *testing.T) {
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, 5*cost.GB, 0),
+		uEvent(1, 1, 1, 2*cost.GB),
+		qEvent(2, 2, []model.ObjectID{2}, 7*cost.GB, 0),
+	}
+	res, err := Run(core.NewNoCache(), twoObjects(), events, Config{CacheCapacity: 10 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if got := res.Total(); got != 12*cost.GB {
+		t.Errorf("total = %v, want 12GB", got)
+	}
+	if got := res.Ledger.QueryShip; got != 12*cost.GB {
+		t.Errorf("query ship = %v", got)
+	}
+	if res.Ledger.UpdateShip != 0 || res.Ledger.ObjectLoad != 0 {
+		t.Error("NoCache must only pay query shipping")
+	}
+	if res.QueriesShipped != 2 || res.QueriesAtCache != 0 {
+		t.Errorf("query counters wrong: %+v", res)
+	}
+}
+
+func TestReplicaAccounting(t *testing.T) {
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1, 2}, 5*cost.GB, 0),
+		uEvent(1, 1, 1, 2*cost.GB),
+		uEvent(2, 2, 2, 3*cost.GB),
+		qEvent(3, 2, []model.ObjectID{2}, 7*cost.GB, 0),
+	}
+	// Capacity is irrelevant for Replica (exempt).
+	res, err := Run(core.NewReplica(), twoObjects(), events, Config{CacheCapacity: cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if got := res.Total(); got != 5*cost.GB {
+		t.Errorf("total = %v, want 5GB (updates only)", got)
+	}
+	if res.Ledger.ObjectLoad != 0 {
+		t.Error("Replica preload must not be charged")
+	}
+	if res.QueriesAtCache != 2 {
+		t.Errorf("all queries must be at cache: %+v", res)
+	}
+}
+
+func TestViolationAbsentObject(t *testing.T) {
+	events := []model.Event{qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0)}
+	p := &Scripted{Decisions: []core.Decision{{}}} // answer at cache with empty cache
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 50 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 || !strings.Contains(res.Violations[0], "absent") {
+		t.Fatalf("expected absent-object violation, got %v", res.Violations)
+	}
+}
+
+func TestViolationOverCapacity(t *testing.T) {
+	events := []model.Event{qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0)}
+	p := &Scripted{Decisions: []core.Decision{
+		{ShipQuery: true, Load: []model.ObjectID{1, 2}}, // 30 GB into a 15 GB cache
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 15 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 || !strings.Contains(res.Violations[0], "capacity") {
+		t.Fatalf("expected capacity violation, got %v", res.Violations)
+	}
+}
+
+func TestViolationUnknownLoadAndEvict(t *testing.T) {
+	events := []model.Event{qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0)}
+	p := &Scripted{Decisions: []core.Decision{
+		{ShipQuery: true, Load: []model.ObjectID{99}, Evict: []model.ObjectID{2}},
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 50 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 2 {
+		t.Fatalf("expected 2 violations, got %v", res.Violations)
+	}
+}
+
+func TestViolationDoubleLoad(t *testing.T) {
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0),
+		qEvent(1, 2, []model.ObjectID{1}, cost.GB, 0),
+	}
+	p := &Scripted{Decisions: []core.Decision{
+		{ShipQuery: true, Load: []model.ObjectID{1}},
+		{ShipQuery: true, Load: []model.ObjectID{1}},
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 50 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 || !strings.Contains(res.Violations[0], "already-resident") {
+		t.Fatalf("expected double-load violation, got %v", res.Violations)
+	}
+}
+
+func TestViolationGhostUpdate(t *testing.T) {
+	events := []model.Event{
+		uEvent(0, 1, 1, cost.GB), // object 1 not cached: update not outstanding
+	}
+	p := &Scripted{Decisions: []core.Decision{
+		{ApplyUpdates: []model.UpdateID{1}},
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 50 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 || !strings.Contains(res.Violations[0], "not outstanding") {
+		t.Fatalf("expected ghost-update violation, got %v", res.Violations)
+	}
+}
+
+func TestEvictionDropsOutstandingUpdates(t *testing.T) {
+	// Evict object then reload: the reloaded copy is fresh, so a
+	// zero-tolerance query needs no update shipping.
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0),
+		uEvent(1, 1, 1, 2*cost.GB),
+		qEvent(2, 2, []model.ObjectID{1}, cost.GB, 0),
+		qEvent(3, 3, []model.ObjectID{1}, cost.GB, 0),
+	}
+	p := &Scripted{Decisions: []core.Decision{
+		{ShipQuery: true, Load: []model.ObjectID{1}},
+		{},
+		{ShipQuery: true, Evict: []model.ObjectID{1}, Load: []model.ObjectID{1}},
+		{}, // fresh after reload: answering at cache is legal
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 50 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	// Two loads of object 1 at 10 GB each.
+	if res.Ledger.ObjectLoad != 20*cost.GB {
+		t.Errorf("object load = %v, want 20GB", res.Ledger.ObjectLoad)
+	}
+}
+
+func TestToleranceAllowsStaleAnswer(t *testing.T) {
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0),
+		uEvent(1, 1, 1, 2*cost.GB),
+		qEvent(2, 2, []model.ObjectID{1}, cost.GB, model.AnyStaleness),
+	}
+	p := &Scripted{Decisions: []core.Decision{
+		{ShipQuery: true, Load: []model.ObjectID{1}},
+		{},
+		{}, // stale answer is fine: infinite tolerance
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 50 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	var events []model.Event
+	for i := int64(0); i < 10; i++ {
+		events = append(events, qEvent(i, model.QueryID(i+1), []model.ObjectID{1}, cost.GB, 0))
+	}
+	res, err := Run(core.NewNoCache(), twoObjects(), events,
+		Config{CacheCapacity: 10 * cost.GB, SampleEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at events 3, 6, 9 plus the final event: 4 points.
+	if len(res.Series) != 4 {
+		t.Fatalf("series has %d points: %+v", len(res.Series), res.Series)
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.Total != 10*cost.GB {
+		t.Errorf("final point total = %v, want 10GB", last.Total)
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Total < res.Series[i-1].Total {
+			t.Error("cumulative series must be non-decreasing")
+		}
+	}
+}
+
+func TestMaxUsedTracked(t *testing.T) {
+	events := []model.Event{
+		qEvent(0, 1, []model.ObjectID{1}, cost.GB, 0),
+		qEvent(1, 2, []model.ObjectID{2}, cost.GB, 0),
+	}
+	p := &Scripted{Decisions: []core.Decision{
+		{ShipQuery: true, Load: []model.ObjectID{1}},
+		{ShipQuery: true, Evict: []model.ObjectID{1}, Load: []model.ObjectID{2}},
+	}}
+	res, err := Run(p, twoObjects(), events, Config{CacheCapacity: 25 * cost.GB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUsed != 20*cost.GB {
+		t.Errorf("MaxUsed = %v, want 20GB", res.MaxUsed)
+	}
+}
+
+func TestDecisionIsNoop(t *testing.T) {
+	if !(core.Decision{}).IsNoop() {
+		t.Error("empty decision should be noop")
+	}
+	if (core.Decision{ShipQuery: true}).IsNoop() {
+		t.Error("ship decision is not a noop")
+	}
+}

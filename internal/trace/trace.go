@@ -1,0 +1,239 @@
+// Package trace persists and inspects workload traces: the interleaved
+// query–update event sequences that drive both the simulator and the
+// live middleware. Two encodings are provided — JSON-lines for
+// inspectability and gob for speed — plus summary statistics matching
+// the characterization in Section 6.1 of the paper (hotspot object IDs,
+// per-mechanism traffic, the Figure 7(a) scatter).
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// WriteJSONL writes events as one JSON object per line.
+func WriteJSONL(w io.Writer, events []model.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", events[i].Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSON-lines trace until EOF, validating every event.
+func ReadJSONL(r io.Reader) ([]model.Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var events []model.Event
+	for {
+		var e model.Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: decode event %d: %w", len(events), err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// gobChunk is the unit of gob encoding; chunking bounds encoder memory
+// on multi-hundred-thousand-event traces.
+const gobChunk = 8192
+
+// WriteGob writes events in the binary gob encoding.
+func WriteGob(w io.Writer, events []model.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(len(events)); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for start := 0; start < len(events); start += gobChunk {
+		end := start + gobChunk
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := enc.Encode(events[start:end]); err != nil {
+			return fmt.Errorf("trace: encode chunk at %d: %w", start, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGob reads a gob-encoded trace.
+func ReadGob(r io.Reader) ([]model.Event, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var total int
+	if err := dec.Decode(&total); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("trace: negative event count %d", total)
+	}
+	events := make([]model.Event, 0, total)
+	for len(events) < total {
+		var chunk []model.Event
+		if err := dec.Decode(&chunk); err != nil {
+			return nil, fmt.Errorf("trace: decode chunk at %d: %w", len(events), err)
+		}
+		events = append(events, chunk...)
+	}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return events, nil
+}
+
+// ObjectStats aggregates per-object activity.
+type ObjectStats struct {
+	Object      model.ObjectID `json:"object"`
+	Queries     int64          `json:"queries"`
+	Updates     int64          `json:"updates"`
+	QueryBytes  cost.Bytes     `json:"queryBytes"`
+	UpdateBytes cost.Bytes     `json:"updateBytes"`
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Events      int64      `json:"events"`
+	Queries     int64      `json:"queries"`
+	Updates     int64      `json:"updates"`
+	QueryBytes  cost.Bytes `json:"queryBytes"`
+	UpdateBytes cost.Bytes `json:"updateBytes"`
+	// MeanObjectsPerQuery is the average |B(q)|.
+	MeanObjectsPerQuery float64 `json:"meanObjectsPerQuery"`
+
+	PerObject []ObjectStats `json:"perObject"`
+}
+
+// Summarize computes trace statistics.
+func Summarize(events []model.Event) Stats {
+	per := make(map[model.ObjectID]*ObjectStats)
+	get := func(id model.ObjectID) *ObjectStats {
+		st, ok := per[id]
+		if !ok {
+			st = &ObjectStats{Object: id}
+			per[id] = st
+		}
+		return st
+	}
+	var s Stats
+	var objRefs int64
+	for i := range events {
+		e := &events[i]
+		s.Events++
+		switch e.Kind {
+		case model.EventQuery:
+			s.Queries++
+			s.QueryBytes += e.Query.Cost
+			objRefs += int64(len(e.Query.Objects))
+			// Attribute the query's bytes to its objects proportionally
+			// by count, for hotspot identification.
+			share := e.Query.Cost / cost.Bytes(len(e.Query.Objects))
+			for _, o := range e.Query.Objects {
+				st := get(o)
+				st.Queries++
+				st.QueryBytes += share
+			}
+		case model.EventUpdate:
+			s.Updates++
+			s.UpdateBytes += e.Update.Cost
+			st := get(e.Update.Object)
+			st.Updates++
+			st.UpdateBytes += e.Update.Cost
+		}
+	}
+	if s.Queries > 0 {
+		s.MeanObjectsPerQuery = float64(objRefs) / float64(s.Queries)
+	}
+	s.PerObject = make([]ObjectStats, 0, len(per))
+	for _, st := range per {
+		s.PerObject = append(s.PerObject, *st)
+	}
+	sort.Slice(s.PerObject, func(i, j int) bool {
+		return s.PerObject[i].Object < s.PerObject[j].Object
+	})
+	return s
+}
+
+// TopQueried returns the n objects with the most query traffic.
+func (s Stats) TopQueried(n int) []ObjectStats {
+	out := append([]ObjectStats(nil), s.PerObject...)
+	sort.Slice(out, func(i, j int) bool { return out[i].QueryBytes > out[j].QueryBytes })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopUpdated returns the n objects with the most update traffic.
+func (s Stats) TopUpdated(n int) []ObjectStats {
+	out := append([]ObjectStats(nil), s.PerObject...)
+	sort.Slice(out, func(i, j int) bool { return out[i].UpdateBytes > out[j].UpdateBytes })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders a human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d queries=%d (%s) updates=%d (%s) mean|B(q)|=%.2f\n",
+		s.Events, s.Queries, s.QueryBytes, s.Updates, s.UpdateBytes, s.MeanObjectsPerQuery)
+	fmt.Fprintf(&b, "top queried:")
+	for _, st := range s.TopQueried(6) {
+		fmt.Fprintf(&b, " %d(%s)", st.Object, st.QueryBytes)
+	}
+	fmt.Fprintf(&b, "\ntop updated:")
+	for _, st := range s.TopUpdated(6) {
+		fmt.Fprintf(&b, " %d(%s)", st.Object, st.UpdateBytes)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ScatterCSV writes the Figure 7(a) scatter: one row per (event,
+// object) incidence with the event kind. Sampling every k-th event
+// keeps files small; k <= 1 writes every event.
+func ScatterCSV(w io.Writer, events []model.Event, k int) error {
+	if k < 1 {
+		k = 1
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "event,object,kind"); err != nil {
+		return err
+	}
+	for i := range events {
+		if i%k != 0 {
+			continue
+		}
+		e := &events[i]
+		switch e.Kind {
+		case model.EventQuery:
+			for _, o := range e.Query.Objects {
+				fmt.Fprintf(bw, "%d,%d,query\n", e.Seq, o)
+			}
+		case model.EventUpdate:
+			fmt.Fprintf(bw, "%d,%d,update\n", e.Seq, e.Update.Object)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func sampleEvents() []model.Event {
+	return []model.Event{
+		{Seq: 0, Kind: model.EventQuery, Query: &model.Query{
+			ID: 1, Objects: []model.ObjectID{1, 2}, Cost: 10 * cost.MB,
+			Tolerance: model.NoTolerance, Time: 0,
+		}},
+		{Seq: 1, Kind: model.EventUpdate, Update: &model.Update{
+			ID: 1, Object: 3, Cost: 2 * cost.MB, Time: time.Second,
+		}},
+		{Seq: 2, Kind: model.EventQuery, Query: &model.Query{
+			ID: 2, Objects: []model.ObjectID{2}, Cost: 6 * cost.MB,
+			Tolerance: time.Minute, Time: 2 * time.Second,
+		}},
+		{Seq: 3, Kind: model.EventUpdate, Update: &model.Update{
+			ID: 2, Object: 3, Cost: 1 * cost.MB, Time: 3 * time.Second,
+		}},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEventsEqual(t, events, got)
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEventsEqual(t, events, got)
+}
+
+func TestGobRoundTripLarge(t *testing.T) {
+	// Cross the chunking boundary.
+	var events []model.Event
+	for i := 0; i < 3*gobChunk+17; i++ {
+		events = append(events, model.Event{
+			Seq:  int64(i),
+			Kind: model.EventUpdate,
+			Update: &model.Update{
+				ID: model.UpdateID(i), Object: 1, Cost: 1, Time: time.Duration(i),
+			},
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteGob(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("len = %d, want %d", len(got), len(events))
+	}
+	if got[len(got)-1].Update.ID != events[len(events)-1].Update.ID {
+		t.Error("last event mismatch")
+	}
+}
+
+func TestReadJSONLRejectsInvalid(t *testing.T) {
+	// A query without objects fails validation.
+	in := `{"seq":0,"kind":1,"query":{"id":1,"objects":[],"cost":5,"toleranceNs":0,"timeNs":0}}`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestReadGobRejectsGarbage(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("garbage")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleEvents())
+	if s.Events != 4 || s.Queries != 2 || s.Updates != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.QueryBytes != 16*cost.MB {
+		t.Errorf("QueryBytes = %v", s.QueryBytes)
+	}
+	if s.UpdateBytes != 3*cost.MB {
+		t.Errorf("UpdateBytes = %v", s.UpdateBytes)
+	}
+	if s.MeanObjectsPerQuery != 1.5 {
+		t.Errorf("MeanObjectsPerQuery = %v, want 1.5", s.MeanObjectsPerQuery)
+	}
+	if len(s.PerObject) != 3 {
+		t.Fatalf("PerObject = %v", s.PerObject)
+	}
+	// Object 2 is queried by both queries: 5MB + 6MB = 11MB share.
+	var obj2 ObjectStats
+	for _, st := range s.PerObject {
+		if st.Object == 2 {
+			obj2 = st
+		}
+	}
+	if obj2.Queries != 2 || obj2.QueryBytes != 11*cost.MB {
+		t.Errorf("object 2 stats wrong: %+v", obj2)
+	}
+}
+
+func TestTopQueriedAndUpdated(t *testing.T) {
+	s := Summarize(sampleEvents())
+	topQ := s.TopQueried(1)
+	if len(topQ) != 1 || topQ[0].Object != 2 {
+		t.Errorf("TopQueried = %+v, want object 2", topQ)
+	}
+	topU := s.TopUpdated(1)
+	if len(topU) != 1 || topU[0].Object != 3 {
+		t.Errorf("TopUpdated = %+v, want object 3", topU)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	out := Summarize(sampleEvents()).String()
+	for _, want := range []string{"events=4", "queries=2", "top queried", "top updated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScatterCSV(&buf, sampleEvents(), 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + q1 touches 2 objects + u1 + q2 + u2 = 6 lines.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if lines[0] != "event,object,kind" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1,query" || lines[2] != "0,2,query" {
+		t.Errorf("query rows wrong: %v", lines[1:3])
+	}
+}
+
+func TestScatterCSVSampling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScatterCSV(&buf, sampleEvents(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Only events 0 and 2 are sampled: header + 2 obj rows + 1 = 4.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+}
+
+func assertEventsEqual(t *testing.T, want, got []model.Event) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Seq != got[i].Seq || want[i].Kind != got[i].Kind {
+			t.Fatalf("event %d header mismatch", i)
+		}
+		switch want[i].Kind {
+		case model.EventQuery:
+			w, g := want[i].Query, got[i].Query
+			if w.ID != g.ID || w.Cost != g.Cost || w.Tolerance != g.Tolerance ||
+				w.Time != g.Time || len(w.Objects) != len(g.Objects) {
+				t.Fatalf("event %d query mismatch: %+v vs %+v", i, w, g)
+			}
+		case model.EventUpdate:
+			if *want[i].Update != *got[i].Update {
+				t.Fatalf("event %d update mismatch", i)
+			}
+		}
+	}
+}

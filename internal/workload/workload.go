@@ -1,0 +1,397 @@
+// Package workload generates the interleaved query–update event
+// sequences the experiments replay. It reproduces the statistical
+// properties of the SDSS trace the paper used (Section 6.1):
+//
+//   - queries arrive in evolving *campaigns* — clusters of activity
+//     around a sky region that drift and hand over to new regions over
+//     time, so "entirely different sets of data objects are queried in a
+//     short time period" (Figure 7a);
+//   - there is no dominant query template: a mix of cone searches of
+//     varying radius, wide-area scans, and occasional all-sky queries;
+//   - result sizes are heavy-tailed (lognormal), and the trace's early
+//     queries have small results, which is what produces the paper's
+//     long warm-up period;
+//   - updates follow telescope scans along great circles, clustered on
+//     sky stripes ("update hotspots") that are distinct from the query
+//     hotspots, with update sizes proportional to the density of the
+//     object they hit;
+//   - queries carry a mixed tolerance for staleness: many demand the
+//     latest data (t = 0), some tolerate bounded staleness, some accept
+//     any cached version.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// Config parameterizes trace generation.
+type Config struct {
+	Seed int64
+
+	// NumQueries and NumUpdates set the event mix (paper default:
+	// 250,000 each).
+	NumQueries int
+	NumUpdates int
+
+	// Campaigns is the number of query campaigns across the trace; each
+	// campaign concentrates queries around one query-hot region for a
+	// contiguous span of events.
+	Campaigns int
+	// CampaignSpreadDeg is the angular scatter of query centers around
+	// the campaign center.
+	CampaignSpreadDeg float64
+	// QueryRadiusMinDeg/MaxDeg bound cone-search radii.
+	QueryRadiusMinDeg float64
+	QueryRadiusMaxDeg float64
+	// WideScanFrac is the fraction of queries that scan a wide region
+	// (tens of degrees), touching many objects.
+	WideScanFrac float64
+	// BackgroundQueryFrac is the fraction of queries aimed anywhere on
+	// the sky, outside any campaign: the serendipitous long tail that
+	// "does not follow any clear patterns" (Section 6.1). These queries
+	// are essentially uncacheable and bound every policy's savings.
+	BackgroundQueryFrac float64
+
+	// MeanResultSize is the mean query result size ν(q); the paper's
+	// trace carries ~300 GB over 250k queries (~1.2 MB mean).
+	MeanResultSize cost.Bytes
+	// ResultSigma is the lognormal shape parameter of result sizes.
+	ResultSigma float64
+
+	// ZeroTolFrac is the fraction of queries with no tolerance for
+	// staleness; AnyTolFrac accept arbitrary staleness; the remainder
+	// draw a tolerance uniformly in (0, ToleranceMaxFrac of the trace's
+	// virtual duration]. Expressing the bound as a fraction keeps the
+	// staleness semantics identical when a trace is scaled down.
+	ZeroTolFrac      float64
+	AnyTolFrac       float64
+	ToleranceMaxFrac float64
+
+	// ScanStep is the angular step between consecutive scan updates in
+	// degrees.
+	ScanStep float64
+	// HotspotBias is the probability an update is redrawn near an
+	// update-hot blob instead of the current scan position, clustering
+	// updates on update hotspots.
+	HotspotBias float64
+	// QueryBlobUpdateFrac is the probability an update lands near a
+	// query-hot blob: telescopes revisit scientifically interesting
+	// regions, so the most-queried sky keeps growing too. Because update
+	// sizes follow density, a modest count fraction here is a large byte
+	// fraction — the pressure that separates Delta's on-demand update
+	// shipping from the eager shipping of Replica/Benefit/SOptimal.
+	QueryBlobUpdateFrac float64
+	// MeanUpdateSize is the mean update payload ν(u), scaled by local
+	// density (paper: update size proportional to object density).
+	MeanUpdateSize cost.Bytes
+
+	// WarmupFrac is the fraction of the query sequence whose result
+	// sizes ramp up from WarmupScale× to 1× of the configured mean,
+	// reproducing the paper's warm-up behaviour ("queries with small
+	// query cost occur earlier in trace").
+	WarmupFrac  float64
+	WarmupScale float64
+
+	// EventInterval is the virtual time between consecutive events.
+	EventInterval time.Duration
+}
+
+// DefaultConfig returns the paper-calibrated workload: 250k queries and
+// 250k updates with ~300 GB of query traffic and ~300 GB of update
+// traffic at the default event counts.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                1,
+		NumQueries:          250_000,
+		NumUpdates:          250_000,
+		Campaigns:           10,
+		CampaignSpreadDeg:   2.5,
+		QueryRadiusMinDeg:   0.3,
+		QueryRadiusMaxDeg:   2,
+		WideScanFrac:        0.02,
+		BackgroundQueryFrac: 0.25,
+		MeanResultSize:      3 * cost.MB / 2,
+		ResultSigma:         2.0,
+		ZeroTolFrac:         0.5,
+		AnyTolFrac:          0.2,
+		ToleranceMaxFrac:    0.2,
+		ScanStep:            0.8,
+		HotspotBias:         0.45,
+		QueryBlobUpdateFrac: 0.05,
+		MeanUpdateSize:      232 * cost.KB,
+		WarmupFrac:          0.4,
+		WarmupScale:         0.25,
+		EventInterval:       200 * time.Millisecond,
+	}
+}
+
+// Generator produces traces against a survey.
+type Generator struct {
+	survey *catalog.Survey
+	cfg    Config
+}
+
+// NewGenerator validates the configuration and returns a generator.
+func NewGenerator(survey *catalog.Survey, cfg Config) (*Generator, error) {
+	if survey == nil {
+		return nil, fmt.Errorf("workload: nil survey")
+	}
+	if cfg.NumQueries < 0 || cfg.NumUpdates < 0 || cfg.NumQueries+cfg.NumUpdates == 0 {
+		return nil, fmt.Errorf("workload: invalid event counts q=%d u=%d", cfg.NumQueries, cfg.NumUpdates)
+	}
+	if cfg.Campaigns <= 0 {
+		return nil, fmt.Errorf("workload: need at least one campaign")
+	}
+	if cfg.ZeroTolFrac+cfg.AnyTolFrac > 1 {
+		return nil, fmt.Errorf("workload: tolerance fractions exceed 1")
+	}
+	if cfg.WarmupFrac < 0 || cfg.WarmupFrac > 1 {
+		return nil, fmt.Errorf("workload: warmup fraction out of range")
+	}
+	if cfg.EventInterval <= 0 {
+		return nil, fmt.Errorf("workload: event interval must be positive")
+	}
+	return &Generator{survey: survey, cfg: cfg}, nil
+}
+
+// campaign is one query-activity cluster.
+type campaign struct {
+	center geom.Vec3
+}
+
+// scanState walks a great circle in fixed angular steps; when a circle
+// completes, a new one is chosen through an update-hot blob.
+type scanState struct {
+	circle geom.GreatCircle
+	theta  float64
+}
+
+// Generate produces the full event sequence. The output is
+// deterministic for a fixed survey and config.
+func (g *Generator) Generate() ([]model.Event, error) {
+	cfg := g.cfg
+	// Independent streams keep the query sequence identical when only
+	// the update count changes — the Figure 8a experiment holds the
+	// 250k queries fixed while sweeping updates.
+	planRng := rand.New(rand.NewSource(cfg.Seed))
+	qRng := rand.New(rand.NewSource(cfg.Seed ^ 0x51ec5))
+	uRng := rand.New(rand.NewSource(cfg.Seed ^ 0x0bda7e))
+
+	queryBlobs := g.survey.Sky().Blobs(catalog.QueryHot)
+	updateBlobs := g.survey.Sky().Blobs(catalog.UpdateHot)
+	if len(queryBlobs) == 0 || len(updateBlobs) == 0 {
+		return nil, fmt.Errorf("workload: survey sky lacks query/update blobs")
+	}
+	// Query activity concentrates on a handful of regions (the paper's
+	// Figure 7a shows roughly half a dozen hotspot object-IDs); use at
+	// most three query blobs for campaign anchors.
+	if len(queryBlobs) > 3 {
+		queryBlobs = queryBlobs[:3]
+	}
+
+	// Campaign plan: each campaign anchors near a query-hot blob, with
+	// a drifting offset so consecutive campaigns visit different sky.
+	campaigns := make([]campaign, cfg.Campaigns)
+	for i := range campaigns {
+		blob := queryBlobs[planRng.Intn(len(queryBlobs))]
+		// Anchor on the blob's flank: query hotspots in the paper
+		// concentrate on roughly half a dozen object-IDs of mixed size.
+		campaigns[i] = campaign{center: perturb(planRng, blob.Center, blob.Sigma*0.6)}
+	}
+
+	scan := g.newScan(uRng, updateBlobs)
+
+	total := cfg.NumQueries + cfg.NumUpdates
+	events := make([]model.Event, 0, total)
+	var (
+		qID     model.QueryID
+		uID     model.UpdateID
+		qIssued int
+		uIssued int
+	)
+	// Mean density normalizer for update sizing.
+	meanDensity := g.meanDensity(planRng)
+
+	for seq := 0; seq < total; seq++ {
+		// Deterministic proportional interleave (Bresenham): emit the
+		// stream that is furthest behind its quota.
+		emitQuery := int64(qIssued)*int64(total) <= int64(seq)*int64(cfg.NumQueries) &&
+			qIssued < cfg.NumQueries
+		if uIssued >= cfg.NumUpdates {
+			emitQuery = true
+		}
+		t := time.Duration(seq) * cfg.EventInterval
+
+		if emitQuery {
+			qID++
+			q := g.genQuery(qRng, qID, t, qIssued, campaigns)
+			events = append(events, model.Event{Seq: int64(seq), Kind: model.EventQuery, Query: q})
+			qIssued++
+		} else {
+			uID++
+			u := g.genUpdate(uRng, uID, t, scan, updateBlobs, meanDensity)
+			events = append(events, model.Event{Seq: int64(seq), Kind: model.EventUpdate, Update: u})
+			uIssued++
+		}
+	}
+	return events, nil
+}
+
+func (g *Generator) newScan(rng *rand.Rand, updateBlobs []catalog.Blob) *scanState {
+	// A great circle passing through an update-hot blob center: any
+	// pole perpendicular to the center works; pick one at random.
+	blob := updateBlobs[rng.Intn(len(updateBlobs))]
+	seed := randomUnit(rng)
+	pole := blob.Center.Cross(seed).Normalize()
+	if pole.Norm() == 0 {
+		pole = geom.Vec3{Z: 1}
+	}
+	return &scanState{circle: geom.NewGreatCircle(pole), theta: rng.Float64() * 2 * math.Pi}
+}
+
+func (g *Generator) meanDensity(rng *rand.Rand) float64 {
+	sum := 0.0
+	const n = 500
+	for i := 0; i < n; i++ {
+		sum += g.survey.Density(randomUnit(rng))
+	}
+	return sum / n
+}
+
+func (g *Generator) genQuery(rng *rand.Rand, id model.QueryID, t time.Duration,
+	issued int, campaigns []campaign) *model.Query {
+
+	cfg := g.cfg
+	// Which campaign is active: campaigns own contiguous spans of the
+	// query sequence, with a little leakage into neighbours so hand-offs
+	// are gradual.
+	campIdx := issued * len(campaigns) / max(cfg.NumQueries, 1)
+	if campIdx >= len(campaigns) {
+		campIdx = len(campaigns) - 1
+	}
+	if rng.Float64() < 0.15 { // revisit a random earlier region
+		campIdx = rng.Intn(len(campaigns))
+	}
+	center := perturb(rng, campaigns[campIdx].center, cfg.CampaignSpreadDeg*math.Pi/180)
+	if rng.Float64() < cfg.BackgroundQueryFrac {
+		// Serendipitous one-off anywhere on the sky.
+		center = randomUnit(rng)
+	}
+
+	var radius float64
+	if rng.Float64() < cfg.WideScanFrac {
+		radius = 15 + rng.Float64()*45 // wide-area scan
+	} else {
+		radius = cfg.QueryRadiusMinDeg +
+			rng.Float64()*(cfg.QueryRadiusMaxDeg-cfg.QueryRadiusMinDeg)
+	}
+	objects := g.survey.CoverCap(geom.NewCap(center, radius))
+	if len(objects) == 0 {
+		objects = []model.ObjectID{g.survey.ObjectAt(center)}
+	}
+
+	// Result size: lognormal around the configured mean (queries are
+	// selective, so result size does not track sky density), shaped by
+	// the warm-up ramp.
+	mean := float64(cfg.MeanResultSize)
+	sigma := cfg.ResultSigma
+	// For a lognormal with E[X]=m: mu = ln m - sigma^2/2.
+	mu := math.Log(mean) - sigma*sigma/2
+	size := math.Exp(mu + sigma*rng.NormFloat64())
+	if warm := float64(issued) / float64(max(cfg.NumQueries, 1)); warm < cfg.WarmupFrac && cfg.WarmupFrac > 0 {
+		ramp := cfg.WarmupScale + (1-cfg.WarmupScale)*(warm/cfg.WarmupFrac)
+		size *= ramp
+	}
+	if size < 1024 {
+		size = 1024
+	}
+
+	return &model.Query{
+		ID:        id,
+		Objects:   objects,
+		Cost:      cost.Bytes(size),
+		Tolerance: g.genTolerance(rng),
+		Time:      t,
+	}
+}
+
+func (g *Generator) genTolerance(rng *rand.Rand) time.Duration {
+	r := rng.Float64()
+	switch {
+	case r < g.cfg.ZeroTolFrac:
+		return model.NoTolerance
+	case r < g.cfg.ZeroTolFrac+g.cfg.AnyTolFrac:
+		return model.AnyStaleness
+	default:
+		duration := float64(g.cfg.NumQueries+g.cfg.NumUpdates) * float64(g.cfg.EventInterval)
+		return time.Duration(rng.Float64() * g.cfg.ToleranceMaxFrac * duration)
+	}
+}
+
+func (g *Generator) genUpdate(rng *rand.Rand, id model.UpdateID, t time.Duration,
+	scan *scanState, updateBlobs []catalog.Blob, meanDensity float64) *model.Update {
+
+	cfg := g.cfg
+	var pos geom.Vec3
+	switch r := rng.Float64(); {
+	case r < cfg.HotspotBias:
+		// Clustered on an update-hot stripe.
+		blob := updateBlobs[rng.Intn(len(updateBlobs))]
+		pos = perturb(rng, blob.Center, blob.Sigma)
+	case r < cfg.HotspotBias+cfg.QueryBlobUpdateFrac:
+		// Revisit of a scientifically interesting (query-hot) region.
+		queryBlobs := g.survey.Sky().Blobs(catalog.QueryHot)
+		blob := queryBlobs[rng.Intn(len(queryBlobs))]
+		pos = perturb(rng, blob.Center, blob.Sigma)
+	default:
+		// Systematic scan along the current great circle.
+		scan.theta += cfg.ScanStep * math.Pi / 180
+		if scan.theta > 2*math.Pi {
+			*scan = *g.newScan(rng, updateBlobs)
+		}
+		pos = scan.circle.Point(scan.theta)
+	}
+	obj := g.survey.ObjectAt(pos)
+
+	// Update size proportional to object density, lognormal noise.
+	density := g.survey.Density(pos)
+	mean := float64(cfg.MeanUpdateSize) * (density / meanDensity)
+	sigma := 0.8
+	mu := math.Log(math.Max(mean, 1024)) - sigma*sigma/2
+	size := math.Exp(mu + sigma*rng.NormFloat64())
+	if size < 512 {
+		size = 512
+	}
+
+	return &model.Update{
+		ID:     id,
+		Object: obj,
+		Cost:   cost.Bytes(size),
+		Time:   t,
+	}
+}
+
+func perturb(rng *rand.Rand, center geom.Vec3, sigmaRad float64) geom.Vec3 {
+	off := geom.Vec3{
+		X: rng.NormFloat64(),
+		Y: rng.NormFloat64(),
+		Z: rng.NormFloat64(),
+	}.Normalize().Scale(math.Abs(rng.NormFloat64()) * sigmaRad)
+	return center.Add(off).Normalize()
+}
+
+func randomUnit(rng *rand.Rand) geom.Vec3 {
+	return geom.Vec3{
+		X: rng.NormFloat64(),
+		Y: rng.NormFloat64(),
+		Z: rng.NormFloat64(),
+	}.Normalize()
+}
