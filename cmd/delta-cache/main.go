@@ -34,6 +34,8 @@ func run() error {
 		seed       = flag.Int64("seed", 2, "survey seed (must match the repository)")
 		cacheFrac  = flag.Float64("cache-frac", 0.3, "cache size as a fraction of the server total")
 		bytesPerGB = flag.Int64("bytes-per-gb", 4096, "physical payload bytes per logical GB")
+		repoPool   = flag.Int("repo-pool", 2, "connections in the repository session pool")
+		serialized = flag.Bool("serialized", false, "legacy fully-serialized query handling (benchmark baseline)")
 	)
 	flag.Parse()
 
@@ -61,13 +63,15 @@ func run() error {
 	}
 
 	mw, err := cache.New(cache.Config{
-		Addr:     *addr,
-		RepoAddr: *repoAddr,
-		Policy:   policy,
-		Objects:  survey.Objects(),
-		Capacity: capacity,
-		Scale:    netproto.PayloadScale{BytesPerGB: *bytesPerGB},
-		Logf:     log.Printf,
+		Addr:       *addr,
+		RepoAddr:   *repoAddr,
+		RepoPool:   *repoPool,
+		Policy:     policy,
+		Objects:    survey.Objects(),
+		Capacity:   capacity,
+		Scale:      netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		Serialized: *serialized,
+		Logf:       log.Printf,
 	})
 	if err != nil {
 		return err

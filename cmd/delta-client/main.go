@@ -4,15 +4,19 @@
 //	delta-client -cache 127.0.0.1:7708 \
 //	  -sql "SELECT ra, dec FROM PhotoObj WHERE CONTAINS(POINT(180,0), CIRCLE(180,0,1)) WITH STALENESS '10m'"
 //
-// or drives a random demo workload with -demo N, and prints the cache's
+// or drives a random demo workload with -demo N (optionally fanned out
+// over -workers concurrent submitters), and prints the cache's
 // statistics with -stats.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/deltacache/delta/internal/catalog"
@@ -33,11 +37,15 @@ func run() error {
 		cacheAddr = flag.String("cache", "127.0.0.1:7708", "cache address")
 		sql       = flag.String("sql", "", "SQL query to run")
 		demo      = flag.Int("demo", 0, "run N random demo queries")
+		workers   = flag.Int("workers", 1, "concurrent submitters for -demo")
+		pool      = flag.Int("pool", 1, "connections in the session pool")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		stats     = flag.Bool("stats", false, "print cache statistics")
 		objects   = flag.Int("objects", 68, "objects (must match deployment)")
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	scfg := catalog.DefaultConfig()
 	scfg.Seed = *seed
@@ -47,7 +55,10 @@ func run() error {
 		return err
 	}
 
-	cl, err := client.Dial(*cacheAddr)
+	cl, err := client.Dial(*cacheAddr,
+		client.WithPoolSize(*pool),
+		client.WithRequestTimeout(*timeout),
+	)
 	if err != nil {
 		return err
 	}
@@ -56,11 +67,11 @@ func run() error {
 	start := time.Now()
 	switch {
 	case *sql != "":
-		if err := runSQL(cl, survey, *sql, start); err != nil {
+		if err := runSQL(ctx, cl, survey, *sql, start); err != nil {
 			return err
 		}
 	case *demo > 0:
-		if err := runDemo(cl, survey, *demo, start); err != nil {
+		if err := runDemo(ctx, cl, survey, *demo, *workers, start); err != nil {
 			return err
 		}
 	case *stats:
@@ -71,7 +82,7 @@ func run() error {
 	}
 
 	if *stats || *demo > 0 {
-		st, err := cl.Stats()
+		st, err := cl.Stats(ctx)
 		if err != nil {
 			return err
 		}
@@ -84,13 +95,13 @@ func run() error {
 	return nil
 }
 
-func runSQL(cl *client.Client, survey *catalog.Survey, sql string, start time.Time) error {
+func runSQL(ctx context.Context, cl *client.Client, survey *catalog.Survey, sql string, start time.Time) error {
 	st, q, err := sqlmini.Compile(sql, survey)
 	if err != nil {
 		return err
 	}
 	q.Time = time.Since(start)
-	res, err := cl.Query(*q)
+	res, err := cl.Query(ctx, *q)
 	if err != nil {
 		return err
 	}
@@ -105,10 +116,40 @@ func runSQL(cl *client.Client, survey *catalog.Survey, sql string, start time.Ti
 	return nil
 }
 
-func runDemo(cl *client.Client, survey *catalog.Survey, n int, start time.Time) error {
+func runDemo(ctx context.Context, cl *client.Client, survey *catalog.Survey, n, workers int, start time.Time) error {
+	if workers < 1 {
+		workers = 1
+	}
+	// The first error cancels the shared context so the producer and
+	// the in-flight queries abort instead of grinding through the
+	// rest of the demo one timeout at a time.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		atCache atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	queries := make(chan model.Query)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range queries {
+				res, err := cl.Query(ctx, q)
+				if err != nil {
+					errOnce.Do(func() { firstEr = err; cancel() })
+					continue
+				}
+				if res.Source == "cache" {
+					atCache.Add(1)
+				}
+			}
+		}()
+	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	var atCache int
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && ctx.Err() == nil; i++ {
 		pos := survey.SamplePosition(rng)
 		ra, dec := pos.RADec()
 		radius := 0.3 + rng.Float64()*2
@@ -117,17 +158,19 @@ func runDemo(cl *client.Client, survey *catalog.Survey, n int, start time.Time) 
 			ra, dec, ra, dec, radius)
 		_, q, err := sqlmini.Compile(sql, survey)
 		if err != nil {
+			close(queries)
+			wg.Wait()
 			return err
 		}
 		q.Time = time.Since(start)
-		res, err := cl.Query(*q)
-		if err != nil {
-			return err
-		}
-		if res.Source == "cache" {
-			atCache++
-		}
+		queries <- *q
 	}
-	fmt.Printf("demo: %d queries, %d answered at cache\n", n, atCache)
+	close(queries)
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	fmt.Printf("demo: %d queries via %d workers, %d answered at cache\n",
+		n, workers, atCache.Load())
 	return nil
 }

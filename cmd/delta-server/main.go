@@ -69,7 +69,8 @@ func run() error {
 
 	<-stop
 	close(done)
-	log.Printf("shutting down; final ledger: %+v", repo.Ledger())
+	log.Printf("shutting down; final ledger: %+v (dropped invalidations: %d)",
+		repo.Ledger(), repo.DroppedInvalidations())
 	return repo.Close()
 }
 

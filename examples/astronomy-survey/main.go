@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,6 +30,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	// A small survey so loads are quick in the demo.
 	scfg := catalog.DefaultConfig()
 	scfg.NumObjects = 32
@@ -110,7 +112,7 @@ func run() error {
 			return err
 		}
 		q.Time = time.Since(start)
-		res, err := cl.Query(*q)
+		res, err := cl.Query(ctx, *q)
 		if err != nil {
 			return err
 		}
@@ -118,7 +120,7 @@ func run() error {
 			round+1, res.Source, cost.Bytes(res.Logical), len(res.Rows))
 	}
 
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module github.com/deltacache/delta
+
+go 1.24

@@ -5,13 +5,27 @@
 // ship the query to the repository — and, in the background, whether to
 // load objects. It subscribes to the repository's invalidation stream so
 // its policy sees every update the moment the repository ingests it.
+//
+// Concurrency model: the policy's decision framework is sequential by
+// design, so OnQuery/OnUpdate and the residency bookkeeping they imply
+// run under one mutex — but that critical section contains no network
+// I/O. Query shipping, update shipping and object loads all execute
+// outside the lock on a multiplexed repository session (a small
+// connection pool with RequestID demultiplexing), with per-object
+// singleflight so concurrent queries that need the same object trigger
+// one load. Client connections speaking protocol v2 get a worker
+// goroutine per request, so a query stalled on an object load never
+// head-of-line-blocks its neighbors.
 package cache
 
 import (
-	"errors"
+	"cmp"
+	"context"
 	"fmt"
 	"net"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/deltacache/delta/internal/catalog"
@@ -27,6 +41,9 @@ type Config struct {
 	Addr string
 	// RepoAddr is the repository's address.
 	RepoAddr string
+	// RepoPool is how many connections back the repository session
+	// (each one multiplexes; 0 means a small default).
+	RepoPool int
 	// Policy decides; nil defaults to VCover.
 	Policy core.Policy
 	// Objects is the object universe (must match the repository's).
@@ -38,6 +55,11 @@ type Config struct {
 	// SampleRows optionally provides catalog rows so locally answered
 	// queries can return result samples like the repository does.
 	SampleRows []catalog.Row
+	// Serialized restores the seed's fully serialized handling — one
+	// global lock around each query including its repository I/O. It
+	// exists as the baseline for the concurrency benchmarks and as a
+	// debugging aid; leave it false in deployments.
+	Serialized bool
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -47,22 +69,42 @@ type Middleware struct {
 	cfg    Config
 	ln     net.Listener
 	ledger cost.Ledger
+	repo   *netproto.Session
 
-	// mu serializes policy decisions and the repository request
-	// connection: the decision framework is sequential by design.
+	// mu guards the policy and the residency map. The decision
+	// framework is sequential by design; network I/O never happens
+	// under this lock.
 	mu       sync.Mutex
 	policy   core.Policy
-	repo     *netproto.Conn
-	repoRaw  net.Conn
-	invRaw   net.Conn
 	resident map[model.ObjectID]struct{}
 
-	queries int64
-	atCache int64
-	shipped int64
+	// serialMu implements Config.Serialized (benchmark baseline).
+	serialMu sync.Mutex
 
+	loads loadGroup
+
+	queries atomic.Int64
+	atCache atomic.Int64
+	shipped atomic.Int64
+
+	invRaw net.Conn
 	wg     sync.WaitGroup
-	closed bool
+}
+
+// plan lists the repository I/O a committed decision still owes.
+type plan struct {
+	loads       []pendingLoad
+	shipUpdates []model.UpdateID
+}
+
+// pendingLoad is a load flight registered at commit time (so
+// loadGroup.wait can find it the moment residency becomes visible);
+// leader marks the plan that must actually run it.
+type pendingLoad struct {
+	id     model.ObjectID
+	charge bool
+	call   *loadCall
+	leader bool
 }
 
 // New builds the middleware, connects it to the repository, initializes
@@ -76,6 +118,9 @@ func New(cfg Config) (*Middleware, error) {
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.RepoPool <= 0 {
+		cfg.RepoPool = 2
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -92,28 +137,25 @@ func New(cfg Config) (*Middleware, error) {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
 
-	// Request/response channel to the repository.
-	rc, err := net.Dial("tcp", cfg.RepoAddr)
+	// Multiplexed request/response session to the repository.
+	sess, err := netproto.DialSession(cfg.RepoAddr, "cache", netproto.SessionConfig{
+		PoolSize: cfg.RepoPool,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cache: dial repository: %w", err)
 	}
-	m.repoRaw = rc
-	m.repo = netproto.NewConn(rc)
-	if err := m.repo.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "cache"}}); err != nil {
-		rc.Close()
-		return nil, fmt.Errorf("cache: hello: %w", err)
-	}
+	m.repo = sess
 
-	// Invalidation subscription.
+	// Invalidation subscription (a one-way v1 stream).
 	ic, err := net.Dial("tcp", cfg.RepoAddr)
 	if err != nil {
-		rc.Close()
+		sess.Close()
 		return nil, fmt.Errorf("cache: dial invalidations: %w", err)
 	}
 	m.invRaw = ic
 	invConn := netproto.NewConn(ic)
 	if err := invConn.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
-		rc.Close()
+		sess.Close()
 		ic.Close()
 		return nil, fmt.Errorf("cache: subscribe: %w", err)
 	}
@@ -124,11 +166,13 @@ func New(cfg Config) (*Middleware, error) {
 	if pre, ok := m.policy.(core.Preloader); ok {
 		objs, charge := pre.Preload()
 		for _, id := range objs {
-			if err := m.loadObjectLocked(id, charge); err != nil {
-				rc.Close()
-				ic.Close()
+			if err := m.fetchObject(context.Background(), id, charge); err != nil {
+				m.Close()
 				return nil, fmt.Errorf("cache: preload %d: %w", id, err)
 			}
+			m.mu.Lock()
+			m.resident[id] = struct{}{}
+			m.mu.Unlock()
 		}
 	}
 	return m, nil
@@ -147,8 +191,13 @@ func (m *Middleware) Start() error {
 	return nil
 }
 
-// Addr returns the client-facing address (after Start).
-func (m *Middleware) Addr() string { return m.ln.Addr().String() }
+// Addr returns the client-facing address, or "" before Start.
+func (m *Middleware) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
 
 // Ledger returns a snapshot of the cache's traffic accounting.
 func (m *Middleware) Ledger() cost.Snapshot { return m.ledger.Snapshot() }
@@ -156,32 +205,30 @@ func (m *Middleware) Ledger() cost.Snapshot { return m.ledger.Snapshot() }
 // Stats returns a stats message describing the node.
 func (m *Middleware) Stats() netproto.StatsMsg {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	cached := make([]model.ObjectID, 0, len(m.resident))
 	for id := range m.resident {
 		cached = append(cached, id)
 	}
-	sortIDs(cached)
+	policy := m.policy.Name()
+	m.mu.Unlock()
+	slices.SortFunc(cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
 	return netproto.StatsMsg{
 		Ledger:  m.ledger.Snapshot(),
 		Cached:  cached,
-		Policy:  m.policy.Name(),
-		Queries: m.queries,
-		AtCache: m.atCache,
-		Shipped: m.shipped,
+		Policy:  policy,
+		Queries: m.queries.Load(),
+		AtCache: m.atCache.Load(),
+		Shipped: m.shipped.Load(),
 	}
 }
 
 // Close shuts the middleware down.
 func (m *Middleware) Close() error {
-	m.mu.Lock()
-	m.closed = true
-	m.mu.Unlock()
 	var err error
 	if m.ln != nil {
 		err = m.ln.Close()
 	}
-	m.repoRaw.Close()
+	m.repo.Close()
 	m.invRaw.Close()
 	m.wg.Wait()
 	return err
@@ -189,6 +236,7 @@ func (m *Middleware) Close() error {
 
 func (m *Middleware) invalidationLoop(c *netproto.Conn) {
 	defer m.wg.Done()
+	ctx := context.Background()
 	for {
 		f, err := c.Recv()
 		if err != nil {
@@ -202,14 +250,19 @@ func (m *Middleware) invalidationLoop(c *netproto.Conn) {
 		m.mu.Lock()
 		d, err := m.policy.OnUpdate(&inv.Update)
 		if err != nil {
-			m.cfg.Logf("policy OnUpdate: %v", err)
 			m.mu.Unlock()
+			m.cfg.Logf("policy OnUpdate: %v", err)
 			continue
 		}
-		if err := m.applyDecisionLocked(d, nil); err != nil {
+		p, err := m.commitDecisionLocked(d)
+		m.mu.Unlock()
+		if err != nil {
+			m.cfg.Logf("apply update decision: %v", err)
+			continue
+		}
+		if err := m.executePlan(ctx, p); err != nil {
 			m.cfg.Logf("apply update decision: %v", err)
 		}
-		m.mu.Unlock()
 	}
 }
 
@@ -234,49 +287,85 @@ func (m *Middleware) acceptLoop() {
 func (m *Middleware) serveClient(c *netproto.Conn) error {
 	first, err := c.Recv()
 	if err != nil {
-		return ignoreEOF(err)
+		return ignoreClosed(err)
 	}
-	if first.Type != netproto.MsgHello {
+	hello, ok := first.Body.(netproto.Hello)
+	if !ok || first.Type != netproto.MsgHello {
 		return fmt.Errorf("cache: expected hello, got %s", first.Type)
 	}
+	if netproto.NegotiateVersion(hello.Version) >= netproto.ProtoV2 {
+		if err := c.Send(netproto.Frame{
+			Type: netproto.MsgHelloAck,
+			Body: netproto.HelloAck{Version: netproto.ProtoV2},
+		}); err != nil {
+			return ignoreClosed(err)
+		}
+		return netproto.ServeMux(c, 0, func(f netproto.Frame) netproto.Frame {
+			reply, err := m.handleClientFrame(f)
+			if err != nil {
+				return errorFrame("%v", err)
+			}
+			return reply
+		}, m.cfg.Logf)
+	}
+	// v1 lockstep compatibility path: replies in request order.
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			return ignoreEOF(err)
+			return ignoreClosed(err)
 		}
-		q, ok := f.Body.(netproto.QueryMsg)
-		if !ok {
-			if f.Type == netproto.MsgStats {
-				if err := c.Send(netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}); err != nil {
-					return err
-				}
-				continue
-			}
-			return fmt.Errorf("cache: client sent %s", f.Type)
+		reply, err := m.handleClientFrame(f)
+		if err != nil {
+			return err
 		}
-		reply := m.handleQuery(&q.Query)
 		if err := c.Send(reply); err != nil {
-			return ignoreEOF(err)
+			return ignoreClosed(err)
 		}
 	}
 }
 
-func (m *Middleware) handleQuery(q *model.Query) netproto.Frame {
+func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error) {
+	switch body := f.Body.(type) {
+	case netproto.QueryMsg:
+		return m.handleQuery(context.Background(), &body.Query), nil
+	case netproto.StatsMsg:
+		return netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}, nil
+	default:
+		return netproto.Frame{}, fmt.Errorf("cache: client sent %s", f.Type)
+	}
+}
+
+func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.Frame {
+	if m.cfg.Serialized {
+		m.serialMu.Lock()
+		defer m.serialMu.Unlock()
+	}
 	start := time.Now()
+	m.queries.Add(1)
+
+	// Decision + bookkeeping under the lock; no I/O here.
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.queries++
 	d, err := m.policy.OnQuery(q)
 	if err != nil {
+		m.mu.Unlock()
 		return errorFrame("policy: %v", err)
 	}
-	var result netproto.QueryResultMsg
-	if err := m.applyDecisionLocked(d, &result); err != nil {
+	p, err := m.commitDecisionLocked(d)
+	m.mu.Unlock()
+	if err != nil {
+		return errorFrame("apply: %v", err)
+	}
+
+	// Repository I/O outside the lock.
+	if err := m.executePlan(ctx, p); err != nil {
 		return errorFrame("apply: %v", err)
 	}
 	if d.ShipQuery {
-		m.shipped++
-		reply, err := m.roundTripLocked(netproto.Frame{Type: netproto.MsgQuery, Body: netproto.QueryMsg{Query: *q}})
+		m.shipped.Add(1)
+		reply, err := m.repo.RoundTrip(ctx, netproto.Frame{
+			Type: netproto.MsgQuery,
+			Body: netproto.QueryMsg{Query: *q},
+		})
 		if err != nil {
 			return errorFrame("ship query: %v", err)
 		}
@@ -288,7 +377,14 @@ func (m *Middleware) handleQuery(q *model.Query) netproto.Frame {
 		res.Elapsed = time.Since(start)
 		return netproto.Frame{Type: netproto.MsgQueryResult, Body: res}
 	}
-	m.atCache++
+	m.atCache.Add(1)
+	// A sibling query may have committed a load of one of our objects
+	// that is still materializing; join it so a "cache" answer never
+	// outruns the load it depends on.
+	for _, id := range q.Objects {
+		m.loads.wait(ctx, id)
+	}
+	var result netproto.QueryResultMsg
 	result.QueryID = q.ID
 	result.Logical = q.Cost
 	result.Source = "cache"
@@ -298,24 +394,64 @@ func (m *Middleware) handleQuery(q *model.Query) netproto.Frame {
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: result}
 }
 
-// applyDecisionLocked executes a decision's evictions, loads and update
-// shipments against the repository. mu must be held.
-func (m *Middleware) applyDecisionLocked(d core.Decision, _ *netproto.QueryResultMsg) error {
+// commitDecisionLocked applies a decision's residency bookkeeping
+// (evictions take effect, loads are committed so later decisions see
+// them) and returns the repository I/O still owed. mu must be held.
+// Residency is deliberately optimistic: the policy's view is the
+// source of truth the moment it decides, and the network load is its
+// materialization (local answers join in-flight loads via loadGroup).
+// If a load ultimately fails, executePlan rolls the residency entry
+// back; the policy's internal state keeps believing the load happened
+// — the same divergence the seed had on a failed load.
+func (m *Middleware) commitDecisionLocked(d core.Decision) (plan, error) {
+	// Validate before mutating: once a load flight is registered it
+	// must be run, so nothing may fail after registration starts.
+	evicting := make(map[model.ObjectID]struct{}, len(d.Evict))
 	for _, id := range d.Evict {
 		if _, ok := m.resident[id]; !ok {
-			return fmt.Errorf("evict of non-resident object %d", id)
+			return plan{}, fmt.Errorf("evict of non-resident object %d", id)
 		}
+		evicting[id] = struct{}{}
+	}
+	for _, id := range d.Load {
+		if _, dup := m.resident[id]; dup {
+			if _, ok := evicting[id]; !ok {
+				return plan{}, fmt.Errorf("object %d already resident", id)
+			}
+		}
+	}
+	var p plan
+	for _, id := range d.Evict {
 		delete(m.resident, id)
 	}
 	for _, id := range d.Load {
-		if err := m.loadObjectLocked(id, true); err != nil {
+		m.resident[id] = struct{}{}
+		c, leader := m.loads.register(id)
+		p.loads = append(p.loads, pendingLoad{id: id, charge: true, call: c, leader: leader})
+	}
+	p.shipUpdates = d.ApplyUpdates
+	return p, nil
+}
+
+// executePlan performs the network I/O a committed decision owes:
+// object loads (singleflighted per object) and update shipments.
+func (m *Middleware) executePlan(ctx context.Context, p plan) error {
+	// Start every owned flight before waiting on any, so sibling
+	// loads of one decision overlap.
+	for _, l := range p.loads {
+		if l.leader {
+			m.loads.start(ctx, l.id, l.call, m.loadFlight(l.id, l.charge))
+		}
+	}
+	for _, l := range p.loads {
+		if err := l.call.await(ctx); err != nil {
 			return err
 		}
 	}
-	if len(d.ApplyUpdates) > 0 {
-		reply, err := m.roundTripLocked(netproto.Frame{
+	if len(p.shipUpdates) > 0 {
+		reply, err := m.repo.RoundTrip(ctx, netproto.Frame{
 			Type: netproto.MsgShipUpdates,
-			Body: netproto.ShipUpdatesMsg{IDs: d.ApplyUpdates},
+			Body: netproto.ShipUpdatesMsg{IDs: p.shipUpdates},
 		})
 		if err != nil {
 			return fmt.Errorf("ship updates: %w", err)
@@ -333,40 +469,47 @@ func (m *Middleware) applyDecisionLocked(d core.Decision, _ *netproto.QueryResul
 	return nil
 }
 
-func (m *Middleware) loadObjectLocked(id model.ObjectID, charge bool) error {
-	if _, dup := m.resident[id]; dup {
-		return fmt.Errorf("object %d already resident", id)
+// fetchObject loads one object from the repository, collapsing
+// concurrent loads of the same object into a single round trip (the
+// preload path; decision loads register their flights at commit time).
+func (m *Middleware) fetchObject(ctx context.Context, id model.ObjectID, charge bool) error {
+	c, leader := m.loads.register(id)
+	if leader {
+		m.loads.start(ctx, id, c, m.loadFlight(id, charge))
 	}
-	reply, err := m.roundTripLocked(netproto.Frame{
-		Type: netproto.MsgLoadObject,
-		Body: netproto.LoadObjectMsg{Object: id},
-	})
-	if err != nil {
-		return fmt.Errorf("load object %d: %w", id, err)
-	}
-	data, ok := reply.Body.(netproto.ObjectDataMsg)
-	if !ok {
-		return fmt.Errorf("repository replied %s to load", reply.Type)
-	}
-	m.resident[id] = struct{}{}
-	if charge {
-		m.ledger.Charge(cost.ObjectLoad, data.Object.Size)
-	}
-	return nil
+	return c.await(ctx)
 }
 
-func (m *Middleware) roundTripLocked(f netproto.Frame) (netproto.Frame, error) {
-	if err := m.repo.Send(f); err != nil {
-		return netproto.Frame{}, err
+// loadFlight is the body of one object-load flight. On failure it
+// rolls the optimistic residency commit back itself — the flight is
+// the only place that knows the load definitively failed (waiters may
+// have bailed on their own contexts while it was still going).
+func (m *Middleware) loadFlight(id model.ObjectID, charge bool) func(context.Context) error {
+	return func(ctx context.Context) error {
+		err := func() error {
+			reply, err := m.repo.RoundTrip(ctx, netproto.Frame{
+				Type: netproto.MsgLoadObject,
+				Body: netproto.LoadObjectMsg{Object: id},
+			})
+			if err != nil {
+				return fmt.Errorf("load object %d: %w", id, err)
+			}
+			data, ok := reply.Body.(netproto.ObjectDataMsg)
+			if !ok {
+				return fmt.Errorf("repository replied %s to load", reply.Type)
+			}
+			if charge {
+				m.ledger.Charge(cost.ObjectLoad, data.Object.Size)
+			}
+			return nil
+		}()
+		if err != nil {
+			m.mu.Lock()
+			delete(m.resident, id)
+			m.mu.Unlock()
+		}
+		return err
 	}
-	reply, err := m.repo.Recv()
-	if err != nil {
-		return netproto.Frame{}, err
-	}
-	if e, ok := reply.Body.(netproto.ErrorMsg); ok {
-		return netproto.Frame{}, errors.New(e.Message)
-	}
-	return reply, nil
 }
 
 // sampleRowsFor returns demo rows for locally answered queries.
@@ -393,23 +536,85 @@ func (m *Middleware) sampleRowsFor(objs []model.ObjectID) []netproto.ResultRow {
 	return rows
 }
 
+// loadGroup is a minimal singleflight keyed by object ID. The flight
+// itself runs detached from any one caller's context (the load
+// benefits every query that joins it, so the initiator's deadline
+// must not abort it for the others); each waiter honors its own
+// context instead.
+type loadGroup struct {
+	mu       sync.Mutex
+	inflight map[model.ObjectID]*loadCall
+}
+
+type loadCall struct {
+	done chan struct{}
+	err  error
+}
+
+// register returns id's flight, creating it if absent; leader reports
+// whether the caller owns it and must call start.
+func (g *loadGroup) register(id model.ObjectID) (c *loadCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight == nil {
+		g.inflight = make(map[model.ObjectID]*loadCall)
+	}
+	if c, ok := g.inflight[id]; ok {
+		return c, false
+	}
+	c = &loadCall{done: make(chan struct{})}
+	g.inflight[id] = c
+	return c, true
+}
+
+// start runs an owned flight detached from the initiator's context.
+func (g *loadGroup) start(ctx context.Context, id model.ObjectID, c *loadCall, fn func(context.Context) error) {
+	go func() {
+		c.err = fn(context.WithoutCancel(ctx))
+		g.mu.Lock()
+		delete(g.inflight, id)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+}
+
+// await blocks until the flight settles or the waiter's own context
+// expires (the flight keeps going for the other waiters).
+func (c *loadCall) await(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return c.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wait joins any in-flight load of id without starting one, so a
+// locally answered query can't race ahead of the load it depends on.
+// The flight's own error handling (residency rollback) is the
+// leader's job; waiters just need it settled.
+func (g *loadGroup) wait(ctx context.Context, id model.ObjectID) {
+	g.mu.Lock()
+	c, ok := g.inflight[id]
+	g.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+	}
+}
+
 func errorFrame(format string, args ...any) netproto.Frame {
 	return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{
 		Message: fmt.Sprintf(format, args...),
 	}}
 }
 
-func ignoreEOF(err error) error {
-	if err == nil || errors.Is(err, net.ErrClosed) || err.Error() == "EOF" {
+func ignoreClosed(err error) error {
+	if netproto.IsClosed(err) {
 		return nil
 	}
 	return err
-}
-
-func sortIDs(ids []model.ObjectID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }

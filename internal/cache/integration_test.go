@@ -1,8 +1,10 @@
 package cache_test
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +17,10 @@ import (
 	"github.com/deltacache/delta/internal/netproto"
 	"github.com/deltacache/delta/internal/server"
 )
+
+// ctx is the background context shared by the integration tests;
+// cancellation paths are covered in the client package.
+var ctx = context.Background()
 
 // deployment spins up a repository + middleware pair on loopback.
 type deployment struct {
@@ -69,7 +75,7 @@ func TestEndToEndQueryThroughCache(t *testing.T) {
 	defer cl.Close()
 
 	obj := d.survey.Objects()[0]
-	res, err := cl.Query(model.Query{
+	res, err := cl.Query(ctx, model.Query{
 		Objects:   []model.ObjectID{obj.ID},
 		Cost:      10 * cost.MB,
 		Tolerance: model.NoTolerance,
@@ -102,7 +108,7 @@ func TestEndToEndLoadThenHit(t *testing.T) {
 	obj := d.survey.Objects()[0]
 	// A query whose cost covers the object's load cost forces a
 	// deterministic load (VCover's LoadManager).
-	if _, err := cl.Query(model.Query{
+	if _, err := cl.Query(ctx, model.Query{
 		Objects:   []model.ObjectID{obj.ID},
 		Cost:      obj.Size,
 		Tolerance: model.NoTolerance,
@@ -115,7 +121,7 @@ func TestEndToEndLoadThenHit(t *testing.T) {
 		t.Fatalf("expected the object to load (ledger %v, want %v)", snap.ObjectLoad, obj.Size)
 	}
 	// Second query on the same object answers at the cache for free.
-	res, err := cl.Query(model.Query{
+	res, err := cl.Query(ctx, model.Query{
 		Objects:   []model.ObjectID{obj.ID},
 		Cost:      5 * cost.MB,
 		Tolerance: model.NoTolerance,
@@ -142,7 +148,7 @@ func TestEndToEndInvalidationAndUpdateShipping(t *testing.T) {
 
 	obj := d.survey.Objects()[0]
 	// Warm the object into the cache.
-	if _, err := cl.Query(model.Query{
+	if _, err := cl.Query(ctx, model.Query{
 		Objects: []model.ObjectID{obj.ID}, Cost: obj.Size,
 		Tolerance: model.NoTolerance, Time: time.Second,
 	}); err != nil {
@@ -154,7 +160,7 @@ func TestEndToEndInvalidationAndUpdateShipping(t *testing.T) {
 	waitFor(t, func() bool {
 		// The cheap update should be shipped in response to an
 		// expensive fresh query; poll until the invalidation landed.
-		res, err := cl.Query(model.Query{
+		res, err := cl.Query(ctx, model.Query{
 			Objects: []model.ObjectID{obj.ID}, Cost: 100 * cost.MB,
 			Tolerance: model.NoTolerance, Time: 3 * time.Second,
 		})
@@ -174,7 +180,7 @@ func TestEndToEndReplicaPolicy(t *testing.T) {
 	defer cl.Close()
 
 	// Replica preloads everything (uncharged) and answers locally.
-	res, err := cl.Query(model.Query{
+	res, err := cl.Query(ctx, model.Query{
 		Objects:   []model.ObjectID{1, 2, 3},
 		Cost:      50 * cost.MB,
 		Tolerance: model.NoTolerance,
@@ -201,13 +207,13 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Query(model.Query{
+	if _, err := cl.Query(ctx, model.Query{
 		Objects: []model.ObjectID{1}, Cost: cost.MB,
 		Tolerance: model.NoTolerance, Time: time.Second,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +235,7 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer cl.Close()
 			for j := 0; j < 20; j++ {
-				_, err := cl.Query(model.Query{
+				_, err := cl.Query(ctx, model.Query{
 					Objects:   []model.ObjectID{model.ObjectID(j%16 + 1)},
 					Cost:      cost.MB,
 					Tolerance: model.AnyStaleness,
@@ -290,6 +296,127 @@ func TestPipelineOverNetwork(t *testing.T) {
 	}
 	// The update reaches the repository and is pushed to the replica.
 	waitFor(t, func() bool { return d.mw.Ledger().UpdateShip == 7*cost.MB })
+}
+
+// TestConcurrentMixedStress hammers one cache with 32 goroutines
+// issuing a mix of queries and stats requests through shared and
+// private clients; every reply must be well-formed and the query
+// counter exact. Run with -race to exercise the lock-split paths.
+func TestConcurrentMixedStress(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	shared, err := client.Dial(d.mw.Addr(), client.WithPoolSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+
+	const goroutines = 32
+	const perG = 15
+	var (
+		wg          sync.WaitGroup
+		wantQueries int64
+	)
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		cl := shared
+		if i%2 == 0 { // half the goroutines get a private connection
+			own, err := client.Dial(d.mw.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer own.Close()
+			cl = own
+		}
+		wantQueries += perG
+		wg.Add(1)
+		go func(i int, cl *client.Client) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				if j%5 == 4 { // sprinkle stats requests between queries
+					if _, err := cl.Stats(ctx); err != nil {
+						errs <- fmt.Errorf("goroutine %d stats %d: %w", i, j, err)
+						return
+					}
+				}
+				res, err := cl.Query(ctx, model.Query{
+					Objects:   []model.ObjectID{model.ObjectID((i+j)%16 + 1)},
+					Cost:      cost.MB,
+					Tolerance: model.AnyStaleness,
+					Time:      time.Duration(i*1000+j) * time.Second,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d query %d: %w", i, j, err)
+					return
+				}
+				if res.Source != "cache" && res.Source != "repository" {
+					errs <- fmt.Errorf("goroutine %d query %d: bad source %q", i, j, res.Source)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := d.mw.Stats()
+	if stats.Queries != wantQueries {
+		t.Errorf("queries = %d, want %d", stats.Queries, wantQueries)
+	}
+	if stats.AtCache+stats.Shipped != stats.Queries {
+		t.Errorf("atCache(%d) + shipped(%d) != queries(%d)",
+			stats.AtCache, stats.Shipped, stats.Queries)
+	}
+}
+
+// TestQueryBatchThroughCache runs the batch API against a real
+// deployment.
+func TestQueryBatchThroughCache(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	qs := make([]model.Query, 10)
+	for i := range qs {
+		qs[i] = model.Query{
+			Objects:   []model.ObjectID{model.ObjectID(i%16 + 1)},
+			Cost:      cost.MB,
+			Tolerance: model.AnyStaleness,
+			Time:      time.Duration(i) * time.Second,
+		}
+	}
+	results, err := cl.QueryBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil || res.Logical != int64(cost.MB) {
+			t.Fatalf("batch result %d = %+v", i, res)
+		}
+	}
+}
+
+// TestAddrBeforeStart ensures Addr is safe (empty, not a panic) before
+// Start on both nodes.
+func TestAddrBeforeStart(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	mw, err := cache.New(cache.Config{
+		RepoAddr: d.repo.Addr(),
+		Policy:   core.NewVCover(core.DefaultVCoverConfig()),
+		Objects:  d.survey.Objects(),
+		Capacity: 8 * cost.GB,
+		Scale:    netproto.DefaultScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mw.Close()
+	if got := mw.Addr(); got != "" {
+		t.Errorf("Addr before Start = %q, want empty", got)
+	}
 }
 
 // waitFor polls a condition with a deadline.

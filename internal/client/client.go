@@ -2,42 +2,79 @@
 // Delta deployment: it connects to the middleware cache, submits
 // queries with currency requirements, and returns results along with
 // where they were answered (cache or repository).
+//
+// The client is safe for concurrent use by any number of goroutines.
+// It speaks protocol v2: requests are multiplexed over a small
+// connection pool and correlated by RequestID, so many queries can be
+// in flight at once. Every call takes a context for cancellation and
+// deadlines; QueryAsync and QueryBatch issue queries concurrently
+// without the caller managing goroutines. Dial options configure the
+// pool size and timeouts, and WithLockstep falls back to the v1
+// one-request-at-a-time protocol for pre-v2 servers.
 package client
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"net"
+	"sync/atomic"
 	"time"
 
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
 
-// Client is a connection to the middleware cache. It is safe for
-// sequential use; wrap with your own pool for concurrency.
+// Option configures Dial.
+type Option func(*options)
+
+type options struct {
+	poolSize       int
+	dialTimeout    time.Duration
+	requestTimeout time.Duration
+	lockstep       bool
+}
+
+// WithPoolSize sets how many connections back the session (default 1;
+// each connection multiplexes, so small values go far).
+func WithPoolSize(n int) Option { return func(o *options) { o.poolSize = n } }
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialTimeout = d } }
+
+// WithRequestTimeout applies a default per-request deadline when the
+// caller's context has none (default: no deadline).
+func WithRequestTimeout(d time.Duration) Option { return func(o *options) { o.requestTimeout = d } }
+
+// WithLockstep speaks protocol v1 (one request in flight per
+// connection) for servers that predate the v2 handshake.
+func WithLockstep() Option { return func(o *options) { o.lockstep = true } }
+
+// Client is a connection to the middleware cache, safe for concurrent
+// use.
 type Client struct {
-	conn   net.Conn
-	proto  *netproto.Conn
-	nextID model.QueryID
+	sess           *netproto.Session
+	requestTimeout time.Duration
+	nextID         atomic.Int64
 }
 
 // Dial connects to the cache's client endpoint.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr string, opts ...Option) (*Client, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sess, err := netproto.DialSession(addr, "client", netproto.SessionConfig{
+		PoolSize:    o.poolSize,
+		DialTimeout: o.dialTimeout,
+		Lockstep:    o.lockstep,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, proto: netproto.NewConn(conn)}
-	if err := c.proto.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "client"}}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: hello: %w", err)
-	}
-	return c, nil
+	return &Client{sess: sess, requestTimeout: o.requestTimeout}, nil
 }
 
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close terminates the connection; in-flight calls fail.
+func (c *Client) Close() error { return c.sess.Close() }
 
 // Result is a query answer.
 type Result struct {
@@ -52,46 +89,94 @@ type Result struct {
 	Elapsed time.Duration
 }
 
+// Outcome pairs a query's result with its error for async delivery.
+type Outcome struct {
+	Result *Result
+	Err    error
+}
+
 // Query submits a query and waits for its result.
-func (c *Client) Query(q model.Query) (*Result, error) {
+func (c *Client) Query(ctx context.Context, q model.Query) (*Result, error) {
 	if q.ID == 0 {
-		c.nextID++
-		q.ID = c.nextID
+		q.ID = model.QueryID(c.nextID.Add(1))
 	}
-	if err := c.proto.Send(netproto.Frame{Type: netproto.MsgQuery, Body: netproto.QueryMsg{Query: q}}); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
-	}
-	reply, err := c.proto.Recv()
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgQuery,
+		Body: netproto.QueryMsg{Query: q},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("client: recv: %w", err)
+		return nil, fmt.Errorf("client: query: %w", err)
 	}
-	switch body := reply.Body.(type) {
-	case netproto.QueryResultMsg:
-		return &Result{
-			Source:  body.Source,
-			Logical: int64(body.Logical),
-			Rows:    body.Rows,
-			Elapsed: body.Elapsed,
-		}, nil
-	case netproto.ErrorMsg:
-		return nil, errors.New(body.Message)
-	default:
+	body, ok := reply.Body.(netproto.QueryResultMsg)
+	if !ok {
 		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}
+	return &Result{
+		Source:  body.Source,
+		Logical: int64(body.Logical),
+		Rows:    body.Rows,
+		Elapsed: body.Elapsed,
+	}, nil
+}
+
+// QueryAsync submits a query without blocking and delivers its outcome
+// on the returned channel (buffered; the result is never lost if the
+// caller reads late).
+func (c *Client) QueryAsync(ctx context.Context, q model.Query) <-chan Outcome {
+	ch := make(chan Outcome, 1)
+	go func() {
+		res, err := c.Query(ctx, q)
+		ch <- Outcome{Result: res, Err: err}
+	}()
+	return ch
+}
+
+// QueryBatch submits all queries concurrently and waits for every
+// outcome. The results slice is parallel to qs; the returned error is
+// the first failure (the remaining queries still ran to completion).
+func (c *Client) QueryBatch(ctx context.Context, qs []model.Query) ([]*Result, error) {
+	chans := make([]<-chan Outcome, len(qs))
+	for i, q := range qs {
+		chans[i] = c.QueryAsync(ctx, q)
+	}
+	results := make([]*Result, len(qs))
+	var firstErr error
+	for i, ch := range chans {
+		out := <-ch
+		results[i] = out.Result
+		if out.Err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("query %d: %w", i, out.Err)
+		}
+	}
+	return results, firstErr
 }
 
 // Stats fetches the middleware's statistics.
-func (c *Client) Stats() (*netproto.StatsMsg, error) {
-	if err := c.proto.Send(netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{}}); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
-	}
-	reply, err := c.proto.Recv()
+func (c *Client) Stats(ctx context.Context) (*netproto.StatsMsg, error) {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgStats,
+		Body: netproto.StatsMsg{},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("client: recv: %w", err)
+		return nil, fmt.Errorf("client: stats: %w", err)
 	}
 	stats, ok := reply.Body.(netproto.StatsMsg)
 	if !ok {
 		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}
 	return &stats, nil
+}
+
+func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.requestTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.requestTimeout)
 }

@@ -1,63 +1,91 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"net"
 	"testing"
+	"time"
 
+	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
 
 func TestDialFailure(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1"); err == nil {
+	if _, err := Dial("127.0.0.1:1", WithDialTimeout(time.Second)); err == nil {
 		t.Error("dialing a closed port should fail")
 	}
+}
+
+// fakeCache runs a minimal v2 cache endpoint: it acknowledges the
+// handshake and answers each query via handle (concurrently, echoing
+// RequestIDs), until the connection closes.
+func fakeCache(t *testing.T, handle func(f netproto.Frame) netproto.Frame) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				c := netproto.NewConn(conn)
+				if _, err := c.Recv(); err != nil { // hello
+					return
+				}
+				if err := c.Send(netproto.Frame{
+					Type: netproto.MsgHelloAck,
+					Body: netproto.HelloAck{Version: netproto.ProtoV2},
+				}); err != nil {
+					return
+				}
+				for {
+					f, err := c.Recv()
+					if err != nil {
+						return
+					}
+					go func(f netproto.Frame) {
+						reply := handle(f)
+						reply.RequestID = f.RequestID
+						_ = c.Send(reply)
+					}(f)
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
 }
 
 // TestQueryAgainstFakeCache exercises the client against a minimal
 // hand-rolled cache endpoint (the full path is covered by the
 // internal/cache integration tests).
 func TestQueryAgainstFakeCache(t *testing.T) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		c := netproto.NewConn(conn)
-		if _, err := c.Recv(); err != nil { // hello
-			return
-		}
-		f, err := c.Recv() // query
-		if err != nil {
-			return
-		}
+	addr := fakeCache(t, func(f netproto.Frame) netproto.Frame {
 		q := f.Body.(netproto.QueryMsg).Query
-		_ = c.Send(netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+		if q.Cost == 1 {
+			return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{Message: "boom"}}
+		}
+		return netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
 			QueryID: q.ID,
 			Logical: q.Cost,
 			Source:  "cache",
-		}})
-		f, err = c.Recv() // second query -> error reply
-		if err != nil {
-			return
-		}
-		_ = f
-		_ = c.Send(netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{Message: "boom"}})
-	}()
-
-	cl, err := Dial(ln.Addr().String())
+		}}
+	})
+	cl, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 
-	res, err := cl.Query(model.Query{Objects: []model.ObjectID{1}, Cost: 42})
+	ctx := context.Background()
+	res, err := cl.Query(ctx, model.Query{Objects: []model.ObjectID{1}, Cost: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,53 +93,92 @@ func TestQueryAgainstFakeCache(t *testing.T) {
 		t.Errorf("result = %+v", res)
 	}
 
-	if _, err := cl.Query(model.Query{Objects: []model.ObjectID{1}, Cost: 1}); err == nil {
+	if _, err := cl.Query(ctx, model.Query{Objects: []model.ObjectID{1}, Cost: 1}); err == nil {
 		t.Error("error frame should surface as an error")
 	}
 }
 
 // TestQueryAssignsIDs verifies the client fills in missing query IDs.
 func TestQueryAssignsIDs(t *testing.T) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
 	ids := make(chan model.QueryID, 2)
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		c := netproto.NewConn(conn)
-		if _, err := c.Recv(); err != nil {
-			return
-		}
-		for i := 0; i < 2; i++ {
-			f, err := c.Recv()
-			if err != nil {
-				return
-			}
-			q := f.Body.(netproto.QueryMsg).Query
-			ids <- q.ID
-			_ = c.Send(netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
-				QueryID: q.ID, Source: "cache",
-			}})
-		}
-	}()
-	cl, err := Dial(ln.Addr().String())
+	addr := fakeCache(t, func(f netproto.Frame) netproto.Frame {
+		q := f.Body.(netproto.QueryMsg).Query
+		ids <- q.ID
+		return netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+			QueryID: q.ID, Source: "cache",
+		}}
+	})
+	cl, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 	for i := 0; i < 2; i++ {
-		if _, err := cl.Query(model.Query{Objects: []model.ObjectID{1}, Cost: 1}); err != nil {
+		if _, err := cl.Query(ctx, model.Query{Objects: []model.ObjectID{1}, Cost: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	a, b := <-ids, <-ids
 	if a == 0 || b == 0 || a == b {
 		t.Errorf("auto-assigned IDs wrong: %d, %d", a, b)
+	}
+}
+
+// TestQueryBatchAndAsync runs many queries concurrently through one
+// client and checks every outcome arrives, in order for the batch.
+func TestQueryBatchAndAsync(t *testing.T) {
+	addr := fakeCache(t, func(f netproto.Frame) netproto.Frame {
+		q := f.Body.(netproto.QueryMsg).Query
+		return netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+			QueryID: q.ID, Logical: q.Cost, Source: "cache",
+		}}
+	})
+	cl, err := Dial(addr, WithPoolSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	qs := make([]model.Query, 16)
+	for i := range qs {
+		qs[i] = model.Query{Objects: []model.ObjectID{1}, Cost: cost.Bytes(100 + i)}
+	}
+	results, err := cl.QueryBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil || res.Logical != 100+int64(i) {
+			t.Fatalf("batch result %d = %+v", i, res)
+		}
+	}
+
+	out := <-cl.QueryAsync(ctx, model.Query{Objects: []model.ObjectID{1}, Cost: 7})
+	if out.Err != nil || out.Result.Logical != 7 {
+		t.Fatalf("async outcome = %+v", out)
+	}
+}
+
+// TestQueryContextCancel verifies an abandoned request unblocks when
+// its context is cancelled even though the server never replies.
+func TestQueryContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	addr := fakeCache(t, func(f netproto.Frame) netproto.Frame {
+		<-block // never answer while the test runs
+		return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{Message: "late"}}
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Query(ctx, model.Query{Objects: []model.ObjectID{1}, Cost: 2}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want deadline exceeded", err)
 	}
 }

@@ -3,6 +3,18 @@
 // the paper (query shipping, update shipping, object loading) plus the
 // control-plane messages (invalidation notices, statistics).
 //
+// Protocol versions: v1 is lockstep — one request in flight per
+// connection, replies in order, no handshake ack. v2 adds a RequestID
+// correlation field to every frame and a version/feature handshake
+// (Hello → HelloAck), so any number of requests can be in flight per
+// connection and replies may arrive out of order. Servers negotiate
+// down to the peer's version, so lockstep dialers keep working. Note
+// that versioning governs request semantics, not stream encoding: v2
+// also switched the wire to persistent gob streams, so binaries built
+// from the pre-v2 tree (length-prefixed standalone gob messages) are
+// not byte-compatible and must be rebuilt. See docs/PROTOCOL.md for
+// the full frame format and role lifecycle.
+//
 // Payload scaling: the paper's traffic costs are logical data sizes; a
 // laptop deployment cannot move hundreds of gigabytes, so messages carry
 // a declared logical size plus a physically scaled payload (BytesPerGB
@@ -12,10 +24,13 @@ package netproto
 
 import (
 	"bufio"
-	"encoding/binary"
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 	"time"
 
 	"github.com/deltacache/delta/internal/cost"
@@ -25,6 +40,39 @@ import (
 // MaxFrame bounds a frame's encoded size (16 MiB): large enough for any
 // scaled payload, small enough to catch stream corruption early.
 const MaxFrame = 16 << 20
+
+// Protocol versions negotiated in the Hello/HelloAck handshake.
+const (
+	// ProtoV1 is the original lockstep protocol: one outstanding
+	// request per connection, replies strictly in order, no HelloAck.
+	ProtoV1 = 1
+	// ProtoV2 multiplexes: frames carry a RequestID, replies may be
+	// reordered, and the server acknowledges the handshake.
+	ProtoV2 = 2
+)
+
+// NegotiateVersion returns the effective protocol version for a peer
+// that announced the given version. Zero (a v1 peer's gob-decoded
+// Hello has no Version field) negotiates to v1.
+func NegotiateVersion(peer int) int {
+	if peer >= ProtoV2 {
+		return ProtoV2
+	}
+	return ProtoV1
+}
+
+// IsClosed reports whether err indicates an orderly or forced
+// connection shutdown (EOF, a truncated frame on close, or use of a
+// closed network connection). It is the shared replacement for
+// string-matching "EOF" at every call site.
+func IsClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
 
 // PayloadScale converts logical sizes to physical payload bytes.
 type PayloadScale struct {
@@ -82,6 +130,9 @@ const (
 	MsgClientQuery
 	// MsgHello introduces a connection and its role.
 	MsgHello
+	// MsgHelloAck acknowledges a v2 Hello with the negotiated
+	// version (never sent to v1 peers).
+	MsgHelloAck
 )
 
 // String implements fmt.Stringer.
@@ -92,7 +143,7 @@ func (t MsgType) String() string {
 		MsgUpdates: "updates", MsgLoadObject: "load-object",
 		MsgObjectData: "object-data", MsgInvalidate: "invalidate",
 		MsgStats: "stats", MsgError: "error", MsgClientQuery: "client-query",
-		MsgHello: "hello",
+		MsgHello: "hello", MsgHelloAck: "hello-ack",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -100,9 +151,25 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
 
-// Hello introduces a connection.
+// Hello introduces a connection. v1 peers send only Role; v2 peers set
+// Version (and optionally Features) and wait for a HelloAck.
 type Hello struct {
-	Role string // "cache", "client", "pipeline"
+	Role string // "cache", "client", "pipeline", "invalidations"
+	// Version is the highest protocol version the peer speaks.
+	// Zero means a v1 peer (the field predates versioning).
+	Version int
+	// Features lists optional capabilities the peer supports.
+	// Reserved: no optional capability exists yet, so it is always
+	// empty; it rides in the handshake so adding one later needs no
+	// wire change.
+	Features []string
+}
+
+// HelloAck completes a v2 handshake with the negotiated version.
+// Features mirrors Hello's reserved field.
+type HelloAck struct {
+	Version  int
+	Features []string
 }
 
 // QueryMsg ships a query.
@@ -176,6 +243,11 @@ type StatsMsg struct {
 	Queries int64
 	AtCache int64
 	Shipped int64
+	// DroppedInvalidations counts invalidation notices the repository
+	// discarded because a subscriber's buffer was full (the
+	// non-blocking pipeline send). Dropped notices cost freshness,
+	// not correctness; this makes them observable.
+	DroppedInvalidations int64
 }
 
 // ErrorMsg carries a failure description.
@@ -183,15 +255,18 @@ type ErrorMsg struct {
 	Message string
 }
 
-// Frame is the unit of transmission.
+// Frame is the unit of transmission. RequestID correlates a v2 reply
+// with its request; it is zero on v1 connections and one-way streams.
 type Frame struct {
-	Type MsgType
-	Body any
+	Type      MsgType
+	RequestID uint64
+	Body      any
 }
 
 func init() {
 	// gob needs concrete types registered for the Frame.Body interface.
 	gob.Register(Hello{})
+	gob.Register(HelloAck{})
 	gob.Register(QueryMsg{})
 	gob.Register(QueryResultMsg{})
 	gob.Register(UpdateFeedMsg{})
@@ -204,102 +279,140 @@ func init() {
 	gob.Register(ErrorMsg{})
 }
 
-// Conn wraps a stream with framed gob encoding. It is safe for one
-// reader and one writer goroutine concurrently, but not for multiple
-// concurrent writers.
+// Conn wraps a stream with gob-encoded frames. Both directions use a
+// persistent gob stream, so type descriptors cross the wire once per
+// connection instead of once per frame (the per-frame encoders of
+// protocol v1 spent about half the wire path's CPU recompiling gob
+// type machinery). Send is safe for any number of concurrent writer
+// goroutines (frames are serialized internally — this is what lets v2
+// servers reply from per-request workers over one socket); Recv must
+// be called from a single reader goroutine.
 type Conn struct {
-	rw io.ReadWriter
-	br *bufio.Reader
-	bw *bufio.Writer
+	sendMu  sync.Mutex // serializes whole frames onto bw
+	bw      *bufio.Writer
+	sendBuf bytes.Buffer // staging area so oversized frames die here, not at the peer
+	enc     *gob.Encoder // writes into sendBuf
+	sendErr error        // sticky: a discarded encode desyncs the gob stream
+
+	lim    *limitReader
+	dec    *gob.Decoder
+	closer io.Closer // underlying stream, when closable (see Abort)
 }
 
 // NewConn wraps a stream.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{
-		rw: rw,
-		br: bufio.NewReaderSize(rw, 64<<10),
-		bw: bufio.NewWriterSize(rw, 64<<10),
+	c := &Conn{
+		bw:  bufio.NewWriterSize(rw, 64<<10),
+		lim: &limitReader{r: bufio.NewReaderSize(rw, 64<<10)},
+	}
+	if cl, ok := rw.(io.Closer); ok {
+		c.closer = cl
+	}
+	c.enc = gob.NewEncoder(&c.sendBuf)
+	c.dec = gob.NewDecoder(c.lim)
+	return c
+}
+
+// Abort force-closes the underlying stream (when it is closable),
+// unblocking a concurrent Recv. Used when the send side is poisoned
+// and the connection must not linger as a zombie that reads requests
+// it can never answer.
+func (c *Conn) Abort() {
+	if c.closer != nil {
+		c.closer.Close()
 	}
 }
 
-// Send writes one frame.
+// Send writes one frame. Frames over MaxFrame are rejected here, at
+// the sender, before any bytes hit the wire — shipping one would
+// force the receiver to tear down the whole multiplexed connection.
+// A rejected or failed encode poisons the connection for sending
+// (the persistent encoder's type-descriptor state can no longer be
+// trusted); receiving is unaffected.
 func (c *Conn) Send(f Frame) error {
 	var body frameBody
 	body.Type = f.Type
+	body.RequestID = f.RequestID
 	body.Body = f.Body
-	var buf lenBuffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(&body); err != nil {
-		return fmt.Errorf("netproto: encode %s: %w", f.Type, err)
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.sendErr != nil {
+		return c.sendErr
 	}
-	if buf.Len() > MaxFrame {
-		return fmt.Errorf("netproto: frame %s too large (%d bytes)", f.Type, buf.Len())
+	c.sendBuf.Reset()
+	if err := c.enc.Encode(&body); err != nil {
+		c.sendErr = fmt.Errorf("netproto: encode %s: %w", f.Type, err)
+		return c.sendErr
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := c.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("netproto: write header: %w", err)
+	if c.sendBuf.Len() > MaxFrame {
+		c.sendErr = fmt.Errorf("netproto: frame %s too large (%d bytes)", f.Type, c.sendBuf.Len())
+		return c.sendErr
 	}
-	if _, err := c.bw.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("netproto: write body: %w", err)
+	if _, err := c.bw.Write(c.sendBuf.Bytes()); err != nil {
+		return fmt.Errorf("netproto: write %s: %w", f.Type, err)
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("netproto: flush %s: %w", f.Type, err)
+	}
+	return nil
 }
 
-// Recv reads one frame.
+// Recv reads one frame. A frame whose wire size exceeds MaxFrame
+// aborts the stream.
 func (c *Conn) Recv() (Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return Frame{}, err // io.EOF passes through for clean shutdown
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return Frame{}, fmt.Errorf("netproto: oversized frame (%d bytes)", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.br, body); err != nil {
-		return Frame{}, fmt.Errorf("netproto: read body: %w", err)
-	}
+	c.lim.n = 0
 	var fb frameBody
-	dec := gob.NewDecoder(&byteReader{b: body})
-	if err := dec.Decode(&fb); err != nil {
+	if err := c.dec.Decode(&fb); err != nil {
+		if err == io.EOF {
+			return Frame{}, err // passes through for clean shutdown
+		}
 		return Frame{}, fmt.Errorf("netproto: decode frame: %w", err)
 	}
-	return Frame{Type: fb.Type, Body: fb.Body}, nil
+	return Frame{Type: fb.Type, RequestID: fb.RequestID, Body: fb.Body}, nil
 }
 
-// frameBody is the gob-encoded frame content.
+// frameBody is the gob-encoded frame content. gob tolerates the
+// RequestID field being absent on the wire (v1 peers), decoding it as
+// zero, so the two versions share one frame format.
 type frameBody struct {
-	Type MsgType
-	Body any
+	Type      MsgType
+	RequestID uint64
+	Body      any
 }
 
-// lenBuffer is a minimal append-only buffer (avoids importing bytes just
-// for this).
-type lenBuffer struct {
-	b []byte
+// limitReader bounds how many bytes a single Recv may consume,
+// catching stream corruption (a garbage length would otherwise make
+// gob allocate without limit) before it allocates. It implements
+// io.ByteReader so gob uses it directly — otherwise gob wraps it in
+// its own bufio.Reader whose read-ahead past the message boundary
+// would be mischarged to the current frame.
+type limitReader struct {
+	r *bufio.Reader
+	n int
 }
 
-func (l *lenBuffer) Write(p []byte) (int, error) {
-	l.b = append(l.b, p...)
-	return len(p), nil
-}
-
-func (l *lenBuffer) Len() int      { return len(l.b) }
-func (l *lenBuffer) Bytes() []byte { return l.b }
-
-type byteReader struct {
-	b []byte
-	i int
-}
-
-func (r *byteReader) Read(p []byte) (int, error) {
-	if r.i >= len(r.b) {
-		return 0, io.EOF
+func (l *limitReader) Read(p []byte) (int, error) {
+	remaining := MaxFrame - l.n
+	if remaining <= 0 {
+		return 0, fmt.Errorf("netproto: oversized frame (>%d bytes)", MaxFrame)
 	}
-	n := copy(p, r.b[r.i:])
-	r.i += n
-	return n, nil
+	if len(p) > remaining {
+		p = p[:remaining]
+	}
+	n, err := l.r.Read(p)
+	l.n += n
+	return n, err
+}
+
+func (l *limitReader) ReadByte() (byte, error) {
+	if l.n >= MaxFrame {
+		return 0, fmt.Errorf("netproto: oversized frame (>%d bytes)", MaxFrame)
+	}
+	b, err := l.r.ReadByte()
+	if err == nil {
+		l.n++
+	}
+	return b, err
 }
 
 // MakePayload builds a deterministic pseudo-payload of the scaled size

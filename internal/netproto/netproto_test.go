@@ -1,6 +1,9 @@
 package netproto
 
 import (
+	"bytes"
+	"encoding/gob"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -122,18 +125,31 @@ func TestMakePayloadDeterministic(t *testing.T) {
 }
 
 func TestRecvRejectsOversizedFrame(t *testing.T) {
-	a, b := net.Pipe()
-	defer a.Close()
-	defer b.Close()
-	conn := NewConn(b)
-	go func() {
-		// Hand-craft a header claiming an absurd size.
-		_, _ = a.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	}()
+	// Build a legitimate gob stream whose single frame exceeds
+	// MaxFrame; Recv must abort rather than buffer it all.
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	type frameBody struct { // mirrors the wire struct
+		Type      MsgType
+		RequestID uint64
+		Body      any
+	}
+	huge := frameBody{Type: MsgObjectData, Body: ObjectDataMsg{
+		Payload: make([]byte, MaxFrame+1),
+	}}
+	if err := enc.Encode(&huge); err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(readWriter{&buf})
 	if _, err := conn.Recv(); err == nil {
 		t.Error("oversized frame accepted")
 	}
 }
+
+// readWriter adapts a reader into the ReadWriter NewConn wants.
+type readWriter struct{ io.Reader }
+
+func (readWriter) Write(p []byte) (int, error) { return len(p), nil }
 
 func TestMsgTypeString(t *testing.T) {
 	if MsgQuery.String() != "query" || MsgObjectData.String() != "object-data" {

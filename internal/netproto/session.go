@@ -1,0 +1,309 @@
+package netproto
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteError is a failure the remote side reported in an ErrorMsg
+// frame (as opposed to a transport failure).
+type RemoteError struct {
+	Message string
+}
+
+func (e *RemoteError) Error() string { return e.Message }
+
+// SessionConfig parameterizes DialSession.
+type SessionConfig struct {
+	// PoolSize is how many TCP connections back the session. Each
+	// connection multiplexes any number of in-flight requests, so the
+	// pool mainly spreads encode/flush work; small values (2–4)
+	// suffice. Defaults to 1.
+	PoolSize int
+	// DialTimeout bounds each connection attempt. Defaults to 5s.
+	DialTimeout time.Duration
+	// Lockstep forces protocol v1: one outstanding request per
+	// connection, replies in order, no handshake ack. Use it to talk
+	// to pre-v2 servers.
+	Lockstep bool
+}
+
+// Session is a concurrency-safe request/response channel to a Delta
+// node. In v2 mode (the default) it multiplexes: every request gets a
+// fresh RequestID, requests round-robin across a small connection
+// pool, a per-connection reader goroutine demultiplexes replies by
+// RequestID, and any number of goroutines may call RoundTrip
+// concurrently. In lockstep mode it serializes round trips per
+// connection for v1 peers.
+type Session struct {
+	cfg   SessionConfig
+	conns []*sessionConn
+	reqID atomic.Uint64
+	next  atomic.Uint64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// sessionConn is one pooled connection with its demux state.
+type sessionConn struct {
+	nc net.Conn
+	c  *Conn
+
+	lockMu sync.Mutex // lockstep mode: serializes send+recv pairs
+
+	mu      sync.Mutex
+	pending map[uint64]chan roundTripResult
+	err     error // sticky after the reader dies
+	dead    bool
+}
+
+type roundTripResult struct {
+	frame Frame
+	err   error
+}
+
+// DialSession connects a multiplexed session to addr, announcing the
+// given role ("cache" or "client"). In v2 mode every pooled connection
+// performs the Hello/HelloAck handshake before the session is usable.
+func DialSession(addr, role string, cfg SessionConfig) (*Session, error) {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	s := &Session{cfg: cfg}
+	for i := 0; i < cfg.PoolSize; i++ {
+		sc, err := dialSessionConn(addr, role, cfg)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.conns = append(s.conns, sc)
+		if !cfg.Lockstep {
+			go sc.readLoop()
+		}
+	}
+	return s, nil
+}
+
+func dialSessionConn(addr, role string, cfg SessionConfig) (*sessionConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: dial %s: %w", addr, err)
+	}
+	sc := &sessionConn{
+		nc:      nc,
+		c:       NewConn(nc),
+		pending: make(map[uint64]chan roundTripResult),
+	}
+	hello := Hello{Role: role}
+	if !cfg.Lockstep {
+		hello.Version = ProtoV2
+	}
+	if err := sc.c.Send(Frame{Type: MsgHello, Body: hello}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("netproto: hello: %w", err)
+	}
+	if !cfg.Lockstep {
+		// v2 servers acknowledge before any request flows; a v1 server
+		// would stay silent here, so pre-v2 peers need Lockstep.
+		if err := nc.SetReadDeadline(time.Now().Add(cfg.DialTimeout)); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		ack, err := sc.c.Recv()
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("netproto: handshake (is the server pre-v2? use Lockstep): %w", err)
+		}
+		body, ok := ack.Body.(HelloAck)
+		if !ok || ack.Type != MsgHelloAck {
+			nc.Close()
+			return nil, fmt.Errorf("netproto: expected hello-ack, got %s", ack.Type)
+		}
+		if body.Version < ProtoV2 {
+			nc.Close()
+			return nil, fmt.Errorf("netproto: server negotiated v%d, need v%d", body.Version, ProtoV2)
+		}
+		if err := nc.SetReadDeadline(time.Time{}); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// readLoop demultiplexes replies by RequestID. Replies with no waiter
+// (a cancelled RoundTrip) are dropped.
+func (sc *sessionConn) readLoop() {
+	for {
+		f, err := sc.c.Recv()
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		sc.mu.Lock()
+		ch, ok := sc.pending[f.RequestID]
+		delete(sc.pending, f.RequestID)
+		sc.mu.Unlock()
+		if ok {
+			ch <- roundTripResult{frame: f} // buffered; never blocks
+		}
+	}
+}
+
+// fail marks the connection dead and unblocks every waiter.
+func (sc *sessionConn) fail(err error) {
+	sc.mu.Lock()
+	sc.dead = true
+	sc.err = err
+	pending := sc.pending
+	sc.pending = make(map[uint64]chan roundTripResult)
+	sc.mu.Unlock()
+	for _, ch := range pending {
+		ch <- roundTripResult{err: err}
+	}
+}
+
+// RoundTrip sends one request and waits for its correlated reply,
+// honoring ctx for cancellation. An ErrorMsg reply is converted to a
+// *RemoteError. Safe for concurrent use.
+func (s *Session) RoundTrip(ctx context.Context, f Frame) (Frame, error) {
+	if s.closed.Load() {
+		return Frame{}, net.ErrClosed
+	}
+	if s.cfg.Lockstep {
+		return s.roundTripLockstep(ctx, f)
+	}
+	sc := s.pick()
+	if sc == nil {
+		return Frame{}, fmt.Errorf("netproto: session has no live connections")
+	}
+	id := s.reqID.Add(1)
+	f.RequestID = id
+	ch := make(chan roundTripResult, 1)
+	sc.mu.Lock()
+	if sc.dead {
+		err := sc.err
+		sc.mu.Unlock()
+		return Frame{}, err
+	}
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+	if err := sc.c.Send(f); err != nil {
+		// A send failure means the write side is broken (I/O error or
+		// a poisoned encoder); stop routing new requests here. The
+		// read side keeps draining replies for requests already in
+		// flight until it fails on its own.
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.dead = true
+		if sc.err == nil {
+			sc.err = err
+		}
+		sc.mu.Unlock()
+		return Frame{}, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return Frame{}, res.err
+		}
+		return checkError(res.frame)
+	case <-ctx.Done():
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		return Frame{}, ctx.Err()
+	}
+}
+
+// roundTripLockstep performs a v1 send+recv pair under the per-conn
+// lock. A context deadline is enforced via the socket deadline — a v1
+// stream cannot abandon a reply without desynchronizing, so expiry
+// retires the connection rather than just the request.
+func (s *Session) roundTripLockstep(ctx context.Context, f Frame) (Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return Frame{}, err
+	}
+	sc := s.pick()
+	if sc == nil {
+		return Frame{}, fmt.Errorf("netproto: session has no live connections")
+	}
+	sc.lockMu.Lock()
+	defer sc.lockMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := sc.nc.SetDeadline(dl); err != nil {
+			return Frame{}, err
+		}
+		defer sc.nc.SetDeadline(time.Time{})
+	}
+	f.RequestID = 0
+	if err := sc.c.Send(f); err != nil {
+		sc.markDead(err)
+		return Frame{}, err
+	}
+	reply, err := sc.c.Recv()
+	if err != nil {
+		// Any transport error (including deadline expiry)
+		// desynchronizes a lockstep stream; retire the connection.
+		sc.markDead(err)
+		return Frame{}, err
+	}
+	return checkError(reply)
+}
+
+func (sc *sessionConn) markDead(err error) {
+	sc.mu.Lock()
+	sc.dead = true
+	if sc.err == nil {
+		sc.err = err
+	}
+	sc.mu.Unlock()
+}
+
+func checkError(f Frame) (Frame, error) {
+	if e, ok := f.Body.(ErrorMsg); ok {
+		return Frame{}, &RemoteError{Message: e.Message}
+	}
+	return f, nil
+}
+
+// pick returns a live connection, preferring round-robin order. The
+// counter stays uint64 throughout: an int conversion would go
+// negative on 32-bit platforms once it wraps, and a negative modulo
+// would panic the indexing.
+func (s *Session) pick() *sessionConn {
+	n := uint64(len(s.conns))
+	start := s.next.Add(1)
+	for i := uint64(0); i < n; i++ {
+		sc := s.conns[(start+i)%n]
+		sc.mu.Lock()
+		dead := sc.dead
+		sc.mu.Unlock()
+		if !dead {
+			return sc
+		}
+	}
+	return nil
+}
+
+// Close tears the session down; in-flight round trips fail.
+func (s *Session) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		for _, sc := range s.conns {
+			if e := sc.nc.Close(); e != nil && err == nil {
+				err = e
+			}
+		}
+	})
+	return err
+}

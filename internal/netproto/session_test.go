@@ -1,0 +1,366 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// startV2Server runs a minimal v2 request server: it acknowledges
+// hellos and answers each QueryMsg via reply (possibly out of order),
+// echoing RequestIDs.
+func startV2Server(t *testing.T, reply func(f Frame, c *Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				c := NewConn(conn)
+				first, err := c.Recv()
+				if err != nil {
+					return
+				}
+				hello, ok := first.Body.(Hello)
+				if !ok {
+					return
+				}
+				v2 := NegotiateVersion(hello.Version) >= ProtoV2
+				if v2 {
+					if err := c.Send(Frame{Type: MsgHelloAck, Body: HelloAck{Version: ProtoV2}}); err != nil {
+						return
+					}
+				}
+				for {
+					f, err := c.Recv()
+					if err != nil {
+						return
+					}
+					reply(f, c)
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func echoQuery(f Frame, c *Conn) {
+	q := f.Body.(QueryMsg).Query
+	_ = c.Send(Frame{
+		Type:      MsgQueryResult,
+		RequestID: f.RequestID,
+		Body:      QueryResultMsg{QueryID: q.ID, Logical: q.Cost, Source: "test"},
+	})
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	addr := startV2Server(t, echoQuery)
+	s, err := DialSession(addr, "client", SessionConfig{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := int64(1); i <= 4; i++ {
+		reply, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: model.QueryID(i), Objects: []model.ObjectID{1}, Cost: cost.Bytes(i)},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := reply.Body.(QueryResultMsg)
+		if res.QueryID != model.QueryID(i) || res.Logical != cost.Bytes(i) {
+			t.Fatalf("reply %d = %+v", i, res)
+		}
+	}
+}
+
+// TestSessionDemuxOutOfOrder holds the first request's reply back until
+// a later request has been answered: the demultiplexer must route each
+// reply to its own waiter by RequestID.
+func TestSessionDemuxOutOfOrder(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		deferred []Frame
+	)
+	addr := startV2Server(t, func(f Frame, c *Conn) {
+		q := f.Body.(QueryMsg).Query
+		out := Frame{
+			Type:      MsgQueryResult,
+			RequestID: f.RequestID,
+			Body:      QueryResultMsg{QueryID: q.ID, Logical: q.Cost, Source: "test"},
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if q.ID == 1 { // park the first query's reply
+			deferred = append(deferred, out)
+			return
+		}
+		_ = c.Send(out)
+		for _, d := range deferred { // flush parked replies afterwards
+			_ = c.Send(d)
+		}
+		deferred = nil
+	})
+
+	s, err := DialSession(addr, "client", SessionConfig{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	first := make(chan error, 1)
+	go func() {
+		reply, err := s.RoundTrip(ctx, Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: 1, Objects: []model.ObjectID{1}, Cost: 11},
+		}})
+		if err == nil && reply.Body.(QueryResultMsg).QueryID != 1 {
+			err = errors.New("first waiter got someone else's reply")
+		}
+		first <- err
+	}()
+	// Give the first request time to reach the server and be parked.
+	time.Sleep(50 * time.Millisecond)
+	reply, err := s.RoundTrip(ctx, Frame{Type: MsgQuery, Body: QueryMsg{
+		Query: model.Query{ID: 2, Objects: []model.ObjectID{1}, Cost: 22},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := reply.Body.(QueryResultMsg); res.QueryID != 2 || res.Logical != 22 {
+		t.Fatalf("second reply = %+v (demux crossed wires)", res)
+	}
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandshakeV1V2Compat covers the version matrix: a v2 session
+// against a v2 server negotiates and multiplexes; a lockstep (v1)
+// session against the same server is served in order with no ack; and
+// a v1 server (never acks) is usable through a lockstep session.
+func TestHandshakeV1V2Compat(t *testing.T) {
+	addr := startV2Server(t, echoQuery)
+
+	t.Run("v2-client-v2-server", func(t *testing.T) {
+		s, err := DialSession(addr, "client", SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: 5, Objects: []model.ObjectID{1}, Cost: 5},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("v1-client-v2-server", func(t *testing.T) {
+		s, err := DialSession(addr, "client", SessionConfig{Lockstep: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		reply, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: 6, Objects: []model.ObjectID{1}, Cost: 6},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.RequestID != 0 {
+			t.Errorf("v1 reply carries RequestID %d, want 0", reply.RequestID)
+		}
+	})
+
+	t.Run("v1-server-lockstep-client", func(t *testing.T) {
+		// A v1 server: reads hellos and serves queries lockstep,
+		// never sending an ack and ignoring RequestIDs.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			c := NewConn(conn)
+			if _, err := c.Recv(); err != nil { // hello, unacked
+				return
+			}
+			for {
+				f, err := c.Recv()
+				if err != nil {
+					return
+				}
+				q := f.Body.(QueryMsg).Query
+				_ = c.Send(Frame{Type: MsgQueryResult, Body: QueryResultMsg{
+					QueryID: q.ID, Logical: q.Cost, Source: "v1",
+				}})
+			}
+		}()
+		s, err := DialSession(ln.Addr().String(), "client", SessionConfig{Lockstep: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		reply, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: 7, Objects: []model.ObjectID{1}, Cost: 7},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := reply.Body.(QueryResultMsg); res.Source != "v1" || res.QueryID != 7 {
+			t.Fatalf("reply = %+v", res)
+		}
+	})
+
+	t.Run("v2-client-v1-server-fails-fast", func(t *testing.T) {
+		// A silent v1 server must produce a handshake error, not a
+		// hang.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			c := NewConn(conn)
+			_, _ = c.Recv() // swallow the hello, never ack
+			select {}
+		}()
+		if _, err := DialSession(ln.Addr().String(), "client", SessionConfig{
+			DialTimeout: 200 * time.Millisecond,
+		}); err == nil {
+			t.Fatal("v2 dial against a silent v1 server should fail the handshake")
+		}
+	})
+}
+
+// TestSessionConcurrentRoundTrips hammers one session from many
+// goroutines; every reply must match its request.
+func TestSessionConcurrentRoundTrips(t *testing.T) {
+	addr := startV2Server(t, echoQuery)
+	s, err := DialSession(addr, "client", SessionConfig{PoolSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const goroutines = 16
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := model.QueryID(g*1000 + i + 1)
+				reply, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+					Query: model.Query{ID: id, Objects: []model.ObjectID{1}, Cost: cost.Bytes(id)},
+				}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res := reply.Body.(QueryResultMsg); res.QueryID != id {
+					errs <- errors.New("reply routed to wrong waiter")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionFailsPendingOnDisconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(conn)
+		_, _ = c.Recv()
+		_ = c.Send(Frame{Type: MsgHelloAck, Body: HelloAck{Version: ProtoV2}})
+		accepted <- conn
+	}()
+	s, err := DialSession(ln.Addr().String(), "client", SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := <-accepted
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: 1, Objects: []model.ObjectID{1}, Cost: 1},
+		}})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	conn.Close() // server dies with the request in flight
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("round trip survived a dead connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("round trip hung after disconnect")
+	}
+}
+
+func TestIsClosed(t *testing.T) {
+	if IsClosed(nil) {
+		t.Error("nil is not closed")
+	}
+	for _, err := range []error{io.EOF, io.ErrUnexpectedEOF, net.ErrClosed} {
+		if !IsClosed(err) {
+			t.Errorf("IsClosed(%v) = false", err)
+		}
+		if !IsClosed(wrap(err)) {
+			t.Errorf("IsClosed(wrapped %v) = false", err)
+		}
+	}
+	if IsClosed(errors.New("EOF")) {
+		t.Error("a stringly EOF must not count — that fragility is what IsClosed replaces")
+	}
+}
+
+func wrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }

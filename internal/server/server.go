@@ -5,14 +5,20 @@
 // protocol. Caches additionally subscribe to an invalidation stream that
 // carries update notices (control plane, not charged as traffic, per
 // Section 3's invalidation model).
+//
+// Request connections negotiate a protocol version: v2 peers get a
+// HelloAck and every request is dispatched to its own worker goroutine
+// (replies carry the request's correlation ID and are serialized onto
+// the socket by netproto.Conn), so a slow object load no longer
+// head-of-line-blocks cheap queries. v1 peers are served lockstep for
+// compatibility.
 package server
 
 import (
-	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/deltacache/delta/internal/catalog"
@@ -31,6 +37,11 @@ type Config struct {
 	Scale netproto.PayloadScale
 	// SampleRows bounds the demo rows returned with query results.
 	SampleRows int
+	// ExecDelay simulates repository query-execution time per request
+	// (the paper's repository runs multi-second scans over TB-scale
+	// tables; a loopback deployment answers in microseconds, which
+	// hides every concurrency effect). Zero disables.
+	ExecDelay time.Duration
 	// Logf logs server events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -49,6 +60,8 @@ type Repository struct {
 	subscribers map[int]chan model.Update
 	nextSub     int
 	closed      bool
+
+	droppedInvalidations atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -90,11 +103,22 @@ func (r *Repository) Start() error {
 	return nil
 }
 
-// Addr returns the bound address (after Start).
-func (r *Repository) Addr() string { return r.ln.Addr().String() }
+// Addr returns the bound address, or "" before Start.
+func (r *Repository) Addr() string {
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
 
 // Ledger returns a snapshot of the server-side traffic accounting.
 func (r *Repository) Ledger() cost.Snapshot { return r.ledger.Snapshot() }
+
+// DroppedInvalidations reports how many invalidation notices were
+// discarded because a subscriber's buffer was full.
+func (r *Repository) DroppedInvalidations() int64 {
+	return r.droppedInvalidations.Load()
+}
 
 // Close stops the server and waits for connection handlers.
 func (r *Repository) Close() error {
@@ -118,19 +142,19 @@ func (r *Repository) Close() error {
 // arrives via MsgUpdateFeed).
 func (r *Repository) ApplyUpdate(u model.Update) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.updates[u.ID] = u
 	r.perObject[u.Object] = append(r.perObject[u.Object], u.ID)
-	subs := make([]chan model.Update, 0, len(r.subscribers))
+	// Sends stay under the lock: subscriber channels are closed under
+	// it, and a send racing a close would panic. They cannot block the
+	// pipeline — a full buffer drops the notice instead (dropped
+	// notices only cost freshness, loading repairs it, and the drop
+	// counter makes them observable in StatsMsg).
 	for _, ch := range r.subscribers {
-		subs = append(subs, ch)
-	}
-	r.mu.Unlock()
-	for _, ch := range subs {
-		// Non-blocking: a stalled cache must not wedge the pipeline;
-		// dropped notices only cost freshness, and loading repairs it.
 		select {
 		case ch <- u:
 		default:
+			r.droppedInvalidations.Add(1)
 		}
 	}
 }
@@ -160,7 +184,7 @@ func (r *Repository) acceptLoop() {
 		go func() {
 			defer r.wg.Done()
 			defer conn.Close()
-			if err := r.serveConn(conn); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := r.serveConn(conn); err != nil && !netproto.IsClosed(err) {
 				r.cfg.Logf("connection from %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -183,7 +207,7 @@ func (r *Repository) serveConn(nc net.Conn) error {
 	case "invalidations":
 		return r.serveInvalidations(nc, c)
 	case "cache", "client":
-		return r.serveRequests(c)
+		return r.serveRequests(c, netproto.NegotiateVersion(hello.Version))
 	default:
 		return fmt.Errorf("server: unknown role %q", hello.Role)
 	}
@@ -193,7 +217,7 @@ func (r *Repository) servePipeline(c *netproto.Conn) error {
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			return ignoreEOF(err)
+			return ignoreClosed(err)
 		}
 		feed, ok := f.Body.(netproto.UpdateFeedMsg)
 		if !ok {
@@ -227,38 +251,55 @@ func (r *Repository) serveInvalidations(nc net.Conn, c *netproto.Conn) error {
 			Type: netproto.MsgInvalidate,
 			Body: netproto.InvalidateMsg{Update: u},
 		}); err != nil {
-			return ignoreEOF(err)
+			return ignoreClosed(err)
 		}
 	}
 	_ = nc // held open until server close
 	return nil
 }
 
-func (r *Repository) serveRequests(c *netproto.Conn) error {
+// serveRequests handles a cache or client request connection. v2 peers
+// get per-request worker goroutines; v1 peers are served lockstep so
+// replies stay in order.
+func (r *Repository) serveRequests(c *netproto.Conn, version int) error {
+	if version >= netproto.ProtoV2 {
+		if err := c.Send(netproto.Frame{
+			Type: netproto.MsgHelloAck,
+			Body: netproto.HelloAck{Version: version},
+		}); err != nil {
+			return err
+		}
+		return netproto.ServeMux(c, 0, r.handleRequest, r.cfg.Logf)
+	}
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			return ignoreEOF(err)
+			return ignoreClosed(err)
 		}
-		var reply netproto.Frame
-		switch body := f.Body.(type) {
-		case netproto.QueryMsg:
-			reply = r.execQuery(&body.Query)
-		case netproto.ShipUpdatesMsg:
-			reply = r.shipUpdates(body.IDs)
-		case netproto.LoadObjectMsg:
-			reply = r.loadObject(body.Object)
-		case netproto.StatsMsg:
-			reply = netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{
-				Ledger: r.ledger.Snapshot(),
-				Policy: "repository",
-			}}
-		default:
-			reply = errorFrame("unsupported request %s", f.Type)
+		if err := c.Send(r.handleRequest(f)); err != nil {
+			return ignoreClosed(err)
 		}
-		if err := c.Send(reply); err != nil {
-			return ignoreEOF(err)
-		}
+	}
+}
+
+// handleRequest executes one request frame and builds its reply (the
+// reply's RequestID is the caller's business).
+func (r *Repository) handleRequest(f netproto.Frame) netproto.Frame {
+	switch body := f.Body.(type) {
+	case netproto.QueryMsg:
+		return r.execQuery(&body.Query)
+	case netproto.ShipUpdatesMsg:
+		return r.shipUpdates(body.IDs)
+	case netproto.LoadObjectMsg:
+		return r.loadObject(body.Object)
+	case netproto.StatsMsg:
+		return netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{
+			Ledger:               r.ledger.Snapshot(),
+			Policy:               "repository",
+			DroppedInvalidations: r.droppedInvalidations.Load(),
+		}}
+	default:
+		return errorFrame("unsupported request %s", f.Type)
 	}
 }
 
@@ -266,6 +307,9 @@ func (r *Repository) execQuery(q *model.Query) netproto.Frame {
 	start := time.Now()
 	if len(q.Objects) == 0 {
 		return errorFrame("query %d accesses no objects", q.ID)
+	}
+	if r.cfg.ExecDelay > 0 {
+		time.Sleep(r.cfg.ExecDelay)
 	}
 	for _, id := range q.Objects {
 		if _, err := r.cfg.Survey.Object(id); err != nil {
@@ -355,11 +399,9 @@ func errorFrame(format string, args ...any) netproto.Frame {
 	}}
 }
 
-func ignoreEOF(err error) error {
-	if errors.Is(err, net.ErrClosed) || err.Error() == "EOF" {
+func ignoreClosed(err error) error {
+	if netproto.IsClosed(err) {
 		return nil
 	}
 	return err
 }
-
-var _ = log.Printf // reserved for future verbose logging

@@ -35,6 +35,13 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+func TestAddrBeforeStart(t *testing.T) {
+	repo := testRepo(t)
+	if got := repo.Addr(); got != "" {
+		t.Errorf("Addr before Start = %q, want empty", got)
+	}
+}
+
 func TestOutstandingSince(t *testing.T) {
 	repo := testRepo(t)
 	repo.ApplyUpdate(model.Update{ID: 1, Object: 3, Cost: 1, Time: 10 * time.Second})
@@ -180,10 +187,14 @@ func TestInvalidationBroadcastNonBlocking(t *testing.T) {
 	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
 		t.Fatal(err)
 	}
+	// Push enough notices to overwhelm the subscriber buffer plus
+	// whatever the kernel's socket buffers absorb: the stalled reader
+	// guarantees drops at this volume.
+	const updates = 200_000
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for i := 0; i < 5000; i++ {
+		for i := 0; i < updates; i++ {
 			repo.ApplyUpdate(model.Update{
 				ID: model.UpdateID(i + 1), Object: 1, Cost: 1,
 				Time: time.Duration(i) * time.Millisecond,
@@ -192,7 +203,38 @@ func TestInvalidationBroadcastNonBlocking(t *testing.T) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(10 * time.Second):
+	case <-time.After(30 * time.Second):
 		t.Fatal("pipeline blocked on a stalled subscriber")
+	}
+	// The subscriber never read a byte, so the bulk of the notices were
+	// dropped — and the drops must be counted, not silent.
+	if got := repo.DroppedInvalidations(); got == 0 {
+		t.Error("dropped invalidations = 0, want > 0 with a stalled subscriber")
+	}
+
+	// The counter is also surfaced over the wire in the stats reply.
+	sc, err := net.Dial("tcp", repo.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	cc := netproto.NewConn(sc)
+	if err := cc.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "cache"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Send(netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := cc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := reply.Body.(netproto.StatsMsg)
+	if !ok {
+		t.Fatalf("reply %s", reply.Type)
+	}
+	if stats.DroppedInvalidations != repo.DroppedInvalidations() {
+		t.Errorf("StatsMsg dropped = %d, repo reports %d",
+			stats.DroppedInvalidations, repo.DroppedInvalidations())
 	}
 }
