@@ -9,7 +9,11 @@ package delta_test
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +22,7 @@ import (
 	"github.com/deltacache/delta/internal/cache"
 	"github.com/deltacache/delta/internal/catalog"
 	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/cluster"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/experiments"
@@ -269,6 +274,156 @@ func BenchmarkConcurrentClients(b *testing.B) {
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
 		})
 	}
+}
+
+// BenchmarkClusterScaling measures aggregate query throughput of the
+// sharded cache cluster at 1/2/4/8 shards against one repository. Each
+// shard runs the Replica policy (owned objects preloaded, every query
+// answered locally) with a 2ms simulated node-local scan held under
+// the shard's serial execution lock — the per-node resource the
+// cluster exists to multiply. The router scatters nothing here (every
+// query touches one object), so the sweep isolates ownership routing:
+// near-linear scaling means the routing tier adds negligible overhead
+// over the shards' execution capacity. When BENCH_JSON_DIR is set the
+// sweep also writes BENCH_cluster_scaling.json for the CI perf
+// trajectory.
+func BenchmarkClusterScaling(b *testing.B) {
+	const nClients = 24
+	const nObjects = 32
+	shardCounts := []int{1, 2, 4, 8}
+	qps := make(map[int]float64, len(shardCounts))
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			scfg := catalog.DefaultConfig()
+			scfg.NumObjects = nObjects
+			// Equal-size objects: the size-balanced HTM cut then owns
+			// equal object counts per shard, so a uniform per-object
+			// query load spreads evenly and the sweep measures routing,
+			// not placement skew.
+			scfg.TotalSize = 32 * cost.GB
+			scfg.MinObjectSize = cost.GB
+			scfg.MaxObjectSize = cost.GB
+			survey, err := catalog.NewSurvey(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := repo.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer repo.Close()
+			lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+				RepoAddr:  repo.Addr(),
+				Objects:   survey.Objects(),
+				Shards:    shards,
+				Mode:      cluster.HTMAware,
+				Policy:    func(int) core.Policy { return core.NewReplica() },
+				Scale:     netproto.PayloadScale{},
+				ExecDelay: 2 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lc.Close()
+
+			ctx := context.Background()
+			clients := make([]*client.Client, nClients)
+			for i := range clients {
+				cl, err := client.DialCluster(lc.Router.Addr())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				clients[i] = cl
+			}
+
+			objects := survey.Objects()
+			var next atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < nClients; c++ {
+				wg.Add(1)
+				go func(cl *client.Client) {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > int64(b.N) {
+							return
+						}
+						// Hash the sequence number into an object pick:
+						// sequential picks would walk the HTM ownership's
+						// contiguous ranges one shard at a time, leaving
+						// the other shards idle.
+						pick := int(uint64(i) * 11400714819323198485 % uint64(len(objects)))
+						res, err := cl.Query(ctx, model.Query{
+							ID:        model.QueryID(i),
+							Objects:   []model.ObjectID{objects[pick].ID},
+							Cost:      cost.MB,
+							Tolerance: model.AnyStaleness,
+							Time:      time.Duration(i) * time.Millisecond,
+						})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if res.Degraded {
+							b.Error("degraded result from a healthy cluster")
+							return
+						}
+					}
+				}(clients[c])
+			}
+			wg.Wait()
+			b.StopTimer()
+			rate := float64(b.N) / time.Since(start).Seconds()
+			qps[shards] = rate
+			b.ReportMetric(rate, "queries/s")
+		})
+	}
+	if qps[1] > 0 {
+		b.Logf("cluster scaling: 1→%v q/s, 4 shards %.2fx, 8 shards %.2fx",
+			qps[1], qps[4]/qps[1], qps[8]/qps[1])
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		writeClusterScalingJSON(b, dir, shardCounts, qps)
+	}
+}
+
+// writeClusterScalingJSON records the sweep for the CI-accumulated
+// perf trajectory (BENCH_*.json artifacts).
+func writeClusterScalingJSON(b *testing.B, dir string, shardCounts []int, qps map[int]float64) {
+	b.Helper()
+	type row struct {
+		Shards        int     `json:"shards"`
+		QueriesPerSec float64 `json:"queriesPerSec"`
+	}
+	out := struct {
+		Benchmark   string    `json:"benchmark"`
+		Timestamp   time.Time `json:"timestamp"`
+		Rows        []row     `json:"rows"`
+		Speedup4vs1 float64   `json:"speedup4vs1"`
+		Speedup8vs1 float64   `json:"speedup8vs1"`
+	}{Benchmark: "BenchmarkClusterScaling", Timestamp: time.Now().UTC()}
+	for _, s := range shardCounts {
+		out.Rows = append(out.Rows, row{Shards: s, QueriesPerSec: qps[s]})
+	}
+	if qps[1] > 0 {
+		out.Speedup4vs1 = qps[4] / qps[1]
+		out.Speedup8vs1 = qps[8] / qps[1]
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_cluster_scaling.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", path)
 }
 
 // --- ablations for the design choices DESIGN.md calls out ---

@@ -13,8 +13,10 @@ import (
 
 	"github.com/deltacache/delta/internal/cache"
 	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cluster"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
 
@@ -36,6 +38,10 @@ func run() error {
 		bytesPerGB = flag.Int64("bytes-per-gb", 4096, "physical payload bytes per logical GB")
 		repoPool   = flag.Int("repo-pool", 2, "connections in the repository session pool")
 		serialized = flag.Bool("serialized", false, "legacy fully-serialized query handling (benchmark baseline)")
+		execDelay  = flag.Duration("exec-delay", 0, "simulated node-local scan time per cache-answered query")
+		shardIdx   = flag.Int("shard-index", -1, "run as shard i of a cluster (-1: standalone)")
+		shardCount = flag.Int("shard-count", 0, "total shards in the cluster (with -shard-index)")
+		shardMode  = flag.String("shard-mode", "htm", "cluster ownership mode: htm|rendezvous (must match the router)")
 	)
 	flag.Parse()
 
@@ -46,7 +52,36 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	capacity := cost.Bytes(float64(survey.TotalSize()) * *cacheFrac)
+
+	// Cluster shard mode: restrict this node to the objects it owns
+	// under the deterministic assignment the router also computes.
+	var filter func(model.ObjectID) bool
+	ownedSize := survey.TotalSize()
+	if *shardIdx >= 0 {
+		if *shardCount <= *shardIdx {
+			return fmt.Errorf("-shard-count %d must exceed -shard-index %d", *shardCount, *shardIdx)
+		}
+		mode, err := cluster.ParseMode(*shardMode)
+		if err != nil {
+			return err
+		}
+		own, err := cluster.NewOwnership(survey.Objects(), *shardCount, mode)
+		if err != nil {
+			return err
+		}
+		filter = own.Filter(*shardIdx)
+		ownedSize = 0
+		for _, id := range own.ShardObjects(*shardIdx) {
+			obj, err := survey.Object(id)
+			if err != nil {
+				return err
+			}
+			ownedSize += obj.Size
+		}
+	}
+	// Capacity scales with what this node can be asked to hold: the
+	// whole survey standalone, the owned subset as a shard.
+	capacity := cost.Bytes(float64(ownedSize) * *cacheFrac)
 
 	var policy core.Policy
 	switch *policyName {
@@ -63,15 +98,17 @@ func run() error {
 	}
 
 	mw, err := cache.New(cache.Config{
-		Addr:       *addr,
-		RepoAddr:   *repoAddr,
-		RepoPool:   *repoPool,
-		Policy:     policy,
-		Objects:    survey.Objects(),
-		Capacity:   capacity,
-		Scale:      netproto.PayloadScale{BytesPerGB: *bytesPerGB},
-		Serialized: *serialized,
-		Logf:       log.Printf,
+		Addr:         *addr,
+		RepoAddr:     *repoAddr,
+		RepoPool:     *repoPool,
+		Policy:       policy,
+		Objects:      survey.Objects(),
+		ObjectFilter: filter,
+		Capacity:     capacity,
+		Scale:        netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		Serialized:   *serialized,
+		ExecDelay:    *execDelay,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		return err
@@ -79,7 +116,12 @@ func run() error {
 	if err := mw.Start(); err != nil {
 		return err
 	}
-	log.Printf("cache ready on %s (policy %s, capacity %v)", mw.Addr(), policy.Name(), capacity)
+	if *shardIdx >= 0 {
+		log.Printf("cache ready on %s as shard %d/%d (policy %s, capacity %v)",
+			mw.Addr(), *shardIdx, *shardCount, policy.Name(), capacity)
+	} else {
+		log.Printf("cache ready on %s (policy %s, capacity %v)", mw.Addr(), policy.Name(), capacity)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

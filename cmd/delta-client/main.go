@@ -22,6 +22,7 @@ import (
 	"github.com/deltacache/delta/internal/catalog"
 	"github.com/deltacache/delta/internal/client"
 	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
 	"github.com/deltacache/delta/internal/sqlmini"
 )
 
@@ -41,6 +42,7 @@ func run() error {
 		pool      = flag.Int("pool", 1, "connections in the session pool")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		stats     = flag.Bool("stats", false, "print cache statistics")
+		cstats    = flag.Bool("cluster-stats", false, "print per-shard cluster statistics (routers; a single cache answers as one shard)")
 		objects   = flag.Int("objects", 68, "objects (must match deployment)")
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
 	)
@@ -74,11 +76,11 @@ func run() error {
 		if err := runDemo(ctx, cl, survey, *demo, *workers, start); err != nil {
 			return err
 		}
-	case *stats:
+	case *stats || *cstats:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -sql, -demo, -stats is required")
+		return fmt.Errorf("one of -sql, -demo, -stats, -cluster-stats is required")
 	}
 
 	if *stats || *demo > 0 {
@@ -86,13 +88,41 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("policy=%s queries=%d atCache=%d shipped=%d\n",
-			st.Policy, st.Queries, st.AtCache, st.Shipped)
-		fmt.Printf("traffic: query-ship=%v update-ship=%v loads=%v total=%v\n",
-			st.Ledger.QueryShip, st.Ledger.UpdateShip, st.Ledger.ObjectLoad, st.Ledger.Total())
-		fmt.Printf("cached objects: %v\n", st.Cached)
+		printStats(st)
+	}
+	if *cstats {
+		cs, err := cl.ClusterStats(ctx)
+		if err != nil {
+			return err
+		}
+		degraded := ""
+		if cs.Degraded {
+			degraded = " DEGRADED"
+		}
+		fmt.Printf("cluster: %d shards%s\n", len(cs.Shards), degraded)
+		for _, sh := range cs.Shards {
+			if !sh.Alive {
+				fmt.Printf("  shard %d %s: DOWN (%s)\n", sh.Shard, sh.Addr, sh.Err)
+				continue
+			}
+			fmt.Printf("  shard %d %s: queries=%d atCache=%d shipped=%d cached=%d traffic=%v\n",
+				sh.Shard, sh.Addr, sh.Stats.Queries, sh.Stats.AtCache, sh.Stats.Shipped,
+				len(sh.Stats.Cached), sh.Stats.Ledger.Total())
+		}
+		fmt.Println("aggregate:")
+		printStats(&cs.Aggregate)
 	}
 	return nil
+}
+
+func printStats(st *netproto.StatsMsg) {
+	fmt.Printf("policy=%s queries=%d atCache=%d shipped=%d\n",
+		st.Policy, st.Queries, st.AtCache, st.Shipped)
+	fmt.Printf("traffic: query-ship=%v update-ship=%v loads=%v total=%v\n",
+		st.Ledger.QueryShip, st.Ledger.UpdateShip, st.Ledger.ObjectLoad, st.Ledger.Total())
+	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d\n",
+		st.DroppedInvalidations, st.DedupedLoads)
+	fmt.Printf("cached objects: %v\n", st.Cached)
 }
 
 func runSQL(ctx context.Context, cl *client.Client, survey *catalog.Survey, sql string, start time.Time) error {

@@ -1,0 +1,93 @@
+// Command delta-router runs the cluster routing tier: a partition-aware
+// front that makes N cache shards look like one Delta cache. Ownership
+// is a pure function of the shared survey config, the shard count, and
+// the mode, so the router and every `delta-cache -shard-index` compute
+// the same map with no coordination service:
+//
+//	delta-cache -repo :7707 -addr :7801 -shard-index 0 -shard-count 2 &
+//	delta-cache -repo :7707 -addr :7802 -shard-index 1 -shard-count 2 &
+//	delta-router -addr :7708 -shards 127.0.0.1:7801,127.0.0.1:7802
+//
+// Clients connect to the router exactly as they would to a single
+// cache; multi-object queries scatter to the owning shards and merge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delta-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7708", "client-facing listen address")
+		shardList = flag.String("shards", "", "comma-separated shard addresses, in shard-index order")
+		modeName  = flag.String("mode", "htm", "ownership mode: htm|rendezvous (must match the shards)")
+		objects   = flag.Int("objects", 68, "number of data objects (must match the deployment)")
+		seed      = flag.Int64("seed", 2, "survey seed (must match the deployment)")
+		pool      = flag.Int("shard-pool", 2, "connections in each shard session pool")
+		dialRetry = flag.Duration("dial-retry", 5*time.Second, "how long to retry refused shard dials (startup race)")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*shardList, ",")
+	if *shardList == "" || len(addrs) == 0 {
+		return fmt.Errorf("-shards is required (comma-separated shard addresses)")
+	}
+	mode, err := cluster.ParseMode(*modeName)
+	if err != nil {
+		return err
+	}
+
+	scfg := catalog.DefaultConfig()
+	scfg.Seed = *seed
+	scfg.NumObjects = *objects
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		return err
+	}
+	own, err := cluster.NewOwnership(survey.Objects(), len(addrs), mode)
+	if err != nil {
+		return err
+	}
+
+	router, err := cluster.NewRouter(cluster.Config{
+		Addr:      *addr,
+		Shards:    addrs,
+		Ownership: own,
+		ShardPool: *pool,
+		DialRetry: *dialRetry,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if err := router.Start(); err != nil {
+		return err
+	}
+	for _, si := range router.Topology().Shards {
+		log.Printf("shard %d at %s owns %d objects", si.Index, si.Addr, len(si.Objects))
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down; routed %d queries (%d scattered, %d degraded)",
+		router.Queries(), router.Scattered(), router.Degraded())
+	return router.Close()
+}

@@ -44,10 +44,21 @@ type Config struct {
 	// RepoPool is how many connections back the repository session
 	// (each one multiplexes; 0 means a small default).
 	RepoPool int
+	// RepoDialRetry keeps retrying a refused repository connection
+	// for this long with backoff (a cache often starts alongside its
+	// repository). Zero means a 5s default; negative disables.
+	RepoDialRetry time.Duration
 	// Policy decides; nil defaults to VCover.
 	Policy core.Policy
 	// Objects is the object universe (must match the repository's).
 	Objects []model.Object
+	// ObjectFilter, when non-nil, restricts this node to the objects
+	// it owns: Objects is filtered through it before the policy sees
+	// the universe, so a cluster shard's policy only reasons about
+	// owned objects, and queries touching unowned objects are
+	// rejected (they indicate a routing bug). Nil means the node owns
+	// everything (the single-cache deployment).
+	ObjectFilter func(model.ObjectID) bool
 	// Capacity is the cache size.
 	Capacity cost.Bytes
 	// Scale converts logical sizes to physical payloads.
@@ -60,6 +71,13 @@ type Config struct {
 	// exists as the baseline for the concurrency benchmarks and as a
 	// debugging aid; leave it false in deployments.
 	Serialized bool
+	// ExecDelay simulates the node-local scan time of a query answered
+	// at the cache (the paper's cache runs real database scans; a
+	// loopback deployment answers in microseconds). The delay holds a
+	// dedicated per-node execution lock, modeling one serial execution
+	// resource per cache node — which is what makes sharded-cluster
+	// scaling measurable on one machine. Zero disables.
+	ExecDelay time.Duration
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -81,14 +99,31 @@ type Middleware struct {
 	// serialMu implements Config.Serialized (benchmark baseline).
 	serialMu sync.Mutex
 
+	// execMu implements Config.ExecDelay: one serial execution
+	// resource per node.
+	execMu sync.Mutex
+
+	// owned is the filtered object universe (nil when the node owns
+	// everything).
+	owned map[model.ObjectID]struct{}
+
 	loads loadGroup
 
-	queries atomic.Int64
-	atCache atomic.Int64
-	shipped atomic.Int64
+	queries    atomic.Int64
+	atCache    atomic.Int64
+	shipped    atomic.Int64
+	droppedInv atomic.Int64
+	dedupLoads atomic.Int64
 
 	invRaw net.Conn
 	wg     sync.WaitGroup
+
+	// connMu guards the accepted-connection set so Close can sever
+	// live clients (a dead shard must not linger because a router
+	// still holds a session to it).
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
 }
 
 // plan lists the repository I/O a committed decision still owes.
@@ -132,14 +167,34 @@ func New(cfg Config) (*Middleware, error) {
 		cfg:      cfg,
 		policy:   cfg.Policy,
 		resident: make(map[model.ObjectID]struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
-	if err := m.policy.Init(cfg.Objects, cfg.Capacity); err != nil {
+	universe := cfg.Objects
+	if cfg.ObjectFilter != nil {
+		universe = make([]model.Object, 0, len(cfg.Objects))
+		m.owned = make(map[model.ObjectID]struct{})
+		for _, o := range cfg.Objects {
+			if cfg.ObjectFilter(o.ID) {
+				universe = append(universe, o)
+				m.owned[o.ID] = struct{}{}
+			}
+		}
+		if len(universe) == 0 {
+			return nil, fmt.Errorf("cache: object filter leaves the shard empty")
+		}
+	}
+	if err := m.policy.Init(universe, cfg.Capacity); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
 
 	// Multiplexed request/response session to the repository.
+	retry := cfg.RepoDialRetry
+	if retry == 0 {
+		retry = 5 * time.Second
+	}
 	sess, err := netproto.DialSession(cfg.RepoAddr, "cache", netproto.SessionConfig{
-		PoolSize: cfg.RepoPool,
+		PoolSize:  cfg.RepoPool,
+		DialRetry: max(retry, 0),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cache: dial repository: %w", err)
@@ -213,25 +268,52 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 	m.mu.Unlock()
 	slices.SortFunc(cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
 	return netproto.StatsMsg{
-		Ledger:  m.ledger.Snapshot(),
-		Cached:  cached,
-		Policy:  policy,
-		Queries: m.queries.Load(),
-		AtCache: m.atCache.Load(),
-		Shipped: m.shipped.Load(),
+		Ledger:               m.ledger.Snapshot(),
+		Cached:               cached,
+		Policy:               policy,
+		Queries:              m.queries.Load(),
+		AtCache:              m.atCache.Load(),
+		Shipped:              m.shipped.Load(),
+		DroppedInvalidations: m.droppedInv.Load(),
+		DedupedLoads:         m.dedupLoads.Load(),
 	}
 }
 
-// Close shuts the middleware down.
+// Close shuts the middleware down, severing live client connections.
 func (m *Middleware) Close() error {
 	var err error
 	if m.ln != nil {
 		err = m.ln.Close()
 	}
+	m.connMu.Lock()
+	m.closing = true
+	for c := range m.conns {
+		c.Close()
+	}
+	m.connMu.Unlock()
 	m.repo.Close()
 	m.invRaw.Close()
 	m.wg.Wait()
 	return err
+}
+
+// track registers an accepted connection for Close; it reports false
+// (and closes the connection) when the middleware is already closing.
+func (m *Middleware) track(c net.Conn) bool {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	if m.closing {
+		c.Close()
+		return false
+	}
+	m.conns[c] = struct{}{}
+	return true
+}
+
+func (m *Middleware) untrack(c net.Conn) {
+	m.connMu.Lock()
+	delete(m.conns, c)
+	m.connMu.Unlock()
 }
 
 func (m *Middleware) invalidationLoop(c *netproto.Conn) {
@@ -247,20 +329,31 @@ func (m *Middleware) invalidationLoop(c *netproto.Conn) {
 			m.cfg.Logf("invalidation stream sent %s", f.Type)
 			continue
 		}
+		if m.owned != nil {
+			if _, ok := m.owned[inv.Update.Object]; !ok {
+				// Another shard's object: the repository's stream
+				// carries every update, ownership says this one is not
+				// our business (not a drop).
+				continue
+			}
+		}
 		m.mu.Lock()
 		d, err := m.policy.OnUpdate(&inv.Update)
 		if err != nil {
 			m.mu.Unlock()
+			m.droppedInv.Add(1)
 			m.cfg.Logf("policy OnUpdate: %v", err)
 			continue
 		}
 		p, err := m.commitDecisionLocked(d)
 		m.mu.Unlock()
 		if err != nil {
+			m.droppedInv.Add(1)
 			m.cfg.Logf("apply update decision: %v", err)
 			continue
 		}
 		if err := m.executePlan(ctx, p); err != nil {
+			m.droppedInv.Add(1)
 			m.cfg.Logf("apply update decision: %v", err)
 		}
 	}
@@ -273,9 +366,13 @@ func (m *Middleware) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !m.track(conn) {
+			return
+		}
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
+			defer m.untrack(conn)
 			defer conn.Close()
 			if err := m.serveClient(netproto.NewConn(conn)); err != nil {
 				m.cfg.Logf("client %s: %v", conn.RemoteAddr(), err)
@@ -287,7 +384,7 @@ func (m *Middleware) acceptLoop() {
 func (m *Middleware) serveClient(c *netproto.Conn) error {
 	first, err := c.Recv()
 	if err != nil {
-		return ignoreClosed(err)
+		return netproto.IgnoreClosed(err)
 	}
 	hello, ok := first.Body.(netproto.Hello)
 	if !ok || first.Type != netproto.MsgHello {
@@ -298,12 +395,12 @@ func (m *Middleware) serveClient(c *netproto.Conn) error {
 			Type: netproto.MsgHelloAck,
 			Body: netproto.HelloAck{Version: netproto.ProtoV2},
 		}); err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 		return netproto.ServeMux(c, 0, func(f netproto.Frame) netproto.Frame {
 			reply, err := m.handleClientFrame(f)
 			if err != nil {
-				return errorFrame("%v", err)
+				return netproto.ErrorFrame("%v", err)
 			}
 			return reply
 		}, m.cfg.Logf)
@@ -312,14 +409,14 @@ func (m *Middleware) serveClient(c *netproto.Conn) error {
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 		reply, err := m.handleClientFrame(f)
 		if err != nil {
 			return err
 		}
 		if err := c.Send(reply); err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 	}
 }
@@ -328,8 +425,20 @@ func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error)
 	switch body := f.Body.(type) {
 	case netproto.QueryMsg:
 		return m.handleQuery(context.Background(), &body.Query), nil
+	case netproto.ShardQueryMsg:
+		// A router-scattered fragment; objects are already restricted
+		// to this shard's owned set (handleQuery verifies).
+		return m.handleQuery(context.Background(), &body.Query), nil
 	case netproto.StatsMsg:
 		return netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}, nil
+	case netproto.ClusterStatsMsg:
+		// A cluster-aware client talking to a single cache: answer as
+		// a one-shard cluster so DialCluster is transparent both ways.
+		stats := m.Stats()
+		return netproto.Frame{Type: netproto.MsgClusterStats, Body: netproto.ClusterStatsMsg{
+			Shards:    []netproto.ShardStats{{Shard: 0, Addr: m.Addr(), Alive: true, Stats: stats}},
+			Aggregate: stats,
+		}}, nil
 	default:
 		return netproto.Frame{}, fmt.Errorf("cache: client sent %s", f.Type)
 	}
@@ -342,23 +451,30 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	}
 	start := time.Now()
 	m.queries.Add(1)
+	if m.owned != nil {
+		for _, id := range q.Objects {
+			if _, ok := m.owned[id]; !ok {
+				return netproto.ErrorFrame("query %d touches object %d not owned by this shard", q.ID, id)
+			}
+		}
+	}
 
 	// Decision + bookkeeping under the lock; no I/O here.
 	m.mu.Lock()
 	d, err := m.policy.OnQuery(q)
 	if err != nil {
 		m.mu.Unlock()
-		return errorFrame("policy: %v", err)
+		return netproto.ErrorFrame("policy: %v", err)
 	}
 	p, err := m.commitDecisionLocked(d)
 	m.mu.Unlock()
 	if err != nil {
-		return errorFrame("apply: %v", err)
+		return netproto.ErrorFrame("apply: %v", err)
 	}
 
 	// Repository I/O outside the lock.
 	if err := m.executePlan(ctx, p); err != nil {
-		return errorFrame("apply: %v", err)
+		return netproto.ErrorFrame("apply: %v", err)
 	}
 	if d.ShipQuery {
 		m.shipped.Add(1)
@@ -367,11 +483,11 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 			Body: netproto.QueryMsg{Query: *q},
 		})
 		if err != nil {
-			return errorFrame("ship query: %v", err)
+			return netproto.ErrorFrame("ship query: %v", err)
 		}
 		res, ok := reply.Body.(netproto.QueryResultMsg)
 		if !ok {
-			return errorFrame("repository replied %s", reply.Type)
+			return netproto.ErrorFrame("repository replied %s", reply.Type)
 		}
 		m.ledger.Charge(cost.QueryShip, q.Cost)
 		res.Elapsed = time.Since(start)
@@ -383,6 +499,11 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	// outruns the load it depends on.
 	for _, id := range q.Objects {
 		m.loads.wait(ctx, id)
+	}
+	if m.cfg.ExecDelay > 0 {
+		m.execMu.Lock()
+		time.Sleep(m.cfg.ExecDelay)
+		m.execMu.Unlock()
 	}
 	var result netproto.QueryResultMsg
 	result.QueryID = q.ID
@@ -427,6 +548,9 @@ func (m *Middleware) commitDecisionLocked(d core.Decision) (plan, error) {
 	for _, id := range d.Load {
 		m.resident[id] = struct{}{}
 		c, leader := m.loads.register(id)
+		if !leader {
+			m.dedupLoads.Add(1)
+		}
 		p.loads = append(p.loads, pendingLoad{id: id, charge: true, call: c, leader: leader})
 	}
 	p.shipUpdates = d.ApplyUpdates
@@ -476,6 +600,8 @@ func (m *Middleware) fetchObject(ctx context.Context, id model.ObjectID, charge 
 	c, leader := m.loads.register(id)
 	if leader {
 		m.loads.start(ctx, id, c, m.loadFlight(id, charge))
+	} else {
+		m.dedupLoads.Add(1)
 	}
 	return c.await(ctx)
 }
@@ -604,17 +730,4 @@ func (g *loadGroup) wait(ctx context.Context, id model.ObjectID) {
 	case <-c.done:
 	case <-ctx.Done():
 	}
-}
-
-func errorFrame(format string, args ...any) netproto.Frame {
-	return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{
-		Message: fmt.Sprintf(format, args...),
-	}}
-}
-
-func ignoreClosed(err error) error {
-	if netproto.IsClosed(err) {
-		return nil
-	}
-	return err
 }

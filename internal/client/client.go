@@ -30,6 +30,7 @@ type options struct {
 	poolSize       int
 	dialTimeout    time.Duration
 	requestTimeout time.Duration
+	dialRetry      time.Duration
 	lockstep       bool
 }
 
@@ -39,6 +40,14 @@ func WithPoolSize(n int) Option { return func(o *options) { o.poolSize = n } }
 
 // WithDialTimeout bounds each connection attempt (default 5s).
 func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialTimeout = d } }
+
+// WithDialRetry keeps retrying a refused connection for up to d with
+// capped exponential backoff and jitter, riding out the startup race
+// of a dialer launched alongside its server (a router bringing up its
+// shards, a script starting client and cache together). The default
+// is 2s; a negative d disables retrying so a refused dial fails
+// immediately.
+func WithDialRetry(d time.Duration) Option { return func(o *options) { o.dialRetry = d } }
 
 // WithRequestTimeout applies a default per-request deadline when the
 // caller's context has none (default: no deadline).
@@ -56,21 +65,34 @@ type Client struct {
 	nextID         atomic.Int64
 }
 
-// Dial connects to the cache's client endpoint.
+// Dial connects to the cache's client endpoint. Refused connections
+// are retried with capped exponential backoff plus jitter (see
+// WithDialRetry), so dialing a node that is still binding its listener
+// succeeds instead of failing the race.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	var o options
+	o := options{dialRetry: 2 * time.Second}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	sess, err := netproto.DialSession(addr, "client", netproto.SessionConfig{
 		PoolSize:    o.poolSize,
 		DialTimeout: o.dialTimeout,
+		DialRetry:   max(o.dialRetry, 0),
 		Lockstep:    o.lockstep,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return &Client{sess: sess, requestTimeout: o.requestTimeout}, nil
+}
+
+// DialCluster connects to a cluster router's client endpoint. The
+// router speaks exactly the single-cache protocol, so this is Dial
+// with the intent spelled out; ClusterStats additionally exposes the
+// per-shard statistics breakdown (which a single cache also answers,
+// as a one-shard cluster).
+func DialCluster(addr string, opts ...Option) (*Client, error) {
+	return Dial(addr, opts...)
 }
 
 // Close terminates the connection; in-flight calls fail.
@@ -87,6 +109,12 @@ type Result struct {
 	Rows []netproto.ResultRow
 	// Elapsed is the server-side handling time.
 	Elapsed time.Duration
+	// Degraded reports a partial answer: one or more cluster shards
+	// failed, so the result covers only the surviving shards' objects.
+	// MissingShards lists the failed shard indices. Always false when
+	// talking to a single cache.
+	Degraded      bool
+	MissingShards []int
 }
 
 // Outcome pairs a query's result with its error for async delivery.
@@ -114,10 +142,12 @@ func (c *Client) Query(ctx context.Context, q model.Query) (*Result, error) {
 		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}
 	return &Result{
-		Source:  body.Source,
-		Logical: int64(body.Logical),
-		Rows:    body.Rows,
-		Elapsed: body.Elapsed,
+		Source:        body.Source,
+		Logical:       int64(body.Logical),
+		Rows:          body.Rows,
+		Elapsed:       body.Elapsed,
+		Degraded:      body.Degraded,
+		MissingShards: body.MissingShards,
 	}, nil
 }
 
@@ -165,6 +195,26 @@ func (c *Client) Stats(ctx context.Context) (*netproto.StatsMsg, error) {
 		return nil, fmt.Errorf("client: stats: %w", err)
 	}
 	stats, ok := reply.Body.(netproto.StatsMsg)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return &stats, nil
+}
+
+// ClusterStats fetches the cluster-wide statistics view: per-shard
+// StatsMsg plus the aggregate. A single (unsharded) cache answers as a
+// one-shard cluster.
+func (c *Client) ClusterStats(ctx context.Context) (*netproto.ClusterStatsMsg, error) {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgClusterStats,
+		Body: netproto.ClusterStatsMsg{},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: cluster stats: %w", err)
+	}
+	stats, ok := reply.Body.(netproto.ClusterStatsMsg)
 	if !ok {
 		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}

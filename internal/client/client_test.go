@@ -13,9 +13,45 @@ import (
 )
 
 func TestDialFailure(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1", WithDialTimeout(time.Second)); err == nil {
+	// Retry disabled: a refused dial must fail immediately.
+	if _, err := Dial("127.0.0.1:1", WithDialTimeout(time.Second), WithDialRetry(-1)); err == nil {
 		t.Error("dialing a closed port should fail")
 	}
+}
+
+// TestDialRetriesRefusedConnection starts the cache endpoint after the
+// client begins dialing: the default backoff-with-jitter retry must
+// ride out the startup race (the failure mode of a router spawned
+// alongside its shards).
+func TestDialRetriesRefusedConnection(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := netproto.NewConn(conn)
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+		_ = c.Send(netproto.Frame{Type: netproto.MsgHelloAck, Body: netproto.HelloAck{Version: netproto.ProtoV2}})
+	}()
+	cl, err := Dial(addr) // default retry window covers the 250ms gap
+	if err != nil {
+		t.Fatalf("dial with default retry failed: %v", err)
+	}
+	cl.Close()
 }
 
 // fakeCache runs a minimal v2 cache endpoint: it acknowledges the

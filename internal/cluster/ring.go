@@ -1,0 +1,221 @@
+// Package cluster scales the Delta middleware out: a partition-aware
+// routing tier that fronts N independent cache shards, each a full
+// cache.Middleware owning a deterministic subset of the data objects.
+// Ownership needs no coordination service — it is a pure function of
+// the object universe, the shard count, and the assignment mode, so
+// the router, every shard, and any out-of-band tool (delta-cache
+// -shard-index) compute identical maps from the shared survey config.
+//
+// The router scatters multi-object queries to the owning shards over
+// multiplexed netproto sessions, gathers and merges the fragments, and
+// degrades gracefully when a shard dies: surviving fragments are
+// returned with a Degraded flag instead of failing the query. Stats
+// aggregate the same way, so a client sees one cache regardless of the
+// shard count.
+package cluster
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"github.com/deltacache/delta/internal/model"
+)
+
+// Mode selects how object ownership maps to shards.
+type Mode int
+
+const (
+	// Rendezvous assigns each object independently by
+	// highest-random-weight hashing of (object, shard). Ownership is
+	// stable under shard-count changes: resizing from N to N+1 moves
+	// only the objects the new shard wins, never reshuffles the rest.
+	Rendezvous Mode = iota
+	// HTMAware assigns contiguous runs of the spatially sorted object
+	// list (HTM trixel order) to shards, balanced by object size.
+	// Spatially adjacent objects co-locate, so a cap query's cover —
+	// always a spatially contiguous object set — touches few shards.
+	HTMAware
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Rendezvous:
+		return "rendezvous"
+	case HTMAware:
+		return "htm"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name as used by command-line flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "rendezvous":
+		return Rendezvous, nil
+	case "htm", "htm-aware":
+		return HTMAware, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown ownership mode %q (want rendezvous|htm)", s)
+	}
+}
+
+// Ownership is the deterministic object→shard assignment shared by the
+// router and every shard. It is immutable after construction and safe
+// for concurrent use.
+type Ownership struct {
+	mode   Mode
+	shards int
+	owner  map[model.ObjectID]int
+	// byShard[s] lists shard s's objects, sorted by ID.
+	byShard [][]model.ObjectID
+}
+
+// NewOwnership assigns every object in the universe to one of n shards.
+func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: shard count must be positive, got %d", n)
+	}
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("cluster: empty object universe")
+	}
+	if len(objects) < n {
+		return nil, fmt.Errorf("cluster: %d objects cannot populate %d shards", len(objects), n)
+	}
+	o := &Ownership{
+		mode:    mode,
+		shards:  n,
+		owner:   make(map[model.ObjectID]int, len(objects)),
+		byShard: make([][]model.ObjectID, n),
+	}
+	switch mode {
+	case Rendezvous:
+		o.assignRendezvous(objects)
+	case HTMAware:
+		o.assignHTMAware(objects)
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %d", int(mode))
+	}
+	for s := range o.byShard {
+		slices.Sort(o.byShard[s])
+	}
+	return o, nil
+}
+
+// assignRendezvous gives each object to the shard with the highest
+// hash of (object, shard) — classic highest-random-weight hashing.
+func (o *Ownership) assignRendezvous(objects []model.Object) {
+	for _, obj := range objects {
+		best, bestScore := 0, uint64(0)
+		for s := 0; s < o.shards; s++ {
+			score := mix64(uint64(obj.ID)<<32 | uint64(s)&0xFFFFFFFF)
+			if score > bestScore {
+				best, bestScore = s, score
+			}
+		}
+		o.place(obj.ID, best)
+	}
+}
+
+// assignHTMAware sorts the universe spatially (by trixel ID, which
+// orders the HTM mesh depth-first so numeric neighbors are spatial
+// neighbors) and cuts it into n contiguous, size-balanced runs.
+// Objects without a trixel (a non-HTM universe) fall back to ID order,
+// which the survey builder also derives from sky position.
+func (o *Ownership) assignHTMAware(objects []model.Object) {
+	sorted := make([]model.Object, len(objects))
+	copy(sorted, objects)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Trixel != sorted[b].Trixel {
+			return sorted[a].Trixel < sorted[b].Trixel
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	var total int64
+	for _, obj := range sorted {
+		total += int64(obj.Size)
+	}
+	// Greedy balanced cut: close the current run once it reaches its
+	// fair share of the remaining weight, always leaving enough
+	// objects to populate the remaining shards.
+	shard, acc := 0, int64(0)
+	remaining, remainingShards := total, int64(o.shards)
+	for i, obj := range sorted {
+		objectsLeft := len(sorted) - i
+		shardsLeft := o.shards - shard
+		if shard < o.shards-1 && acc > 0 &&
+			(acc+int64(obj.Size)/2 >= remaining/remainingShards || objectsLeft <= shardsLeft) {
+			remaining -= acc
+			remainingShards--
+			shard++
+			acc = 0
+		}
+		o.place(obj.ID, shard)
+		acc += int64(obj.Size)
+	}
+}
+
+func (o *Ownership) place(id model.ObjectID, shard int) {
+	o.owner[id] = shard
+	o.byShard[shard] = append(o.byShard[shard], id)
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed 64-bit
+// mixer for rendezvous scores.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mode returns the assignment mode.
+func (o *Ownership) Mode() Mode { return o.mode }
+
+// Shards returns the shard count.
+func (o *Ownership) Shards() int { return o.shards }
+
+// Owner returns the shard owning an object, or false for an object
+// outside the universe.
+func (o *Ownership) Owner(id model.ObjectID) (int, bool) {
+	s, ok := o.owner[id]
+	return s, ok
+}
+
+// ShardObjects returns shard s's owned objects, sorted by ID.
+func (o *Ownership) ShardObjects(s int) []model.ObjectID {
+	out := make([]model.ObjectID, len(o.byShard[s]))
+	copy(out, o.byShard[s])
+	return out
+}
+
+// Filter returns the shard-local object predicate for
+// cache.Config.ObjectFilter. Objects outside the cluster's universe
+// are owned by nobody (a shard whose survey config disagrees with the
+// router's must reject the strays, not adopt them).
+func (o *Ownership) Filter(s int) func(model.ObjectID) bool {
+	return func(id model.ObjectID) bool {
+		owner, ok := o.owner[id]
+		return ok && owner == s
+	}
+}
+
+// Split partitions a query's object set by owning shard (shard indices
+// map to sorted object subsets, preserving the input's order within
+// each subset). An object outside the universe is an error: it means
+// the client and the cluster disagree about the survey.
+func (o *Ownership) Split(objs []model.ObjectID) (map[int][]model.ObjectID, error) {
+	parts := make(map[int][]model.ObjectID)
+	for _, id := range objs {
+		s, ok := o.owner[id]
+		if !ok {
+			return nil, fmt.Errorf("cluster: object %d is outside the cluster's universe", id)
+		}
+		parts[s] = append(parts[s], id)
+	}
+	return parts, nil
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func testObjects(t *testing.T, n int) []model.Object {
+	t.Helper()
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = n
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return survey.Objects()
+}
+
+func TestOwnershipCoversUniverse(t *testing.T) {
+	objects := testObjects(t, 68)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			own, err := NewOwnership(objects, shards, mode)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", mode, shards, err)
+			}
+			// Every object owned by exactly one shard; per-shard lists
+			// partition the universe.
+			total := 0
+			for s := 0; s < shards; s++ {
+				ids := own.ShardObjects(s)
+				if len(ids) == 0 {
+					t.Errorf("%s/%d: shard %d owns nothing", mode, shards, s)
+				}
+				total += len(ids)
+				filter := own.Filter(s)
+				for _, id := range ids {
+					if got, ok := own.Owner(id); !ok || got != s {
+						t.Fatalf("%s/%d: owner(%d) = %d,%v, want %d", mode, shards, id, got, ok, s)
+					}
+					if !filter(id) {
+						t.Fatalf("%s/%d: filter(%d) false for owner", mode, shards, id)
+					}
+				}
+			}
+			if total != len(objects) {
+				t.Errorf("%s/%d: shards own %d objects, universe has %d", mode, shards, total, len(objects))
+			}
+		}
+	}
+}
+
+func TestOwnershipDeterministic(t *testing.T) {
+	objects := testObjects(t, 68)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		a, err := NewOwnership(objects, 4, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A permuted universe must produce the identical assignment —
+		// the router and the shards build it independently.
+		permuted := make([]model.Object, len(objects))
+		for i, o := range objects {
+			permuted[(i*7)%len(objects)] = o
+		}
+		b, err := NewOwnership(permuted, 4, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range objects {
+			sa, _ := a.Owner(o.ID)
+			sb, _ := b.Owner(o.ID)
+			if sa != sb {
+				t.Fatalf("%s: owner(%d) differs across construction orders: %d vs %d", mode, o.ID, sa, sb)
+			}
+		}
+	}
+}
+
+// TestRendezvousStability verifies the defining property of
+// highest-random-weight hashing: growing the cluster from n to n+1
+// shards only moves objects onto the new shard — survivors keep
+// everything they had.
+func TestRendezvousStability(t *testing.T) {
+	objects := testObjects(t, 68)
+	before, err := NewOwnership(objects, 4, Rendezvous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewOwnership(objects, 5, Rendezvous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, o := range objects {
+		was, _ := before.Owner(o.ID)
+		now, _ := after.Owner(o.ID)
+		if was != now {
+			moved++
+			if now != 4 {
+				t.Errorf("object %d moved %d→%d; rendezvous may only move objects to the new shard", o.ID, was, now)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("no objects moved to the new shard (suspicious hash)")
+	}
+	if moved > len(objects)/2 {
+		t.Errorf("%d/%d objects moved; expected roughly 1/5", moved, len(objects))
+	}
+}
+
+// TestHTMAwareLocality checks the mode's purpose: a cap query's cover
+// (a spatially contiguous object set) should touch few shards —
+// strictly fewer scatter fragments on average than rendezvous
+// placement of the same universe.
+func TestHTMAwareLocality(t *testing.T) {
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 68
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects := survey.Objects()
+	const shards = 8
+	htmOwn, err := NewOwnership(objects, shards, HTMAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdvOwn, err := NewOwnership(objects, shards, Rendezvous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := func(own *Ownership, ids []model.ObjectID) int {
+		parts, err := own.Split(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(parts)
+	}
+	var htmTotal, rdvTotal int
+	caps := 0
+	for ra := 0.0; ra < 360; ra += 30 {
+		for _, dec := range []float64{-45, 0, 45} {
+			ids := survey.CoverCap(geom.CapFromRADec(ra, dec, 4))
+			if len(ids) < 2 {
+				continue
+			}
+			caps++
+			htmTotal += touched(htmOwn, ids)
+			rdvTotal += touched(rdvOwn, ids)
+		}
+	}
+	if caps == 0 {
+		t.Fatal("no multi-object caps generated")
+	}
+	if htmTotal >= rdvTotal {
+		t.Errorf("HTM-aware placement touches %d shard-fragments over %d caps, rendezvous %d; spatial co-location should scatter less",
+			htmTotal, caps, rdvTotal)
+	}
+}
+
+// TestHTMAwareBalance checks that size-balanced cutting keeps the
+// heaviest shard within a reasonable factor of the mean.
+func TestHTMAwareBalance(t *testing.T) {
+	objects := testObjects(t, 68)
+	const shards = 4
+	own, err := NewOwnership(objects, shards, HTMAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeOf := make(map[model.ObjectID]cost.Bytes, len(objects))
+	var total cost.Bytes
+	for _, o := range objects {
+		sizeOf[o.ID] = o.Size
+		total += o.Size
+	}
+	mean := total / shards
+	for s := 0; s < shards; s++ {
+		var sum cost.Bytes
+		for _, id := range own.ShardObjects(s) {
+			sum += sizeOf[id]
+		}
+		// The survey's object sizes span orders of magnitude (50 MB –
+		// 90 GB), so a single giant object bounds achievable balance;
+		// 2.5× mean catches gross mis-cuts without flaking on skew.
+		if sum > mean*5/2 {
+			t.Errorf("shard %d holds %v of %v total (mean %v)", s, sum, total, mean)
+		}
+	}
+}
+
+func TestSplitRejectsUnknownObject(t *testing.T) {
+	objects := testObjects(t, 16)
+	own, err := NewOwnership(objects, 2, Rendezvous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := own.Split([]model.ObjectID{1, 999}); err == nil {
+		t.Error("Split accepted an object outside the universe")
+	}
+}
+
+func TestOwnershipRejectsBadShapes(t *testing.T) {
+	objects := testObjects(t, 16)
+	if _, err := NewOwnership(objects, 0, Rendezvous); err == nil {
+		t.Error("accepted zero shards")
+	}
+	if _, err := NewOwnership(objects, 17, Rendezvous); err == nil {
+		t.Error("accepted more shards than objects")
+	}
+	if _, err := NewOwnership(nil, 1, Rendezvous); err == nil {
+		t.Error("accepted empty universe")
+	}
+}

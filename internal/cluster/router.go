@@ -1,0 +1,485 @@
+package cluster
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Addr is the client-facing listen address.
+	Addr string
+	// Shards lists the client endpoints of the cache shards, indexed
+	// by shard number; the order must match the Ownership assignment.
+	Shards []string
+	// Ownership maps objects to shard indices; its shard count must
+	// equal len(Shards).
+	Ownership *Ownership
+	// ShardPool is how many connections back each shard session
+	// (each one multiplexes; 0 means a small default).
+	ShardPool int
+	// DialTimeout bounds each shard connection attempt. Defaults to 5s.
+	DialTimeout time.Duration
+	// DialRetry keeps retrying refused shard connections for this
+	// long (a router typically starts alongside its shards). Defaults
+	// to 2s; negative disables.
+	DialRetry time.Duration
+	// ShardTimeout bounds each shard round trip. Without it a wedged
+	// — alive but unresponsive — shard would hang queries forever
+	// instead of degrading them (Session only fails on connection
+	// death). Defaults to 30s.
+	ShardTimeout time.Duration
+	// StatsTimeout bounds each shard's stats probe. Defaults to 5s.
+	StatsTimeout time.Duration
+	// Logf logs events; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// Router is a running cluster routing tier. To clients it looks
+// exactly like a single cache.Middleware: it accepts the same hellos,
+// answers MsgQuery and MsgStats, and additionally serves
+// MsgClusterStats with the per-shard breakdown.
+type Router struct {
+	cfg    Config
+	ln     net.Listener
+	shards []*shardLink
+
+	queries   atomic.Int64
+	scattered atomic.Int64 // queries split across ≥2 shards
+	degraded  atomic.Int64 // queries answered without every fragment
+
+	wg sync.WaitGroup
+
+	// connMu guards the accepted-connection set so Close can sever
+	// live clients instead of waiting for them to hang up.
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+}
+
+// shardLink is the router's session to one shard.
+type shardLink struct {
+	index int
+	addr  string
+	sess  *netproto.Session
+}
+
+// NewRouter connects a router to its shards. Every shard must be
+// dialable (after DialRetry's grace for startup races).
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard")
+	}
+	if cfg.Ownership == nil {
+		return nil, fmt.Errorf("cluster: router needs an ownership map")
+	}
+	if cfg.Ownership.Shards() != len(cfg.Shards) {
+		return nil, fmt.Errorf("cluster: ownership spans %d shards, router fronts %d",
+			cfg.Ownership.Shards(), len(cfg.Shards))
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.ShardPool <= 0 {
+		cfg.ShardPool = 2
+	}
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 2 * time.Second
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 30 * time.Second
+	}
+	if cfg.StatsTimeout <= 0 {
+		cfg.StatsTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	r := &Router{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	for i, addr := range cfg.Shards {
+		sess, err := netproto.DialSession(addr, "client", netproto.SessionConfig{
+			PoolSize:    cfg.ShardPool,
+			DialTimeout: cfg.DialTimeout,
+			DialRetry:   max(cfg.DialRetry, 0),
+		})
+		if err != nil {
+			r.closeShards()
+			return nil, fmt.Errorf("cluster: dial shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, &shardLink{index: i, addr: addr, sess: sess})
+	}
+	return r, nil
+}
+
+// Start begins serving clients.
+func (r *Router) Start() error {
+	ln, err := net.Listen("tcp", r.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen: %w", err)
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	r.cfg.Logf("cluster router listening on %s (%d shards, %s ownership)",
+		ln.Addr(), len(r.shards), r.cfg.Ownership.Mode())
+	return nil
+}
+
+// Addr returns the client-facing address, or "" before Start.
+func (r *Router) Addr() string {
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// Close shuts the router down, severing live client connections (the
+// shards keep running; they are not the router's to stop).
+func (r *Router) Close() error {
+	var err error
+	if r.ln != nil {
+		err = r.ln.Close()
+	}
+	r.connMu.Lock()
+	r.closing = true
+	for c := range r.conns {
+		c.Close()
+	}
+	r.connMu.Unlock()
+	r.closeShards()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Router) closeShards() {
+	for _, s := range r.shards {
+		s.sess.Close()
+	}
+}
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		r.connMu.Lock()
+		if r.closing {
+			r.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		r.conns[conn] = struct{}{}
+		r.connMu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				r.connMu.Lock()
+				delete(r.conns, conn)
+				r.connMu.Unlock()
+				conn.Close()
+			}()
+			if err := r.serveClient(netproto.NewConn(conn)); err != nil {
+				r.cfg.Logf("client %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serveClient mirrors the cache's client lifecycle: Hello (→ HelloAck
+// for v2 peers, then multiplexed dispatch), lockstep for v1 peers.
+func (r *Router) serveClient(c *netproto.Conn) error {
+	first, err := c.Recv()
+	if err != nil {
+		return netproto.IgnoreClosed(err)
+	}
+	hello, ok := first.Body.(netproto.Hello)
+	if !ok || first.Type != netproto.MsgHello {
+		return fmt.Errorf("cluster: expected hello, got %s", first.Type)
+	}
+	if netproto.NegotiateVersion(hello.Version) >= netproto.ProtoV2 {
+		if err := c.Send(netproto.Frame{
+			Type: netproto.MsgHelloAck,
+			Body: netproto.HelloAck{Version: netproto.ProtoV2},
+		}); err != nil {
+			return netproto.IgnoreClosed(err)
+		}
+		return netproto.ServeMux(c, 0, r.handleClientFrame, r.cfg.Logf)
+	}
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return netproto.IgnoreClosed(err)
+		}
+		if err := c.Send(r.handleClientFrame(f)); err != nil {
+			return netproto.IgnoreClosed(err)
+		}
+	}
+}
+
+func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
+	ctx := context.Background()
+	switch body := f.Body.(type) {
+	case netproto.QueryMsg:
+		return r.routeQuery(ctx, &body.Query)
+	case netproto.StatsMsg:
+		cs := r.clusterStats(ctx)
+		return netproto.Frame{Type: netproto.MsgStats, Body: cs.Aggregate}
+	case netproto.ClusterStatsMsg:
+		return netproto.Frame{Type: netproto.MsgClusterStats, Body: r.clusterStats(ctx)}
+	default:
+		return netproto.ErrorFrame("cluster: client sent %s", f.Type)
+	}
+}
+
+// fragment is one shard's slice of a scattered query.
+type fragment struct {
+	shard *shardLink
+	query model.Query
+}
+
+// routeQuery scatters a query to the shards owning its objects,
+// gathers the fragments, and merges them into one result. If some —
+// but not all — fragments fail, the merged result is returned with
+// Degraded set and the failed shards listed, so a dead shard degrades
+// answers instead of failing them.
+func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame {
+	r.queries.Add(1)
+	if len(q.Objects) == 0 {
+		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
+	}
+	parts, err := r.cfg.Ownership.Split(q.Objects)
+	if err != nil {
+		return netproto.ErrorFrame("query %d: %v", q.ID, err)
+	}
+	frags := r.fragments(q, parts)
+	if len(frags) > 1 {
+		r.scattered.Add(1)
+	}
+
+	type outcome struct {
+		shard int
+		res   netproto.QueryResultMsg
+		err   error
+	}
+	outs := make([]outcome, len(frags))
+	var wg sync.WaitGroup
+	for i, fr := range frags {
+		wg.Add(1)
+		go func(i int, fr fragment) {
+			defer wg.Done()
+			outs[i].shard = fr.shard.index
+			ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			reply, err := fr.shard.sess.RoundTrip(ctx, netproto.Frame{
+				Type: netproto.MsgShardQuery,
+				Body: netproto.ShardQueryMsg{Query: fr.query, Shard: fr.shard.index, Fragments: len(frags)},
+			})
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			res, ok := reply.Body.(netproto.QueryResultMsg)
+			if !ok {
+				outs[i].err = fmt.Errorf("shard %d replied %s", fr.shard.index, reply.Type)
+				return
+			}
+			outs[i].res = res
+		}(i, fr)
+	}
+	wg.Wait()
+
+	merged := netproto.QueryResultMsg{QueryID: q.ID}
+	var (
+		okCount  int
+		anyCache bool
+		anyRepo  bool
+		firstErr error
+	)
+	for _, out := range outs {
+		if out.err != nil {
+			merged.Degraded = true
+			merged.MissingShards = append(merged.MissingShards, out.shard)
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			r.cfg.Logf("query %d: shard %d fragment failed: %v", q.ID, out.shard, out.err)
+			continue
+		}
+		okCount++
+		merged.Logical += out.res.Logical
+		merged.Rows = append(merged.Rows, out.res.Rows...)
+		// Cap the merged payload at what a single node may ship
+		// (PayloadLen's MaxFrame/2 bound): fragments past the cap are
+		// truncated rather than risking an oversized reply frame that
+		// would poison the client connection. Payloads are scaled
+		// stand-ins; Logical stays the authoritative full size.
+		if len(merged.Payload)+len(out.res.Payload) <= netproto.MaxFrame/2 {
+			merged.Payload = append(merged.Payload, out.res.Payload...)
+		}
+		if out.res.Elapsed > merged.Elapsed {
+			merged.Elapsed = out.res.Elapsed
+		}
+		switch out.res.Source {
+		case "cache":
+			anyCache = true
+		default:
+			anyRepo = true
+		}
+	}
+	if okCount == 0 {
+		// Nothing to degrade to: every owning shard failed.
+		return netproto.ErrorFrame("query %d: all %d owning shards failed: %v", q.ID, len(frags), firstErr)
+	}
+	if merged.Degraded {
+		r.degraded.Add(1)
+		slices.Sort(merged.MissingShards)
+	}
+	switch {
+	case anyCache && anyRepo:
+		merged.Source = "mixed"
+	case anyCache:
+		merged.Source = "cache"
+	default:
+		merged.Source = "repository"
+	}
+	return netproto.Frame{Type: netproto.MsgQueryResult, Body: merged}
+}
+
+// fragments builds the per-shard sub-queries. Each fragment keeps the
+// query's identity, time, and tolerance; the result cost ν(q) is split
+// across fragments proportionally to their object counts, with the
+// remainder charged to the first fragment so the shares sum exactly to
+// the original cost.
+func (r *Router) fragments(q *model.Query, parts map[int][]model.ObjectID) []fragment {
+	shardIdxs := make([]int, 0, len(parts))
+	for s := range parts {
+		shardIdxs = append(shardIdxs, s)
+	}
+	slices.Sort(shardIdxs)
+	frags := make([]fragment, 0, len(shardIdxs))
+	var assigned cost.Bytes
+	for _, s := range shardIdxs {
+		sub := *q
+		sub.Objects = parts[s]
+		sub.Cost = q.Cost * cost.Bytes(len(parts[s])) / cost.Bytes(len(q.Objects))
+		assigned += sub.Cost
+		frags = append(frags, fragment{shard: r.shards[s], query: sub})
+	}
+	frags[0].query.Cost += q.Cost - assigned
+	return frags
+}
+
+// clusterStats probes every shard's StatsMsg in parallel and builds
+// the cluster-wide view. A shard that fails to answer is reported
+// not-alive and the view marked degraded; the aggregate covers the
+// survivors.
+func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
+	out := netproto.ClusterStatsMsg{Shards: make([]netproto.ShardStats, len(r.shards))}
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *shardLink) {
+			defer wg.Done()
+			st := &out.Shards[i]
+			st.Shard = s.index
+			st.Addr = s.addr
+			ctx, cancel := context.WithTimeout(ctx, r.cfg.StatsTimeout)
+			defer cancel()
+			reply, err := s.sess.RoundTrip(ctx, netproto.Frame{
+				Type: netproto.MsgStats, Body: netproto.StatsMsg{},
+			})
+			if err != nil {
+				st.Err = err.Error()
+				return
+			}
+			stats, ok := reply.Body.(netproto.StatsMsg)
+			if !ok {
+				st.Err = fmt.Sprintf("shard replied %s", reply.Type)
+				return
+			}
+			st.Alive = true
+			st.Stats = stats
+		}(i, s)
+	}
+	wg.Wait()
+	for _, st := range out.Shards {
+		if !st.Alive {
+			out.Degraded = true
+			continue
+		}
+		agg := &out.Aggregate
+		agg.Ledger.QueryShip += st.Stats.Ledger.QueryShip
+		agg.Ledger.UpdateShip += st.Stats.Ledger.UpdateShip
+		agg.Ledger.ObjectLoad += st.Stats.Ledger.ObjectLoad
+		agg.Ledger.QueryShips += st.Stats.Ledger.QueryShips
+		agg.Ledger.UpdateShips += st.Stats.Ledger.UpdateShips
+		agg.Ledger.ObjectLoads += st.Stats.Ledger.ObjectLoads
+		agg.Queries += st.Stats.Queries
+		agg.AtCache += st.Stats.AtCache
+		agg.Shipped += st.Stats.Shipped
+		agg.DroppedInvalidations += st.Stats.DroppedInvalidations
+		agg.DedupedLoads += st.Stats.DedupedLoads
+		agg.Cached = append(agg.Cached, st.Stats.Cached...)
+		if agg.Policy == "" && st.Stats.Policy != "" {
+			agg.Policy = fmt.Sprintf("cluster(%s×%d)", st.Stats.Policy, len(r.shards))
+		}
+	}
+	slices.SortFunc(out.Aggregate.Cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
+	return out
+}
+
+// ShardInfo describes one shard in a topology snapshot.
+type ShardInfo struct {
+	Index int
+	Addr  string
+	// Alive reports whether the router still has a usable session to
+	// the shard.
+	Alive bool
+	// Objects is the shard's owned object set.
+	Objects []model.ObjectID
+}
+
+// Topology is a point-in-time snapshot of the cluster's shape, the
+// input rebalance experiments diff before and after resizing.
+type Topology struct {
+	Mode   Mode
+	Shards []ShardInfo
+}
+
+// Topology snapshots the live shard topology.
+func (r *Router) Topology() Topology {
+	t := Topology{Mode: r.cfg.Ownership.Mode()}
+	for _, s := range r.shards {
+		t.Shards = append(t.Shards, ShardInfo{
+			Index:   s.index,
+			Addr:    s.addr,
+			Alive:   s.sess.Live(),
+			Objects: r.cfg.Ownership.ShardObjects(s.index),
+		})
+	}
+	return t
+}
+
+// Queries returns how many client queries the router has routed.
+func (r *Router) Queries() int64 { return r.queries.Load() }
+
+// Scattered returns how many routed queries were split across two or
+// more shards.
+func (r *Router) Scattered() int64 { return r.scattered.Load() }
+
+// Degraded returns how many routed queries were answered without
+// every fragment because a shard failed.
+func (r *Router) Degraded() int64 { return r.degraded.Load() }

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/deltacache/delta/internal/cache"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// LocalConfig parameterizes SpawnLocal.
+type LocalConfig struct {
+	// RepoAddr is the repository every shard loads from.
+	RepoAddr string
+	// Objects is the full object universe (each shard owns a subset).
+	Objects []model.Object
+	// Shards is how many cache shards to spawn.
+	Shards int
+	// Mode selects the ownership assignment. Defaults to HTMAware.
+	Mode Mode
+	// ShardCapacity is each shard's cache size. Zero sizes every shard
+	// to hold its entire owned subset (the replicated-cluster shape).
+	ShardCapacity cost.Bytes
+	// Policy builds one policy instance per shard; nil defaults each
+	// shard to VCover.
+	Policy func(shard int) core.Policy
+	// Scale converts logical sizes to physical payloads.
+	Scale netproto.PayloadScale
+	// ExecDelay is each shard's simulated local scan time (see
+	// cache.Config.ExecDelay).
+	ExecDelay time.Duration
+	// RepoPool is each shard's repository session pool size.
+	RepoPool int
+	// RouterPool is the router's per-shard session pool size.
+	RouterPool int
+	// Logf logs events; nil silences.
+	Logf func(format string, args ...any)
+}
+
+// LocalCluster is an in-process sharded deployment: N cache shards and
+// the router fronting them, all on loopback. Tests, benchmarks, and
+// examples use it to stand up a whole topology in a few milliseconds.
+type LocalCluster struct {
+	Ownership *Ownership
+	Shards    []*cache.Middleware
+	Router    *Router
+}
+
+// SpawnLocal builds the ownership map, spawns every shard (each a full
+// cache.Middleware restricted to its owned objects), and starts the
+// router over them.
+func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("cluster: shard count must be positive")
+	}
+	own, err := NewOwnership(cfg.Objects, cfg.Shards, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LocalCluster{Ownership: own}
+	fail := func(err error) (*LocalCluster, error) {
+		lc.Close()
+		return nil, err
+	}
+	addrs := make([]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		capacity := cfg.ShardCapacity
+		if capacity == 0 {
+			for _, id := range own.ShardObjects(s) {
+				for _, o := range cfg.Objects {
+					if o.ID == id {
+						capacity += o.Size
+						break
+					}
+				}
+			}
+		}
+		var policy core.Policy
+		if cfg.Policy != nil {
+			policy = cfg.Policy(s)
+		}
+		mw, err := cache.New(cache.Config{
+			RepoAddr:     cfg.RepoAddr,
+			RepoPool:     cfg.RepoPool,
+			Policy:       policy,
+			Objects:      cfg.Objects,
+			ObjectFilter: own.Filter(s),
+			Capacity:     capacity,
+			Scale:        cfg.Scale,
+			ExecDelay:    cfg.ExecDelay,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("cluster: shard %d: %w", s, err))
+		}
+		lc.Shards = append(lc.Shards, mw)
+		if err := mw.Start(); err != nil {
+			return fail(fmt.Errorf("cluster: shard %d: %w", s, err))
+		}
+		addrs[s] = mw.Addr()
+	}
+	router, err := NewRouter(Config{
+		Shards:    addrs,
+		Ownership: own,
+		ShardPool: cfg.RouterPool,
+		Logf:      cfg.Logf,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	lc.Router = router
+	if err := router.Start(); err != nil {
+		return fail(err)
+	}
+	return lc, nil
+}
+
+// Close tears the whole topology down, router first.
+func (lc *LocalCluster) Close() error {
+	var err error
+	if lc.Router != nil {
+		err = lc.Router.Close()
+	}
+	for _, s := range lc.Shards {
+		if e := s.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

@@ -181,6 +181,105 @@ func TestAdaptiveSplitFollowsDensity(t *testing.T) {
 	}
 }
 
+// unassignedLeaves returns the leaves BuildLeveled left without an
+// object of their own (they adopt the nearest assigned object).
+func unassignedLeaves(p *Partition) []leaf {
+	var out []leaf
+	for _, l := range p.leaves {
+		if p.objects[l.objIdx].ID != l.trixel.ID {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestCoverOnUnassignedTrixels aims caps at the trixels BuildLeveled
+// dropped ("partitions which weren't queried at all"): a cap wholly
+// inside an unassigned trixel must still cover the trixel's adopted
+// owner, so every sky position stays queryable.
+func TestCoverOnUnassignedTrixels(t *testing.T) {
+	// 68 objects from the 128-trixel level: 60 leaves stay unassigned,
+	// clustered away from the gaussian hotspot.
+	p, err := BuildLeveled(gaussianWeight, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := unassignedLeaves(p)
+	if len(dropped) == 0 {
+		t.Fatal("leveled build dropped no trixels; test premise broken")
+	}
+	for _, l := range dropped {
+		if l.objIdx < 0 || l.objIdx >= p.N() {
+			t.Fatalf("unassigned trixel %d has invalid adopted owner %d", l.trixel.ID, l.objIdx)
+		}
+		// A small cap at the unassigned trixel's center lies (mostly)
+		// inside it; its cover must include the adopted owner even
+		// though the owner's own trixel may be far away.
+		c := geom.NewCap(l.trixel.Center(), 0.5)
+		cover := p.Cover(c)
+		if len(cover) == 0 {
+			t.Fatalf("empty cover for cap on unassigned trixel %d", l.trixel.ID)
+		}
+		found := false
+		for _, idx := range cover {
+			if idx < 0 || idx >= p.N() {
+				t.Fatalf("cover contains invalid object index %d", idx)
+			}
+			if idx == l.objIdx {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cover %v of cap on unassigned trixel %d misses adopted owner %d",
+				cover, l.trixel.ID, l.objIdx)
+		}
+	}
+}
+
+// TestCoverStraddlesAssignedBoundary spans caps across the border
+// between an assigned and an unassigned leaf: the cover must include
+// both the assigned object and the unassigned side's adopted owner,
+// and must stay consistent with point location for positions inside
+// the cap.
+func TestCoverStraddlesAssignedBoundary(t *testing.T) {
+	p, err := BuildLeveled(gaussianWeight, 68)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	straddles := 0
+	for _, l := range unassignedLeaves(p) {
+		// A cap big enough to spill out of the leaf into neighbors.
+		center := l.trixel.Center()
+		c := geom.NewCap(center, 8)
+		cover := p.Cover(c)
+		inCover := make(map[int]bool, len(cover))
+		for _, idx := range cover {
+			inCover[idx] = true
+		}
+		// Point location of any position inside the cap must land in
+		// the cover — including positions in the unassigned leaf
+		// itself and in its (possibly assigned) neighbors.
+		sawDistinct := make(map[int]bool)
+		for i := 0; i < 64; i++ {
+			v := center.Add(randomPoint(rng).Scale(0.1)).Normalize()
+			if c.Contains(v) {
+				owner := p.ObjectFor(v)
+				sawDistinct[owner] = true
+				if !inCover[owner] {
+					t.Fatalf("position owned by %d inside cap not in cover %v", owner, cover)
+				}
+			}
+		}
+		if len(sawDistinct) > 1 {
+			straddles++
+		}
+	}
+	if straddles == 0 {
+		t.Skip("no cap straddled distinct owners; enlarge radius")
+	}
+}
+
 func TestWeightsMatchObjectCount(t *testing.T) {
 	p, err := BuildPartition(gaussianWeight, 91)
 	if err != nil {

@@ -74,6 +74,20 @@ func IsClosed(err error) bool {
 		errors.Is(err, net.ErrClosed)
 }
 
+// IgnoreClosed nils an orderly-shutdown error (per IsClosed), which
+// serve loops treat as a clean exit rather than a failure to report.
+func IgnoreClosed(err error) error {
+	if IsClosed(err) {
+		return nil
+	}
+	return err
+}
+
+// ErrorFrame builds a MsgError reply from a format string.
+func ErrorFrame(format string, args ...any) Frame {
+	return Frame{Type: MsgError, Body: ErrorMsg{Message: fmt.Sprintf(format, args...)}}
+}
+
 // PayloadScale converts logical sizes to physical payload bytes.
 type PayloadScale struct {
 	// BytesPerGB is how many physical bytes represent one logical
@@ -133,6 +147,12 @@ const (
 	// MsgHelloAck acknowledges a v2 Hello with the negotiated
 	// version (never sent to v1 peers).
 	MsgHelloAck
+	// MsgShardQuery ships one fragment of a scattered query from a
+	// cluster router to the shard that owns the fragment's objects.
+	MsgShardQuery
+	// MsgClusterStats requests / carries the cluster-wide statistics
+	// view (per-shard StatsMsg plus the aggregate).
+	MsgClusterStats
 )
 
 // String implements fmt.Stringer.
@@ -144,6 +164,7 @@ func (t MsgType) String() string {
 		MsgObjectData: "object-data", MsgInvalidate: "invalidate",
 		MsgStats: "stats", MsgError: "error", MsgClientQuery: "client-query",
 		MsgHello: "hello", MsgHelloAck: "hello-ack",
+		MsgShardQuery: "shard-query", MsgClusterStats: "cluster-stats",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -186,10 +207,19 @@ type QueryResultMsg struct {
 	Rows []ResultRow
 	// Payload is the scaled physical payload.
 	Payload []byte
-	// Source says who answered: "cache" or "repository".
+	// Source says who answered: "cache" or "repository" ("mixed" for
+	// a scatter/gather answer assembled from both).
 	Source string
 	// Elapsed is the server-side processing time.
 	Elapsed time.Duration
+	// Degraded marks a scatter/gather answer assembled without every
+	// fragment: one or more owning shards failed, so the result covers
+	// only the surviving shards' objects. Single-node answers never
+	// set it.
+	Degraded bool
+	// MissingShards lists the shard indices whose fragments failed
+	// when Degraded is set.
+	MissingShards []int
 }
 
 // ResultRow is one row of a demo result set.
@@ -243,11 +273,51 @@ type StatsMsg struct {
 	Queries int64
 	AtCache int64
 	Shipped int64
-	// DroppedInvalidations counts invalidation notices the repository
-	// discarded because a subscriber's buffer was full (the
-	// non-blocking pipeline send). Dropped notices cost freshness,
-	// not correctness; this makes them observable.
+	// DroppedInvalidations counts invalidation notices that were
+	// discarded rather than applied: at the repository, notices a full
+	// subscriber buffer forced it to drop (the non-blocking pipeline
+	// send); at the cache, notices whose policy application failed.
+	// Dropped notices cost freshness, not correctness; this makes
+	// them observable.
 	DroppedInvalidations int64
+	// DedupedLoads counts object loads the cache's per-object
+	// singleflight collapsed into an already-running flight instead of
+	// issuing a second repository round trip.
+	DedupedLoads int64
+}
+
+// ShardQueryMsg is the router→shard leg of a scattered query: the
+// fragment's Query.Objects are restricted to the receiving shard's
+// owned set. Shard and Fragments are routing metadata so the shard
+// (and its logs/traces) can tell fragments from whole client queries.
+type ShardQueryMsg struct {
+	Query model.Query
+	// Shard is the receiving shard's index in the cluster topology.
+	Shard int
+	// Fragments is how many fragments the original query was split
+	// into (1 for a query wholly owned by one shard).
+	Fragments int
+}
+
+// ShardStats is one shard's slice of a cluster statistics view.
+type ShardStats struct {
+	Shard int
+	Addr  string
+	// Alive reports whether the shard answered the stats probe; Err
+	// carries the failure when it did not.
+	Alive bool
+	Err   string
+	Stats StatsMsg
+}
+
+// ClusterStatsMsg carries the cluster-wide statistics view: every
+// shard's StatsMsg plus the aggregate a single-cache client would see.
+// A single (unsharded) cache answers with itself as the only shard.
+type ClusterStatsMsg struct {
+	Shards    []ShardStats
+	Aggregate StatsMsg
+	// Degraded is set when at least one shard failed to report.
+	Degraded bool
 }
 
 // ErrorMsg carries a failure description.
@@ -277,6 +347,8 @@ func init() {
 	gob.Register(InvalidateMsg{})
 	gob.Register(StatsMsg{})
 	gob.Register(ErrorMsg{})
+	gob.Register(ShardQueryMsg{})
+	gob.Register(ClusterStatsMsg{})
 }
 
 // Conn wraps a stream with gob-encoded frames. Both directions use a

@@ -2,10 +2,13 @@ package netproto
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -30,6 +33,14 @@ type SessionConfig struct {
 	// connection, replies in order, no handshake ack. Use it to talk
 	// to pre-v2 servers.
 	Lockstep bool
+	// DialRetry, when positive, keeps retrying a refused connection
+	// for up to this total elapsed time with capped exponential
+	// backoff and jitter. Connection-refused is the transient race of
+	// a dialer starting alongside its server (a cluster router racing
+	// shard startup, a client racing the router); other dial failures
+	// (no route, timeout, DNS) still fail immediately. Zero disables
+	// retrying.
+	DialRetry time.Duration
 }
 
 // Session is a concurrency-safe request/response channel to a Delta
@@ -92,8 +103,35 @@ func DialSession(addr, role string, cfg SessionConfig) (*Session, error) {
 	return s, nil
 }
 
+// dialRetry dials addr, retrying connection-refused failures with
+// capped exponential backoff plus jitter for up to cfg.DialRetry of
+// elapsed time. The jitter desynchronizes a fleet of dialers all
+// racing the same server's startup.
+func dialRetry(addr string, cfg SessionConfig) (net.Conn, error) {
+	deadline := time.Now().Add(cfg.DialRetry)
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	for {
+		nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err == nil || cfg.DialRetry <= 0 ||
+			!errors.Is(err, syscall.ECONNREFUSED) || !time.Now().Before(deadline) {
+			return nc, err
+		}
+		// Full jitter over (0, backoff]: retries spread instead of
+		// thundering onto the server the instant it binds.
+		sleep := time.Duration(rand.Int64N(int64(backoff))) + 1
+		if remain := time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
 func dialSessionConn(addr, role string, cfg SessionConfig) (*sessionConn, error) {
-	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	nc, err := dialRetry(addr, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("netproto: dial %s: %w", addr, err)
 	}
@@ -292,6 +330,24 @@ func (s *Session) pick() *sessionConn {
 		}
 	}
 	return nil
+}
+
+// Live reports whether the session still has at least one usable
+// connection (routers use it to snapshot shard liveness without
+// issuing a probe request).
+func (s *Session) Live() bool {
+	if s.closed.Load() {
+		return false
+	}
+	for _, sc := range s.conns {
+		sc.mu.Lock()
+		dead := sc.dead
+		sc.mu.Unlock()
+		if !dead {
+			return true
+		}
+	}
+	return false
 }
 
 // Close tears the session down; in-flight round trips fail.

@@ -341,6 +341,167 @@ func TestSessionFailsPendingOnDisconnect(t *testing.T) {
 	}
 }
 
+// TestSessionPoolExhaustedUnderCancellation drives a pooled session
+// against a server that accepts requests but never answers them:
+// cancelled round trips must return promptly and deregister their
+// waiters (no pending-map leak), and once every pooled connection is
+// dead the session must fail new requests immediately instead of
+// hanging.
+func TestSessionPoolExhaustedUnderCancellation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var (
+		connMu   sync.Mutex
+		accepted []net.Conn
+	)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connMu.Lock()
+			accepted = append(accepted, conn)
+			connMu.Unlock()
+			go func() {
+				c := NewConn(conn)
+				if _, err := c.Recv(); err != nil { // hello
+					return
+				}
+				_ = c.Send(Frame{Type: MsgHelloAck, Body: HelloAck{Version: ProtoV2}})
+				for { // swallow requests, never reply
+					if _, err := c.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	s, err := DialSession(ln.Addr().String(), "client", SessionConfig{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Saturate the pool with requests that get cancelled.
+	const inFlight = 8
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			_, err := s.RoundTrip(ctx, Frame{Type: MsgQuery, Body: QueryMsg{
+				Query: model.Query{ID: model.QueryID(i + 1), Objects: []model.ObjectID{1}, Cost: 1},
+			}})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("request %d: err = %v, want deadline exceeded", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every abandoned waiter must have been deregistered.
+	for i, sc := range s.conns {
+		sc.mu.Lock()
+		n := len(sc.pending)
+		sc.mu.Unlock()
+		if n != 0 {
+			t.Errorf("conn %d leaks %d pending waiters after cancellation", i, n)
+		}
+	}
+
+	// An already-cancelled context must not consume a connection slot.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RoundTrip(cancelled, Frame{Type: MsgQuery, Body: QueryMsg{
+		Query: model.Query{ID: 99, Objects: []model.ObjectID{1}, Cost: 1},
+	}}); err == nil {
+		t.Error("round trip with pre-cancelled context succeeded")
+	}
+
+	// Kill every pooled connection: the session is exhausted and must
+	// fail fast, not hang waiting for a reply that cannot come.
+	connMu.Lock()
+	for _, c := range accepted {
+		c.Close()
+	}
+	connMu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.RoundTrip(context.Background(), Frame{Type: MsgQuery, Body: QueryMsg{
+				Query: model.Query{ID: 100, Objects: []model.ObjectID{1}, Cost: 1},
+			}})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("round trip on an exhausted pool succeeded")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("round trip on an exhausted pool hung")
+		}
+		if !s.Live() {
+			break // both readers noticed; Live and RoundTrip agree
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never noticed both connections died")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDialRetryRidesOutStartupRace reserves an address, starts the
+// server only after a delay, and dials with DialRetry: the dial must
+// ride out the refused attempts and succeed once the listener binds.
+func TestDialRetryRidesOutStartupRace(t *testing.T) {
+	// Reserve a port, then free it for the late-starting server.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	// Without retry, the dial must fail immediately.
+	start := time.Now()
+	if _, err := DialSession(addr, "client", SessionConfig{}); err == nil {
+		t.Fatal("dial of an unbound port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("retry-less dial took %v; refused should fail fast", elapsed)
+	}
+
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port got reused; the dial will fail the test below
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(conn)
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+		_ = c.Send(Frame{Type: MsgHelloAck, Body: HelloAck{Version: ProtoV2}})
+	}()
+	s, err := DialSession(addr, "client", SessionConfig{DialRetry: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("dial with retry failed: %v", err)
+	}
+	s.Close()
+}
+
 func TestIsClosed(t *testing.T) {
 	if IsClosed(nil) {
 		t.Error("nil is not closed")

@@ -217,7 +217,7 @@ func (r *Repository) servePipeline(c *netproto.Conn) error {
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 		feed, ok := f.Body.(netproto.UpdateFeedMsg)
 		if !ok {
@@ -251,7 +251,7 @@ func (r *Repository) serveInvalidations(nc net.Conn, c *netproto.Conn) error {
 			Type: netproto.MsgInvalidate,
 			Body: netproto.InvalidateMsg{Update: u},
 		}); err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 	}
 	_ = nc // held open until server close
@@ -274,10 +274,10 @@ func (r *Repository) serveRequests(c *netproto.Conn, version int) error {
 	for {
 		f, err := c.Recv()
 		if err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 		if err := c.Send(r.handleRequest(f)); err != nil {
-			return ignoreClosed(err)
+			return netproto.IgnoreClosed(err)
 		}
 	}
 }
@@ -299,21 +299,21 @@ func (r *Repository) handleRequest(f netproto.Frame) netproto.Frame {
 			DroppedInvalidations: r.droppedInvalidations.Load(),
 		}}
 	default:
-		return errorFrame("unsupported request %s", f.Type)
+		return netproto.ErrorFrame("unsupported request %s", f.Type)
 	}
 }
 
 func (r *Repository) execQuery(q *model.Query) netproto.Frame {
 	start := time.Now()
 	if len(q.Objects) == 0 {
-		return errorFrame("query %d accesses no objects", q.ID)
+		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
 	}
 	if r.cfg.ExecDelay > 0 {
 		time.Sleep(r.cfg.ExecDelay)
 	}
 	for _, id := range q.Objects {
 		if _, err := r.cfg.Survey.Object(id); err != nil {
-			return errorFrame("query %d: %v", q.ID, err)
+			return netproto.ErrorFrame("query %d: %v", q.ID, err)
 		}
 	}
 	r.ledger.Charge(cost.QueryShip, q.Cost)
@@ -338,7 +338,7 @@ func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
 		u, ok := r.updates[id]
 		if !ok {
 			r.mu.Unlock()
-			return errorFrame("unknown update %d", id)
+			return netproto.ErrorFrame("unknown update %d", id)
 		}
 		ships = append(ships, u)
 		total += u.Cost
@@ -354,7 +354,7 @@ func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
 func (r *Repository) loadObject(id model.ObjectID) netproto.Frame {
 	obj, err := r.cfg.Survey.Object(id)
 	if err != nil {
-		return errorFrame("load: %v", err)
+		return netproto.ErrorFrame("load: %v", err)
 	}
 	r.mu.Lock()
 	var fresh time.Duration
@@ -391,17 +391,4 @@ func (r *Repository) sampleRowsFor(objs []model.ObjectID) []netproto.ResultRow {
 		}
 	}
 	return rows
-}
-
-func errorFrame(format string, args ...any) netproto.Frame {
-	return netproto.Frame{Type: netproto.MsgError, Body: netproto.ErrorMsg{
-		Message: fmt.Sprintf(format, args...),
-	}}
-}
-
-func ignoreClosed(err error) error {
-	if netproto.IsClosed(err) {
-		return nil
-	}
-	return err
 }
