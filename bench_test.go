@@ -426,6 +426,199 @@ func writeClusterScalingJSON(b *testing.B, dir string, shardCounts []int, qps ma
 	b.Logf("wrote %s", path)
 }
 
+// BenchmarkRebalance measures live elastic resharding: a 4→8 resize
+// under continuous load from 24 clients, in two modes. "warm" streams
+// the moving objects' cached state shard-to-shard during the resize;
+// "cold" flips routing identically but skips the migration — the
+// restart baseline, where new owners start empty. Reported per mode:
+// queries served per second while the resize ran (the cluster must
+// keep serving), the resize wall time, and the cache hit rate
+// immediately after (warm should retain ~100%, cold loses roughly the
+// moving fraction). When BENCH_JSON_DIR is set the run also writes
+// BENCH_rebalance.json for the CI bench trajectory.
+func BenchmarkRebalance(b *testing.B) {
+	var results []rebalanceModeResult
+	for _, mode := range []struct {
+		name string
+		skip bool
+	}{
+		{name: "warm", skip: false},
+		{name: "cold", skip: true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last rebalanceModeResult
+			for iter := 0; iter < b.N; iter++ {
+				last = runRebalanceScenario(b, mode.name, mode.skip)
+			}
+			b.ReportMetric(last.QPSDuringResize, "resize_queries/s")
+			b.ReportMetric(last.HitRateAfter, "hitRateAfter")
+			b.ReportMetric(last.ResizeMillis, "resizeMillis")
+			results = append(results, last)
+		})
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		out := struct {
+			Benchmark string                `json:"benchmark"`
+			Timestamp time.Time             `json:"timestamp"`
+			Modes     []rebalanceModeResult `json:"modes"`
+		}{Benchmark: "BenchmarkRebalance", Timestamp: time.Now().UTC(), Modes: results}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_rebalance.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
+// rebalanceModeResult is one BenchmarkRebalance mode's measurement,
+// as serialized into BENCH_rebalance.json.
+type rebalanceModeResult struct {
+	Name            string  `json:"name"`
+	HitRateBefore   float64 `json:"hitRateBefore"`
+	HitRateAfter    float64 `json:"hitRateAfter"`
+	QPSDuringResize float64 `json:"qpsDuringResize"`
+	ResizeMillis    float64 `json:"resizeMillis"`
+	MovedObjects    int64   `json:"movedObjects"`
+}
+
+// runRebalanceScenario stands up a warmed 4-shard cluster, drives
+// continuous load, resizes to 8 shards live, and measures the window.
+func runRebalanceScenario(b *testing.B, name string, skipMigration bool) (res rebalanceModeResult) {
+	b.Helper()
+	const (
+		nClients = 24
+		nObjects = 32
+	)
+	res.Name = name
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = nObjects
+	scfg.TotalSize = 32 * cost.GB
+	scfg.MinObjectSize = cost.GB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr:  repo.Addr(),
+		Objects:   survey.Objects(),
+		Shards:    4,
+		Mode:      cluster.HTMAware,
+		Scale:     netproto.PayloadScale{},
+		ExecDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+
+	ctx := context.Background()
+	objects := survey.Objects()
+	sweep := func() float64 {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		hits := 0
+		for _, o := range objects {
+			r, err := cl.Query(ctx, model.Query{
+				Objects: []model.ObjectID{o.ID}, Cost: cost.KB,
+				Tolerance: model.AnyStaleness, Time: time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Source == "cache" {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(objects))
+	}
+
+	// Warm every object into its owning shard (the query's cost covers
+	// the load cost, so VCover loads it).
+	{
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range objects {
+			if _, err := cl.Query(ctx, model.Query{
+				Objects: []model.ObjectID{o.ID}, Cost: o.Size,
+				Tolerance: model.AnyStaleness, Time: time.Second,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cl.Close()
+	}
+	res.HitRateBefore = sweep()
+
+	var (
+		stop    atomic.Bool
+		served  atomic.Int64
+		wg      sync.WaitGroup
+		clients []*client.Client
+	)
+	for c := 0; c < nClients; c++ {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, cl)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				pick := int(uint64(c*1_000_003+i) * 11400714819323198485 % uint64(len(objects)))
+				if _, err := cl.Query(ctx, model.Query{
+					Objects: []model.ObjectID{objects[pick].ID}, Cost: cost.KB,
+					Tolerance: model.AnyStaleness,
+					Time:      time.Minute + time.Duration(i)*time.Millisecond,
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(150 * time.Millisecond) // steady state before the resize
+
+	before := served.Load()
+	start := time.Now()
+	st, err := lc.Resize(ctx, 8, skipMigration)
+	elapsed := time.Since(start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.ResizeMillis = float64(elapsed.Milliseconds())
+	res.QPSDuringResize = float64(served.Load()-before) / elapsed.Seconds()
+	res.MovedObjects = st.MovedObjects
+
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	res.HitRateAfter = sweep()
+	return res
+}
+
 // --- ablations for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblationCounterLoading compares the paper's randomized cost

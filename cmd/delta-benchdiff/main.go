@@ -1,0 +1,203 @@
+// Command delta-benchdiff turns the BENCH_*.json artifacts the
+// benchmarks emit into a tracked performance trajectory: it compares
+// the current run's files against the previous run's, renders a
+// markdown table (for $GITHUB_STEP_SUMMARY), and flags throughput
+// regressions beyond a threshold.
+//
+//	delta-benchdiff -prev prev/ -cur . -max-regress 0.25 -summary "$GITHUB_STEP_SUMMARY"
+//
+// Metrics are discovered generically: every numeric leaf of each JSON
+// file becomes a dotted-path metric, so new benchmarks join the
+// trajectory by writing a BENCH_*.json, with no changes here. Keys
+// matching -throughput-keys (default: anything containing
+// "queriespersec", "qps" or "hitrate", case-insensitively) are
+// higher-is-better and participate in regression checks; timestamps
+// and other metadata are compared but never flagged.
+//
+// By default a regression prints a GitHub warning annotation
+// (::warning::) and exits 0 — single-iteration benchmarks on shared
+// CI runners are noisy, and a trajectory that cries wolf gets
+// ignored. Pass -strict to exit 1 instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delta-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		prevDir   = flag.String("prev", "", "directory with the previous run's BENCH_*.json (empty or missing: first run, nothing to compare)")
+		curDir    = flag.String("cur", ".", "directory with the current run's BENCH_*.json")
+		maxReg    = flag.Float64("max-regress", 0.25, "maximum tolerated fractional drop in throughput metrics")
+		strict    = flag.Bool("strict", false, "exit 1 on regression instead of printing a ::warning:: annotation")
+		summary   = flag.String("summary", "", "append the markdown trajectory table to this file (e.g. $GITHUB_STEP_SUMMARY); empty: stdout")
+		keyExpr   = flag.String("throughput-keys", "(?i)queriespersec|qps|hitrate", "regexp selecting higher-is-better metrics for the regression check")
+		skipExpr  = flag.String("skip-keys", "(?i)timestamp", "regexp selecting metrics to omit entirely")
+		benchGlob = flag.String("glob", "BENCH_*.json", "artifact filename pattern")
+	)
+	flag.Parse()
+	thrRe, err := regexp.Compile(*keyExpr)
+	if err != nil {
+		return fmt.Errorf("bad -throughput-keys: %w", err)
+	}
+	skipRe, err := regexp.Compile(*skipExpr)
+	if err != nil {
+		return fmt.Errorf("bad -skip-keys: %w", err)
+	}
+
+	curFiles, err := filepath.Glob(filepath.Join(*curDir, *benchGlob))
+	if err != nil {
+		return err
+	}
+	if len(curFiles) == 0 {
+		return fmt.Errorf("no %s under %s — did the benchmarks run?", *benchGlob, *curDir)
+	}
+	sort.Strings(curFiles)
+
+	var b strings.Builder
+	b.WriteString("## Benchmark trajectory\n\n")
+	b.WriteString("| benchmark | metric | previous | current | Δ |\n")
+	b.WriteString("|---|---|---:|---:|---:|\n")
+	var regressions []string
+	for _, curFile := range curFiles {
+		name := filepath.Base(curFile)
+		cur, err := flattenFile(curFile)
+		if err != nil {
+			return fmt.Errorf("%s: %w", curFile, err)
+		}
+		prev := map[string]float64{}
+		if *prevDir != "" {
+			if p, err := flattenFile(filepath.Join(*prevDir, name)); err == nil {
+				prev = p
+			}
+		}
+		keys := make([]string, 0, len(cur))
+		for k := range cur {
+			if !skipRe.MatchString(k) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			curV := cur[k]
+			prevV, hasPrev := prev[k]
+			delta := "n/a"
+			if hasPrev && prevV != 0 {
+				pct := (curV - prevV) / prevV * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if thrRe.MatchString(k) && curV < prevV*(1-*maxReg) {
+					regressions = append(regressions,
+						fmt.Sprintf("%s %s: %.2f → %.2f (%.1f%% drop, threshold %.0f%%)",
+							name, k, prevV, curV, -pct, *maxReg*100))
+				}
+			}
+			prevS := "—"
+			if hasPrev {
+				prevS = trimFloat(prevV)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", name, k, prevS, trimFloat(curV), delta)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(&b, "\n**⚠ %d throughput regression(s) beyond %.0f%%:**\n\n", len(regressions), *maxReg*100)
+		for _, r := range regressions {
+			fmt.Fprintf(&b, "- %s\n", r)
+		}
+	} else {
+		b.WriteString("\nNo throughput regressions beyond the threshold.\n")
+	}
+
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.WriteString(b.String()); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(b.String())
+	}
+
+	for _, r := range regressions {
+		// GitHub annotation: shows on the workflow run and the PR.
+		fmt.Printf("::warning title=bench regression::%s\n", r)
+	}
+	if *strict && len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s)", len(regressions))
+	}
+	return nil
+}
+
+// flattenFile reads a JSON document and flattens every numeric leaf to
+// a dotted-path metric. Array elements prefer a discriminating sibling
+// field (e.g. rows with {"shards": 4, ...} flatten to rows[shards=4])
+// so trajectories stay aligned when rows reorder.
+func flattenFile(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	flatten("", doc, out)
+	return out, nil
+}
+
+// labelFields are sibling keys tried, in order, to label array
+// elements stably.
+var labelFields = []string{"shards", "name", "mode", "id"}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, sub, out)
+		}
+	case []any:
+		for i, sub := range t {
+			label := fmt.Sprintf("%d", i)
+			if m, ok := sub.(map[string]any); ok {
+				for _, lf := range labelFields {
+					if lv, ok := m[lf]; ok {
+						label = fmt.Sprintf("%s=%v", lf, lv)
+						break
+					}
+				}
+			}
+			flatten(fmt.Sprintf("%s[%s]", prefix, label), sub, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+// trimFloat renders a float compactly (integers without decimals).
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%.3f", f)
+}

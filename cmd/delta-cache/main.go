@@ -83,32 +83,29 @@ func run() error {
 	// whole survey standalone, the owned subset as a shard.
 	capacity := cost.Bytes(float64(ownedSize) * *cacheFrac)
 
-	var policy core.Policy
-	switch *policyName {
-	case "vcover":
-		policy = core.NewVCover(core.DefaultVCoverConfig())
-	case "benefit":
-		policy = core.NewBenefit(core.DefaultBenefitConfig())
-	case "nocache":
-		policy = core.NewNoCache()
-	case "replica":
-		policy = core.NewReplica()
-	default:
-		return fmt.Errorf("unknown policy %q", *policyName)
+	// The factory (rather than a one-shot instance) is what lets a
+	// live cluster resize rebuild the policy over a new owned
+	// universe (cache.Middleware.Reshard).
+	policyFactory, err := policyFactoryFor(*policyName)
+	if err != nil {
+		return err
 	}
 
 	mw, err := cache.New(cache.Config{
-		Addr:         *addr,
-		RepoAddr:     *repoAddr,
-		RepoPool:     *repoPool,
-		Policy:       policy,
-		Objects:      survey.Objects(),
-		ObjectFilter: filter,
-		Capacity:     capacity,
-		Scale:        netproto.PayloadScale{BytesPerGB: *bytesPerGB},
-		Serialized:   *serialized,
-		ExecDelay:    *execDelay,
-		Logf:         log.Printf,
+		Addr:          *addr,
+		RepoAddr:      *repoAddr,
+		RepoPool:      *repoPool,
+		PolicyFactory: policyFactory,
+		Objects:       survey.Objects(),
+		ObjectFilter:  filter,
+		Capacity:      capacity,
+		// Across live reshards the cache keeps holding the same
+		// fraction of whatever it currently owns.
+		ReshardCapacity: cache.FractionalCapacity(*cacheFrac),
+		Scale:           netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		Serialized:      *serialized,
+		ExecDelay:       *execDelay,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err
@@ -118,9 +115,9 @@ func run() error {
 	}
 	if *shardIdx >= 0 {
 		log.Printf("cache ready on %s as shard %d/%d (policy %s, capacity %v)",
-			mw.Addr(), *shardIdx, *shardCount, policy.Name(), capacity)
+			mw.Addr(), *shardIdx, *shardCount, *policyName, capacity)
 	} else {
-		log.Printf("cache ready on %s (policy %s, capacity %v)", mw.Addr(), policy.Name(), capacity)
+		log.Printf("cache ready on %s (policy %s, capacity %v)", mw.Addr(), *policyName, capacity)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -128,4 +125,19 @@ func run() error {
 	<-stop
 	log.Printf("shutting down; final ledger: %+v", mw.Ledger())
 	return mw.Close()
+}
+
+func policyFactoryFor(name string) (func() core.Policy, error) {
+	switch name {
+	case "vcover":
+		return func() core.Policy { return core.NewVCover(core.DefaultVCoverConfig()) }, nil
+	case "benefit":
+		return func() core.Policy { return core.NewBenefit(core.DefaultBenefitConfig()) }, nil
+	case "nocache":
+		return func() core.Policy { return core.NewNoCache() }, nil
+	case "replica":
+		return func() core.Policy { return core.NewReplica() }, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,8 @@ func run() error {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		stats     = flag.Bool("stats", false, "print cache statistics")
 		cstats    = flag.Bool("cluster-stats", false, "print per-shard cluster statistics (routers; a single cache answers as one shard)")
+		resize    = flag.String("resize", "", "resize the cluster live to this comma-separated shard address list (routers only)")
+		rebStatus = flag.Bool("rebalance-status", false, "print the router's rebalance progress view")
 		objects   = flag.Int("objects", 68, "objects (must match deployment)")
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
 	)
@@ -76,11 +79,17 @@ func run() error {
 		if err := runDemo(ctx, cl, survey, *demo, *workers, start); err != nil {
 			return err
 		}
-	case *stats || *cstats:
+	case *resize != "":
+		st, err := cl.Resize(ctx, strings.Split(*resize, ","))
+		if err != nil {
+			return err
+		}
+		printRebalance(st)
+	case *stats || *cstats || *rebStatus:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -sql, -demo, -stats, -cluster-stats is required")
+		return fmt.Errorf("one of -sql, -demo, -stats, -cluster-stats, -resize, -rebalance-status is required")
 	}
 
 	if *stats || *demo > 0 {
@@ -112,7 +121,22 @@ func run() error {
 		fmt.Println("aggregate:")
 		printStats(&cs.Aggregate)
 	}
+	if *rebStatus {
+		st, err := cl.RebalanceStatus(ctx)
+		if err != nil {
+			return err
+		}
+		printRebalance(st)
+	}
 	return nil
+}
+
+func printRebalance(st *netproto.RebalanceStatusMsg) {
+	fmt.Printf("rebalance: phase=%s epoch=%d shards %d→%d moved=%d objects (%v) completed=%d\n",
+		st.Phase, st.Epoch, st.From, st.To, st.MovedObjects, st.MovedBytes, st.Completed)
+	if st.LastError != "" {
+		fmt.Printf("  last error: %s\n", st.LastError)
+	}
 }
 
 func printStats(st *netproto.StatsMsg) {
@@ -120,8 +144,8 @@ func printStats(st *netproto.StatsMsg) {
 		st.Policy, st.Queries, st.AtCache, st.Shipped)
 	fmt.Printf("traffic: query-ship=%v update-ship=%v loads=%v total=%v\n",
 		st.Ledger.QueryShip, st.Ledger.UpdateShip, st.Ledger.ObjectLoad, st.Ledger.Total())
-	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d\n",
-		st.DroppedInvalidations, st.DedupedLoads)
+	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d migrated-in=%d migrated-out=%d\n",
+		st.DroppedInvalidations, st.DedupedLoads, st.MigratedIn, st.MigratedOut)
 	fmt.Printf("cached objects: %v\n", st.Cached)
 }
 

@@ -10,6 +10,16 @@
 //
 // Clients connect to the router exactly as they would to a single
 // cache; multi-object queries scatter to the owning shards and merge.
+//
+// The router also serves the live-resize admin frames: start the new
+// shards (e.g. `-shard-index 2 -shard-count 4` and `-shard-index 3
+// -shard-count 4`) and then
+//
+//	delta-client -cache :7708 -resize 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803,127.0.0.1:7804
+//
+// takes the cluster from 2 to 4 shards while it serves, streaming the
+// moving objects' cached state shard-to-shard (see docs/CLUSTER.md,
+// "Resizing a live cluster").
 package main
 
 import (

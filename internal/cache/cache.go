@@ -48,8 +48,16 @@ type Config struct {
 	// for this long with backoff (a cache often starts alongside its
 	// repository). Zero means a 5s default; negative disables.
 	RepoDialRetry time.Duration
-	// Policy decides; nil defaults to VCover.
+	// Policy decides; nil defaults to VCover (built via PolicyFactory
+	// when that is set).
 	Policy core.Policy
+	// PolicyFactory builds a fresh policy instance for a resharded
+	// universe: a live cluster resize swaps the node's policy
+	// wholesale (the decision framework is Init-once by design), so a
+	// node must know how to construct a new one. Nil disables live
+	// resharding for this node. When Policy is nil and PolicyFactory
+	// is set, the initial policy also comes from the factory.
+	PolicyFactory func() core.Policy
 	// Objects is the object universe (must match the repository's).
 	Objects []model.Object
 	// ObjectFilter, when non-nil, restricts this node to the objects
@@ -61,6 +69,11 @@ type Config struct {
 	ObjectFilter func(model.ObjectID) bool
 	// Capacity is the cache size.
 	Capacity cost.Bytes
+	// ReshardCapacity recomputes the node's capacity for a new owned
+	// universe during a live reshard (e.g. a fixed fraction of the
+	// owned data, or exactly its size for the replicated shape). Nil
+	// keeps Capacity fixed across reshards.
+	ReshardCapacity func(owned []model.Object) cost.Bytes
 	// Scale converts logical sizes to physical payloads.
 	Scale netproto.PayloadScale
 	// SampleRows optionally provides catalog rows so locally answered
@@ -89,12 +102,17 @@ type Middleware struct {
 	ledger cost.Ledger
 	repo   *netproto.Session
 
-	// mu guards the policy and the residency map. The decision
-	// framework is sequential by design; network I/O never happens
-	// under this lock.
+	// mu guards the policy, the residency map, the owned set and the
+	// reshard epoch (all swapped together by a live reshard). The
+	// decision framework is sequential by design; network I/O never
+	// happens under this lock.
 	mu       sync.Mutex
 	policy   core.Policy
 	resident map[model.ObjectID]struct{}
+	// reshardEpoch is the newest routing epoch this node has resharded
+	// for; older MsgReshard frames (delayed retries from a superseded
+	// resize) are rejected instead of clobbering newer state.
+	reshardEpoch int
 
 	// serialMu implements Config.Serialized (benchmark baseline).
 	serialMu sync.Mutex
@@ -104,16 +122,21 @@ type Middleware struct {
 	execMu sync.Mutex
 
 	// owned is the filtered object universe (nil when the node owns
-	// everything).
+	// everything); guarded by mu since reshards replace it live.
 	owned map[model.ObjectID]struct{}
+	// byID indexes the full configured universe for reshard and
+	// migration lookups (immutable after New).
+	byID map[model.ObjectID]model.Object
 
 	loads loadGroup
 
-	queries    atomic.Int64
-	atCache    atomic.Int64
-	shipped    atomic.Int64
-	droppedInv atomic.Int64
-	dedupLoads atomic.Int64
+	queries     atomic.Int64
+	atCache     atomic.Int64
+	shipped     atomic.Int64
+	droppedInv  atomic.Int64
+	dedupLoads  atomic.Int64
+	migratedIn  atomic.Int64
+	migratedOut atomic.Int64
 
 	invRaw net.Conn
 	wg     sync.WaitGroup
@@ -161,13 +184,22 @@ func New(cfg Config) (*Middleware, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	if cfg.Policy == nil {
-		cfg.Policy = core.NewVCover(core.DefaultVCoverConfig())
+		if cfg.PolicyFactory != nil {
+			cfg.Policy = cfg.PolicyFactory()
+		}
+		if cfg.Policy == nil {
+			cfg.Policy = core.NewVCover(core.DefaultVCoverConfig())
+		}
 	}
 	m := &Middleware{
 		cfg:      cfg,
 		policy:   cfg.Policy,
 		resident: make(map[model.ObjectID]struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		byID:     make(map[model.ObjectID]model.Object, len(cfg.Objects)),
+	}
+	for _, o := range cfg.Objects {
+		m.byID[o.ID] = o
 	}
 	universe := cfg.Objects
 	if cfg.ObjectFilter != nil {
@@ -276,6 +308,8 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 		Shipped:              m.shipped.Load(),
 		DroppedInvalidations: m.droppedInv.Load(),
 		DedupedLoads:         m.dedupLoads.Load(),
+		MigratedIn:           m.migratedIn.Load(),
+		MigratedOut:          m.migratedOut.Load(),
 	}
 }
 
@@ -329,15 +363,16 @@ func (m *Middleware) invalidationLoop(c *netproto.Conn) {
 			m.cfg.Logf("invalidation stream sent %s", f.Type)
 			continue
 		}
+		m.mu.Lock()
 		if m.owned != nil {
 			if _, ok := m.owned[inv.Update.Object]; !ok {
 				// Another shard's object: the repository's stream
 				// carries every update, ownership says this one is not
 				// our business (not a drop).
+				m.mu.Unlock()
 				continue
 			}
 		}
-		m.mu.Lock()
 		d, err := m.policy.OnUpdate(&inv.Update)
 		if err != nil {
 			m.mu.Unlock()
@@ -431,6 +466,16 @@ func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error)
 		return m.handleQuery(context.Background(), &body.Query), nil
 	case netproto.StatsMsg:
 		return netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}, nil
+	case netproto.ReshardMsg:
+		return m.handleReshard(body)
+	case netproto.MigrateBeginMsg:
+		return m.handleMigrateOut(context.Background(), body)
+	case netproto.MigrateChunkMsg:
+		return m.handleMigrateChunk(body)
+	case netproto.MigrateDoneMsg:
+		// The source sums the per-chunk ack counts into Imported; the
+		// destination just acknowledges the totals.
+		return netproto.Frame{Type: netproto.MsgMigrateDone, Body: body}, nil
 	case netproto.ClusterStatsMsg:
 		// A cluster-aware client talking to a single cache: answer as
 		// a one-shard cluster so DialCluster is transparent both ways.
@@ -451,16 +496,19 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	}
 	start := time.Now()
 	m.queries.Add(1)
+
+	// Decision + bookkeeping under the lock; no I/O here. The owned
+	// check shares the critical section because a live reshard swaps
+	// the owned set and the policy together.
+	m.mu.Lock()
 	if m.owned != nil {
 		for _, id := range q.Objects {
 			if _, ok := m.owned[id]; !ok {
+				m.mu.Unlock()
 				return netproto.ErrorFrame("query %d touches object %d not owned by this shard", q.ID, id)
 			}
 		}
 	}
-
-	// Decision + bookkeeping under the lock; no I/O here.
-	m.mu.Lock()
 	d, err := m.policy.OnQuery(q)
 	if err != nil {
 		m.mu.Unlock()

@@ -1,0 +1,287 @@
+// Live resharding and warm cache migration. A cluster resize changes
+// which objects this node owns; instead of restarting the node cold,
+// the router drives three operations implemented here:
+//
+//   - Reshard: atomically replace the owned object set. The policy is
+//     rebuilt for the new universe (the decision framework is
+//     Init-once by design) and still-owned resident objects are
+//     carried over warm via core.Warmable; residents the node no
+//     longer owns are dropped for free.
+//   - Migrate-out (MsgMigrateBegin): stream the cached state of the
+//     listed objects to a sibling shard, chunked under the frame
+//     limit, over an ordinary v2 session — shard to shard, not
+//     through the router.
+//   - Migrate-in (MsgMigrateChunk/Done): adopt objects a sibling
+//     streamed to us, again via core.Warmable, skipping anything we
+//     do not own or already hold.
+//
+// None of it touches the repository: a warm move costs intra-cluster
+// traffic only, which is the point — the repository ledger (the
+// paper's objective function) sees no reload for moved objects.
+package cache
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"time"
+
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// migrateChunkObjects bounds how many objects ride in one
+// MsgMigrateChunk; migrateChunkPayload bounds the chunk's summed
+// physical payload well under netproto.MaxFrame.
+const (
+	migrateChunkObjects = 64
+	migrateChunkPayload = 1 << 20
+)
+
+// migrateRoundTripTimeout bounds each chunk round trip of an outbound
+// migration stream (a wedged destination must not hold the source's
+// mux worker forever).
+const migrateRoundTripTimeout = 30 * time.Second
+
+// Reshard atomically replaces the node's owned object set with exactly
+// owned (a subset of the configured universe). A fresh policy is built
+// from Config.PolicyFactory and initialized over the new universe;
+// resident objects still owned are adopted warm (core.Warmable),
+// everything else is discarded. It returns how many cached objects
+// survived and how many were dropped.
+//
+// Residency optimism carries over: an object whose load is still in
+// flight at swap time is adopted as resident; if that load ultimately
+// fails, the rollback leaves the new policy believing the object is
+// cached — the same divergence a failed load always causes here.
+func (m *Middleware) Reshard(epoch int, owned []model.ObjectID) (resident, dropped int, err error) {
+	if m.cfg.PolicyFactory == nil {
+		return 0, 0, fmt.Errorf("cache: no policy factory configured; live reshard unavailable")
+	}
+	want := make(map[model.ObjectID]struct{}, len(owned))
+	for _, id := range owned {
+		if _, ok := m.byID[id]; !ok {
+			return 0, 0, fmt.Errorf("cache: reshard names object %d outside the configured universe", id)
+		}
+		want[id] = struct{}{}
+	}
+	universe := make([]model.Object, 0, len(want))
+	for _, o := range m.cfg.Objects {
+		if _, ok := want[o.ID]; ok {
+			universe = append(universe, o)
+		}
+	}
+	if len(universe) == 0 {
+		return 0, 0, fmt.Errorf("cache: reshard leaves the node with no objects")
+	}
+	capacity := m.cfg.Capacity
+	if m.cfg.ReshardCapacity != nil {
+		capacity = m.cfg.ReshardCapacity(universe)
+	}
+	policy := m.cfg.PolicyFactory()
+	if policy == nil {
+		return 0, 0, fmt.Errorf("cache: policy factory returned nil")
+	}
+	if err := policy.Init(universe, capacity); err != nil {
+		return 0, 0, fmt.Errorf("cache: reshard init: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Reject frames from a superseded resize: a reshard that timed out
+	// router-side can still arrive late, and applying it would clobber
+	// the owned set a newer epoch installed. Widen and narrow share an
+	// epoch, so equality is allowed.
+	if epoch < m.reshardEpoch {
+		return 0, 0, fmt.Errorf("cache: reshard for epoch %d superseded by epoch %d", epoch, m.reshardEpoch)
+	}
+	m.reshardEpoch = epoch
+	carried := make([]model.ObjectID, 0, len(m.resident))
+	for id := range m.resident {
+		if _, ok := want[id]; ok {
+			carried = append(carried, id)
+		}
+	}
+	slices.Sort(carried) // deterministic adoption order under capacity pressure
+	var adopted []model.ObjectID
+	if w, ok := policy.(core.Warmable); ok {
+		adopted, err = w.Warm(carried)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cache: reshard warm: %w", err)
+		}
+	}
+	dropped = len(m.resident) - len(adopted)
+	m.resident = make(map[model.ObjectID]struct{}, len(adopted))
+	for _, id := range adopted {
+		m.resident[id] = struct{}{}
+	}
+	m.policy = policy
+	m.owned = want
+	m.cfg.Logf("reshard epoch %d: %d objects owned, %d resident carried, %d dropped (capacity %v)",
+		epoch, len(want), len(adopted), dropped, capacity)
+	return len(adopted), dropped, nil
+}
+
+// handleReshard serves MsgReshard: the router's filter-swap command.
+func (m *Middleware) handleReshard(body netproto.ReshardMsg) (netproto.Frame, error) {
+	resident, droppedCount, err := m.Reshard(body.Epoch, body.Owned)
+	if err != nil {
+		return netproto.Frame{}, err
+	}
+	return netproto.Frame{Type: netproto.MsgReshard, Body: netproto.ReshardMsg{
+		Epoch:    body.Epoch,
+		Resident: resident,
+		Dropped:  droppedCount,
+	}}, nil
+}
+
+// handleMigrateOut serves MsgMigrateBegin: stream the cached state of
+// the requested objects to the destination shard. Only the resident
+// subset travels — the destination loads the rest cold on first use.
+// The residency snapshot is taken under the lock; the streaming runs
+// outside it on a dedicated session to the destination.
+func (m *Middleware) handleMigrateOut(ctx context.Context, body netproto.MigrateBeginMsg) (netproto.Frame, error) {
+	if body.Dest == "" {
+		return netproto.Frame{}, fmt.Errorf("cache: migrate-begin without destination")
+	}
+	m.mu.Lock()
+	objs := make([]model.Object, 0, len(body.Objects))
+	for _, id := range body.Objects {
+		if _, ok := m.resident[id]; !ok {
+			continue
+		}
+		if obj, ok := m.byID[id]; ok {
+			objs = append(objs, obj)
+		}
+	}
+	m.mu.Unlock()
+
+	summary := netproto.MigrateBeginMsg{Epoch: body.Epoch, Dest: body.Dest}
+	if len(objs) == 0 {
+		return netproto.Frame{Type: netproto.MsgMigrateBegin, Body: summary}, nil
+	}
+
+	sess, err := netproto.DialSession(body.Dest, "cache", netproto.SessionConfig{PoolSize: 1})
+	if err != nil {
+		return netproto.Frame{}, fmt.Errorf("cache: migrate dial %s: %w", body.Dest, err)
+	}
+	defer sess.Close()
+
+	var chunk []netproto.MigratedObject
+	var chunkPayload int
+	var imported int64
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		ctx, cancel := context.WithTimeout(ctx, migrateRoundTripTimeout)
+		defer cancel()
+		reply, err := sess.RoundTrip(ctx, netproto.Frame{
+			Type: netproto.MsgMigrateChunk,
+			Body: netproto.MigrateChunkMsg{Epoch: body.Epoch, Objects: chunk},
+		})
+		if err != nil {
+			return fmt.Errorf("cache: migrate chunk to %s: %w", body.Dest, err)
+		}
+		ack, ok := reply.Body.(netproto.MigrateChunkMsg)
+		if !ok {
+			return fmt.Errorf("cache: %s replied %s to migrate chunk", body.Dest, reply.Type)
+		}
+		imported += int64(ack.Imported)
+		chunk, chunkPayload = nil, 0
+		return nil
+	}
+	for _, obj := range objs {
+		payload := netproto.MakePayload(m.cfg.Scale, obj.Size, int64(obj.ID))
+		if len(chunk) >= migrateChunkObjects || chunkPayload+len(payload) > migrateChunkPayload {
+			if err := flush(); err != nil {
+				return netproto.Frame{}, err
+			}
+		}
+		chunk = append(chunk, netproto.MigratedObject{Object: obj, Payload: payload})
+		chunkPayload += len(payload)
+		summary.Moved++
+		summary.MovedBytes += obj.Size
+	}
+	if err := flush(); err != nil {
+		return netproto.Frame{}, err
+	}
+	{
+		ctx, cancel := context.WithTimeout(ctx, migrateRoundTripTimeout)
+		defer cancel()
+		if _, err := sess.RoundTrip(ctx, netproto.Frame{
+			Type: netproto.MsgMigrateDone,
+			Body: netproto.MigrateDoneMsg{Epoch: body.Epoch, Sent: summary.Moved, Imported: imported},
+		}); err != nil {
+			return netproto.Frame{}, fmt.Errorf("cache: migrate done to %s: %w", body.Dest, err)
+		}
+	}
+	m.migratedOut.Add(summary.Moved)
+	m.cfg.Logf("migrated %d objects (%v) to %s for epoch %d",
+		summary.Moved, summary.MovedBytes, body.Dest, body.Epoch)
+	return netproto.Frame{Type: netproto.MsgMigrateBegin, Body: summary}, nil
+}
+
+// handleMigrateChunk serves MsgMigrateChunk: adopt migrated objects we
+// own and do not already hold. Objects the policy declines (capacity,
+// or a policy that cannot warm) are skipped, not failed — they load
+// cold later, which costs traffic but never correctness.
+func (m *Middleware) handleMigrateChunk(body netproto.MigrateChunkMsg) (netproto.Frame, error) {
+	imported := 0
+	m.mu.Lock()
+	for _, mo := range body.Objects {
+		id := mo.Object.ID
+		if m.owned != nil {
+			if _, ok := m.owned[id]; !ok {
+				continue
+			}
+		}
+		if _, dup := m.resident[id]; dup {
+			continue
+		}
+		w, ok := m.policy.(core.Warmable)
+		if !ok {
+			break
+		}
+		adopted, err := w.Warm([]model.ObjectID{id})
+		if err != nil || len(adopted) == 0 {
+			if err != nil {
+				m.cfg.Logf("migrate-in object %d: %v", id, err)
+			}
+			continue
+		}
+		m.resident[id] = struct{}{}
+		imported++
+	}
+	m.mu.Unlock()
+	m.migratedIn.Add(int64(imported))
+	return netproto.Frame{Type: netproto.MsgMigrateChunk, Body: netproto.MigrateChunkMsg{
+		Epoch:    body.Epoch,
+		Imported: imported,
+	}}, nil
+}
+
+// sumSizes totals a universe's object sizes — the replicated-shape
+// capacity helper reshard-capable deployments use.
+func sumSizes(objs []model.Object) cost.Bytes {
+	var total cost.Bytes
+	for _, o := range objs {
+		total += o.Size
+	}
+	return total
+}
+
+// ReplicatedCapacity is a ReshardCapacity that sizes the node to hold
+// its entire owned universe (the replicated-cluster shape tests and
+// benchmarks use).
+func ReplicatedCapacity(owned []model.Object) cost.Bytes { return sumSizes(owned) }
+
+// FractionalCapacity returns a ReshardCapacity that sizes the node to
+// a fixed fraction of its owned universe.
+func FractionalCapacity(frac float64) func([]model.Object) cost.Bytes {
+	return func(owned []model.Object) cost.Bytes {
+		return cost.Bytes(float64(sumSizes(owned)) * frac)
+	}
+}

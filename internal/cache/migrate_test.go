@@ -1,0 +1,278 @@
+package cache_test
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/cache"
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/server"
+)
+
+// startReshardable spins up a repository plus a reshard-capable
+// middleware (policy factory + replicated capacity) owning the whole
+// survey, and warms every object into it.
+func startReshardable(t *testing.T) (*catalog.Survey, *server.Repository, *cache.Middleware) {
+	t.Helper()
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 16
+	scfg.TotalSize = 16 * cost.GB
+	scfg.MinObjectSize = cost.GB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.DefaultScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	mw, err := cache.New(cache.Config{
+		RepoAddr:        repo.Addr(),
+		PolicyFactory:   func() core.Policy { return core.NewVCover(core.DefaultVCoverConfig()) },
+		Objects:         survey.Objects(),
+		Capacity:        survey.TotalSize(),
+		ReshardCapacity: cache.ReplicatedCapacity,
+		Scale:           netproto.DefaultScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mw.Close() })
+
+	cl, err := client.Dial(mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, o := range survey.Objects() {
+		if _, err := cl.Query(ctx, model.Query{
+			Objects:   []model.ObjectID{o.ID},
+			Cost:      o.Size,
+			Tolerance: model.AnyStaleness,
+			Time:      time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return survey, repo, mw
+}
+
+// TestReshardCarriesOwnedResidents checks the atomic filter/policy
+// swap: after resharding to a subset, still-owned residents stay warm,
+// unowned ones are dropped, and queries enforce the new boundary.
+func TestReshardCarriesOwnedResidents(t *testing.T) {
+	survey, _, mw := startReshardable(t)
+	all := survey.Objects()
+	if got := len(mw.Stats().Cached); got != len(all) {
+		t.Fatalf("warmup cached %d of %d objects", got, len(all))
+	}
+
+	keep := make([]model.ObjectID, 0, len(all)/2)
+	for i, o := range all {
+		if i%2 == 0 {
+			keep = append(keep, o.ID)
+		}
+	}
+	resident, dropped, err := mw.Reshard(1, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resident != len(keep) || dropped != len(all)-len(keep) {
+		t.Errorf("reshard kept %d, dropped %d; want %d kept, %d dropped",
+			resident, dropped, len(keep), len(all)-len(keep))
+	}
+	st := mw.Stats()
+	if !slices.Equal(st.Cached, keep) {
+		t.Errorf("cached after reshard = %v, want %v", st.Cached, keep)
+	}
+
+	cl, err := client.Dial(mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// A still-owned object answers warm, locally.
+	res, err := cl.Query(ctx, model.Query{
+		Objects: []model.ObjectID{keep[0]}, Cost: cost.KB,
+		Tolerance: model.AnyStaleness, Time: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "cache" {
+		t.Errorf("owned resident answered from %s, want cache", res.Source)
+	}
+	// A dropped object is now outside the shard: the query is rejected
+	// (a routing bug, not a degradable condition).
+	var unowned model.ObjectID
+	for _, o := range all {
+		if !slices.Contains(keep, o.ID) {
+			unowned = o.ID
+			break
+		}
+	}
+	if _, err := cl.Query(ctx, model.Query{
+		Objects: []model.ObjectID{unowned}, Cost: cost.KB,
+		Tolerance: model.AnyStaleness, Time: time.Minute,
+	}); err == nil {
+		t.Error("query for an unowned object succeeded after reshard")
+	}
+}
+
+// TestReshardRejectsStaleEpoch pins the superseded-resize guard: a
+// delayed reshard from an older epoch must not clobber the owned set
+// a newer epoch installed (same-epoch retries stay allowed — widen
+// and narrow share an epoch).
+func TestReshardRejectsStaleEpoch(t *testing.T) {
+	survey, _, mw := startReshardable(t)
+	all := survey.Objects()
+	half := make([]model.ObjectID, 0, len(all)/2)
+	for i, o := range all {
+		if i%2 == 0 {
+			half = append(half, o.ID)
+		}
+	}
+	whole := make([]model.ObjectID, 0, len(all))
+	for _, o := range all {
+		whole = append(whole, o.ID)
+	}
+	if _, _, err := mw.Reshard(2, whole); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mw.Reshard(1, half); err == nil {
+		t.Error("stale epoch-1 reshard applied after epoch 2")
+	}
+	if got := len(mw.Stats().Cached); got != len(all) {
+		t.Errorf("stale reshard disturbed residency: %d cached, want %d", got, len(all))
+	}
+	if _, _, err := mw.Reshard(2, half); err != nil {
+		t.Errorf("same-epoch reshard (narrow after widen) rejected: %v", err)
+	}
+}
+
+// TestReshardRejectsBadInputs pins the failure modes that must leave
+// the node untouched.
+func TestReshardRejectsBadInputs(t *testing.T) {
+	survey, _, mw := startReshardable(t)
+	before := len(mw.Stats().Cached)
+	if _, _, err := mw.Reshard(1, []model.ObjectID{9999}); err == nil {
+		t.Error("reshard accepted an object outside the universe")
+	}
+	if _, _, err := mw.Reshard(1, nil); err == nil {
+		t.Error("reshard accepted an empty owned set")
+	}
+	if got := len(mw.Stats().Cached); got != before {
+		t.Errorf("failed reshards disturbed residency: %d → %d", before, got)
+	}
+	_ = survey
+}
+
+// TestMigrationWarmsDestination streams cached state from a warm
+// source shard to a cold destination shard over the migrate frames and
+// checks the destination answers from cache afterwards — the wire path
+// a live resize drives.
+func TestMigrationWarmsDestination(t *testing.T) {
+	survey, repo, src := startReshardable(t)
+	all := survey.Objects()
+	// The destination owns the second half of the universe, cold.
+	var destOwned []model.ObjectID
+	for i, o := range all {
+		if i >= len(all)/2 {
+			destOwned = append(destOwned, o.ID)
+		}
+	}
+	ownedSet := make(map[model.ObjectID]bool, len(destOwned))
+	for _, id := range destOwned {
+		ownedSet[id] = true
+	}
+	dst, err := cache.New(cache.Config{
+		RepoAddr:        repo.Addr(),
+		PolicyFactory:   func() core.Policy { return core.NewVCover(core.DefaultVCoverConfig()) },
+		Objects:         all,
+		ObjectFilter:    func(id model.ObjectID) bool { return ownedSet[id] },
+		Capacity:        survey.TotalSize(),
+		ReshardCapacity: cache.ReplicatedCapacity,
+		Scale:           netproto.DefaultScale(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dst.Close() })
+
+	// Command the source to migrate the destination's objects, as the
+	// router would during a resize.
+	sess, err := netproto.DialSession(src.Addr(), "client", netproto.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	reply, err := sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgMigrateBegin,
+		Body: netproto.MigrateBeginMsg{Epoch: 1, Dest: dst.Addr(), Objects: destOwned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := reply.Body.(netproto.MigrateBeginMsg)
+	if !ok {
+		t.Fatalf("migrate-begin replied %s", reply.Type)
+	}
+	if sum.Moved != int64(len(destOwned)) {
+		t.Errorf("source moved %d objects, want %d", sum.Moved, len(destOwned))
+	}
+	if sum.MovedBytes == 0 {
+		t.Error("source reports zero moved bytes")
+	}
+
+	dstStats := dst.Stats()
+	if dstStats.MigratedIn != int64(len(destOwned)) {
+		t.Errorf("destination imported %d, want %d", dstStats.MigratedIn, len(destOwned))
+	}
+	if src.Stats().MigratedOut != int64(len(destOwned)) {
+		t.Errorf("source migrated-out counter = %d, want %d", src.Stats().MigratedOut, len(destOwned))
+	}
+	cl, err := client.Dial(dst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Query(ctx, model.Query{
+		Objects: []model.ObjectID{destOwned[0]}, Cost: cost.KB,
+		Tolerance: model.AnyStaleness, Time: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "cache" {
+		t.Errorf("migrated object answered from %s, want cache (warm)", res.Source)
+	}
+	// Re-sending the same chunk stream must not double-import.
+	reply, err = sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgMigrateBegin,
+		Body: netproto.MigrateBeginMsg{Epoch: 2, Dest: dst.Addr(), Objects: destOwned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Stats().MigratedIn; got != int64(len(destOwned)) {
+		t.Errorf("duplicate migration imported again: counter %d", got)
+	}
+	_ = reply
+}

@@ -221,6 +221,47 @@ func (c *Client) ClusterStats(ctx context.Context) (*netproto.ClusterStatsMsg, e
 	return &stats, nil
 }
 
+// Resize asks a cluster router to take the cluster to a new shard
+// address list, live (see cluster.ResizeSpec for the semantics:
+// continuing addresses keep their cached state, new addresses join
+// warm via migration, missing addresses are drained). It blocks until
+// the resize completes and returns the final rebalance status; pass a
+// context with a deadline generous enough for the migration. Only
+// routers answer it — a single cache replies with an error.
+func (c *Client) Resize(ctx context.Context, shards []string) (*netproto.RebalanceStatusMsg, error) {
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgAdminResize,
+		Body: netproto.AdminResizeMsg{Shards: shards},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: resize: %w", err)
+	}
+	st, ok := reply.Body.(netproto.RebalanceStatusMsg)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return &st, nil
+}
+
+// RebalanceStatus fetches a cluster router's rebalance progress view
+// (phase, routing epoch, moved objects/bytes, last error).
+func (c *Client) RebalanceStatus(ctx context.Context) (*netproto.RebalanceStatusMsg, error) {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgRebalanceStatus,
+		Body: netproto.RebalanceStatusMsg{},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: rebalance status: %w", err)
+	}
+	st, ok := reply.Body.(netproto.RebalanceStatusMsg)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return &st, nil
+}
+
 func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
 	if c.requestTimeout <= 0 {
 		return ctx, func() {}

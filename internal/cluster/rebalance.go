@@ -1,0 +1,319 @@
+// Live elastic resharding: taking the routing tier from N to M shards
+// while serving queries, with warm migration of cached state instead
+// of cold restarts.
+//
+// Because ownership is a pure function of (universe, shard count,
+// mode), a resize is an ownership diff plus choreography. The
+// rebalancer runs four phases:
+//
+//  1. widen   — every shard in the new config accepts the union of
+//     its old and new owned sets (MsgReshard), so queries keep
+//     landing on a willing shard no matter which side of the flip
+//     routed them. Still-owned residents carry over warm.
+//  2. migrate — each source shard streams the cached state of its
+//     moving objects directly to their new owner (MsgMigrateBegin →
+//     MsgMigrateChunk/Done, shard to shard), commanded by the router.
+//  3. flip    — the router publishes the new routing epoch atomically;
+//     new queries route to the new owners, which are already warm.
+//  4. narrow  — continuing shards drop ownership (and residency) of
+//     what they gave away (MsgReshard with the exact new set).
+//
+// Queries are double-routed throughout the window: every moving
+// object's routing snapshot records an alternate owner (the migration
+// destination before the flip, the still-warm source after it), so a
+// fragment that fails on its primary is re-sent instead of degrading
+// the answer. Failure semantics: a failed widen aborts the resize
+// before any routing change (a partially widened filter is harmless —
+// it only accepts more than the router will send); a failed migration
+// demotes the moving objects to cold arrivals, costing traffic, never
+// correctness; a failed narrow leaves a filter wide until the next
+// successful resize.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// reshardTarget pairs a shard link with the owned set a reshard phase
+// should install on it.
+type reshardTarget struct {
+	link  *shardLink
+	owned []model.ObjectID
+}
+
+// ResizeSpec parameterizes a live resize.
+type ResizeSpec struct {
+	// Shards is the complete new shard address list, in new shard
+	// index order. Addresses already in the cluster keep their
+	// sessions and — when they keep their position, which grow/shrink
+	// by appending/truncating naturally does, and which the aligned
+	// ownership resize optimizes for — most of their cached state; new
+	// addresses are dialed (the shards must already be running and own
+	// nothing the router will route to them before the flip);
+	// addresses no longer listed are drained from the routing table
+	// but not shut down (they are not the router's to stop).
+	Shards []string
+	// SkipMigration skips the warm state transfer, so new owners
+	// start cold — the "restart" baseline BenchmarkRebalance compares
+	// warm migration against. Routing still flips atomically.
+	SkipMigration bool
+}
+
+// RebalanceStatus returns the router's current rebalance view.
+func (r *Router) RebalanceStatus() netproto.RebalanceStatusMsg {
+	r.statusMu.Lock()
+	defer r.statusMu.Unlock()
+	st := r.status
+	return st
+}
+
+func (r *Router) setStatus(mut func(*netproto.RebalanceStatusMsg)) {
+	r.statusMu.Lock()
+	mut(&r.status)
+	r.statusMu.Unlock()
+}
+
+// Resize takes the cluster from its current shard set to spec.Shards,
+// live. It blocks until the resize completes (the admin frame path
+// serves it synchronously) and returns the final status. Exactly one
+// resize runs at a time; a second request fails fast.
+func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.RebalanceStatusMsg, error) {
+	if len(spec.Shards) == 0 {
+		return r.RebalanceStatus(), fmt.Errorf("cluster: resize needs at least one shard")
+	}
+	if !r.resizeMu.TryLock() {
+		return r.RebalanceStatus(), fmt.Errorf("cluster: a resize is already in progress")
+	}
+	defer r.resizeMu.Unlock()
+
+	rt := r.routing.Load()
+	from, to := len(rt.links), len(spec.Shards)
+	epoch := rt.epoch + 1
+	r.setStatus(func(st *netproto.RebalanceStatusMsg) {
+		*st = netproto.RebalanceStatusMsg{
+			Active: true, Phase: "widen", Epoch: epoch,
+			From: from, To: to,
+			Completed: st.Completed,
+		}
+	})
+	oldIndexByAddr := make(map[string]int, from)
+	for _, l := range rt.links {
+		oldIndexByAddr[l.addr] = l.index
+	}
+	// An aborted resize must not leak the sessions it dialed to shards
+	// that never joined the routing table.
+	var dialedNew []string
+	fail := func(err error) (netproto.RebalanceStatusMsg, error) {
+		for _, addr := range dialedNew {
+			r.dropLink(addr)
+		}
+		r.setStatus(func(st *netproto.RebalanceStatusMsg) {
+			st.Active = false
+			st.Phase = "failed"
+			st.LastError = err.Error()
+		})
+		return r.RebalanceStatus(), err
+	}
+
+	ownNew, err := rt.own.Resize(to)
+	if err != nil {
+		return fail(err)
+	}
+	linksNew := make([]*shardLink, to)
+	for i, addr := range spec.Shards {
+		if _, continuing := oldIndexByAddr[addr]; !continuing {
+			dialedNew = append(dialedNew, addr)
+		}
+		link, err := r.linkAt(addr, i)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: dial new shard %d (%s): %w", i, addr, err))
+		}
+		linksNew[i] = link
+	}
+
+	// The ownership diff, by address: an object whose owner address
+	// changes must move; everything else stays put no matter how the
+	// indices shifted.
+	movingPre := make(map[model.ObjectID]*shardLink)  // pre-flip alternate: the new owner
+	movingPost := make(map[model.ObjectID]*shardLink) // post-flip alternate: the old owner
+	moves := make(map[*shardLink]map[string][]model.ObjectID)
+	for id, s := range rt.own.owner {
+		d, ok := ownNew.Owner(id)
+		if !ok {
+			return fail(fmt.Errorf("cluster: object %d lost by resize", id))
+		}
+		src, dst := rt.links[s], linksNew[d]
+		if src.addr == dst.addr {
+			continue
+		}
+		movingPre[id] = dst
+		movingPost[id] = src
+		group := moves[src]
+		if group == nil {
+			group = make(map[string][]model.ObjectID)
+			moves[src] = group
+		}
+		group[dst.addr] = append(group[dst.addr], id)
+	}
+	r.cfg.Logf("resize %d→%d (epoch %d): %d objects moving across %d source shards",
+		from, to, epoch, len(movingPre), len(moves))
+
+	// Phase 1: widen. Every shard of the new config accepts the union
+	// of its old and new owned sets before any routing changes.
+	widen := make([]reshardTarget, 0, to)
+	for i, link := range linksNew {
+		owned := ownNew.ShardObjects(i)
+		if oldIdx, ok := oldIndexByAddr[link.addr]; ok {
+			owned = unionIDs(owned, rt.own.ShardObjects(oldIdx))
+		}
+		widen = append(widen, reshardTarget{link: link, owned: owned})
+	}
+	if err := r.reshardAll(ctx, epoch, widen); err != nil {
+		return fail(fmt.Errorf("cluster: widen: %w", err))
+	}
+
+	// Double-route moving objects while their state is in flight.
+	r.routing.Store(&routing{epoch: rt.epoch, own: rt.own, links: rt.links, alt: movingPre})
+
+	// Phase 2: migrate warm state, shard to shard.
+	if !spec.SkipMigration && len(moves) > 0 {
+		r.setStatus(func(st *netproto.RebalanceStatusMsg) { st.Phase = "migrate" })
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			migrErrs []string
+		)
+		for src, dests := range moves {
+			wg.Add(1)
+			go func(src *shardLink, dests map[string][]model.ObjectID) {
+				defer wg.Done()
+				addrs := make([]string, 0, len(dests))
+				for a := range dests {
+					addrs = append(addrs, a)
+				}
+				slices.Sort(addrs)
+				for _, dst := range addrs {
+					ids := dests[dst]
+					slices.Sort(ids)
+					ctx, cancel := context.WithTimeout(ctx, r.cfg.MigrateTimeout)
+					reply, err := src.sess.RoundTrip(ctx, netproto.Frame{
+						Type: netproto.MsgMigrateBegin,
+						Body: netproto.MigrateBeginMsg{Epoch: epoch, Dest: dst, Objects: ids},
+					})
+					cancel()
+					if err != nil {
+						errMu.Lock()
+						migrErrs = append(migrErrs, fmt.Sprintf("shard %d→%s: %v", src.index, dst, err))
+						errMu.Unlock()
+						continue
+					}
+					if sum, ok := reply.Body.(netproto.MigrateBeginMsg); ok {
+						r.setStatus(func(st *netproto.RebalanceStatusMsg) {
+							st.MovedObjects += sum.Moved
+							st.MovedBytes += sum.MovedBytes
+						})
+					}
+				}
+			}(src, dests)
+		}
+		wg.Wait()
+		if len(migrErrs) > 0 {
+			// Failed moves arrive cold at their new owner — a traffic
+			// cost, not a correctness problem; the resize proceeds.
+			r.cfg.Logf("resize epoch %d: %d migration failures (state arrives cold): %s",
+				epoch, len(migrErrs), strings.Join(migrErrs, "; "))
+			r.setStatus(func(st *netproto.RebalanceStatusMsg) {
+				st.LastError = fmt.Sprintf("migration: %s", strings.Join(migrErrs, "; "))
+			})
+		}
+	}
+
+	// Phase 3: flip. New queries route to the new owners; the old
+	// owners stay warm alternates until narrow completes.
+	r.setStatus(func(st *netproto.RebalanceStatusMsg) { st.Phase = "flip" })
+	r.routing.Store(&routing{epoch: epoch, own: ownNew, links: linksNew, alt: movingPost})
+
+	// Phase 4: narrow continuing shards to exactly their new sets
+	// (new shards already are exact — their union had no old half).
+	r.setStatus(func(st *netproto.RebalanceStatusMsg) { st.Phase = "narrow" })
+	narrow := make([]reshardTarget, 0, to)
+	for i, link := range linksNew {
+		if _, continuing := oldIndexByAddr[link.addr]; continuing {
+			narrow = append(narrow, reshardTarget{link: link, owned: ownNew.ShardObjects(i)})
+		}
+	}
+	var narrowErr error
+	if err := r.reshardAll(ctx, epoch, narrow); err != nil {
+		// The flip already happened and wide filters are harmless;
+		// report the failure without unwinding the resize.
+		narrowErr = fmt.Errorf("cluster: narrow: %w", err)
+		r.setStatus(func(st *netproto.RebalanceStatusMsg) { st.LastError = narrowErr.Error() })
+	}
+
+	r.routing.Store(&routing{epoch: epoch, own: ownNew, links: linksNew})
+	for addr := range oldIndexByAddr {
+		if !slices.Contains(spec.Shards, addr) {
+			r.dropLink(addr)
+		}
+	}
+	r.setStatus(func(st *netproto.RebalanceStatusMsg) {
+		st.Active = false
+		st.Phase = "done"
+		st.Completed++
+	})
+	r.cfg.Logf("resize %d→%d complete (epoch %d)", from, to, epoch)
+	return r.RebalanceStatus(), narrowErr
+}
+
+// reshardAll swaps the owned sets of several shards concurrently and
+// returns the first failure.
+func (r *Router) reshardAll(ctx context.Context, epoch int, targets []reshardTarget) error {
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, link *shardLink, owned []model.ObjectID) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			reply, err := link.sess.RoundTrip(ctx, netproto.Frame{
+				Type: netproto.MsgReshard,
+				Body: netproto.ReshardMsg{Epoch: epoch, Owned: owned},
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d (%s): %w", link.index, link.addr, err)
+				return
+			}
+			ack, ok := reply.Body.(netproto.ReshardMsg)
+			if !ok {
+				errs[i] = fmt.Errorf("shard %d replied %s to reshard", link.index, reply.Type)
+				return
+			}
+			r.cfg.Logf("shard %d resharded for epoch %d: %d owned, %d resident, %d dropped",
+				link.index, epoch, len(owned), ack.Resident, ack.Dropped)
+		}(i, t.link, t.owned)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unionIDs merges two sorted ID slices, deduplicated.
+func unionIDs(a, b []model.ObjectID) []model.ObjectID {
+	out := make([]model.ObjectID, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}

@@ -19,6 +19,7 @@ import (
 	"slices"
 	"sort"
 
+	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 )
 
@@ -64,13 +65,17 @@ func ParseMode(s string) (Mode, error) {
 
 // Ownership is the deterministic object→shard assignment shared by the
 // router and every shard. It is immutable after construction and safe
-// for concurrent use.
+// for concurrent use; Resize derives a new Ownership rather than
+// mutating this one.
 type Ownership struct {
 	mode   Mode
 	shards int
 	owner  map[model.ObjectID]int
 	// byShard[s] lists shard s's objects, sorted by ID.
 	byShard [][]model.ObjectID
+	// universe is the object set the assignment was computed over,
+	// retained so Resize can recompute ownership at a new shard count.
+	universe []model.Object
 }
 
 // NewOwnership assigns every object in the universe to one of n shards.
@@ -85,10 +90,11 @@ func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) 
 		return nil, fmt.Errorf("cluster: %d objects cannot populate %d shards", len(objects), n)
 	}
 	o := &Ownership{
-		mode:    mode,
-		shards:  n,
-		owner:   make(map[model.ObjectID]int, len(objects)),
-		byShard: make([][]model.ObjectID, n),
+		mode:     mode,
+		shards:   n,
+		owner:    make(map[model.ObjectID]int, len(objects)),
+		byShard:  make([][]model.ObjectID, n),
+		universe: slices.Clone(objects),
 	}
 	switch mode {
 	case Rendezvous:
@@ -171,6 +177,128 @@ func mix64(x uint64) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
+}
+
+// Resize derives the ownership of the same universe over m shards,
+// aligned to o so that as little cached state as possible moves:
+//
+//   - Rendezvous is inherently stable — growing adds only the objects
+//     the new shards win, shrinking redistributes only the removed
+//     shards' objects — so the fresh assignment is already aligned.
+//   - HTMAware recuts the spatially sorted universe into m balanced
+//     runs and then relabels the runs to maximize the total size of
+//     objects keeping their old owner index (greedy maximum-overlap
+//     matching). Without the relabeling a 4→8 recut would renumber
+//     every run and "move" nearly the whole universe even though the
+//     cuts barely shifted.
+//
+// The result is deterministic, so a router and an out-of-band tool
+// compute identical resized maps from the same inputs.
+func (o *Ownership) Resize(m int) (*Ownership, error) {
+	if m == o.shards {
+		return o, nil
+	}
+	n, err := NewOwnership(o.universe, m, o.mode)
+	if err != nil {
+		return nil, err
+	}
+	if o.mode == HTMAware {
+		n.relabel(o)
+	}
+	return n, nil
+}
+
+// relabel permutes n's shard indices to maximize the total object size
+// that keeps its owner from o (labels ≥ n.shards cannot be kept when
+// shrinking). Greedy by descending overlap, which is optimal for the
+// contiguous-run structure HTM cuts produce: a new run overlaps at
+// most a few old runs, and overlaps are nested along the spatial
+// order.
+func (n *Ownership) relabel(o *Ownership) {
+	size := make(map[model.ObjectID]cost.Bytes, len(n.universe))
+	for _, obj := range n.universe {
+		size[obj.ID] = obj.Size
+	}
+	type overlap struct {
+		raw, label int
+		bytes      cost.Bytes
+	}
+	byPair := make(map[[2]int]cost.Bytes)
+	for id, raw := range n.owner {
+		old, ok := o.owner[id]
+		if !ok || old >= n.shards {
+			continue
+		}
+		byPair[[2]int{raw, old}] += size[id]
+	}
+	cands := make([]overlap, 0, len(byPair))
+	for pair, b := range byPair {
+		cands = append(cands, overlap{raw: pair[0], label: pair[1], bytes: b})
+	}
+	slices.SortFunc(cands, func(a, b overlap) int {
+		if a.bytes != b.bytes {
+			if a.bytes > b.bytes {
+				return -1
+			}
+			return 1
+		}
+		if a.raw != b.raw {
+			return a.raw - b.raw
+		}
+		return a.label - b.label
+	})
+	perm := make([]int, n.shards) // raw index → final label
+	for i := range perm {
+		perm[i] = -1
+	}
+	labelUsed := make([]bool, n.shards)
+	for _, c := range cands {
+		if perm[c.raw] == -1 && !labelUsed[c.label] {
+			perm[c.raw] = c.label
+			labelUsed[c.label] = true
+		}
+	}
+	next := 0
+	for raw := range perm {
+		if perm[raw] != -1 {
+			continue
+		}
+		for labelUsed[next] {
+			next++
+		}
+		perm[raw] = next
+		labelUsed[next] = true
+	}
+	for id, raw := range n.owner {
+		n.owner[id] = perm[raw]
+	}
+	relabeled := make([][]model.ObjectID, n.shards)
+	for raw, objs := range n.byShard {
+		relabeled[perm[raw]] = objs
+	}
+	n.byShard = relabeled
+}
+
+// Moving returns the objects whose owning shard index differs between
+// two ownerships of the same universe, sorted by ID — exactly the set
+// a live resize must migrate. An object known to only one side is an
+// error: the ownerships describe different universes.
+func Moving(from, to *Ownership) ([]model.ObjectID, error) {
+	if len(from.owner) != len(to.owner) {
+		return nil, fmt.Errorf("cluster: ownerships span %d vs %d objects", len(from.owner), len(to.owner))
+	}
+	var moving []model.ObjectID
+	for id, src := range from.owner {
+		dst, ok := to.owner[id]
+		if !ok {
+			return nil, fmt.Errorf("cluster: object %d missing from target ownership", id)
+		}
+		if src != dst {
+			moving = append(moving, id)
+		}
+	}
+	slices.Sort(moving)
+	return moving, nil
 }
 
 // Mode returns the assignment mode.

@@ -205,6 +205,202 @@ func TestSplitRejectsUnknownObject(t *testing.T) {
 	}
 }
 
+// clusteredUniverse builds the spatially clustered shape the HTM
+// resize advantage shows up on: many tiny objects packed into one
+// trixel neighborhood, a few huge objects spread across the rest of
+// the sky. Size-balanced HTM cuts then move boundary segments through
+// the sparse huge-object regions (few objects per byte), while
+// rendezvous moves a count-uniform sample of the whole universe.
+func clusteredUniverse() []model.Object {
+	var objs []model.Object
+	id := model.ObjectID(1)
+	for i := 0; i < 48; i++ {
+		objs = append(objs, model.Object{ID: id, Size: cost.MB, Trixel: uint64(1000 + i)})
+		id++
+	}
+	for i := 0; i < 16; i++ {
+		objs = append(objs, model.Object{ID: id, Size: 4 * cost.GB, Trixel: uint64(10000 + i*500)})
+		id++
+	}
+	return objs
+}
+
+// TestResizeMovingEqualsSymmetricDifference pins the ownership-diff
+// math a live resize is built on: for any N→M resize, the moving set
+// equals the union of per-shard symmetric differences of the old and
+// new ownership maps, and every moving object appears in exactly two
+// of those symmetric differences (its old owner's and its new
+// owner's) while non-moving objects appear in none.
+func TestResizeMovingEqualsSymmetricDifference(t *testing.T) {
+	universes := map[string][]model.Object{
+		"survey":    testObjects(t, 68),
+		"clustered": clusteredUniverse(),
+	}
+	pairs := [][2]int{{1, 4}, {4, 8}, {8, 4}, {4, 6}, {6, 4}, {2, 7}, {7, 2}, {3, 3}}
+	for name, objects := range universes {
+		for _, mode := range []Mode{Rendezvous, HTMAware} {
+			for _, pair := range pairs {
+				n, m := pair[0], pair[1]
+				old, err := NewOwnership(objects, n, mode)
+				if err != nil {
+					t.Fatalf("%s %s %d→%d: %v", name, mode, n, m, err)
+				}
+				resized, err := old.Resize(m)
+				if err != nil {
+					t.Fatalf("%s %s %d→%d: %v", name, mode, n, m, err)
+				}
+				moving, err := Moving(old, resized)
+				if err != nil {
+					t.Fatalf("%s %s %d→%d: %v", name, mode, n, m, err)
+				}
+				movingSet := make(map[model.ObjectID]bool, len(moving))
+				for _, id := range moving {
+					movingSet[id] = true
+				}
+				// Count symmetric-difference appearances per object across
+				// all shard indices of either ownership.
+				appearances := make(map[model.ObjectID]int)
+				maxShards := max(n, m)
+				for s := 0; s < maxShards; s++ {
+					oldSet := make(map[model.ObjectID]bool)
+					if s < n {
+						for _, id := range old.ShardObjects(s) {
+							oldSet[id] = true
+						}
+					}
+					newSet := make(map[model.ObjectID]bool)
+					if s < m {
+						for _, id := range resized.ShardObjects(s) {
+							newSet[id] = true
+						}
+					}
+					for id := range oldSet {
+						if !newSet[id] {
+							appearances[id]++
+						}
+					}
+					for id := range newSet {
+						if !oldSet[id] {
+							appearances[id]++
+						}
+					}
+				}
+				for _, o := range objects {
+					want := 0
+					if movingSet[o.ID] {
+						want = 2
+					}
+					if appearances[o.ID] != want {
+						t.Errorf("%s %s %d→%d: object %d appears in %d shard symdiffs, want %d (moving=%v)",
+							name, mode, n, m, o.ID, appearances[o.ID], want, movingSet[o.ID])
+					}
+				}
+				// Sanity: a resized ownership still populates every shard.
+				for s := 0; s < m; s++ {
+					if len(resized.ShardObjects(s)) == 0 {
+						t.Errorf("%s %s %d→%d: shard %d owns nothing after resize", name, mode, n, m, s)
+					}
+				}
+				if resized.Shards() != m {
+					t.Errorf("%s %s %d→%d: resized to %d shards", name, mode, n, m, resized.Shards())
+				}
+			}
+		}
+	}
+}
+
+// TestRendezvousResizeMinimalMovement pins rendezvous's defining
+// resize property through the Resize API: growing moves objects only
+// onto new shards, shrinking only off removed shards.
+func TestRendezvousResizeMinimalMovement(t *testing.T) {
+	objects := testObjects(t, 68)
+	old, err := NewOwnership(objects, 4, Rendezvous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := old.Resize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving, err := Moving(old, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range moving {
+		if now, _ := grown.Owner(id); now < 4 {
+			t.Errorf("grow 4→6 moved object %d to continuing shard %d", id, now)
+		}
+	}
+	shrunk, err := grown.Resize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving, err = Moving(grown, shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range moving {
+		if was, _ := grown.Owner(id); was < 4 {
+			t.Errorf("shrink 6→4 moved object %d off continuing shard %d", id, was)
+		}
+	}
+}
+
+// TestHTMResizeMovesFewerThanRendezvous checks the payoff of the
+// movement-aligned HTM relabeling: on a spatially clustered universe,
+// an HTM-mode resize migrates fewer objects than a rendezvous-mode
+// resize of the same universe (boundary shifts slice through sparse
+// regions; rendezvous reshuffles a count-uniform sample).
+func TestHTMResizeMovesFewerThanRendezvous(t *testing.T) {
+	objects := clusteredUniverse()
+	for _, pair := range [][2]int{{4, 8}, {8, 4}, {4, 6}, {2, 8}} {
+		n, m := pair[0], pair[1]
+		count := func(mode Mode) int {
+			old, err := NewOwnership(objects, n, mode)
+			if err != nil {
+				t.Fatalf("%s %d→%d: %v", mode, n, m, err)
+			}
+			resized, err := old.Resize(m)
+			if err != nil {
+				t.Fatalf("%s %d→%d: %v", mode, n, m, err)
+			}
+			moving, err := Moving(old, resized)
+			if err != nil {
+				t.Fatalf("%s %d→%d: %v", mode, n, m, err)
+			}
+			return len(moving)
+		}
+		htm, rdv := count(HTMAware), count(Rendezvous)
+		if htm >= rdv {
+			t.Errorf("%d→%d: HTM moves %d objects, rendezvous %d; aligned HTM cuts should move fewer on a clustered universe",
+				n, m, htm, rdv)
+		}
+	}
+}
+
+// TestResizeSameCountIsIdentity checks that resizing to the current
+// shard count moves nothing.
+func TestResizeSameCountIsIdentity(t *testing.T) {
+	objects := testObjects(t, 68)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		own, err := NewOwnership(objects, 4, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, err := own.Resize(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moving, err := Moving(own, same)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moving) != 0 {
+			t.Errorf("%s: resize 4→4 moves %d objects", mode, len(moving))
+		}
+	}
+}
+
 func TestOwnershipRejectsBadShapes(t *testing.T) {
 	objects := testObjects(t, 16)
 	if _, err := NewOwnership(objects, 0, Rendezvous); err == nil {

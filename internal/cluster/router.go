@@ -41,6 +41,10 @@ type Config struct {
 	ShardTimeout time.Duration
 	// StatsTimeout bounds each shard's stats probe. Defaults to 5s.
 	StatsTimeout time.Duration
+	// MigrateTimeout bounds one source shard's whole outbound
+	// migration stream during a resize (it can move many objects).
+	// Defaults to 2m.
+	MigrateTimeout time.Duration
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -48,15 +52,40 @@ type Config struct {
 // Router is a running cluster routing tier. To clients it looks
 // exactly like a single cache.Middleware: it accepts the same hellos,
 // answers MsgQuery and MsgStats, and additionally serves
-// MsgClusterStats with the per-shard breakdown.
+// MsgClusterStats with the per-shard breakdown and the admin frames
+// (MsgAdminResize, MsgRebalanceStatus) that drive live resizes.
+//
+// Routing state is an immutable epoch snapshot swapped atomically, so
+// queries never observe a half-updated topology: a resize publishes
+// transition snapshots (with double-routing for moving objects) and
+// then the final one.
 type Router struct {
-	cfg    Config
-	ln     net.Listener
-	shards []*shardLink
+	cfg Config
+	ln  net.Listener
+
+	// routing is the current epoch snapshot; queries load it once and
+	// route entirely against that view.
+	routing atomic.Pointer[routing]
+
+	// linksMu guards links, the registry of every shard session ever
+	// dialed (keyed by address), and linksClosed. Epoch snapshots
+	// reference entries; Close tears all of them down, and the closed
+	// flag stops a concurrent resize from registering a fresh session
+	// after that teardown.
+	linksMu     sync.Mutex
+	links       map[string]*shardLink
+	linksClosed bool
+
+	// resizeMu serializes resizes (one at a time); statusMu guards the
+	// rebalance status snapshot.
+	resizeMu sync.Mutex
+	statusMu sync.Mutex
+	status   netproto.RebalanceStatusMsg
 
 	queries   atomic.Int64
 	scattered atomic.Int64 // queries split across ≥2 shards
 	degraded  atomic.Int64 // queries answered without every fragment
+	rerouted  atomic.Int64 // fragments recovered via an alternate owner
 
 	wg sync.WaitGroup
 
@@ -67,7 +96,22 @@ type Router struct {
 	closing bool
 }
 
-// shardLink is the router's session to one shard.
+// routing is one immutable routing epoch: the ownership map, the shard
+// links in index order, and — during a resize transition window — the
+// alternate owner of every moving object, so a fragment that fails on
+// its primary can be double-routed instead of degraded.
+type routing struct {
+	epoch int
+	own   *Ownership
+	links []*shardLink
+	alt   map[model.ObjectID]*shardLink
+}
+
+// shardLink is the router's session to one shard; immutable, so
+// routing snapshots may read it concurrently. The index is the
+// shard's position in the topology that references it — a resize that
+// moves a continuing shard to a new position wraps the shared session
+// in a fresh link via linkAt.
 type shardLink struct {
 	index int
 	addr  string
@@ -102,23 +146,97 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.StatsTimeout <= 0 {
 		cfg.StatsTimeout = 5 * time.Second
 	}
+	if cfg.MigrateTimeout <= 0 {
+		cfg.MigrateTimeout = 2 * time.Minute
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	r := &Router{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	r := &Router{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		links: make(map[string]*shardLink),
+	}
+	rt := &routing{own: cfg.Ownership}
 	for i, addr := range cfg.Shards {
-		sess, err := netproto.DialSession(addr, "client", netproto.SessionConfig{
-			PoolSize:    cfg.ShardPool,
-			DialTimeout: cfg.DialTimeout,
-			DialRetry:   max(cfg.DialRetry, 0),
-		})
+		link, err := r.dialLink(addr, i)
 		if err != nil {
-			r.closeShards()
+			r.closeLinks()
 			return nil, fmt.Errorf("cluster: dial shard %d: %w", i, err)
 		}
-		r.shards = append(r.shards, &shardLink{index: i, addr: addr, sess: sess})
+		rt.links = append(rt.links, link)
 	}
+	r.routing.Store(rt)
+	r.status = netproto.RebalanceStatusMsg{Phase: "idle", From: len(cfg.Shards), To: len(cfg.Shards)}
 	return r, nil
+}
+
+// dialLink returns the registry's session for addr, dialing one if the
+// address is new. The dial happens outside the registry lock; a racing
+// dial of the same address keeps the first session.
+func (r *Router) dialLink(addr string, index int) (*shardLink, error) {
+	r.linksMu.Lock()
+	if l, ok := r.links[addr]; ok {
+		r.linksMu.Unlock()
+		return l, nil
+	}
+	r.linksMu.Unlock()
+	sess, err := netproto.DialSession(addr, "client", netproto.SessionConfig{
+		PoolSize:    r.cfg.ShardPool,
+		DialTimeout: r.cfg.DialTimeout,
+		DialRetry:   max(r.cfg.DialRetry, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	link := &shardLink{index: index, addr: addr, sess: sess}
+	r.linksMu.Lock()
+	defer r.linksMu.Unlock()
+	if r.linksClosed {
+		sess.Close()
+		return nil, fmt.Errorf("cluster: router is closing")
+	}
+	if l, ok := r.links[addr]; ok {
+		sess.Close()
+		return l, nil
+	}
+	r.links[addr] = link
+	return link, nil
+}
+
+// linkAt returns the registry's session for addr relabeled to the
+// given topology index. Links are immutable (routing snapshots read
+// them concurrently), so a continuing shard whose position changed
+// gets a fresh shardLink sharing the same session, and the registry
+// adopts it so stats, fragments and drop/close all see the current
+// index.
+func (r *Router) linkAt(addr string, index int) (*shardLink, error) {
+	link, err := r.dialLink(addr, index)
+	if err != nil {
+		return nil, err
+	}
+	if link.index == index {
+		return link, nil
+	}
+	relabeled := &shardLink{index: index, addr: addr, sess: link.sess}
+	r.linksMu.Lock()
+	if r.links[addr] == link {
+		r.links[addr] = relabeled
+	}
+	r.linksMu.Unlock()
+	return relabeled, nil
+}
+
+// dropLink closes and forgets the session to addr (a shard that left
+// the cluster). In-flight round trips on it fail and re-route.
+func (r *Router) dropLink(addr string) {
+	r.linksMu.Lock()
+	link, ok := r.links[addr]
+	delete(r.links, addr)
+	r.linksMu.Unlock()
+	if ok {
+		link.sess.Close()
+	}
 }
 
 // Start begins serving clients.
@@ -130,8 +248,9 @@ func (r *Router) Start() error {
 	r.ln = ln
 	r.wg.Add(1)
 	go r.acceptLoop()
+	rt := r.routing.Load()
 	r.cfg.Logf("cluster router listening on %s (%d shards, %s ownership)",
-		ln.Addr(), len(r.shards), r.cfg.Ownership.Mode())
+		ln.Addr(), len(rt.links), rt.own.Mode())
 	return nil
 }
 
@@ -144,7 +263,9 @@ func (r *Router) Addr() string {
 }
 
 // Close shuts the router down, severing live client connections (the
-// shards keep running; they are not the router's to stop).
+// shards keep running; they are not the router's to stop). In-flight
+// scatters fail promptly: closing the shard sessions fails their
+// pending round trips, so no handler goroutine lingers past wg.Wait.
 func (r *Router) Close() error {
 	var err error
 	if r.ln != nil {
@@ -156,14 +277,21 @@ func (r *Router) Close() error {
 		c.Close()
 	}
 	r.connMu.Unlock()
-	r.closeShards()
+	r.closeLinks()
 	r.wg.Wait()
 	return err
 }
 
-func (r *Router) closeShards() {
-	for _, s := range r.shards {
-		s.sess.Close()
+func (r *Router) closeLinks() {
+	r.linksMu.Lock()
+	r.linksClosed = true
+	links := make([]*shardLink, 0, len(r.links))
+	for _, l := range r.links {
+		links = append(links, l)
+	}
+	r.linksMu.Unlock()
+	for _, l := range links {
+		l.sess.Close()
 	}
 }
 
@@ -239,40 +367,56 @@ func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
 		return netproto.Frame{Type: netproto.MsgStats, Body: cs.Aggregate}
 	case netproto.ClusterStatsMsg:
 		return netproto.Frame{Type: netproto.MsgClusterStats, Body: r.clusterStats(ctx)}
+	case netproto.AdminResizeMsg:
+		st, err := r.Resize(ctx, ResizeSpec{Shards: body.Shards})
+		if err != nil {
+			return netproto.ErrorFrame("cluster: resize: %v", err)
+		}
+		return netproto.Frame{Type: netproto.MsgRebalanceStatus, Body: st}
+	case netproto.RebalanceStatusMsg:
+		return netproto.Frame{Type: netproto.MsgRebalanceStatus, Body: r.RebalanceStatus()}
 	default:
 		return netproto.ErrorFrame("cluster: client sent %s", f.Type)
 	}
 }
 
-// fragment is one shard's slice of a scattered query.
+// fragment is one shard's slice of a scattered query. fragments is
+// how many slices the original query was split into (1 for reroutes,
+// which re-scatter a single failed slice).
 type fragment struct {
-	shard *shardLink
-	query model.Query
+	link      *shardLink
+	query     model.Query
+	fragments int
 }
 
-// routeQuery scatters a query to the shards owning its objects,
-// gathers the fragments, and merges them into one result. If some —
-// but not all — fragments fail, the merged result is returned with
-// Degraded set and the failed shards listed, so a dead shard degrades
-// answers instead of failing them.
+// routeQuery scatters a query to the shards owning its objects under
+// the current routing epoch, gathers the fragments, and merges them
+// into one result. A failed fragment is first re-routed through the
+// freshest routing view (during a resize transition every moving
+// object has an alternate owner; after one, a stale epoch's owner may
+// simply have changed); only objects with no alternate degrade the
+// answer. If some — but not all — objects' fragments fail, the merged
+// result is returned with Degraded set and the failed shards listed,
+// so a dead shard degrades answers instead of failing them.
 func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame {
 	r.queries.Add(1)
 	if len(q.Objects) == 0 {
 		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
 	}
-	parts, err := r.cfg.Ownership.Split(q.Objects)
+	rt := r.routing.Load()
+	parts, err := rt.own.Split(q.Objects)
 	if err != nil {
 		return netproto.ErrorFrame("query %d: %v", q.ID, err)
 	}
-	frags := r.fragments(q, parts)
+	frags := fragmentsFor(rt, q, parts)
 	if len(frags) > 1 {
 		r.scattered.Add(1)
 	}
 
 	type outcome struct {
-		shard int
-		res   netproto.QueryResultMsg
-		err   error
+		shard   int
+		results []netproto.QueryResultMsg // primary or recovered partials
+		err     error                     // set when objects were lost entirely
 	}
 	outs := make([]outcome, len(frags))
 	var wg sync.WaitGroup
@@ -280,23 +424,20 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 		wg.Add(1)
 		go func(i int, fr fragment) {
 			defer wg.Done()
-			outs[i].shard = fr.shard.index
-			ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
-			defer cancel()
-			reply, err := fr.shard.sess.RoundTrip(ctx, netproto.Frame{
-				Type: netproto.MsgShardQuery,
-				Body: netproto.ShardQueryMsg{Query: fr.query, Shard: fr.shard.index, Fragments: len(frags)},
-			})
-			if err != nil {
-				outs[i].err = err
+			outs[i].shard = fr.link.index
+			res, err := r.shardRoundTrip(ctx, fr)
+			if err == nil {
+				outs[i].results = []netproto.QueryResultMsg{res}
 				return
 			}
-			res, ok := reply.Body.(netproto.QueryResultMsg)
-			if !ok {
-				outs[i].err = fmt.Errorf("shard %d replied %s", fr.shard.index, reply.Type)
+			recovered, all := r.reroute(ctx, fr)
+			outs[i].results = recovered
+			if all {
+				r.rerouted.Add(1)
 				return
 			}
-			outs[i].res = res
+			outs[i].err = err
+			r.cfg.Logf("query %d: shard %d fragment failed: %v", q.ID, fr.link.index, err)
 		}(i, fr)
 	}
 	wg.Wait()
@@ -315,28 +456,28 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 			if firstErr == nil {
 				firstErr = out.err
 			}
-			r.cfg.Logf("query %d: shard %d fragment failed: %v", q.ID, out.shard, out.err)
-			continue
 		}
-		okCount++
-		merged.Logical += out.res.Logical
-		merged.Rows = append(merged.Rows, out.res.Rows...)
-		// Cap the merged payload at what a single node may ship
-		// (PayloadLen's MaxFrame/2 bound): fragments past the cap are
-		// truncated rather than risking an oversized reply frame that
-		// would poison the client connection. Payloads are scaled
-		// stand-ins; Logical stays the authoritative full size.
-		if len(merged.Payload)+len(out.res.Payload) <= netproto.MaxFrame/2 {
-			merged.Payload = append(merged.Payload, out.res.Payload...)
-		}
-		if out.res.Elapsed > merged.Elapsed {
-			merged.Elapsed = out.res.Elapsed
-		}
-		switch out.res.Source {
-		case "cache":
-			anyCache = true
-		default:
-			anyRepo = true
+		for _, res := range out.results {
+			okCount++
+			merged.Logical += res.Logical
+			merged.Rows = append(merged.Rows, res.Rows...)
+			// Cap the merged payload at what a single node may ship
+			// (PayloadLen's MaxFrame/2 bound): fragments past the cap are
+			// truncated rather than risking an oversized reply frame that
+			// would poison the client connection. Payloads are scaled
+			// stand-ins; Logical stays the authoritative full size.
+			if len(merged.Payload)+len(res.Payload) <= netproto.MaxFrame/2 {
+				merged.Payload = append(merged.Payload, res.Payload...)
+			}
+			if res.Elapsed > merged.Elapsed {
+				merged.Elapsed = res.Elapsed
+			}
+			switch res.Source {
+			case "cache":
+				anyCache = true
+			default:
+				anyRepo = true
+			}
 		}
 	}
 	if okCount == 0 {
@@ -346,6 +487,7 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 	if merged.Degraded {
 		r.degraded.Add(1)
 		slices.Sort(merged.MissingShards)
+		merged.MissingShards = slices.Compact(merged.MissingShards)
 	}
 	switch {
 	case anyCache && anyRepo:
@@ -358,12 +500,88 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: merged}
 }
 
-// fragments builds the per-shard sub-queries. Each fragment keeps the
-// query's identity, time, and tolerance; the result cost ν(q) is split
-// across fragments proportionally to their object counts, with the
-// remainder charged to the first fragment so the shares sum exactly to
-// the original cost.
-func (r *Router) fragments(q *model.Query, parts map[int][]model.ObjectID) []fragment {
+// shardRoundTrip sends one fragment and decodes the reply.
+func (r *Router) shardRoundTrip(ctx context.Context, fr fragment) (netproto.QueryResultMsg, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	defer cancel()
+	reply, err := fr.link.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgShardQuery,
+		Body: netproto.ShardQueryMsg{Query: fr.query, Shard: fr.link.index, Fragments: max(fr.fragments, 1)},
+	})
+	if err != nil {
+		return netproto.QueryResultMsg{}, err
+	}
+	res, ok := reply.Body.(netproto.QueryResultMsg)
+	if !ok {
+		return netproto.QueryResultMsg{}, fmt.Errorf("shard %d replied %s", fr.link.index, reply.Type)
+	}
+	return res, nil
+}
+
+// reroute re-sends a failed fragment's objects through the freshest
+// routing view, skipping the shard that just failed. During a resize
+// transition this is the double-routing path: every moving object has
+// an alternate owner (the migration destination before the flip, the
+// still-warm source after it). Outside a transition it covers the
+// stale-snapshot case where the owner changed while the fragment was
+// in flight. It returns the recovered partial results and whether
+// every object was recovered.
+func (r *Router) reroute(ctx context.Context, failed fragment) ([]netproto.QueryResultMsg, bool) {
+	rtNow := r.routing.Load()
+	groups := make(map[*shardLink][]model.ObjectID)
+	all := true
+	for _, id := range failed.query.Objects {
+		var target *shardLink
+		if s, ok := rtNow.own.Owner(id); ok && rtNow.links[s].addr != failed.link.addr {
+			target = rtNow.links[s]
+		} else if alt := rtNow.alt[id]; alt != nil && alt.addr != failed.link.addr {
+			target = alt
+		}
+		if target == nil {
+			all = false
+			continue
+		}
+		groups[target] = append(groups[target], id)
+	}
+	if len(groups) == 0 {
+		return nil, false
+	}
+	links := make([]*shardLink, 0, len(groups))
+	for l := range groups {
+		links = append(links, l)
+	}
+	slices.SortFunc(links, func(a, b *shardLink) int { return a.index - b.index })
+	var (
+		results  []netproto.QueryResultMsg
+		assigned cost.Bytes
+	)
+	for _, link := range links {
+		sub := failed.query
+		sub.Objects = groups[link]
+		sub.Cost = failed.query.Cost * cost.Bytes(len(sub.Objects)) / cost.Bytes(len(failed.query.Objects))
+		assigned += sub.Cost
+		res, err := r.shardRoundTrip(ctx, fragment{link: link, query: sub})
+		if err != nil {
+			r.cfg.Logf("reroute of %d objects to shard %d failed: %v", len(sub.Objects), link.index, err)
+			all = false
+			continue
+		}
+		results = append(results, res)
+	}
+	if all && len(results) > 0 {
+		// Charge the rounding remainder to the first group so a fully
+		// recovered fragment keeps cost shares summing exactly.
+		results[0].Logical += failed.query.Cost - assigned
+	}
+	return results, all
+}
+
+// fragmentsFor builds the per-shard sub-queries for one routing epoch.
+// Each fragment keeps the query's identity, time, and tolerance; the
+// result cost ν(q) is split across fragments proportionally to their
+// object counts, with the remainder charged to the first fragment so
+// the shares sum exactly to the original cost.
+func fragmentsFor(rt *routing, q *model.Query, parts map[int][]model.ObjectID) []fragment {
 	shardIdxs := make([]int, 0, len(parts))
 	for s := range parts {
 		shardIdxs = append(shardIdxs, s)
@@ -376,7 +594,7 @@ func (r *Router) fragments(q *model.Query, parts map[int][]model.ObjectID) []fra
 		sub.Objects = parts[s]
 		sub.Cost = q.Cost * cost.Bytes(len(parts[s])) / cost.Bytes(len(q.Objects))
 		assigned += sub.Cost
-		frags = append(frags, fragment{shard: r.shards[s], query: sub})
+		frags = append(frags, fragment{link: rt.links[s], query: sub, fragments: len(shardIdxs)})
 	}
 	frags[0].query.Cost += q.Cost - assigned
 	return frags
@@ -387,9 +605,10 @@ func (r *Router) fragments(q *model.Query, parts map[int][]model.ObjectID) []fra
 // not-alive and the view marked degraded; the aggregate covers the
 // survivors.
 func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
-	out := netproto.ClusterStatsMsg{Shards: make([]netproto.ShardStats, len(r.shards))}
+	rt := r.routing.Load()
+	out := netproto.ClusterStatsMsg{Shards: make([]netproto.ShardStats, len(rt.links))}
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
+	for i, s := range rt.links {
 		wg.Add(1)
 		go func(i int, s *shardLink) {
 			defer wg.Done()
@@ -432,9 +651,11 @@ func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
 		agg.Shipped += st.Stats.Shipped
 		agg.DroppedInvalidations += st.Stats.DroppedInvalidations
 		agg.DedupedLoads += st.Stats.DedupedLoads
+		agg.MigratedIn += st.Stats.MigratedIn
+		agg.MigratedOut += st.Stats.MigratedOut
 		agg.Cached = append(agg.Cached, st.Stats.Cached...)
 		if agg.Policy == "" && st.Stats.Policy != "" {
-			agg.Policy = fmt.Sprintf("cluster(%s×%d)", st.Stats.Policy, len(r.shards))
+			agg.Policy = fmt.Sprintf("cluster(%s×%d)", st.Stats.Policy, len(rt.links))
 		}
 	}
 	slices.SortFunc(out.Aggregate.Cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
@@ -452,26 +673,32 @@ type ShardInfo struct {
 	Objects []model.ObjectID
 }
 
-// Topology is a point-in-time snapshot of the cluster's shape, the
-// input rebalance experiments diff before and after resizing.
+// Topology is a point-in-time snapshot of the cluster's shape.
 type Topology struct {
+	// Epoch counts completed resizes; it increments when a live
+	// resize flips the routing table.
+	Epoch  int
 	Mode   Mode
 	Shards []ShardInfo
 }
 
 // Topology snapshots the live shard topology.
 func (r *Router) Topology() Topology {
-	t := Topology{Mode: r.cfg.Ownership.Mode()}
-	for _, s := range r.shards {
+	rt := r.routing.Load()
+	t := Topology{Epoch: rt.epoch, Mode: rt.own.Mode()}
+	for _, s := range rt.links {
 		t.Shards = append(t.Shards, ShardInfo{
 			Index:   s.index,
 			Addr:    s.addr,
 			Alive:   s.sess.Live(),
-			Objects: r.cfg.Ownership.ShardObjects(s.index),
+			Objects: rt.own.ShardObjects(s.index),
 		})
 	}
 	return t
 }
+
+// Ownership returns the current routing epoch's ownership map.
+func (r *Router) Ownership() *Ownership { return r.routing.Load().own }
 
 // Queries returns how many client queries the router has routed.
 func (r *Router) Queries() int64 { return r.queries.Load() }
@@ -483,3 +710,7 @@ func (r *Router) Scattered() int64 { return r.scattered.Load() }
 // Degraded returns how many routed queries were answered without
 // every fragment because a shard failed.
 func (r *Router) Degraded() int64 { return r.degraded.Load() }
+
+// Rerouted returns how many failed fragments were fully recovered via
+// an alternate owner (the double-routing path of live resizes).
+func (r *Router) Rerouted() int64 { return r.rerouted.Load() }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,10 +23,12 @@ type LocalConfig struct {
 	// Mode selects the ownership assignment. Defaults to HTMAware.
 	Mode Mode
 	// ShardCapacity is each shard's cache size. Zero sizes every shard
-	// to hold its entire owned subset (the replicated-cluster shape).
+	// to hold its entire owned subset (the replicated-cluster shape),
+	// and keeps it sized that way across live resizes.
 	ShardCapacity cost.Bytes
 	// Policy builds one policy instance per shard; nil defaults each
-	// shard to VCover.
+	// shard to VCover. It doubles as the shard's reshard policy
+	// factory, so live resizes rebuild policies through it too.
 	Policy func(shard int) core.Policy
 	// Scale converts logical sizes to physical payloads.
 	Scale netproto.PayloadScale
@@ -42,11 +45,14 @@ type LocalConfig struct {
 
 // LocalCluster is an in-process sharded deployment: N cache shards and
 // the router fronting them, all on loopback. Tests, benchmarks, and
-// examples use it to stand up a whole topology in a few milliseconds.
+// examples use it to stand up a whole topology in a few milliseconds
+// — and resize it live with Resize.
 type LocalCluster struct {
 	Ownership *Ownership
 	Shards    []*cache.Middleware
 	Router    *Router
+
+	cfg LocalConfig
 }
 
 // SpawnLocal builds the ownership map, spawns every shard (each a full
@@ -60,46 +66,18 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	lc := &LocalCluster{Ownership: own}
+	lc := &LocalCluster{Ownership: own, cfg: cfg}
 	fail := func(err error) (*LocalCluster, error) {
 		lc.Close()
 		return nil, err
 	}
 	addrs := make([]string, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
-		capacity := cfg.ShardCapacity
-		if capacity == 0 {
-			for _, id := range own.ShardObjects(s) {
-				for _, o := range cfg.Objects {
-					if o.ID == id {
-						capacity += o.Size
-						break
-					}
-				}
-			}
-		}
-		var policy core.Policy
-		if cfg.Policy != nil {
-			policy = cfg.Policy(s)
-		}
-		mw, err := cache.New(cache.Config{
-			RepoAddr:     cfg.RepoAddr,
-			RepoPool:     cfg.RepoPool,
-			Policy:       policy,
-			Objects:      cfg.Objects,
-			ObjectFilter: own.Filter(s),
-			Capacity:     capacity,
-			Scale:        cfg.Scale,
-			ExecDelay:    cfg.ExecDelay,
-			Logf:         cfg.Logf,
-		})
+		mw, err := lc.spawnShard(s, own)
 		if err != nil {
-			return fail(fmt.Errorf("cluster: shard %d: %w", s, err))
+			return fail(err)
 		}
 		lc.Shards = append(lc.Shards, mw)
-		if err := mw.Start(); err != nil {
-			return fail(fmt.Errorf("cluster: shard %d: %w", s, err))
-		}
 		addrs[s] = mw.Addr()
 	}
 	router, err := NewRouter(Config{
@@ -116,6 +94,95 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 		return fail(err)
 	}
 	return lc, nil
+}
+
+// spawnShard builds and starts one cache shard owning own's shard s.
+func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, error) {
+	cfg := lc.cfg
+	factory := func() core.Policy {
+		if cfg.Policy != nil {
+			return cfg.Policy(s)
+		}
+		return core.NewVCover(core.DefaultVCoverConfig())
+	}
+	capacity := cfg.ShardCapacity
+	var reshardCapacity func([]model.Object) cost.Bytes
+	if capacity == 0 {
+		reshardCapacity = cache.ReplicatedCapacity
+		for _, id := range own.ShardObjects(s) {
+			for _, o := range cfg.Objects {
+				if o.ID == id {
+					capacity += o.Size
+					break
+				}
+			}
+		}
+	}
+	mw, err := cache.New(cache.Config{
+		RepoAddr:        cfg.RepoAddr,
+		RepoPool:        cfg.RepoPool,
+		PolicyFactory:   factory,
+		Objects:         cfg.Objects,
+		ObjectFilter:    own.Filter(s),
+		Capacity:        capacity,
+		ReshardCapacity: reshardCapacity,
+		Scale:           cfg.Scale,
+		ExecDelay:       cfg.ExecDelay,
+		Logf:            cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+	}
+	if err := mw.Start(); err != nil {
+		mw.Close()
+		return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+	}
+	return mw, nil
+}
+
+// Resize takes the local cluster to m shards, live: growing spawns
+// fresh (empty) shards for the new indices before handing the router
+// the new address list; shrinking closes the released shards once the
+// router has drained them from the routing table. Traffic keeps
+// flowing throughout; cached state follows ownership via warm
+// migration unless skipMigration (the cold baseline) is set.
+func (lc *LocalCluster) Resize(ctx context.Context, m int, skipMigration bool) (netproto.RebalanceStatusMsg, error) {
+	if m <= 0 {
+		return netproto.RebalanceStatusMsg{}, fmt.Errorf("cluster: shard count must be positive")
+	}
+	ownNew, err := lc.Ownership.Resize(m)
+	if err != nil {
+		return netproto.RebalanceStatusMsg{}, err
+	}
+	shards := lc.Shards
+	for s := len(shards); s < m; s++ {
+		mw, err := lc.spawnShard(s, ownNew)
+		if err != nil {
+			for _, added := range shards[len(lc.Shards):] {
+				added.Close()
+			}
+			return netproto.RebalanceStatusMsg{}, err
+		}
+		shards = append(shards, mw)
+	}
+	addrs := make([]string, m)
+	for i := 0; i < m; i++ {
+		addrs[i] = shards[i].Addr()
+	}
+	st, err := lc.Router.Resize(ctx, ResizeSpec{Shards: addrs, SkipMigration: skipMigration})
+	if err != nil && st.Phase != "done" {
+		// The resize never flipped: close any shards spawned for it.
+		for _, added := range shards[len(lc.Shards):] {
+			added.Close()
+		}
+		return st, err
+	}
+	for _, removed := range shards[m:] {
+		removed.Close()
+	}
+	lc.Shards = shards[:m:m]
+	lc.Ownership = lc.Router.Ownership()
+	return st, err
 }
 
 // Close tears the whole topology down, router first.

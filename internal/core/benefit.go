@@ -119,6 +119,34 @@ func (p *Benefit) Init(objects []model.Object, capacity cost.Bytes) error {
 	return nil
 }
 
+// Warm implements Warmable: adopt already-resident objects that fit
+// the capacity. Warmed objects start with no forecast history; the
+// next window boundary judges them like any other cached object.
+func (p *Benefit) Warm(ids []model.ObjectID) ([]model.ObjectID, error) {
+	if p.idx == nil {
+		return nil, fmt.Errorf("core: Benefit not initialized")
+	}
+	adopted := make([]model.ObjectID, 0, len(ids))
+	for _, id := range ids {
+		if p.idx.isCached(id) {
+			adopted = append(adopted, id)
+			continue
+		}
+		size, err := p.idx.size(id)
+		if err != nil {
+			return nil, err
+		}
+		if p.idx.used+size > p.idx.capacity {
+			continue
+		}
+		if err := p.idx.markCached(id); err != nil {
+			return nil, err
+		}
+		adopted = append(adopted, id)
+	}
+	return adopted, nil
+}
+
 // OnQuery implements Policy.
 func (p *Benefit) OnQuery(q *model.Query) (Decision, error) {
 	if p.idx == nil {

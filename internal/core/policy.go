@@ -79,6 +79,19 @@ type Preloader interface {
 	Preload() (objs []model.ObjectID, charge bool)
 }
 
+// Warmable is implemented by policies that can adopt already-resident
+// objects into a freshly initialized instance without a load — the
+// warm half of a live cluster reshard, where a shard's cached state
+// survives an ownership change (carried residents) or arrives from a
+// sibling shard (migration) instead of being re-fetched from the
+// repository. Warm is called after Init and before any event; it
+// returns the subset of ids the policy actually adopted (an object may
+// be declined when it no longer fits the capacity). A policy that does
+// not implement Warmable starts cold after a reshard.
+type Warmable interface {
+	Warm(ids []model.ObjectID) ([]model.ObjectID, error)
+}
+
 // objectIndex is the shared bookkeeping helper for policies: object
 // metadata plus a mirror of cache residency.
 type objectIndex struct {

@@ -141,6 +141,46 @@ func (p *VCover) Init(objects []model.Object, capacity cost.Bytes) error {
 	return nil
 }
 
+// Warm implements Warmable: adopt already-resident objects into a
+// fresh instance without a load (live reshard carry-over and warm
+// migration). Each object is admitted to the GDS load cache only when
+// it fits the remaining free capacity — warming never evicts, so the
+// adopted set is order-independent up to capacity exhaustion; declined
+// objects simply stay cold and reload on demand.
+func (p *VCover) Warm(ids []model.ObjectID) ([]model.ObjectID, error) {
+	if p.idx == nil {
+		return nil, fmt.Errorf("core: VCover not initialized")
+	}
+	adopted := make([]model.ObjectID, 0, len(ids))
+	for _, id := range ids {
+		if p.idx.isCached(id) {
+			adopted = append(adopted, id)
+			continue
+		}
+		size, err := p.idx.size(id)
+		if err != nil {
+			return nil, err
+		}
+		if p.idx.used+size > p.idx.capacity {
+			continue
+		}
+		l := int64(size)
+		if _, ok := p.loads.Admit(gds.Entry{Key: int64(id), Size: l, Cost: l}); !ok {
+			continue
+		}
+		if err := p.idx.markCached(id); err != nil {
+			return nil, err
+		}
+		// A migrated copy is as fresh as the source's: any updates it
+		// missed are the source's outstanding set, which the reshard
+		// protocol does not carry — treat the copy as fresh, the same
+		// optimism a repository load has.
+		p.outstanding[id] = nil
+		adopted = append(adopted, id)
+	}
+	return adopted, nil
+}
+
 // OnUpdate implements Policy. Updates are never shipped eagerly: the
 // cached copy is merely invalidated (design choice A of Section 1); the
 // update becomes outstanding and a vertex for it enters the interaction

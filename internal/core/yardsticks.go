@@ -79,6 +79,25 @@ func (p *Replica) Preload() (objs []model.ObjectID, charge bool) {
 	return ids, false
 }
 
+// Warm implements Warmable: a replica mirrors the server, so every
+// known object is adopted unconditionally (capacity is ignored, as in
+// Init/Preload).
+func (p *Replica) Warm(ids []model.ObjectID) ([]model.ObjectID, error) {
+	if p.idx == nil {
+		return nil, fmt.Errorf("core: Replica not initialized")
+	}
+	adopted := make([]model.ObjectID, 0, len(ids))
+	for _, id := range ids {
+		if !p.idx.isCached(id) {
+			if err := p.idx.markCached(id); err != nil {
+				return nil, err
+			}
+		}
+		adopted = append(adopted, id)
+	}
+	return adopted, nil
+}
+
 // OnQuery implements Policy: everything is cached and current, so every
 // query is answered locally for free.
 func (p *Replica) OnQuery(q *model.Query) (Decision, error) {

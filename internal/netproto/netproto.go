@@ -153,6 +153,25 @@ const (
 	// MsgClusterStats requests / carries the cluster-wide statistics
 	// view (per-shard StatsMsg plus the aggregate).
 	MsgClusterStats
+	// MsgAdminResize asks a cluster router to resize the cluster to a
+	// new shard list, live (admin client → router).
+	MsgAdminResize
+	// MsgRebalanceStatus requests / carries the router's rebalance
+	// progress view (admin client → router).
+	MsgRebalanceStatus
+	// MsgReshard atomically swaps a cache shard's owned object set
+	// during a live resize (router → shard).
+	MsgReshard
+	// MsgMigrateBegin commands a shard to stream its cached state for
+	// the listed objects to a destination shard (router → source
+	// shard).
+	MsgMigrateBegin
+	// MsgMigrateChunk carries one batch of migrated cached objects
+	// (source shard → destination shard).
+	MsgMigrateChunk
+	// MsgMigrateDone closes a migration stream with its totals (source
+	// shard → destination shard).
+	MsgMigrateDone
 )
 
 // String implements fmt.Stringer.
@@ -165,6 +184,9 @@ func (t MsgType) String() string {
 		MsgStats: "stats", MsgError: "error", MsgClientQuery: "client-query",
 		MsgHello: "hello", MsgHelloAck: "hello-ack",
 		MsgShardQuery: "shard-query", MsgClusterStats: "cluster-stats",
+		MsgAdminResize: "admin-resize", MsgRebalanceStatus: "rebalance-status",
+		MsgReshard: "reshard", MsgMigrateBegin: "migrate-begin",
+		MsgMigrateChunk: "migrate-chunk", MsgMigrateDone: "migrate-done",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -284,6 +306,12 @@ type StatsMsg struct {
 	// singleflight collapsed into an already-running flight instead of
 	// issuing a second repository round trip.
 	DedupedLoads int64
+	// MigratedIn / MigratedOut count cached objects this node adopted
+	// from, or streamed to, a sibling shard during live cluster
+	// resizes (warm migration; never charged to the repository
+	// ledger).
+	MigratedIn  int64
+	MigratedOut int64
 }
 
 // ShardQueryMsg is the router→shard leg of a scattered query: the
@@ -320,6 +348,92 @@ type ClusterStatsMsg struct {
 	Degraded bool
 }
 
+// AdminResizeMsg asks a router to take the cluster to a new shard
+// list, live. Shards is the complete new shard address list in new
+// index order; addresses already in the cluster keep their sessions
+// (and, where possible, their cached state), new addresses are dialed,
+// and addresses no longer listed are drained out of the routing table.
+// The router replies with the final RebalanceStatusMsg of the resize.
+type AdminResizeMsg struct {
+	Shards []string
+}
+
+// RebalanceStatusMsg requests / carries the router's rebalance view.
+type RebalanceStatusMsg struct {
+	// Active reports a resize in flight; Phase names its stage
+	// ("widen", "migrate", "flip", "narrow", or "idle"/"done").
+	Active bool
+	Phase  string
+	// Epoch is the routing epoch: it increments once per completed
+	// resize, and queries are double-routed while it transitions.
+	Epoch int
+	// From and To are the shard counts of the transition (or of the
+	// last completed one).
+	From, To int
+	// MovedObjects / MovedBytes total the warm-migrated cached state.
+	MovedObjects int64
+	MovedBytes   cost.Bytes
+	// Completed counts finished resizes; LastError carries the most
+	// recent failure ("" when clean).
+	Completed int64
+	LastError string
+}
+
+// ReshardMsg atomically replaces a shard's owned object set (router →
+// shard) during a live resize: the shard rebuilds its object filter
+// and policy universe around exactly Owned, carrying still-owned
+// resident objects over warm and dropping the rest. The reply echoes
+// the message with Resident/Dropped filled in.
+type ReshardMsg struct {
+	Epoch int
+	Owned []model.ObjectID
+	// Resident and Dropped are reply fields: how many cached objects
+	// survived the swap and how many were discarded as no longer
+	// owned.
+	Resident int
+	Dropped  int
+}
+
+// MigrateBeginMsg commands a source shard to stream its cached state
+// for Objects to the shard at Dest (router → source). The source
+// replies after the stream completes, with Moved/MovedBytes filled in
+// (objects it did not hold resident are simply skipped — the
+// destination will load them cold on first use).
+type MigrateBeginMsg struct {
+	Epoch   int
+	Dest    string
+	Objects []model.ObjectID
+	// Moved and MovedBytes are reply fields.
+	Moved      int64
+	MovedBytes cost.Bytes
+}
+
+// MigratedObject is one cached object's state in flight between
+// shards: its metadata plus the scaled physical payload.
+type MigratedObject struct {
+	Object  model.Object
+	Payload []byte
+}
+
+// MigrateChunkMsg carries one batch of migrated objects (source →
+// destination shard). The reply echoes the message with Imported set
+// to how many the destination adopted.
+type MigrateChunkMsg struct {
+	Epoch    int
+	Objects  []MigratedObject
+	Imported int
+}
+
+// MigrateDoneMsg closes a migration stream (source → destination
+// shard) with its totals: Sent is how many objects the source
+// streamed, Imported sums the destination's per-chunk ack counts. The
+// destination echoes the message as the acknowledgement.
+type MigrateDoneMsg struct {
+	Epoch    int
+	Sent     int64
+	Imported int64
+}
+
 // ErrorMsg carries a failure description.
 type ErrorMsg struct {
 	Message string
@@ -349,6 +463,12 @@ func init() {
 	gob.Register(ErrorMsg{})
 	gob.Register(ShardQueryMsg{})
 	gob.Register(ClusterStatsMsg{})
+	gob.Register(AdminResizeMsg{})
+	gob.Register(RebalanceStatusMsg{})
+	gob.Register(ReshardMsg{})
+	gob.Register(MigrateBeginMsg{})
+	gob.Register(MigrateChunkMsg{})
+	gob.Register(MigrateDoneMsg{})
 }
 
 // Conn wraps a stream with gob-encoded frames. Both directions use a

@@ -114,6 +114,15 @@ func (r *Repository) Addr() string {
 // Ledger returns a snapshot of the server-side traffic accounting.
 func (r *Repository) Ledger() cost.Snapshot { return r.ledger.Snapshot() }
 
+// Subscribers reports how many invalidation subscribers are currently
+// registered (observability; tests also use it to sync with a
+// subscription completing its handshake).
+func (r *Repository) Subscribers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subscribers)
+}
+
 // DroppedInvalidations reports how many invalidation notices were
 // discarded because a subscriber's buffer was full.
 func (r *Repository) DroppedInvalidations() int64 {

@@ -183,9 +183,30 @@ func TestInvalidationBroadcastNonBlocking(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
+	// Pin the receive buffer before the server starts pushing.
+	// Setting it explicitly disables the kernel's receive-window
+	// autotuning, which on hosts with large tcp_rmem ceilings would
+	// otherwise absorb every notice below and the stall would never
+	// propagate back to the server's drain goroutine (zero drops, a
+	// flaky test).
+	if tcp, ok := nc.(*net.TCPConn); ok {
+		if err := tcp.SetReadBuffer(4096); err != nil {
+			t.Fatal(err)
+		}
+	}
 	c := netproto.NewConn(nc)
 	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
 		t.Fatal(err)
+	}
+	// Wait for the server to register the subscription: the push below
+	// finishes in milliseconds, so racing the handshake would broadcast
+	// to nobody and count no drops.
+	regDeadline := time.Now().Add(5 * time.Second)
+	for repo.Subscribers() == 0 {
+		if time.Now().After(regDeadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
 	}
 	// Push enough notices to overwhelm the subscriber buffer plus
 	// whatever the kernel's socket buffers absorb: the stalled reader
