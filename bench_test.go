@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -616,6 +617,239 @@ func runRebalanceScenario(b *testing.B, name string, skipMigration bool) (res re
 		cl.Close()
 	}
 	res.HitRateAfter = sweep()
+	return res
+}
+
+// BenchmarkGrowth measures live repository growth under load: a
+// 4-shard cluster serving 16 concurrent clients while the object
+// universe doubles (32→64 objects, published in bursts through the
+// router and warmed on arrival). The "static" mode is the baseline —
+// identical load, no growth — so the sweep answers the issue's
+// acceptance question directly: with growth at 2× per run, the
+// steady-state hit rate must stay within 15% of the static baseline
+// and q/s must not crater. When BENCH_JSON_DIR is set the run writes
+// BENCH_growth.json for the CI bench trajectory (delta-benchdiff
+// regression-checks the queriesPerSec/hitRate keys).
+func BenchmarkGrowth(b *testing.B) {
+	var results []growthModeResult
+	for _, mode := range []struct {
+		name string
+		grow bool
+	}{
+		{name: "static", grow: false},
+		{name: "grow2x", grow: true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last growthModeResult
+			for iter := 0; iter < b.N; iter++ {
+				last = runGrowthScenario(b, mode.name, mode.grow)
+			}
+			b.ReportMetric(last.QueriesPerSec, "queries/s")
+			b.ReportMetric(last.HitRateSteady, "hitRateSteady")
+			b.ReportMetric(float64(last.UniverseAfter), "universe")
+			results = append(results, last)
+		})
+	}
+	if len(results) == 2 && results[0].HitRateSteady > 0 {
+		b.Logf("growth: static %.0f q/s hit %.2f → grow2x %.0f q/s hit %.2f",
+			results[0].QueriesPerSec, results[0].HitRateSteady,
+			results[1].QueriesPerSec, results[1].HitRateSteady)
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		out := struct {
+			Benchmark string             `json:"benchmark"`
+			Timestamp time.Time          `json:"timestamp"`
+			Modes     []growthModeResult `json:"modes"`
+		}{Benchmark: "BenchmarkGrowth", Timestamp: time.Now().UTC(), Modes: results}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_growth.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
+// growthModeResult is one BenchmarkGrowth mode's measurement, as
+// serialized into BENCH_growth.json.
+type growthModeResult struct {
+	Name          string  `json:"name"`
+	QueriesPerSec float64 `json:"queriesPerSec"`
+	HitRateSteady float64 `json:"hitRateSteady"`
+	ObjectsBorn   int64   `json:"objectsBorn"`
+	UniverseAfter int     `json:"universeAfter"`
+}
+
+// runGrowthScenario stands up a warmed 4-shard cluster, drives 16
+// clients, optionally doubles the universe in published bursts while
+// they run, and measures throughput plus the steady-state hit rate
+// over the final universe.
+func runGrowthScenario(b *testing.B, name string, grow bool) (res growthModeResult) {
+	b.Helper()
+	const (
+		nClients  = 16
+		nBase     = 32
+		nBirths   = 32
+		nBursts   = 8
+		execDelay = 2 * time.Millisecond
+	)
+	res.Name = name
+	mkSurvey := func() *catalog.Survey {
+		scfg := catalog.DefaultConfig()
+		scfg.NumObjects = nBase
+		scfg.TotalSize = nBase * cost.GB
+		scfg.MinObjectSize = cost.GB
+		scfg.MaxObjectSize = cost.GB
+		survey, err := catalog.NewSurvey(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return survey
+	}
+	survey, mirror := mkSurvey(), mkSurvey()
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  survey.Objects(),
+		Shards:   4,
+		Mode:     cluster.HTMAware,
+		// Room for the doubled universe: newborns must be cacheable.
+		ShardCapacity: 2 * nBase * cost.GB,
+		Scale:         netproto.PayloadScale{},
+		ExecDelay:     execDelay,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+
+	ctx := context.Background()
+	warm := func(cl *client.Client, ids []model.ObjectID) {
+		// A query whose cost covers the load cost makes VCover load the
+		// object immediately.
+		for _, id := range ids {
+			obj, err := mirror.Object(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.Query(ctx, model.Query{
+				Objects: []model.ObjectID{id}, Cost: obj.Size,
+				Tolerance: model.AnyStaleness, Time: time.Second,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	adminCl, err := client.DialCluster(lc.Router.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer adminCl.Close()
+	baseIDs := make([]model.ObjectID, 0, nBase)
+	for _, o := range survey.Objects() {
+		baseIDs = append(baseIDs, o.ID)
+	}
+	warm(adminCl, baseIDs)
+
+	var (
+		knownMu sync.RWMutex
+		known   = append([]model.ObjectID(nil), baseIDs...)
+		stop    atomic.Bool
+		served  atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for c := 0; c < nClients; c++ {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func(c int, cl *client.Client) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				knownMu.RLock()
+				pick := known[int(uint64(c*1_000_003+i)*11400714819323198485%uint64(len(known)))]
+				knownMu.RUnlock()
+				if _, err := cl.Query(ctx, model.Query{
+					Objects: []model.ObjectID{pick}, Cost: cost.KB,
+					Tolerance: model.AnyStaleness,
+					Time:      time.Minute + time.Duration(i)*time.Millisecond,
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+				served.Add(1)
+			}
+		}(c, cl)
+	}
+
+	// The measured window: either eight growth bursts (universe
+	// doubles) or the same wall time of pure static load.
+	growRng := rand.New(rand.NewSource(4242))
+	start := time.Now()
+	for burst := 0; burst < nBursts; burst++ {
+		if grow {
+			births, err := mirror.GrowObjects(growRng, nBirths/nBursts, time.Duration(burst)*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := adminCl.AddObjects(ctx, births); err != nil {
+				b.Fatal(err)
+			}
+			ids := make([]model.ObjectID, len(births))
+			for i, bb := range births {
+				ids[i] = bb.Object.ID
+			}
+			warm(adminCl, ids)
+			knownMu.Lock()
+			known = append(known, ids...)
+			knownMu.Unlock()
+			time.Sleep(20 * time.Millisecond)
+		} else {
+			time.Sleep(30 * time.Millisecond)
+		}
+	}
+	elapsed := time.Since(start)
+	res.QueriesPerSec = float64(served.Load()) / elapsed.Seconds()
+
+	stop.Store(true)
+	wg.Wait()
+
+	// Steady state: sweep the final universe once and count cache hits.
+	knownMu.RLock()
+	finalIDs := append([]model.ObjectID(nil), known...)
+	knownMu.RUnlock()
+	hits := 0
+	for _, id := range finalIDs {
+		r, err := adminCl.Query(ctx, model.Query{
+			Objects: []model.ObjectID{id}, Cost: cost.KB,
+			Tolerance: model.AnyStaleness, Time: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Source == "cache" {
+			hits++
+		}
+	}
+	res.HitRateSteady = float64(hits) / float64(len(finalIDs))
+	res.UniverseAfter = len(finalIDs)
+	cs, err := adminCl.ClusterStats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.ObjectsBorn = cs.Aggregate.ObjectsBorn
 	return res
 }
 

@@ -46,6 +46,8 @@ func run() error {
 		cstats    = flag.Bool("cluster-stats", false, "print per-shard cluster statistics (routers; a single cache answers as one shard)")
 		resize    = flag.String("resize", "", "resize the cluster live to this comma-separated shard address list (routers only)")
 		rebStatus = flag.Bool("rebalance-status", false, "print the router's rebalance progress view")
+		grow      = flag.Int("grow", 0, "publish N new data objects into the deployment (assumes this client is the only grower, so locally generated IDs line up)")
+		growSeed  = flag.Int64("grow-seed", 1, "seed for -grow object generation")
 		objects   = flag.Int("objects", 68, "objects (must match deployment)")
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
 	)
@@ -85,11 +87,41 @@ func run() error {
 			return err
 		}
 		printRebalance(st)
+	case *grow > 0:
+		rng := rand.New(rand.NewSource(*growSeed))
+		// Catch the local survey mirror up with growth already
+		// published (stats report how many objects the deployment has
+		// admitted since its base universe), replaying the generator
+		// stream so a second -grow run continues the ID sequence
+		// instead of silently colliding with the first run's. Assumes
+		// one grower with a stable -grow-seed.
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if st.ObjectsBorn > 0 {
+			if _, err := survey.GrowObjects(rng, int(st.ObjectsBorn), 0); err != nil {
+				return fmt.Errorf("replaying %d published births: %w", st.ObjectsBorn, err)
+			}
+		}
+		births, err := survey.GrowObjects(rng, *grow, time.Since(start))
+		if err != nil {
+			return err
+		}
+		accepted, err := cl.AddObjects(ctx, births)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("published %d new objects (%d newly admitted; universe now %d objects)\n",
+			len(births), accepted, survey.NumObjects())
+		for _, b := range births {
+			fmt.Printf("  object %d: %v at ra=%.3f dec=%.3f\n", b.Object.ID, b.Object.Size, b.RA, b.Dec)
+		}
 	case *stats || *cstats || *rebStatus:
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -sql, -demo, -stats, -cluster-stats, -resize, -rebalance-status is required")
+		return fmt.Errorf("one of -sql, -demo, -stats, -cluster-stats, -resize, -rebalance-status, -grow is required")
 	}
 
 	if *stats || *demo > 0 {
@@ -144,8 +176,8 @@ func printStats(st *netproto.StatsMsg) {
 		st.Policy, st.Queries, st.AtCache, st.Shipped)
 	fmt.Printf("traffic: query-ship=%v update-ship=%v loads=%v total=%v\n",
 		st.Ledger.QueryShip, st.Ledger.UpdateShip, st.Ledger.ObjectLoad, st.Ledger.Total())
-	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d migrated-in=%d migrated-out=%d\n",
-		st.DroppedInvalidations, st.DedupedLoads, st.MigratedIn, st.MigratedOut)
+	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d migrated-in=%d migrated-out=%d objects-born=%d\n",
+		st.DroppedInvalidations, st.DedupedLoads, st.MigratedIn, st.MigratedOut, st.ObjectsBorn)
 	fmt.Printf("cached objects: %v\n", st.Cached)
 }
 

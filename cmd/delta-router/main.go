@@ -20,6 +20,12 @@
 // takes the cluster from 2 to 4 shards while it serves, streaming the
 // moving objects' cached state shard-to-shard (see docs/CLUSTER.md,
 // "Resizing a live cluster").
+//
+// With `-repo` set the router also serves live universe growth: it
+// subscribes to the repository's invalidation stream, adopts newly
+// published objects into routing (granting each to its owning shard),
+// and accepts `delta-client -grow` publications (docs/CLUSTER.md,
+// "Growing the universe").
 package main
 
 import (
@@ -47,6 +53,7 @@ func run() error {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7708", "client-facing listen address")
 		shardList = flag.String("shards", "", "comma-separated shard addresses, in shard-index order")
+		repoAddr  = flag.String("repo", "", "repository address; enables live universe growth (birth publication + announcement adoption)")
 		modeName  = flag.String("mode", "htm", "ownership mode: htm|rendezvous (must match the shards)")
 		objects   = flag.Int("objects", 68, "number of data objects (must match the deployment)")
 		seed      = flag.Int64("seed", 2, "survey seed (must match the deployment)")
@@ -80,6 +87,7 @@ func run() error {
 		Addr:      *addr,
 		Shards:    addrs,
 		Ownership: own,
+		RepoAddr:  *repoAddr,
 		ShardPool: *pool,
 		DialRetry: *dialRetry,
 		Logf:      log.Printf,

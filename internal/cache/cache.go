@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/clock"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
@@ -91,6 +92,9 @@ type Config struct {
 	// resource per cache node — which is what makes sharded-cluster
 	// scaling measurable on one machine. Zero disables.
 	ExecDelay time.Duration
+	// Clock paces ExecDelay; nil means the wall clock. Tests inject a
+	// fake clock so simulated scan time costs no real time.
+	Clock clock.Clock
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -124,8 +128,9 @@ type Middleware struct {
 	// owned is the filtered object universe (nil when the node owns
 	// everything); guarded by mu since reshards replace it live.
 	owned map[model.ObjectID]struct{}
-	// byID indexes the full configured universe for reshard and
-	// migration lookups (immutable after New).
+	// byID indexes the known universe for reshard and migration
+	// lookups; guarded by mu since births and reshard metadata extend
+	// it live.
 	byID map[model.ObjectID]model.Object
 
 	loads loadGroup
@@ -137,6 +142,7 @@ type Middleware struct {
 	dedupLoads  atomic.Int64
 	migratedIn  atomic.Int64
 	migratedOut atomic.Int64
+	bornObjects atomic.Int64
 
 	invRaw net.Conn
 	wg     sync.WaitGroup
@@ -182,6 +188,9 @@ func New(cfg Config) (*Middleware, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
 	}
 	if cfg.Policy == nil {
 		if cfg.PolicyFactory != nil {
@@ -310,6 +319,7 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 		DedupedLoads:         m.dedupLoads.Load(),
 		MigratedIn:           m.migratedIn.Load(),
 		MigratedOut:          m.migratedOut.Load(),
+		ObjectsBorn:          m.bornObjects.Load(),
 	}
 }
 
@@ -357,6 +367,22 @@ func (m *Middleware) invalidationLoop(c *netproto.Conn) {
 		f, err := c.Recv()
 		if err != nil {
 			return
+		}
+		if birth, ok := f.Body.(netproto.ObjectBirthMsg); ok {
+			m.mu.Lock()
+			sharded := m.owned != nil
+			m.mu.Unlock()
+			if sharded {
+				// A cluster shard adopts births only when its router
+				// pushes them (MsgObjectBirth request): ownership of a
+				// newborn is the router's assignment, not a broadcast.
+				continue
+			}
+			if _, err := m.AddObjects(ctx, birth.Births); err != nil {
+				m.droppedInv.Add(1)
+				m.cfg.Logf("adopt births: %v", err)
+			}
+			continue
 		}
 		inv, ok := f.Body.(netproto.InvalidateMsg)
 		if !ok {
@@ -464,6 +490,8 @@ func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error)
 		// A router-scattered fragment; objects are already restricted
 		// to this shard's owned set (handleQuery verifies).
 		return m.handleQuery(context.Background(), &body.Query), nil
+	case netproto.ObjectBirthMsg:
+		return m.handleBirths(context.Background(), body)
 	case netproto.StatsMsg:
 		return netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}, nil
 	case netproto.ReshardMsg:
@@ -550,7 +578,7 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	}
 	if m.cfg.ExecDelay > 0 {
 		m.execMu.Lock()
-		time.Sleep(m.cfg.ExecDelay)
+		m.cfg.Clock.Sleep(m.cfg.ExecDelay)
 		m.execMu.Unlock()
 	}
 	var result netproto.QueryResultMsg
@@ -561,6 +589,96 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	result.Payload = netproto.MakePayload(m.cfg.Scale, q.Cost, int64(q.ID))
 	result.Elapsed = time.Since(start)
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: result}
+}
+
+// handleBirths serves MsgObjectBirth: publish the births to the
+// repository (idempotent — the repository skips births it already
+// ingested), then admit them into this node's own universe. A cluster
+// router pushes births to their owning shard through this same frame,
+// so the adoption half doubles as the ownership grant; the forward
+// half is then a no-op round trip that guarantees the repository is
+// never behind a node that answers for the newborn.
+func (m *Middleware) handleBirths(ctx context.Context, body netproto.ObjectBirthMsg) (netproto.Frame, error) {
+	reply, err := m.repo.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgObjectBirth,
+		Body: netproto.ObjectBirthMsg{Births: body.Births},
+	})
+	if err != nil {
+		return netproto.Frame{}, fmt.Errorf("cache: publish births: %w", err)
+	}
+	ack, ok := reply.Body.(netproto.ObjectBirthMsg)
+	if !ok {
+		return netproto.Frame{}, fmt.Errorf("cache: repository replied %s to births", reply.Type)
+	}
+	// Adopt the repository's canonical copies (trixel filled in), not
+	// the publisher's raw ones, so this node places the newborn from
+	// the same metadata every announcement-stream adopter sees. The
+	// replied count is the repository's (how many were newly
+	// published), which is deterministic — the announcement stream may
+	// have adopted them here already.
+	if _, err := m.AddObjects(ctx, ack.Births); err != nil {
+		return netproto.Frame{}, err
+	}
+	return netproto.Frame{Type: netproto.MsgObjectBirth, Body: netproto.ObjectBirthMsg{
+		Births:   ack.Births,
+		Accepted: ack.Accepted,
+	}}, nil
+}
+
+// AddObjects admits newly published objects into the node's universe,
+// live: the policy's universe extends (core.Grower), the owned set
+// grows when the node is a cluster shard (the router pushes a birth
+// only to its owning shard), and any immediate decision the policy
+// returns (Replica loads newborns) is executed. Births already known
+// are skipped, so adoption is idempotent across the announcement
+// stream and the router push. Returns how many births were new.
+func (m *Middleware) AddObjects(ctx context.Context, births []model.Birth) (int, error) {
+	m.mu.Lock()
+	fresh := make([]model.Object, 0, len(births))
+	for _, b := range births {
+		if _, dup := m.byID[b.Object.ID]; dup {
+			continue
+		}
+		fresh = append(fresh, b.Object)
+	}
+	if len(fresh) == 0 {
+		m.mu.Unlock()
+		return 0, nil
+	}
+	grower, ok := m.policy.(core.Grower)
+	if !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("cache: policy %s cannot grow its universe", m.policy.Name())
+	}
+	d, err := grower.AddObjects(fresh)
+	if err != nil {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("cache: policy admit births: %w", err)
+	}
+	for _, o := range fresh {
+		m.byID[o.ID] = o
+		if m.owned != nil {
+			m.owned[o.ID] = struct{}{}
+		}
+	}
+	p, err := m.commitDecisionLocked(d)
+	universe := len(m.byID)
+	m.mu.Unlock()
+	// The adoption itself is done — the universe extended and the
+	// policy knows the newborns — so it counts even if the immediate
+	// decision below fails: a retry will correctly dedup against the
+	// extended universe, and the counter must agree with it. A failed
+	// birth load (Replica) rolls residency back exactly like any
+	// failed load.
+	m.bornObjects.Add(int64(len(fresh)))
+	m.cfg.Logf("admitted %d born objects (universe now %d)", len(fresh), universe)
+	if err != nil {
+		return len(fresh), fmt.Errorf("cache: commit birth decision: %w", err)
+	}
+	if err := m.executePlan(ctx, p); err != nil {
+		return len(fresh), fmt.Errorf("cache: execute birth decision: %w", err)
+	}
+	return len(fresh), nil
 }
 
 // commitDecisionLocked applies a decision's residency bookkeeping

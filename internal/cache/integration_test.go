@@ -431,3 +431,103 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within deadline")
 }
+
+// TestSingleCacheAdoptsBirths covers live growth on the unsharded
+// deployment: a birth published through the cache is queryable the
+// moment the publish acks, and a birth published straight to the
+// repository reaches the cache through the invalidation stream.
+func TestSingleCacheAdoptsBirths(t *testing.T) {
+	d := startDeployment(t, core.NewVCover(core.DefaultVCoverConfig()))
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	next := d.survey.NextID()
+	publishViaCache := model.Birth{
+		Object: model.Object{ID: next, Size: 200 * cost.MB},
+		RA:     33, Dec: 12, Time: time.Second,
+	}
+	accepted, err := cl.AddObjects(ctx, []model.Birth{publishViaCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", accepted)
+	}
+	// Immediately queryable: the publish path adopts before replying.
+	res, err := cl.Query(ctx, model.Query{
+		Objects: []model.ObjectID{next}, Cost: cost.MB,
+		Tolerance: model.AnyStaleness, Time: time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("born object not queryable after publish ack: %v", err)
+	}
+	if res.Source != "repository" {
+		t.Errorf("cold newborn should ship, got %q", res.Source)
+	}
+	// Republishing is idempotent end to end.
+	if accepted, err := cl.AddObjects(ctx, []model.Birth{publishViaCache}); err != nil || accepted != 0 {
+		t.Fatalf("republish accepted %d, err %v", accepted, err)
+	}
+
+	// A birth ingested directly at the repository reaches the cache
+	// via the announcement stream within one round trip.
+	direct := model.Birth{
+		Object: model.Object{ID: next + 1, Size: 120 * cost.MB},
+		RA:     210, Dec: -5, Time: 2 * time.Second,
+	}
+	if _, err := d.repo.AddObjects([]model.Birth{direct}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Query(ctx, model.Query{
+			Objects: []model.ObjectID{next + 1}, Cost: cost.MB,
+			Tolerance: model.AnyStaleness, Time: time.Minute,
+		}); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("announced birth never became queryable: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ObjectsBorn != 2 {
+		t.Errorf("cache ObjectsBorn = %d, want 2", st.ObjectsBorn)
+	}
+}
+
+// TestReplicaLoadsBirths pins the Grower contract for the push-based
+// mirror: a Replica cache loads every newborn so queries over it stay
+// local.
+func TestReplicaLoadsBirths(t *testing.T) {
+	d := startDeployment(t, core.NewReplica())
+	cl, err := client.Dial(d.mw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	next := d.survey.NextID()
+	if _, err := cl.AddObjects(ctx, []model.Birth{{
+		Object: model.Object{ID: next, Size: 300 * cost.MB},
+		RA:     75, Dec: 42, Time: time.Second,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(ctx, model.Query{
+		Objects: []model.ObjectID{next}, Cost: cost.MB,
+		Tolerance: model.NoTolerance, Time: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != "cache" {
+		t.Errorf("replica should answer the newborn locally, got %q", res.Source)
+	}
+}

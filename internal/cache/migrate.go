@@ -46,7 +46,9 @@ const (
 const migrateRoundTripTimeout = 30 * time.Second
 
 // Reshard atomically replaces the node's owned object set with exactly
-// owned (a subset of the configured universe). A fresh policy is built
+// owned (a subset of the known universe; meta supplies metadata for
+// objects born after this node spawned, so a fresh shard can take
+// ownership of newborns it has never seen). A fresh policy is built
 // from Config.PolicyFactory and initialized over the new universe;
 // resident objects still owned are adopted warm (core.Warmable),
 // everything else is discarded. It returns how many cached objects
@@ -56,23 +58,31 @@ const migrateRoundTripTimeout = 30 * time.Second
 // flight at swap time is adopted as resident; if that load ultimately
 // fails, the rollback leaves the new policy believing the object is
 // cached — the same divergence a failed load always causes here.
-func (m *Middleware) Reshard(epoch int, owned []model.ObjectID) (resident, dropped int, err error) {
+func (m *Middleware) Reshard(epoch int, owned []model.ObjectID, meta []model.Object) (resident, dropped int, err error) {
 	if m.cfg.PolicyFactory == nil {
 		return 0, 0, fmt.Errorf("cache: no policy factory configured; live reshard unavailable")
 	}
+	m.mu.Lock()
+	for _, o := range meta {
+		if _, ok := m.byID[o.ID]; !ok {
+			m.byID[o.ID] = o
+		}
+	}
 	want := make(map[model.ObjectID]struct{}, len(owned))
+	universe := make([]model.Object, 0, len(owned))
 	for _, id := range owned {
-		if _, ok := m.byID[id]; !ok {
-			return 0, 0, fmt.Errorf("cache: reshard names object %d outside the configured universe", id)
+		o, ok := m.byID[id]
+		if !ok {
+			m.mu.Unlock()
+			return 0, 0, fmt.Errorf("cache: reshard names object %d outside the known universe", id)
+		}
+		if _, dup := want[id]; dup {
+			continue
 		}
 		want[id] = struct{}{}
+		universe = append(universe, o)
 	}
-	universe := make([]model.Object, 0, len(want))
-	for _, o := range m.cfg.Objects {
-		if _, ok := want[o.ID]; ok {
-			universe = append(universe, o)
-		}
-	}
+	m.mu.Unlock()
 	if len(universe) == 0 {
 		return 0, 0, fmt.Errorf("cache: reshard leaves the node with no objects")
 	}
@@ -126,7 +136,7 @@ func (m *Middleware) Reshard(epoch int, owned []model.ObjectID) (resident, dropp
 
 // handleReshard serves MsgReshard: the router's filter-swap command.
 func (m *Middleware) handleReshard(body netproto.ReshardMsg) (netproto.Frame, error) {
-	resident, droppedCount, err := m.Reshard(body.Epoch, body.Owned)
+	resident, droppedCount, err := m.Reshard(body.Epoch, body.Owned, body.Universe)
 	if err != nil {
 		return netproto.Frame{}, err
 	}
@@ -233,6 +243,11 @@ func (m *Middleware) handleMigrateChunk(body netproto.MigrateChunkMsg) (netproto
 	m.mu.Lock()
 	for _, mo := range body.Objects {
 		id := mo.Object.ID
+		if _, ok := m.byID[id]; !ok {
+			// A migrated newborn this node has not met yet: the chunk
+			// carries full metadata, so register it before adoption.
+			m.byID[id] = mo.Object
+		}
 		if m.owned != nil {
 			if _, ok := m.owned[id]; !ok {
 				continue

@@ -87,7 +87,7 @@ func TestReshardCarriesOwnedResidents(t *testing.T) {
 			keep = append(keep, o.ID)
 		}
 	}
-	resident, dropped, err := mw.Reshard(1, keep)
+	resident, dropped, err := mw.Reshard(1, keep, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,16 +150,16 @@ func TestReshardRejectsStaleEpoch(t *testing.T) {
 	for _, o := range all {
 		whole = append(whole, o.ID)
 	}
-	if _, _, err := mw.Reshard(2, whole); err != nil {
+	if _, _, err := mw.Reshard(2, whole, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mw.Reshard(1, half); err == nil {
+	if _, _, err := mw.Reshard(1, half, nil); err == nil {
 		t.Error("stale epoch-1 reshard applied after epoch 2")
 	}
 	if got := len(mw.Stats().Cached); got != len(all) {
 		t.Errorf("stale reshard disturbed residency: %d cached, want %d", got, len(all))
 	}
-	if _, _, err := mw.Reshard(2, half); err != nil {
+	if _, _, err := mw.Reshard(2, half, nil); err != nil {
 		t.Errorf("same-epoch reshard (narrow after widen) rejected: %v", err)
 	}
 }
@@ -169,10 +169,10 @@ func TestReshardRejectsStaleEpoch(t *testing.T) {
 func TestReshardRejectsBadInputs(t *testing.T) {
 	survey, _, mw := startReshardable(t)
 	before := len(mw.Stats().Cached)
-	if _, _, err := mw.Reshard(1, []model.ObjectID{9999}); err == nil {
+	if _, _, err := mw.Reshard(1, []model.ObjectID{9999}, nil); err == nil {
 		t.Error("reshard accepted an object outside the universe")
 	}
-	if _, _, err := mw.Reshard(1, nil); err == nil {
+	if _, _, err := mw.Reshard(1, nil, nil); err == nil {
 		t.Error("reshard accepted an empty owned set")
 	}
 	if got := len(mw.Stats().Cached); got != before {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"time"
 
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/geom"
@@ -156,12 +158,32 @@ func DefaultConfig() Config {
 
 // Survey is a fully-built synthetic repository: density model, HTM
 // partition, and sized data objects.
+//
+// The survey grows while serving: AddObject ingests newly published
+// objects (the paper's rapidly-growing repository), which join the
+// universe with dense sequential IDs and attach to the partition cell
+// containing their sky position, so the query→object mapping covers
+// them without recomputing the mesh. The base partition built by
+// NewSurvey is immutable; only the born-object extension is guarded by
+// the mutex, so concurrent readers and one grower are safe.
 type Survey struct {
 	cfg       Config
 	sky       *Sky
 	partition *htm.Partition
 	objects   []model.Object
 	maxDens   float64
+
+	mu         sync.RWMutex
+	born       []bornObject
+	bornByCell map[int][]int // partition cell index → born indexes
+}
+
+// bornObject is one live-ingested object with its sky position and the
+// partition cell it attaches to.
+type bornObject struct {
+	obj  model.Object
+	pos  geom.Vec3
+	cell int
 }
 
 // NewSurvey constructs the survey: the sky density model, the adaptive
@@ -272,32 +294,131 @@ func (s *Survey) Config() Config { return s.cfg }
 // Sky returns the density model.
 func (s *Survey) Sky() *Sky { return s.sky }
 
-// Objects returns the data objects, indexed by ObjectID-1.
+// Objects returns the data objects (base partition plus any born
+// objects), indexed by ObjectID-1.
 func (s *Survey) Objects() []model.Object {
-	out := make([]model.Object, len(s.objects))
-	copy(out, s.objects)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Object, 0, len(s.objects)+len(s.born))
+	out = append(out, s.objects...)
+	for _, b := range s.born {
+		out = append(out, b.obj)
+	}
 	return out
 }
 
 // Object returns the object with the given ID.
 func (s *Survey) Object(id model.ObjectID) (model.Object, error) {
 	idx := int(id) - 1
-	if idx < 0 || idx >= len(s.objects) {
-		return model.Object{}, fmt.Errorf("catalog: unknown object %d", id)
+	if idx >= 0 && idx < len(s.objects) {
+		return s.objects[idx], nil
 	}
-	return s.objects[idx], nil
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if bidx := idx - len(s.objects); bidx >= 0 && bidx < len(s.born) {
+		return s.born[bidx].obj, nil
+	}
+	return model.Object{}, fmt.Errorf("catalog: unknown object %d", id)
 }
 
-// NumObjects returns the number of data objects.
-func (s *Survey) NumObjects() int { return len(s.objects) }
+// NumObjects returns the number of data objects, born included.
+func (s *Survey) NumObjects() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects) + len(s.born)
+}
 
-// TotalSize returns the summed object size.
+// NextID returns the ID the next born object must carry: IDs are dense
+// and sequential, continuing the base partition's 1..N.
+func (s *Survey) NextID() model.ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return model.ObjectID(len(s.objects) + len(s.born) + 1)
+}
+
+// TotalSize returns the summed object size, born included.
 func (s *Survey) TotalSize() cost.Bytes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var total cost.Bytes
 	for _, o := range s.objects {
 		total += o.Size
 	}
+	for _, b := range s.born {
+		total += b.obj.Size
+	}
 	return total
+}
+
+// AddObject ingests one newly published object. The birth's ID must be
+// exactly NextID (dense sequential growth; out-of-order publications
+// are a pipeline bug) and its size positive. The object attaches to
+// the partition cell containing its position, so CoverCap and the HTM
+// ownership cuts place it next to its spatial neighbors.
+func (s *Survey) AddObject(b model.Birth) error {
+	if b.Object.Size <= 0 {
+		return fmt.Errorf("catalog: born object %d has non-positive size", b.Object.ID)
+	}
+	pos := geom.FromRADec(b.RA, b.Dec)
+	cell := s.partition.ObjectFor(pos)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := model.ObjectID(len(s.objects) + len(s.born) + 1)
+	if b.Object.ID != want {
+		return fmt.Errorf("catalog: born object ID %d out of sequence (next is %d)", b.Object.ID, want)
+	}
+	obj := b.Object
+	if obj.Trixel == 0 {
+		// Inherit the containing cell's trixel so spatial sorts place
+		// the newborn beside its neighbors.
+		obj.Trixel = s.partition.Objects()[cell].ID
+	}
+	if s.bornByCell == nil {
+		s.bornByCell = make(map[int][]int)
+	}
+	s.bornByCell[cell] = append(s.bornByCell[cell], len(s.born))
+	s.born = append(s.born, bornObject{obj: obj, pos: pos, cell: cell})
+	return nil
+}
+
+// GrowObjects publishes n new objects at density-sampled sky positions
+// (newly released survey data lands where the sky is busy, which is
+// where access concentrates), applies them to this survey, and returns
+// the births for shipping to other parties. Sizes are lognormal around
+// a quarter of the mean base-object size, clamped to the configured
+// range — new partitions start small and cacheable. Deterministic for
+// a given rng state.
+func (s *Survey) GrowObjects(rng *rand.Rand, n int, at time.Duration) ([]model.Birth, error) {
+	births := make([]model.Birth, 0, n)
+	meanBase := float64(s.cfg.TotalSize) / float64(max(s.cfg.NumObjects, 1)) / 4
+	for i := 0; i < n; i++ {
+		pos := s.SamplePosition(rng)
+		ra, dec := pos.RADec()
+		const sigma = 1.0
+		mu := math.Log(math.Max(meanBase, float64(s.cfg.MinObjectSize))) - sigma*sigma/2
+		size := cost.Bytes(math.Exp(mu + sigma*rng.NormFloat64()))
+		if size < s.cfg.MinObjectSize {
+			size = s.cfg.MinObjectSize
+		}
+		if size > s.cfg.MaxObjectSize {
+			size = s.cfg.MaxObjectSize
+		}
+		b := model.Birth{
+			Object: model.Object{ID: s.NextID(), Size: size},
+			RA:     ra,
+			Dec:    dec,
+			Time:   at,
+		}
+		if err := s.AddObject(b); err != nil {
+			return births, err
+		}
+		// Return the stored copy so the shipped birth carries the
+		// inherited trixel.
+		obj, _ := s.Object(b.Object.ID)
+		b.Object = obj
+		births = append(births, b)
+	}
+	return births, nil
 }
 
 // ObjectAt returns the ID of the object owning a sky position.
@@ -306,12 +427,31 @@ func (s *Survey) ObjectAt(v geom.Vec3) model.ObjectID {
 }
 
 // CoverCap returns the IDs of objects whose partitions may intersect
-// the cap — the query→object mapping B(q).
+// the cap — the query→object mapping B(q). Born objects are included
+// through the cell they attach to.
 func (s *Survey) CoverCap(c geom.Cap) []model.ObjectID {
 	idxs := s.partition.Cover(c)
-	out := make([]model.ObjectID, len(idxs))
-	for i, idx := range idxs {
-		out[i] = model.ObjectID(idx + 1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.ObjectID, 0, len(idxs))
+	for _, idx := range idxs {
+		out = append(out, model.ObjectID(idx+1))
+		for _, bidx := range s.bornByCell[idx] {
+			out = append(out, s.born[bidx].obj.ID)
+		}
+	}
+	return out
+}
+
+// BornObjects returns the objects ingested after construction, in
+// publication order, as shippable births.
+func (s *Survey) BornObjects() []model.Birth {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Birth, len(s.born))
+	for i, b := range s.born {
+		ra, dec := b.pos.RADec()
+		out[i] = model.Birth{Object: b.obj, RA: ra, Dec: dec}
 	}
 	return out
 }

@@ -3,8 +3,11 @@ package catalog
 import (
 	"math/rand"
 	"testing"
+	"time"
 
+	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
 )
 
 func testSurvey(t *testing.T) *Survey {
@@ -236,5 +239,101 @@ func TestObjectSizeTotalForDifferentGranularities(t *testing.T) {
 		if got < 0.4*want || got > 1.6*want {
 			t.Errorf("n=%d: total %v too far from %v", n, s.TotalSize(), cfg.TotalSize)
 		}
+	}
+}
+
+func TestAddObjectSequentialIDs(t *testing.T) {
+	s := testSurvey(t)
+	base := s.NumObjects()
+	next := s.NextID()
+	if int(next) != base+1 {
+		t.Fatalf("NextID = %d, want %d", next, base+1)
+	}
+	b := model.Birth{Object: model.Object{ID: next, Size: 200 * cost.MB}, RA: 120, Dec: 10}
+	if err := s.AddObject(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumObjects() != base+1 {
+		t.Errorf("NumObjects = %d after birth, want %d", s.NumObjects(), base+1)
+	}
+	got, err := s.Object(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 200*cost.MB {
+		t.Errorf("born object size %v", got.Size)
+	}
+	if got.Trixel == 0 {
+		t.Error("born object should inherit its cell's trixel")
+	}
+	// Out-of-sequence and duplicate births are rejected.
+	if err := s.AddObject(model.Birth{Object: model.Object{ID: next, Size: cost.MB}}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if err := s.AddObject(model.Birth{Object: model.Object{ID: next + 5, Size: cost.MB}}); err == nil {
+		t.Error("gapped ID should fail")
+	}
+	if err := s.AddObject(model.Birth{Object: model.Object{ID: next + 1, Size: 0}}); err == nil {
+		t.Error("non-positive size should fail")
+	}
+}
+
+func TestBornObjectCoveredByCap(t *testing.T) {
+	s := testSurvey(t)
+	next := s.NextID()
+	if err := s.AddObject(model.Birth{
+		Object: model.Object{ID: next, Size: cost.GB}, RA: 45, Dec: -20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids := s.CoverCap(geom.CapFromRADec(45, -20, 1))
+	found := false
+	for _, id := range ids {
+		if id == next {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cap over the birth position covers %v, missing born object %d", ids, next)
+	}
+	// A cap on the opposite side of the sky does not cover the birth.
+	for _, id := range s.CoverCap(geom.CapFromRADec(225, 20, 1)) {
+		if id == next {
+			t.Error("far cap should not cover the born object")
+		}
+	}
+	// Objects() includes the newborn at index ID-1.
+	objs := s.Objects()
+	if objs[len(objs)-1].ID != next {
+		t.Errorf("Objects tail = %d, want %d", objs[len(objs)-1].ID, next)
+	}
+}
+
+func TestGrowObjectsDeterministic(t *testing.T) {
+	a, b := testSurvey(t), testSurvey(t)
+	ba, err := a.GrowObjects(rand.New(rand.NewSource(9)), 5, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.GrowObjects(rand.New(rand.NewSource(9)), 5, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ba) != 5 || len(bb) != 5 {
+		t.Fatalf("grew %d and %d objects", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Errorf("birth %d diverged: %+v vs %+v", i, ba[i], bb[i])
+		}
+		if ba[i].Object.Size < a.Config().MinObjectSize || ba[i].Object.Size > a.Config().MaxObjectSize {
+			t.Errorf("birth %d size %v outside configured range", i, ba[i].Object.Size)
+		}
+	}
+	if total := a.TotalSize(); total <= a.Config().TotalSize {
+		t.Errorf("grown survey total %v should exceed base %v", total, a.Config().TotalSize)
+	}
+	if got := a.BornObjects(); len(got) != 5 {
+		t.Errorf("BornObjects = %d, want 5", len(got))
 	}
 }

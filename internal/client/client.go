@@ -183,6 +183,30 @@ func (c *Client) QueryBatch(ctx context.Context, qs []model.Query) ([]*Result, e
 	return results, firstErr
 }
 
+// AddObjects publishes newly born data objects into the deployment:
+// the receiving cache or router forwards them to the repository (the
+// source of truth for the growing universe) and admits them into its
+// own routing/policy universe before replying, so the publisher can
+// query its newborns the moment this returns. Publication is
+// idempotent — births already known are skipped — and the returned
+// count is how many the repository newly ingested.
+func (c *Client) AddObjects(ctx context.Context, births []model.Birth) (int, error) {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgObjectBirth,
+		Body: netproto.ObjectBirthMsg{Births: births},
+	})
+	if err != nil {
+		return 0, fmt.Errorf("client: add objects: %w", err)
+	}
+	body, ok := reply.Body.(netproto.ObjectBirthMsg)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected reply %s", reply.Type)
+	}
+	return body.Accepted, nil
+}
+
 // Stats fetches the middleware's statistics.
 func (c *Client) Stats(ctx context.Context) (*netproto.StatsMsg, error) {
 	ctx, cancel := c.withTimeout(ctx)

@@ -1,0 +1,99 @@
+// Package clock abstracts the passage of time behind an injectable
+// interface so components that simulate latency (the ExecDelay knobs
+// standing in for the paper's multi-second repository and cache scans)
+// can be driven by a fake clock in tests: tier-1 runs assert on logical
+// time instead of actually sleeping, which makes them fast and immune
+// to scheduler jitter.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock tells time and sleeps. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks until the clock has advanced by d.
+	Sleep(d time.Duration)
+}
+
+// Wall is the real-time clock.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Fake is a manually advanced clock: Sleep blocks until Advance has
+// moved the fake time past the sleeper's deadline. The zero value is
+// not ready; use NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	done     chan struct{}
+}
+
+// NewFake returns a fake clock starting at the given time.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep implements Clock: it returns immediately for non-positive d,
+// otherwise blocks until Advance carries the clock to now+d.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	w := &fakeWaiter{deadline: f.now.Add(d), done: make(chan struct{})}
+	f.waiters = append(f.waiters, w)
+	f.mu.Unlock()
+	<-w.done
+}
+
+// Advance moves the clock forward by d, waking every sleeper whose
+// deadline has passed.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	remaining := f.waiters[:0]
+	var wake []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.deadline.After(f.now) {
+			wake = append(wake, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+	for _, w := range wake {
+		close(w.done)
+	}
+}
+
+// Sleepers reports how many goroutines are currently blocked in Sleep
+// (tests use it to synchronize with a sleeper having parked before
+// advancing the clock).
+func (f *Fake) Sleepers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}

@@ -1,0 +1,62 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make([]bool, 3)
+	for i, d := range []time.Duration{time.Second, 2 * time.Second, time.Hour} {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			f.Sleep(d)
+			woke[i] = true
+		}(i, d)
+	}
+	for f.Sleepers() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(2 * time.Second) // wakes the 1s and 2s sleepers
+	for f.Sleepers() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(time.Hour) // wakes the rest
+	wg.Wait()
+	for i, ok := range woke {
+		if !ok {
+			t.Errorf("sleeper %d never woke", i)
+		}
+	}
+	if got := f.Now(); got != time.Unix(0, 0).Add(2*time.Second+time.Hour) {
+		t.Errorf("Now = %v", got)
+	}
+}
+
+func TestFakeSleepNonPositive(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(0)
+		f.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive Sleep blocked")
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	var c Clock = Wall{}
+	before := time.Now()
+	if c.Now().Before(before) {
+		t.Error("wall clock went backwards")
+	}
+	c.Sleep(time.Millisecond)
+}

@@ -1,0 +1,184 @@
+// Live universe growth at the routing tier. The paper's repository
+// grows while serving: newly published objects (MsgObjectBirth) must
+// become routable without a restart or an epoch change. The router
+// learns births two ways — a client publishes through it, or the
+// repository announces one on the invalidation stream the router
+// subscribes to (Config.RepoAddr) — and adoption is the same either
+// way:
+//
+//  1. extend the current routing epoch's ownership (Ownership.Extend:
+//     rendezvous placement is free, HTM places the newborn in the cut
+//     that spatially contains it — no existing object moves);
+//  2. push the birth to its owning shard (MsgObjectBirth request), so
+//     the shard admits it into its filter and policy universe;
+//  3. publish the extended routing snapshot — same epoch, grown
+//     universe — so queries touching the newborn route from then on.
+//
+// The shard is granted ownership before the routing snapshot flips, so
+// a query that routes to the newborn never races its adoption. Births
+// serialize against live resizes (growMu): a resize in flight finishes
+// before a birth extends the final topology, and vice versa, so no
+// routing snapshot is ever lost to an interleaved store.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"slices"
+
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// subscribeInvalidations dials the repository's invalidation stream so
+// the router hears new-object announcements (update notices ride the
+// same stream and are ignored here — freshness is the shards'
+// business). Called from NewRouter when Config.RepoAddr is set.
+func (r *Router) subscribeInvalidations() error {
+	nc, err := net.Dial("tcp", r.cfg.RepoAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial invalidations: %w", err)
+	}
+	c := netproto.NewConn(nc)
+	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
+		nc.Close()
+		return fmt.Errorf("cluster: subscribe invalidations: %w", err)
+	}
+	r.invRaw = nc
+	r.wg.Add(1)
+	go r.invalidationLoop(c)
+	return nil
+}
+
+func (r *Router) invalidationLoop(c *netproto.Conn) {
+	defer r.wg.Done()
+	ctx := context.Background()
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			return
+		}
+		birth, ok := f.Body.(netproto.ObjectBirthMsg)
+		if !ok {
+			continue // update notices are the shards' business
+		}
+		if _, err := r.adoptBirths(ctx, birth.Births); err != nil {
+			r.cfg.Logf("adopt births: %v", err)
+		}
+	}
+}
+
+// adoptBirths makes newly published objects routable: it extends the
+// current epoch's ownership, grants the newborns to their owning
+// shards, and publishes the grown routing snapshot. Already-known
+// births are skipped (adoption is idempotent across the announcement
+// stream and the publish path). Returns how many births were new.
+func (r *Router) adoptBirths(ctx context.Context, births []model.Birth) (int, error) {
+	// Serialize against resizes: an interleaved Resize store would
+	// otherwise publish a snapshot computed without these births.
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
+
+	rt := r.routing.Load()
+	fresh := make([]model.Object, 0, len(births))
+	freshBirths := make([]model.Birth, 0, len(births))
+	for _, b := range births {
+		if _, known := rt.own.Owner(b.Object.ID); known {
+			continue
+		}
+		fresh = append(fresh, b.Object)
+		freshBirths = append(freshBirths, b)
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	ownNew, err := rt.own.Extend(fresh)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: extend ownership: %w", err)
+	}
+
+	// Grant each newborn to its owning shard before any query can
+	// route there.
+	byShard := make(map[int][]model.Birth)
+	for i, o := range fresh {
+		s, ok := ownNew.Owner(o.ID)
+		if !ok {
+			return 0, fmt.Errorf("cluster: extended ownership lost object %d", o.ID)
+		}
+		byShard[s] = append(byShard[s], freshBirths[i])
+	}
+	shardIdxs := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shardIdxs = append(shardIdxs, s)
+	}
+	slices.Sort(shardIdxs)
+	var pushErrs []error
+	for _, s := range shardIdxs {
+		link := rt.links[s]
+		ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		_, err := link.sess.RoundTrip(ctx, netproto.Frame{
+			Type: netproto.MsgObjectBirth,
+			Body: netproto.ObjectBirthMsg{Births: byShard[s]},
+		})
+		cancel()
+		if err != nil {
+			// The shard missed its grant: queries for the newborn will
+			// fail on it until the next reshard re-grants the owned set
+			// explicitly. Surface the failure; routing still flips so
+			// the rest of the batch serves.
+			pushErrs = append(pushErrs, fmt.Errorf("shard %d (%s): %w", link.index, link.addr, err))
+			r.cfg.Logf("birth grant to shard %d failed: %v", link.index, err)
+		}
+	}
+
+	r.routing.Store(&routing{epoch: rt.epoch, own: ownNew, links: rt.links, alt: rt.alt})
+	r.births.Add(int64(len(fresh)))
+	r.cfg.Logf("adopted %d born objects (universe now %d objects, epoch %d)",
+		len(fresh), len(ownNew.universe), rt.epoch)
+	if len(pushErrs) > 0 {
+		return len(fresh), fmt.Errorf("cluster: %d birth grant(s) failed: %v", len(pushErrs), pushErrs[0])
+	}
+	return len(fresh), nil
+}
+
+// handleBirths serves a client's MsgObjectBirth publication: ship the
+// births to the repository (the source of truth for the growing
+// universe), then adopt them into routing synchronously, so the
+// publisher can query its newborns the moment the reply lands.
+func (r *Router) handleBirths(ctx context.Context, body netproto.ObjectBirthMsg) netproto.Frame {
+	if r.repo == nil {
+		return netproto.ErrorFrame("cluster: router has no repository address; growth unavailable")
+	}
+	reply, err := r.repo.RoundTrip(ctx, netproto.Frame{
+		Type: netproto.MsgObjectBirth,
+		Body: netproto.ObjectBirthMsg{Births: body.Births},
+	})
+	if err != nil {
+		return netproto.ErrorFrame("cluster: publish births: %v", err)
+	}
+	ack, ok := reply.Body.(netproto.ObjectBirthMsg)
+	if !ok {
+		return netproto.ErrorFrame("cluster: repository replied %s to births", reply.Type)
+	}
+	// Adopt the repository's canonical copies into routing before
+	// replying (idempotent against the announcement stream, which may
+	// race us here). A failed adoption — typically an owning shard
+	// missing its grant — fails the publish: the reply's contract is
+	// "queryable on ack", and an unwarned publisher would see its
+	// newborn degrade every query until the next reshard re-grants
+	// owned sets explicitly. The births stay ingested at the
+	// repository and routing stays deterministic, so the publisher can
+	// simply retry or alert.
+	if _, err := r.adoptBirths(ctx, ack.Births); err != nil {
+		return netproto.ErrorFrame("cluster: births published but adoption incomplete: %v", err)
+	}
+	return netproto.Frame{Type: netproto.MsgObjectBirth, Body: netproto.ObjectBirthMsg{
+		Births:   ack.Births,
+		Accepted: ack.Accepted,
+	}}
+}
+
+// Births reports how many born objects the router has adopted into its
+// routing universe since start.
+func (r *Router) Births() int64 { return r.births.Load() }

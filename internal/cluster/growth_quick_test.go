@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// checkPartition verifies the core ownership invariant: every universe
+// object has exactly one owner in [0, shards), and the per-shard lists
+// partition the universe exactly (no duplicates, nothing missing).
+func checkPartition(o *Ownership) error {
+	if len(o.owner) != len(o.universe) {
+		return fmt.Errorf("owner map spans %d objects, universe %d", len(o.owner), len(o.universe))
+	}
+	seen := make(map[model.ObjectID]int, len(o.owner))
+	for s, objs := range o.byShard {
+		for _, id := range objs {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("object %d listed by shards %d and %d", id, prev, s)
+			}
+			seen[id] = s
+			if own, ok := o.owner[id]; !ok || own != s {
+				return fmt.Errorf("object %d listed by shard %d but owned by %d (known %v)", id, s, own, ok)
+			}
+		}
+	}
+	for _, u := range o.universe {
+		s, ok := o.owner[u.ID]
+		if !ok {
+			return fmt.Errorf("universe object %d has no owner", u.ID)
+		}
+		if s < 0 || s >= o.shards {
+			return fmt.Errorf("object %d owned by out-of-range shard %d", u.ID, s)
+		}
+	}
+	return nil
+}
+
+// growthOp is one step of a random growth/resize schedule.
+type growthOp struct {
+	// Births is how many objects to publish before the resize (0-3).
+	Births uint8
+	// Shards is the resize target (mapped into a sane range); 0 means
+	// no resize this step.
+	Shards uint8
+	// Trixel seeds the born objects' spatial placement.
+	Trixel uint64
+	// Size seeds the born objects' size.
+	Size uint16
+}
+
+// TestQuickGrowthResizeSingleOwner is the satellite property test:
+// across any growth sequence and any interleaved Resize, each live
+// object is owned by exactly one shard per epoch, in both ownership
+// modes — and extension is deterministic, so every party that replays
+// the same schedule computes the identical map.
+func TestQuickGrowthResizeSingleOwner(t *testing.T) {
+	base := testObjects(t, 16)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		prop := func(startShards uint8, ops []growthOp) bool {
+			n := int(startShards)%6 + 1
+			own, err := NewOwnership(base, n, mode)
+			if err != nil {
+				t.Logf("new ownership: %v", err)
+				return false
+			}
+			replay, _ := NewOwnership(base, n, mode)
+			nextID := model.ObjectID(len(base) + 1)
+			if len(ops) > 24 {
+				ops = ops[:24]
+			}
+			for _, op := range ops {
+				var objs []model.Object
+				for i := 0; i < int(op.Births)%4; i++ {
+					objs = append(objs, model.Object{
+						ID:     nextID,
+						Size:   cost.Bytes(int64(op.Size)%(1<<20) + 1),
+						Trixel: op.Trixel % 4096,
+					})
+					nextID++
+				}
+				if own, err = own.Extend(objs); err != nil {
+					t.Logf("extend: %v", err)
+					return false
+				}
+				if replay, err = replay.Extend(objs); err != nil {
+					return false
+				}
+				if err := checkPartition(own); err != nil {
+					t.Logf("after extend: %v", err)
+					return false
+				}
+				if m := int(op.Shards) % 8; m > 0 {
+					if own, err = own.Resize(m); err != nil {
+						t.Logf("resize to %d: %v", m, err)
+						return false
+					}
+					if replay, err = replay.Resize(m); err != nil {
+						return false
+					}
+					if err := checkPartition(own); err != nil {
+						t.Logf("after resize to %d: %v", m, err)
+						return false
+					}
+				}
+				// Determinism: the replayed schedule computes the same map.
+				for id, s := range own.owner {
+					if rs, ok := replay.owner[id]; !ok || rs != s {
+						t.Logf("replay diverged on object %d: %d vs %d", id, s, rs)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+// TestQuickExtendNeverMovesExisting pins the "no relabeling" half of
+// the growth design: extending the universe must not change any
+// existing object's owner, in either mode.
+func TestQuickExtendNeverMovesExisting(t *testing.T) {
+	base := testObjects(t, 16)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		prop := func(shards uint8, trixels []uint64) bool {
+			n := int(shards)%6 + 2
+			own, err := NewOwnership(base, n, mode)
+			if err != nil {
+				return false
+			}
+			if len(trixels) > 16 {
+				trixels = trixels[:16]
+			}
+			nextID := model.ObjectID(len(base) + 1)
+			for _, tx := range trixels {
+				before := make(map[model.ObjectID]int, len(own.owner))
+				for id, s := range own.owner {
+					before[id] = s
+				}
+				own, err = own.Extend([]model.Object{{ID: nextID, Size: cost.MB, Trixel: tx % 4096}})
+				if err != nil {
+					return false
+				}
+				nextID++
+				for id, s := range before {
+					if own.owner[id] != s {
+						t.Logf("%s: object %d moved %d→%d on extension", mode, id, s, own.owner[id])
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+// TestQuickFragmentSharesSumToNu is the other satellite property:
+// however a query's objects spread across shards — through any grown,
+// resized ownership — the fragment cost shares the router assigns sum
+// exactly to ν(q), so cluster-wide traffic accounting stays exact.
+func TestQuickFragmentSharesSumToNu(t *testing.T) {
+	base := testObjects(t, 16)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		prop := func(shards uint8, births uint8, nu uint32, picks []uint16) bool {
+			n := int(shards)%6 + 1
+			own, err := NewOwnership(base, n, mode)
+			if err != nil {
+				return false
+			}
+			var objs []model.Object
+			for i := 0; i < int(births)%24; i++ {
+				objs = append(objs, model.Object{
+					ID:     model.ObjectID(len(base) + i + 1),
+					Size:   cost.MB,
+					Trixel: uint64(i) * 97 % 4096,
+				})
+			}
+			if own, err = own.Extend(objs); err != nil {
+				return false
+			}
+			universe := own.Universe()
+			if len(picks) == 0 {
+				picks = []uint16{0}
+			}
+			if len(picks) > 12 {
+				picks = picks[:12]
+			}
+			seen := make(map[model.ObjectID]struct{})
+			var ids []model.ObjectID
+			for _, p := range picks {
+				id := universe[int(p)%len(universe)].ID
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+			q := &model.Query{ID: 1, Objects: ids, Cost: cost.Bytes(nu)}
+			parts, err := own.Split(ids)
+			if err != nil {
+				t.Logf("split: %v", err)
+				return false
+			}
+			links := make([]*shardLink, own.Shards())
+			for i := range links {
+				links[i] = &shardLink{index: i}
+			}
+			frags := fragmentsFor(&routing{own: own, links: links}, q, parts)
+			var sum cost.Bytes
+			covered := make(map[model.ObjectID]struct{})
+			for _, fr := range frags {
+				sum += fr.query.Cost
+				for _, id := range fr.query.Objects {
+					if _, dup := covered[id]; dup {
+						t.Logf("object %d in two fragments", id)
+						return false
+					}
+					covered[id] = struct{}{}
+				}
+			}
+			if sum != q.Cost {
+				t.Logf("shares sum %d, ν(q) %d", sum, q.Cost)
+				return false
+			}
+			if len(covered) != len(ids) {
+				t.Logf("fragments cover %d of %d objects", len(covered), len(ids))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+// TestExtendHTMJoinsOwningCut pins the HTM placement rule: a birth
+// inheriting an existing object's trixel is owned by that object's
+// shard (it joins the cut that spatially contains it).
+func TestExtendHTMJoinsOwningCut(t *testing.T) {
+	base := testObjects(t, 24)
+	own, err := NewOwnership(base, 4, HTMAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, host := range []int{0, 7, 23} {
+		b := model.Object{
+			ID:     model.ObjectID(len(base) + i + 1),
+			Size:   cost.MB,
+			Trixel: base[host].Trixel,
+		}
+		grown, err := own.Extend([]model.Object{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOwner, _ := own.Owner(base[host].ID)
+		if got, _ := grown.Owner(b.ID); got != wantOwner {
+			t.Errorf("birth sharing object %d's trixel owned by shard %d, want %d",
+				base[host].ID, got, wantOwner)
+		}
+		own = grown
+	}
+}
+
+// TestExtendRejectsKnownObject pins dedup responsibility: extension
+// with an already-owned ID is a caller bug, not a silent overwrite.
+func TestExtendRejectsKnownObject(t *testing.T) {
+	base := testObjects(t, 16)
+	own, err := NewOwnership(base, 2, Rendezvous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := own.Extend([]model.Object{base[3]}); err == nil {
+		t.Fatal("extend with an existing object should fail")
+	}
+	if _, err := own.Extend(nil); err != nil {
+		t.Fatalf("empty extension should be the identity: %v", err)
+	}
+}

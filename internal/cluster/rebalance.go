@@ -92,6 +92,11 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 		return r.RebalanceStatus(), fmt.Errorf("cluster: a resize is already in progress")
 	}
 	defer r.resizeMu.Unlock()
+	// Serialize against birth adoption: a birth in flight finishes
+	// extending the routing universe before the resize snapshots it,
+	// and no birth extends a snapshot this resize is about to replace.
+	r.growMu.Lock()
+	defer r.growMu.Unlock()
 
 	rt := r.routing.Load()
 	from, to := len(rt.links), len(spec.Shards)
@@ -175,7 +180,7 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 		}
 		widen = append(widen, reshardTarget{link: link, owned: owned})
 	}
-	if err := r.reshardAll(ctx, epoch, widen); err != nil {
+	if err := r.reshardAll(ctx, epoch, ownNew, widen); err != nil {
 		return fail(fmt.Errorf("cluster: widen: %w", err))
 	}
 
@@ -250,7 +255,7 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 		}
 	}
 	var narrowErr error
-	if err := r.reshardAll(ctx, epoch, narrow); err != nil {
+	if err := r.reshardAll(ctx, epoch, ownNew, narrow); err != nil {
 		// The flip already happened and wide filters are harmless;
 		// report the failure without unwinding the resize.
 		narrowErr = fmt.Errorf("cluster: narrow: %w", err)
@@ -273,8 +278,10 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 }
 
 // reshardAll swaps the owned sets of several shards concurrently and
-// returns the first failure.
-func (r *Router) reshardAll(ctx context.Context, epoch int, targets []reshardTarget) error {
+// returns the first failure. Each command carries the owned objects'
+// metadata so a shard can take ownership of objects born after it
+// spawned.
+func (r *Router) reshardAll(ctx context.Context, epoch int, own *Ownership, targets []reshardTarget) error {
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i, t := range targets {
@@ -285,7 +292,7 @@ func (r *Router) reshardAll(ctx context.Context, epoch int, targets []reshardTar
 			defer cancel()
 			reply, err := link.sess.RoundTrip(ctx, netproto.Frame{
 				Type: netproto.MsgReshard,
-				Body: netproto.ReshardMsg{Epoch: epoch, Owned: owned},
+				Body: netproto.ReshardMsg{Epoch: epoch, Owned: owned, Universe: own.Objects(owned)},
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d (%s): %w", link.index, link.addr, err)

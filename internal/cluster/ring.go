@@ -74,8 +74,10 @@ type Ownership struct {
 	// byShard[s] lists shard s's objects, sorted by ID.
 	byShard [][]model.ObjectID
 	// universe is the object set the assignment was computed over,
-	// retained so Resize can recompute ownership at a new shard count.
+	// retained so Resize can recompute ownership at a new shard count;
+	// meta indexes it by ID for the reshard-metadata lookups.
 	universe []model.Object
+	meta     map[model.ObjectID]model.Object
 }
 
 // NewOwnership assigns every object in the universe to one of n shards.
@@ -95,6 +97,10 @@ func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) 
 		owner:    make(map[model.ObjectID]int, len(objects)),
 		byShard:  make([][]model.ObjectID, n),
 		universe: slices.Clone(objects),
+		meta:     make(map[model.ObjectID]model.Object, len(objects)),
+	}
+	for _, obj := range objects {
+		o.meta[obj.ID] = obj
 	}
 	switch mode {
 	case Rendezvous:
@@ -114,15 +120,23 @@ func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) 
 // hash of (object, shard) — classic highest-random-weight hashing.
 func (o *Ownership) assignRendezvous(objects []model.Object) {
 	for _, obj := range objects {
-		best, bestScore := 0, uint64(0)
-		for s := 0; s < o.shards; s++ {
-			score := mix64(uint64(obj.ID)<<32 | uint64(s)&0xFFFFFFFF)
-			if score > bestScore {
-				best, bestScore = s, score
-			}
-		}
-		o.place(obj.ID, best)
+		o.place(obj.ID, rendezvousOwner(obj.ID, o.shards))
 	}
+}
+
+// rendezvousOwner returns the highest-random-weight shard for an
+// object at the given shard count. It is a pure function, which is
+// what makes rendezvous growth free: a newborn's owner needs no state
+// beyond (id, shards).
+func rendezvousOwner(id model.ObjectID, shards int) int {
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < shards; s++ {
+		score := mix64(uint64(id)<<32 | uint64(s)&0xFFFFFFFF)
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
 }
 
 // assignHTMAware sorts the universe spatially (by trixel ID, which
@@ -279,6 +293,113 @@ func (n *Ownership) relabel(o *Ownership) {
 	n.byShard = relabeled
 }
 
+// Extend derives the ownership of the universe grown by newly born
+// objects, at the same shard count. Extension never relabels existing
+// assignments — only the newborns are placed:
+//
+//   - Rendezvous placement is free: the newborn's owner is the pure
+//     hash function of (id, shard count), no state consulted.
+//   - HTMAware places the newborn in the cut that spatially contains
+//     it: the owner of its predecessor in the (trixel, ID) sort order
+//     the cuts were made over (births inherit their partition cell's
+//     trixel, so the predecessor is the cell's base object or an
+//     earlier sibling birth). No existing object moves.
+//
+// The returned ownership retains the grown universe, so a later Resize
+// recuts over newborns and base objects alike. Deterministic: every
+// party extends to the identical map. A newborn already owned is an
+// error — callers deduplicate against the current universe.
+func (o *Ownership) Extend(objs []model.Object) (*Ownership, error) {
+	if len(objs) == 0 {
+		return o, nil
+	}
+	n := &Ownership{
+		mode:     o.mode,
+		shards:   o.shards,
+		owner:    make(map[model.ObjectID]int, len(o.owner)+len(objs)),
+		byShard:  make([][]model.ObjectID, o.shards),
+		universe: make([]model.Object, 0, len(o.universe)+len(objs)),
+		meta:     make(map[model.ObjectID]model.Object, len(o.universe)+len(objs)),
+	}
+	for id, s := range o.owner {
+		n.owner[id] = s
+	}
+	for id, obj := range o.meta {
+		n.meta[id] = obj
+	}
+	for s := range o.byShard {
+		n.byShard[s] = slices.Clone(o.byShard[s])
+	}
+	n.universe = append(n.universe, o.universe...)
+	for _, obj := range objs {
+		if _, dup := n.owner[obj.ID]; dup {
+			return nil, fmt.Errorf("cluster: extend with already-owned object %d", obj.ID)
+		}
+		var s int
+		switch o.mode {
+		case Rendezvous:
+			s = rendezvousOwner(obj.ID, o.shards)
+		case HTMAware:
+			s = n.cutOwner(obj)
+		default:
+			return nil, fmt.Errorf("cluster: unknown mode %d", int(o.mode))
+		}
+		n.owner[obj.ID] = s
+		n.byShard[s] = append(n.byShard[s], obj.ID)
+		n.universe = append(n.universe, obj)
+		n.meta[obj.ID] = obj
+	}
+	for s := range n.byShard {
+		slices.Sort(n.byShard[s])
+	}
+	return n, nil
+}
+
+// cutOwner returns the shard whose contiguous HTM cut contains the
+// newborn: the owner of its predecessor in the (trixel, ID) order the
+// cuts were made over, falling back to the spatially first object for
+// a newborn before every cut.
+func (n *Ownership) cutOwner(obj model.Object) int {
+	bestOwner, haveBest := -1, false
+	var bestT uint64
+	var bestID model.ObjectID
+	firstOwner := 0
+	var firstT uint64
+	var firstID model.ObjectID
+	haveFirst := false
+	for _, u := range n.universe {
+		t, id := u.Trixel, u.ID
+		if !haveFirst || t < firstT || (t == firstT && id < firstID) {
+			firstT, firstID, firstOwner = t, id, n.owner[u.ID]
+			haveFirst = true
+		}
+		if t > obj.Trixel || (t == obj.Trixel && id > obj.ID) {
+			continue // past the newborn in cut order
+		}
+		if !haveBest || t > bestT || (t == bestT && id > bestID) {
+			bestT, bestID, bestOwner = t, id, n.owner[u.ID]
+			haveBest = true
+		}
+	}
+	if haveBest {
+		return bestOwner
+	}
+	return firstOwner
+}
+
+// Objects returns the metadata of the given owned objects, in input
+// order — what a reshard command ships so shards can take ownership of
+// objects born after they spawned. Unknown IDs are skipped.
+func (o *Ownership) Objects(ids []model.ObjectID) []model.Object {
+	out := make([]model.Object, 0, len(ids))
+	for _, id := range ids {
+		if u, ok := o.meta[id]; ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
 // Moving returns the objects whose owning shard index differs between
 // two ownerships of the same universe, sorted by ID — exactly the set
 // a live resize must migrate. An object known to only one side is an
@@ -299,6 +420,12 @@ func Moving(from, to *Ownership) ([]model.ObjectID, error) {
 	}
 	slices.Sort(moving)
 	return moving, nil
+}
+
+// Universe returns the object universe this ownership spans (base
+// objects plus any births it was extended with).
+func (o *Ownership) Universe() []model.Object {
+	return slices.Clone(o.universe)
 }
 
 // Mode returns the assignment mode.

@@ -25,6 +25,16 @@ type Config struct {
 	// Ownership maps objects to shard indices; its shard count must
 	// equal len(Shards).
 	Ownership *Ownership
+	// RepoAddr is the repository's address. When set, the router
+	// subscribes to the repository's invalidation stream so newly
+	// published objects (MsgObjectBirth) become routable live, and
+	// accepts birth publications from clients, forwarding them to the
+	// repository. Empty disables growth at this router.
+	RepoAddr string
+	// RepoPool is how many connections back the repository session used
+	// to forward birth publications (0 means a small default). Only
+	// used when RepoAddr is set.
+	RepoPool int
 	// ShardPool is how many connections back each shard session
 	// (each one multiplexes; 0 means a small default).
 	ShardPool int
@@ -76,16 +86,26 @@ type Router struct {
 	links       map[string]*shardLink
 	linksClosed bool
 
-	// resizeMu serializes resizes (one at a time); statusMu guards the
-	// rebalance status snapshot.
+	// resizeMu serializes resizes (one at a time, fail-fast); growMu
+	// serializes routing-snapshot mutation between resizes and birth
+	// adoption (blocking — a birth waits out a resize and vice versa,
+	// so no snapshot store is lost to an interleaved writer); statusMu
+	// guards the rebalance status snapshot.
 	resizeMu sync.Mutex
+	growMu   sync.Mutex
 	statusMu sync.Mutex
 	status   netproto.RebalanceStatusMsg
+
+	// repo and invRaw are the repository session and invalidation
+	// subscription backing live growth; nil/absent without RepoAddr.
+	repo   *netproto.Session
+	invRaw net.Conn
 
 	queries   atomic.Int64
 	scattered atomic.Int64 // queries split across ≥2 shards
 	degraded  atomic.Int64 // queries answered without every fragment
 	rerouted  atomic.Int64 // fragments recovered via an alternate owner
+	births    atomic.Int64 // born objects adopted into routing
 
 	wg sync.WaitGroup
 
@@ -168,6 +188,23 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	r.routing.Store(rt)
 	r.status = netproto.RebalanceStatusMsg{Phase: "idle", From: len(cfg.Shards), To: len(cfg.Shards)}
+	if cfg.RepoAddr != "" {
+		repo, err := netproto.DialSession(cfg.RepoAddr, "client", netproto.SessionConfig{
+			PoolSize:    max(cfg.RepoPool, 1),
+			DialTimeout: cfg.DialTimeout,
+			DialRetry:   max(cfg.DialRetry, 0),
+		})
+		if err != nil {
+			r.closeLinks()
+			return nil, fmt.Errorf("cluster: dial repository: %w", err)
+		}
+		r.repo = repo
+		if err := r.subscribeInvalidations(); err != nil {
+			repo.Close()
+			r.closeLinks()
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -277,6 +314,12 @@ func (r *Router) Close() error {
 		c.Close()
 	}
 	r.connMu.Unlock()
+	if r.repo != nil {
+		r.repo.Close()
+	}
+	if r.invRaw != nil {
+		r.invRaw.Close()
+	}
 	r.closeLinks()
 	r.wg.Wait()
 	return err
@@ -375,6 +418,8 @@ func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
 		return netproto.Frame{Type: netproto.MsgRebalanceStatus, Body: st}
 	case netproto.RebalanceStatusMsg:
 		return netproto.Frame{Type: netproto.MsgRebalanceStatus, Body: r.RebalanceStatus()}
+	case netproto.ObjectBirthMsg:
+		return r.handleBirths(ctx, body)
 	default:
 		return netproto.ErrorFrame("cluster: client sent %s", f.Type)
 	}
@@ -653,6 +698,7 @@ func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
 		agg.DedupedLoads += st.Stats.DedupedLoads
 		agg.MigratedIn += st.Stats.MigratedIn
 		agg.MigratedOut += st.Stats.MigratedOut
+		agg.ObjectsBorn += st.Stats.ObjectsBorn
 		agg.Cached = append(agg.Cached, st.Stats.Cached...)
 		if agg.Policy == "" && st.Stats.Policy != "" {
 			agg.Policy = fmt.Sprintf("cluster(%s×%d)", st.Stats.Policy, len(rt.links))

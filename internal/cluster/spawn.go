@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/deltacache/delta/internal/cache"
+	"github.com/deltacache/delta/internal/clock"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
@@ -35,6 +36,8 @@ type LocalConfig struct {
 	// ExecDelay is each shard's simulated local scan time (see
 	// cache.Config.ExecDelay).
 	ExecDelay time.Duration
+	// Clock paces each shard's ExecDelay; nil means the wall clock.
+	Clock clock.Clock
 	// RepoPool is each shard's repository session pool size.
 	RepoPool int
 	// RouterPool is the router's per-shard session pool size.
@@ -83,6 +86,7 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 	router, err := NewRouter(Config{
 		Shards:    addrs,
 		Ownership: own,
+		RepoAddr:  cfg.RepoAddr,
 		ShardPool: cfg.RouterPool,
 		Logf:      cfg.Logf,
 	})
@@ -97,6 +101,9 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 }
 
 // spawnShard builds and starts one cache shard owning own's shard s.
+// The shard's configured universe is the ownership's (base objects
+// plus births adopted before the spawn), so a shard joining a grown
+// cluster knows every object it may own.
 func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, error) {
 	cfg := lc.cfg
 	factory := func() core.Policy {
@@ -105,29 +112,26 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 		}
 		return core.NewVCover(core.DefaultVCoverConfig())
 	}
+	universe := own.Universe()
 	capacity := cfg.ShardCapacity
 	var reshardCapacity func([]model.Object) cost.Bytes
 	if capacity == 0 {
 		reshardCapacity = cache.ReplicatedCapacity
-		for _, id := range own.ShardObjects(s) {
-			for _, o := range cfg.Objects {
-				if o.ID == id {
-					capacity += o.Size
-					break
-				}
-			}
+		for _, o := range own.Objects(own.ShardObjects(s)) {
+			capacity += o.Size
 		}
 	}
 	mw, err := cache.New(cache.Config{
 		RepoAddr:        cfg.RepoAddr,
 		RepoPool:        cfg.RepoPool,
 		PolicyFactory:   factory,
-		Objects:         cfg.Objects,
+		Objects:         universe,
 		ObjectFilter:    own.Filter(s),
 		Capacity:        capacity,
 		ReshardCapacity: reshardCapacity,
 		Scale:           cfg.Scale,
 		ExecDelay:       cfg.ExecDelay,
+		Clock:           cfg.Clock,
 		Logf:            cfg.Logf,
 	})
 	if err != nil {
@@ -150,7 +154,10 @@ func (lc *LocalCluster) Resize(ctx context.Context, m int, skipMigration bool) (
 	if m <= 0 {
 		return netproto.RebalanceStatusMsg{}, fmt.Errorf("cluster: shard count must be positive")
 	}
-	ownNew, err := lc.Ownership.Resize(m)
+	// Resize over the router's live ownership, not the spawn-time one:
+	// births adopted since spawn are part of the universe the new cut
+	// must span.
+	ownNew, err := lc.Router.Ownership().Resize(m)
 	if err != nil {
 		return netproto.RebalanceStatusMsg{}, err
 	}

@@ -147,6 +147,21 @@ func (p *Benefit) Warm(ids []model.ObjectID) ([]model.ObjectID, error) {
 	return adopted, nil
 }
 
+// AddObjects implements Grower: newborns enter the forecast with no
+// history (µ = 0) and start uncached; the next window boundary judges
+// them like any other object once queries accrue benefit on them.
+func (p *Benefit) AddObjects(objs []model.Object) (Decision, error) {
+	if p.idx == nil {
+		return Decision{}, fmt.Errorf("core: Benefit not initialized")
+	}
+	for _, o := range objs {
+		if err := p.idx.addObject(o); err != nil {
+			return Decision{}, err
+		}
+	}
+	return Decision{}, nil
+}
+
 // OnQuery implements Policy.
 func (p *Benefit) OnQuery(q *model.Query) (Decision, error) {
 	if p.idx == nil {

@@ -79,6 +79,19 @@ type Preloader interface {
 	Preload() (objs []model.ObjectID, charge bool)
 }
 
+// Grower is implemented by policies whose object universe can extend
+// while running — the rapidly-growing repository the paper is built
+// for, where newly published objects join the universe live instead of
+// requiring a restart. AddObjects registers the newborns so later
+// decisions (benefit bookkeeping, cover computations, load candidacy)
+// reason about them exactly like start-time objects; it may return a
+// Decision for immediate action (Replica loads every newborn so its
+// mirror stays complete). Objects already known are an error — the
+// caller deduplicates.
+type Grower interface {
+	AddObjects(objs []model.Object) (Decision, error)
+}
+
 // Warmable is implemented by policies that can adopt already-resident
 // objects into a freshly initialized instance without a load — the
 // warm half of a live cluster reshard, where a shard's cached state
@@ -121,6 +134,18 @@ func newObjectIndex(objects []model.Object, capacity cost.Bytes) (*objectIndex, 
 		idx.objects[o.ID] = o
 	}
 	return idx, nil
+}
+
+// addObject extends the universe with one new object.
+func (idx *objectIndex) addObject(o model.Object) error {
+	if o.Size < 0 {
+		return fmt.Errorf("core: object %d has negative size", o.ID)
+	}
+	if _, dup := idx.objects[o.ID]; dup {
+		return fmt.Errorf("core: duplicate object %d", o.ID)
+	}
+	idx.objects[o.ID] = o
+	return nil
 }
 
 func (idx *objectIndex) size(id model.ObjectID) (cost.Bytes, error) {

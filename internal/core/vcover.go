@@ -181,6 +181,22 @@ func (p *VCover) Warm(ids []model.ObjectID) ([]model.ObjectID, error) {
 	return adopted, nil
 }
 
+// AddObjects implements Grower: newborns join the universe cold. The
+// LoadManager's randomized cost attribution needs no per-object state,
+// so a born object becomes a load candidate the same way any uncached
+// object does — once queries attribute enough cost to it.
+func (p *VCover) AddObjects(objs []model.Object) (Decision, error) {
+	if p.idx == nil {
+		return Decision{}, fmt.Errorf("core: VCover not initialized")
+	}
+	for _, o := range objs {
+		if err := p.idx.addObject(o); err != nil {
+			return Decision{}, err
+		}
+	}
+	return Decision{}, nil
+}
+
 // OnUpdate implements Policy. Updates are never shipped eagerly: the
 // cached copy is merely invalidated (design choice A of Section 1); the
 // update becomes outstanding and a vertex for it enters the interaction

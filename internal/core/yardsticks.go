@@ -30,6 +30,12 @@ func (p *NoCache) Init(objects []model.Object, capacity cost.Bytes) error {
 	return nil
 }
 
+// AddObjects implements Grower: NoCache keeps no universe state, so
+// growth is a no-op.
+func (p *NoCache) AddObjects(objs []model.Object) (Decision, error) {
+	return Decision{}, nil
+}
+
 // OnQuery implements Policy: always ship.
 func (p *NoCache) OnQuery(q *model.Query) (Decision, error) {
 	return Decision{ShipQuery: true}, nil
@@ -98,6 +104,26 @@ func (p *Replica) Warm(ids []model.ObjectID) ([]model.ObjectID, error) {
 	return adopted, nil
 }
 
+// AddObjects implements Grower: a replica mirrors the server, so every
+// newborn is loaded immediately (and the mirror marks it cached so the
+// returned decision is consistent with the policy's own view).
+func (p *Replica) AddObjects(objs []model.Object) (Decision, error) {
+	if p.idx == nil {
+		return Decision{}, fmt.Errorf("core: Replica not initialized")
+	}
+	var d Decision
+	for _, o := range objs {
+		if err := p.idx.addObject(o); err != nil {
+			return Decision{}, err
+		}
+		if err := p.idx.markCached(o.ID); err != nil {
+			return Decision{}, err
+		}
+		d.Load = append(d.Load, o.ID)
+	}
+	return d, nil
+}
+
 // OnQuery implements Policy: everything is cached and current, so every
 // query is answered locally for free.
 func (p *Replica) OnQuery(q *model.Query) (Decision, error) {
@@ -122,6 +148,10 @@ type SOptimal struct {
 
 	idx    *objectIndex
 	chosen map[model.ObjectID]struct{}
+	// born marks objects that enter the trace via a birth event: a
+	// chosen born object cannot be preloaded (it does not exist at
+	// t=0), so it is loaded at its publication instead.
+	born map[model.ObjectID]struct{}
 }
 
 // NewSOptimal returns the offline static-best yardstick for the given
@@ -153,6 +183,17 @@ func (p *SOptimal) Init(objects []model.Object, capacity cost.Bytes) error {
 	for i := range p.events {
 		e := &p.events[i]
 		switch e.Kind {
+		case model.EventBirth:
+			// The oracle reads the whole trace, births included: the
+			// newborn joins the candidate universe at its publication
+			// point, so later queries accrue benefit on it.
+			if err := idx.addObject(e.Birth.Object); err != nil {
+				return fmt.Errorf("core: SOptimal: %w", err)
+			}
+			if p.born == nil {
+				p.born = make(map[model.ObjectID]struct{})
+			}
+			p.born[e.Birth.Object.ID] = struct{}{}
 		case model.EventQuery:
 			q := e.Query
 			var totalSize cost.Bytes
@@ -209,13 +250,45 @@ func (p *SOptimal) Init(objects []model.Object, capacity cost.Bytes) error {
 }
 
 // Preload implements Preloader: the chosen static set, load charged.
+// Chosen objects that are born mid-trace are excluded — they do not
+// exist at t=0 and load at their publication instead (AddObjects).
 func (p *SOptimal) Preload() (objs []model.ObjectID, charge bool) {
 	ids := make([]model.ObjectID, 0, len(p.chosen))
 	for id := range p.chosen {
+		if _, isBorn := p.born[id]; isBorn {
+			continue
+		}
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids, true
+}
+
+// AddObjects implements Grower. A birth the offline scan saw coming is
+// already in the universe; if the oracle chose it, it loads now — its
+// earliest possible moment. A birth outside the analyzed trace (live
+// use past the planned sequence) joins the universe but is never
+// cached: the static decision predates it.
+func (p *SOptimal) AddObjects(objs []model.Object) (Decision, error) {
+	if p.idx == nil {
+		return Decision{}, fmt.Errorf("core: SOptimal not initialized")
+	}
+	var d Decision
+	for _, o := range objs {
+		if _, known := p.idx.objects[o.ID]; !known {
+			if err := p.idx.addObject(o); err != nil {
+				return Decision{}, err
+			}
+			continue
+		}
+		if _, ok := p.chosen[o.ID]; ok && !p.idx.isCached(o.ID) {
+			if err := p.idx.markCached(o.ID); err != nil {
+				return Decision{}, err
+			}
+			d.Load = append(d.Load, o.ID)
+		}
+	}
+	return d, nil
 }
 
 // Chosen reports whether an object is in the static set (for tests).

@@ -78,6 +78,21 @@ type Update struct {
 	Time time.Duration `json:"timeNs"`
 }
 
+// Birth is the publication of a new data object: a rapidly-growing
+// repository keeps partitioning freshly ingested survey data into new
+// objects while serving. The position locates the object on the sky so
+// spatially-aware components (HTM ownership cuts, the query→object
+// mapping) can place it without recomputing the partition.
+type Birth struct {
+	// Object is the new object's full metadata (ID, size, trixel).
+	Object Object `json:"object"`
+	// RA and Dec are the object's sky position in degrees.
+	RA  float64 `json:"ra"`
+	Dec float64 `json:"dec"`
+	// Time is the publication time on the virtual clock.
+	Time time.Duration `json:"timeNs"`
+}
+
 // EventKind discriminates trace events.
 type EventKind int
 
@@ -86,6 +101,8 @@ const (
 	EventQuery EventKind = iota + 1
 	// EventUpdate is a pipeline update arriving at the repository.
 	EventUpdate
+	// EventBirth is a new data object published at the repository.
+	EventBirth
 )
 
 // String implements fmt.Stringer.
@@ -95,33 +112,40 @@ func (k EventKind) String() string {
 		return "query"
 	case EventUpdate:
 		return "update"
+	case EventBirth:
+		return "birth"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
 }
 
-// Event is one element of the interleaved query–update sequence. Exactly
-// one of Query and Update is non-nil, matching Kind.
+// Event is one element of the interleaved query–update–birth sequence.
+// Exactly one of Query, Update and Birth is non-nil, matching Kind.
 type Event struct {
 	Seq    int64     `json:"seq"`
 	Kind   EventKind `json:"kind"`
 	Query  *Query    `json:"query,omitempty"`
 	Update *Update   `json:"update,omitempty"`
+	Birth  *Birth    `json:"birth,omitempty"`
 }
 
 // Time returns the event's virtual arrival time.
 func (e *Event) Time() time.Duration {
-	if e.Kind == EventQuery {
+	switch e.Kind {
+	case EventQuery:
 		return e.Query.Time
+	case EventBirth:
+		return e.Birth.Time
+	default:
+		return e.Update.Time
 	}
-	return e.Update.Time
 }
 
 // Validate reports whether the event is structurally consistent.
 func (e *Event) Validate() error {
 	switch e.Kind {
 	case EventQuery:
-		if e.Query == nil || e.Update != nil {
+		if e.Query == nil || e.Update != nil || e.Birth != nil {
 			return fmt.Errorf("event %d: query event must carry exactly a query", e.Seq)
 		}
 		if len(e.Query.Objects) == 0 {
@@ -131,7 +155,7 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("event %d: query %d has negative cost", e.Seq, e.Query.ID)
 		}
 	case EventUpdate:
-		if e.Update == nil || e.Query != nil {
+		if e.Update == nil || e.Query != nil || e.Birth != nil {
 			return fmt.Errorf("event %d: update event must carry exactly an update", e.Seq)
 		}
 		if e.Update.Object <= 0 {
@@ -139,6 +163,16 @@ func (e *Event) Validate() error {
 		}
 		if e.Update.Cost < 0 {
 			return fmt.Errorf("event %d: update %d has negative cost", e.Seq, e.Update.ID)
+		}
+	case EventBirth:
+		if e.Birth == nil || e.Query != nil || e.Update != nil {
+			return fmt.Errorf("event %d: birth event must carry exactly a birth", e.Seq)
+		}
+		if e.Birth.Object.ID <= 0 {
+			return fmt.Errorf("event %d: birth has invalid object id %d", e.Seq, e.Birth.Object.ID)
+		}
+		if e.Birth.Object.Size <= 0 {
+			return fmt.Errorf("event %d: born object %d has non-positive size", e.Seq, e.Birth.Object.ID)
 		}
 	default:
 		return fmt.Errorf("event %d: unknown kind %d", e.Seq, int(e.Kind))

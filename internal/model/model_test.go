@@ -82,3 +82,32 @@ func TestTotalCosts(t *testing.T) {
 		t.Errorf("TotalUpdateCost = %d, want 7", got)
 	}
 }
+
+func TestBirthEventValidate(t *testing.T) {
+	good := Event{Seq: 1, Kind: EventBirth, Birth: &Birth{
+		Object: Object{ID: 69, Size: cost.GB}, RA: 10, Dec: -5, Time: time.Second,
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid birth rejected: %v", err)
+	}
+	if got := EventBirth.String(); got != "birth" {
+		t.Errorf("kind = %q", got)
+	}
+	if good.Time() != time.Second {
+		t.Errorf("birth time = %v", good.Time())
+	}
+	bad := []Event{
+		{Seq: 2, Kind: EventBirth}, // no birth payload
+		{Seq: 3, Kind: EventBirth, Birth: &Birth{Object: Object{ID: 0, Size: cost.GB}}}, // bad ID
+		{Seq: 4, Kind: EventBirth, Birth: &Birth{Object: Object{ID: 7, Size: 0}}},       // bad size
+		{Seq: 5, Kind: EventBirth, Birth: &Birth{Object: Object{ID: 7, Size: 1}},
+			Query: &Query{ID: 1, Objects: []ObjectID{1}}}, // two payloads
+		{Seq: 6, Kind: EventQuery, Query: &Query{ID: 1, Objects: []ObjectID{1}},
+			Birth: &Birth{Object: Object{ID: 7, Size: 1}}}, // birth on a query event
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad event %d accepted", i)
+		}
+	}
+}

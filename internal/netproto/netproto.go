@@ -172,6 +172,12 @@ const (
 	// MsgMigrateDone closes a migration stream with its totals (source
 	// shard → destination shard).
 	MsgMigrateDone
+	// MsgObjectBirth carries newly published data objects. It is both
+	// the ingestion request (client/pipeline → cache/router → repository,
+	// replied to with the accepted count) and the announcement the
+	// repository broadcasts on the invalidation stream so caches and
+	// routers extend their universes live.
+	MsgObjectBirth
 )
 
 // String implements fmt.Stringer.
@@ -187,6 +193,7 @@ func (t MsgType) String() string {
 		MsgAdminResize: "admin-resize", MsgRebalanceStatus: "rebalance-status",
 		MsgReshard: "reshard", MsgMigrateBegin: "migrate-begin",
 		MsgMigrateChunk: "migrate-chunk", MsgMigrateDone: "migrate-done",
+		MsgObjectBirth: "object-birth",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -312,6 +319,9 @@ type StatsMsg struct {
 	// ledger).
 	MigratedIn  int64
 	MigratedOut int64
+	// ObjectsBorn counts newly published objects this node has admitted
+	// into its universe since start (live repository growth).
+	ObjectsBorn int64
 }
 
 // ShardQueryMsg is the router→shard leg of a scattered query: the
@@ -387,6 +397,10 @@ type RebalanceStatusMsg struct {
 type ReshardMsg struct {
 	Epoch int
 	Owned []model.ObjectID
+	// Universe carries the metadata of the Owned objects, so a shard
+	// can take ownership of objects born after it spawned (a fresh
+	// shard joining a grown cluster has never seen them).
+	Universe []model.Object
 	// Resident and Dropped are reply fields: how many cached objects
 	// survived the swap and how many were discarded as no longer
 	// owned.
@@ -434,6 +448,19 @@ type MigrateDoneMsg struct {
 	Imported int64
 }
 
+// ObjectBirthMsg carries newly published objects: full metadata plus
+// sky position, so every receiver (repository catalog, cache policy
+// universe, router ownership map) can place the newborn without a
+// shared coordination service. As a request, the reply echoes the
+// frame with Accepted set to how many births the receiver ingested
+// (already-known births are skipped, making publication idempotent);
+// on the invalidation stream it is a one-way announcement.
+type ObjectBirthMsg struct {
+	Births []model.Birth
+	// Accepted is a reply field: how many births were newly ingested.
+	Accepted int
+}
+
 // ErrorMsg carries a failure description.
 type ErrorMsg struct {
 	Message string
@@ -469,6 +496,7 @@ func init() {
 	gob.Register(MigrateBeginMsg{})
 	gob.Register(MigrateChunkMsg{})
 	gob.Register(MigrateDoneMsg{})
+	gob.Register(ObjectBirthMsg{})
 }
 
 // Conn wraps a stream with gob-encoded frames. Both directions use a

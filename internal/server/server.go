@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/clock"
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
@@ -42,6 +43,9 @@ type Config struct {
 	// tables; a loopback deployment answers in microseconds, which
 	// hides every concurrency effect). Zero disables.
 	ExecDelay time.Duration
+	// Clock paces ExecDelay; nil means the wall clock. Tests inject a
+	// fake clock so simulated execution time costs no real time.
+	Clock clock.Clock
 	// Logf logs server events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -53,15 +57,18 @@ type Repository struct {
 	ledger cost.Ledger
 	rows   []catalog.Row
 
-	mu          sync.Mutex
-	updates     map[model.UpdateID]model.Update
-	perObject   map[model.ObjectID][]model.UpdateID
-	freshAsOf   map[model.ObjectID]time.Duration
-	subscribers map[int]chan model.Update
+	mu        sync.Mutex
+	updates   map[model.UpdateID]model.Update
+	perObject map[model.ObjectID][]model.UpdateID
+	freshAsOf map[model.ObjectID]time.Duration
+	// subscribers carry invalidation-stream frames: update notices
+	// (MsgInvalidate) and new-object announcements (MsgObjectBirth).
+	subscribers map[int]chan netproto.Frame
 	nextSub     int
 	closed      bool
 
 	droppedInvalidations atomic.Int64
+	objectsBorn          atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -80,13 +87,16 @@ func New(cfg Config) (*Repository, error) {
 	if cfg.SampleRows <= 0 {
 		cfg.SampleRows = 8
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
 	return &Repository{
 		cfg:         cfg,
 		rows:        cfg.Survey.SampleRows(2000, cfg.Survey.Config().Seed),
 		updates:     make(map[model.UpdateID]model.Update),
 		perObject:   make(map[model.ObjectID][]model.UpdateID),
 		freshAsOf:   make(map[model.ObjectID]time.Duration),
-		subscribers: make(map[int]chan model.Update),
+		subscribers: make(map[int]chan netproto.Frame),
 	}, nil
 }
 
@@ -154,19 +164,70 @@ func (r *Repository) ApplyUpdate(u model.Update) {
 	defer r.mu.Unlock()
 	r.updates[u.ID] = u
 	r.perObject[u.Object] = append(r.perObject[u.Object], u.ID)
-	// Sends stay under the lock: subscriber channels are closed under
-	// it, and a send racing a close would panic. They cannot block the
-	// pipeline — a full buffer drops the notice instead (dropped
-	// notices only cost freshness, loading repairs it, and the drop
-	// counter makes them observable in StatsMsg).
+	r.broadcastLocked(netproto.Frame{
+		Type: netproto.MsgInvalidate,
+		Body: netproto.InvalidateMsg{Update: u},
+	})
+}
+
+// broadcastLocked fans one frame out to every invalidation subscriber.
+// Sends stay under the lock: subscriber channels are closed under it,
+// and a send racing a close would panic. They cannot block the
+// pipeline — a full buffer drops the notice instead (dropped notices
+// only cost freshness, loading repairs it, and the drop counter makes
+// them observable in StatsMsg).
+func (r *Repository) broadcastLocked(f netproto.Frame) {
 	for _, ch := range r.subscribers {
 		select {
-		case ch <- u:
+		case ch <- f:
 		default:
 			r.droppedInvalidations.Add(1)
 		}
 	}
 }
+
+// AddObjects ingests newly published data objects — the live growth
+// the paper's rapidly-growing repository implies — and announces them
+// on the invalidation stream so caches and routers extend their
+// universes within one notification round trip. Births whose IDs are
+// already in the catalog are skipped (publication is idempotent, so a
+// client retry or a second publisher is harmless); a birth that is
+// neither known nor next-in-sequence is an error. Returns how many
+// births were newly ingested.
+func (r *Repository) AddObjects(births []model.Birth) (int, error) {
+	accepted := make([]model.Birth, 0, len(births))
+	for _, b := range births {
+		if err := r.cfg.Survey.AddObject(b); err != nil {
+			if int(b.Object.ID) >= 1 && int(b.Object.ID) <= r.cfg.Survey.NumObjects() {
+				continue // already published (dense IDs: a known ID is an ingested object)
+			}
+			return len(accepted), fmt.Errorf("server: add object %d: %w", b.Object.ID, err)
+		}
+		// Announce the stored copy: the catalog may have filled in the
+		// trixel the birth inherits from its partition cell.
+		obj, err := r.cfg.Survey.Object(b.Object.ID)
+		if err == nil {
+			b.Object = obj
+		}
+		accepted = append(accepted, b)
+	}
+	if len(accepted) == 0 {
+		return 0, nil
+	}
+	r.objectsBorn.Add(int64(len(accepted)))
+	r.cfg.Logf("ingested %d new objects (universe now %d)", len(accepted), r.cfg.Survey.NumObjects())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.broadcastLocked(netproto.Frame{
+		Type: netproto.MsgObjectBirth,
+		Body: netproto.ObjectBirthMsg{Births: accepted},
+	})
+	return len(accepted), nil
+}
+
+// ObjectsBorn reports how many new objects the repository has ingested
+// since start.
+func (r *Repository) ObjectsBorn() int64 { return r.objectsBorn.Load() }
 
 // OutstandingSince returns updates for an object newer than the given
 // time (used when a cache loads an object and needs the frontier).
@@ -228,16 +289,24 @@ func (r *Repository) servePipeline(c *netproto.Conn) error {
 		if err != nil {
 			return netproto.IgnoreClosed(err)
 		}
-		feed, ok := f.Body.(netproto.UpdateFeedMsg)
-		if !ok {
+		switch body := f.Body.(type) {
+		case netproto.UpdateFeedMsg:
+			r.ApplyUpdate(body.Update)
+		case netproto.ObjectBirthMsg:
+			// The pipeline publishes new objects on its one-way stream;
+			// ingest errors are logged, not replied (there is no reply
+			// path), and idempotent skips are silent.
+			if _, err := r.AddObjects(body.Births); err != nil {
+				r.cfg.Logf("pipeline births: %v", err)
+			}
+		default:
 			return fmt.Errorf("server: pipeline sent %s", f.Type)
 		}
-		r.ApplyUpdate(feed.Update)
 	}
 }
 
 func (r *Repository) serveInvalidations(nc net.Conn, c *netproto.Conn) error {
-	ch := make(chan model.Update, 1024)
+	ch := make(chan netproto.Frame, 1024)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -255,11 +324,8 @@ func (r *Repository) serveInvalidations(nc net.Conn, c *netproto.Conn) error {
 		}
 		r.mu.Unlock()
 	}()
-	for u := range ch {
-		if err := c.Send(netproto.Frame{
-			Type: netproto.MsgInvalidate,
-			Body: netproto.InvalidateMsg{Update: u},
-		}); err != nil {
+	for f := range ch {
+		if err := c.Send(f); err != nil {
 			return netproto.IgnoreClosed(err)
 		}
 	}
@@ -301,11 +367,33 @@ func (r *Repository) handleRequest(f netproto.Frame) netproto.Frame {
 		return r.shipUpdates(body.IDs)
 	case netproto.LoadObjectMsg:
 		return r.loadObject(body.Object)
+	case netproto.ObjectBirthMsg:
+		accepted, err := r.AddObjects(body.Births)
+		if err != nil {
+			return netproto.ErrorFrame("add objects: %v", err)
+		}
+		// Reply with the catalog's canonical copies (AddObjects fills
+		// in the trixel a birth inherits from its partition cell):
+		// forwarding nodes adopt from this reply, and every adopter —
+		// publish path or announcement stream — must place the newborn
+		// from identical metadata.
+		canonical := make([]model.Birth, 0, len(body.Births))
+		for _, b := range body.Births {
+			if obj, err := r.cfg.Survey.Object(b.Object.ID); err == nil {
+				b.Object = obj
+			}
+			canonical = append(canonical, b)
+		}
+		return netproto.Frame{Type: netproto.MsgObjectBirth, Body: netproto.ObjectBirthMsg{
+			Births:   canonical,
+			Accepted: accepted,
+		}}
 	case netproto.StatsMsg:
 		return netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{
 			Ledger:               r.ledger.Snapshot(),
 			Policy:               "repository",
 			DroppedInvalidations: r.droppedInvalidations.Load(),
+			ObjectsBorn:          r.objectsBorn.Load(),
 		}}
 	default:
 		return netproto.ErrorFrame("unsupported request %s", f.Type)
@@ -318,7 +406,7 @@ func (r *Repository) execQuery(q *model.Query) netproto.Frame {
 		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
 	}
 	if r.cfg.ExecDelay > 0 {
-		time.Sleep(r.cfg.ExecDelay)
+		r.cfg.Clock.Sleep(r.cfg.ExecDelay)
 	}
 	for _, id := range q.Objects {
 		if _, err := r.cfg.Survey.Object(id); err != nil {

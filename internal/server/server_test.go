@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
 
 	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/clock"
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
@@ -257,5 +259,174 @@ func TestInvalidationBroadcastNonBlocking(t *testing.T) {
 	if stats.DroppedInvalidations != repo.DroppedInvalidations() {
 		t.Errorf("StatsMsg dropped = %d, repo reports %d",
 			stats.DroppedInvalidations, repo.DroppedInvalidations())
+	}
+}
+
+func TestAddObjectsIngestAndAnnounce(t *testing.T) {
+	repo := testRepo(t)
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	// Subscribe to the invalidation stream before publishing.
+	nc, err := net.Dial("tcp", repo.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := netproto.NewConn(nc)
+	if err := c.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
+		t.Fatal(err)
+	}
+	regDeadline := time.Now().Add(5 * time.Second)
+	for repo.Subscribers() == 0 {
+		if time.Now().After(regDeadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	base := repo.cfg.Survey.NumObjects()
+	births := []model.Birth{
+		{Object: model.Object{ID: model.ObjectID(base + 1), Size: 100 * cost.MB}, RA: 10, Dec: 5, Time: time.Second},
+		{Object: model.Object{ID: model.ObjectID(base + 2), Size: 150 * cost.MB}, RA: 200, Dec: -40, Time: time.Second},
+	}
+	accepted, err := repo.AddObjects(births)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted = %d, want 2", accepted)
+	}
+	if repo.ObjectsBorn() != 2 {
+		t.Errorf("ObjectsBorn = %d", repo.ObjectsBorn())
+	}
+	// Republishing is idempotent: known births are skipped silently.
+	accepted, err = repo.AddObjects(births)
+	if err != nil || accepted != 0 {
+		t.Fatalf("republish accepted %d, err %v; want 0, nil", accepted, err)
+	}
+	// A gapped birth is an error, and partial batches report progress.
+	if _, err := repo.AddObjects([]model.Birth{
+		{Object: model.Object{ID: model.ObjectID(base + 9), Size: cost.MB}},
+	}); err == nil {
+		t.Error("gapped birth should fail")
+	}
+
+	// The announcement arrived on the stream exactly once.
+	f, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, ok := f.Body.(netproto.ObjectBirthMsg)
+	if f.Type != netproto.MsgObjectBirth || !ok {
+		t.Fatalf("stream sent %s", f.Type)
+	}
+	if len(ann.Births) != 2 || ann.Births[0].Object.ID != model.ObjectID(base+1) {
+		t.Errorf("announcement = %+v", ann.Births)
+	}
+	if ann.Births[0].Object.Trixel == 0 {
+		t.Error("announced birth should carry the inherited trixel")
+	}
+
+	// Born objects are loadable and queryable like any other.
+	sess, err := netproto.DialSession(repo.Addr(), "client", netproto.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	reply, err := sess.RoundTrip(context.Background(), netproto.Frame{
+		Type: netproto.MsgQuery,
+		Body: netproto.QueryMsg{Query: model.Query{
+			ID: 1, Objects: []model.ObjectID{model.ObjectID(base + 2)}, Cost: cost.MB,
+			Tolerance: model.AnyStaleness, Time: time.Minute,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != netproto.MsgQueryResult {
+		t.Fatalf("query over born object replied %s", reply.Type)
+	}
+	reply, err = sess.RoundTrip(context.Background(), netproto.Frame{
+		Type: netproto.MsgLoadObject,
+		Body: netproto.LoadObjectMsg{Object: model.ObjectID(base + 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := reply.Body.(netproto.ObjectDataMsg); !ok || data.Object.Size != 100*cost.MB {
+		t.Fatalf("load of born object replied %s (%+v)", reply.Type, reply.Body)
+	}
+}
+
+// TestExecDelayFakeClock pins the injected-clock satellite: a huge
+// simulated execution delay costs no wall time when a fake clock paces
+// it, so tier-1 runs that exercise ExecDelay are timing-independent.
+func TestExecDelayFakeClock(t *testing.T) {
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 12
+	scfg.TotalSize = 4 * cost.GB
+	scfg.MinObjectSize = 50 * cost.MB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := clock.NewFake(time.Unix(0, 0))
+	repo, err := New(Config{
+		Survey:    survey,
+		Scale:     netproto.PayloadScale{},
+		ExecDelay: time.Hour, // would hang any wall-clock test
+		Clock:     fake,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	sess, err := netproto.DialSession(repo.Addr(), "client", netproto.SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	start := time.Now()
+	type outcome struct {
+		frame netproto.Frame
+		err   error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		reply, err := sess.RoundTrip(context.Background(), netproto.Frame{
+			Type: netproto.MsgQuery,
+			Body: netproto.QueryMsg{Query: model.Query{
+				ID: 1, Objects: []model.ObjectID{1}, Cost: cost.MB,
+				Tolerance: model.AnyStaleness, Time: time.Minute,
+			}},
+		})
+		got <- outcome{frame: reply, err: err}
+	}()
+	// Wait for the handler to park on the fake clock, then advance
+	// past the simulated hour.
+	for fake.Sleepers() == 0 {
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("query never reached the simulated execution delay")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fake.Advance(time.Hour)
+	out := <-got
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.frame.Type != netproto.MsgQueryResult {
+		t.Fatalf("reply %s", out.frame.Type)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("simulated hour took %v of wall time", elapsed)
 	}
 }

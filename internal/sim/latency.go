@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -121,6 +122,16 @@ func (o *latencyObserver) Preload() ([]model.ObjectID, bool) {
 func (o *latencyObserver) OnUpdate(u *model.Update) (core.Decision, error) {
 	o.updCost[u.ID] = u.Cost
 	return o.inner.OnUpdate(u)
+}
+
+// AddObjects forwards universe growth to the inner policy (births are
+// background work and do not produce a latency sample).
+func (o *latencyObserver) AddObjects(objs []model.Object) (core.Decision, error) {
+	g, ok := o.inner.(core.Grower)
+	if !ok {
+		return core.Decision{}, fmt.Errorf("sim: policy %s cannot grow its universe", o.inner.Name())
+	}
+	return g.AddObjects(objs)
 }
 
 func (o *latencyObserver) OnQuery(q *model.Query) (core.Decision, error) {

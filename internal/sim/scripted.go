@@ -61,6 +61,12 @@ func (p *Scripted) OnUpdate(u *model.Update) (core.Decision, error) {
 	return p.take(false), nil
 }
 
+// AddObjects implements core.Grower: a birth consumes one scripted
+// decision, like any other event.
+func (p *Scripted) AddObjects(objs []model.Object) (core.Decision, error) {
+	return p.take(false), nil
+}
+
 func (p *Scripted) take(isQuery bool) core.Decision {
 	if p.next < len(p.Decisions) {
 		d := p.Decisions[p.next]

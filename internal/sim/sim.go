@@ -51,6 +51,7 @@ type Result struct {
 	QueriesAtCache int64 `json:"queriesAtCache"`
 	Updates        int64 `json:"updates"`
 	UpdatesShipped int64 `json:"updatesShipped"`
+	Births         int64 `json:"births"`
 	Loads          int64 `json:"loads"`
 	Evictions      int64 `json:"evictions"`
 
@@ -161,6 +162,20 @@ func Run(policy core.Policy, objects []model.Object, events []model.Event, cfg C
 		case model.EventUpdate:
 			res.Updates++
 			d, err = policy.OnUpdate(e.Update)
+		case model.EventBirth:
+			// A new object is published at the repository: the ground
+			// truth grows, and the policy's universe must grow with it.
+			res.Births++
+			b := e.Birth
+			if _, dup := st.sizes[b.Object.ID]; dup {
+				return nil, fmt.Errorf("sim: birth of existing object %d at event %d", b.Object.ID, e.Seq)
+			}
+			st.sizes[b.Object.ID] = b.Object.Size
+			g, ok := policy.(core.Grower)
+			if !ok {
+				return nil, fmt.Errorf("sim: policy %s cannot grow its universe", policy.Name())
+			}
+			d, err = g.AddObjects([]model.Object{b.Object})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s at event %d: %w", policy.Name(), e.Seq, err)
@@ -196,6 +211,12 @@ func Run(policy core.Policy, objects []model.Object, events []model.Event, cfg C
 			st.used += size
 			ledger.Charge(cost.ObjectLoad, size)
 			res.Loads++
+		}
+		// A capacity-exempt mirror (Replica) grows with the repository:
+		// its birth-time loads raise the exempt allowance the way its
+		// preload established it.
+		if e.Kind == model.EventBirth && st.exemptUsed > 0 {
+			st.exemptUsed = maxBytes(st.exemptUsed, st.used)
 		}
 		if limit := maxBytes(st.capacity, st.exemptUsed); st.used > limit {
 			violate("event %d: cache over capacity: %v > %v", e.Seq, st.used, limit)

@@ -100,6 +100,19 @@ type Config struct {
 	WarmupFrac  float64
 	WarmupScale float64
 
+	// GrowthObjects is how many new data objects are published across
+	// the trace (the paper's rapidly-growing repository); births are
+	// spread evenly through the event sequence, so the growth rate is
+	// GrowthObjects per trace. Zero keeps the universe fixed at
+	// startup, reproducing the pre-growth traces exactly.
+	GrowthObjects int
+	// BirthBias is the probability a query issued after the first
+	// birth targets a recently published object instead of its
+	// campaign region — the access concentration on newly released
+	// data that in-network-cache studies of real scientific
+	// repositories observe.
+	BirthBias float64
+
 	// EventInterval is the virtual time between consecutive events.
 	EventInterval time.Duration
 }
@@ -156,6 +169,12 @@ func NewGenerator(survey *catalog.Survey, cfg Config) (*Generator, error) {
 	if cfg.WarmupFrac < 0 || cfg.WarmupFrac > 1 {
 		return nil, fmt.Errorf("workload: warmup fraction out of range")
 	}
+	if cfg.GrowthObjects < 0 {
+		return nil, fmt.Errorf("workload: growth objects must be non-negative")
+	}
+	if cfg.BirthBias < 0 || cfg.BirthBias > 1 {
+		return nil, fmt.Errorf("workload: birth bias out of range")
+	}
 	if cfg.EventInterval <= 0 {
 		return nil, fmt.Errorf("workload: event interval must be positive")
 	}
@@ -175,7 +194,11 @@ type scanState struct {
 }
 
 // Generate produces the full event sequence. The output is
-// deterministic for a fixed survey and config.
+// deterministic for a fixed survey and config. When GrowthObjects is
+// set the survey itself grows as a side effect: births are applied to
+// it as they are generated, so the trace's later queries can cover the
+// newborns (a live deployment replays the same births into its
+// repository, whose survey grows identically).
 func (g *Generator) Generate() ([]model.Event, error) {
 	cfg := g.cfg
 	// Independent streams keep the query sequence identical when only
@@ -184,6 +207,7 @@ func (g *Generator) Generate() ([]model.Event, error) {
 	planRng := rand.New(rand.NewSource(cfg.Seed))
 	qRng := rand.New(rand.NewSource(cfg.Seed ^ 0x51ec5))
 	uRng := rand.New(rand.NewSource(cfg.Seed ^ 0x0bda7e))
+	bRng := rand.New(rand.NewSource(cfg.Seed ^ 0x6b17f5))
 
 	queryBlobs := g.survey.Sky().Blobs(catalog.QueryHot)
 	updateBlobs := g.survey.Sky().Blobs(catalog.UpdateHot)
@@ -209,30 +233,49 @@ func (g *Generator) Generate() ([]model.Event, error) {
 
 	scan := g.newScan(uRng, updateBlobs)
 
-	total := cfg.NumQueries + cfg.NumUpdates
+	quTotal := cfg.NumQueries + cfg.NumUpdates
+	total := quTotal + cfg.GrowthObjects
 	events := make([]model.Event, 0, total)
 	var (
 		qID     model.QueryID
 		uID     model.UpdateID
 		qIssued int
 		uIssued int
+		born    []model.Birth
 	)
 	// Mean density normalizer for update sizing.
 	meanDensity := g.meanDensity(planRng)
 
 	for seq := 0; seq < total; seq++ {
-		// Deterministic proportional interleave (Bresenham): emit the
+		t := time.Duration(seq) * cfg.EventInterval
+
+		// Births spread evenly through the trace: the k-th birth lands
+		// once a k-th share of the sequence has elapsed.
+		if len(born) < cfg.GrowthObjects &&
+			int64(seq) >= int64(len(born)+1)*int64(total)/int64(cfg.GrowthObjects+1) {
+			births, err := g.survey.GrowObjects(bRng, 1, t)
+			if err != nil {
+				return nil, fmt.Errorf("workload: grow: %w", err)
+			}
+			b := births[0]
+			born = append(born, b)
+			events = append(events, model.Event{Seq: int64(seq), Kind: model.EventBirth, Birth: &b})
+			continue
+		}
+
+		// Deterministic proportional interleave (Bresenham) of the
+		// query and update streams over their own subtotal: emit the
 		// stream that is furthest behind its quota.
-		emitQuery := int64(qIssued)*int64(total) <= int64(seq)*int64(cfg.NumQueries) &&
+		qu := seq - len(born)
+		emitQuery := int64(qIssued)*int64(quTotal) <= int64(qu)*int64(cfg.NumQueries) &&
 			qIssued < cfg.NumQueries
 		if uIssued >= cfg.NumUpdates {
 			emitQuery = true
 		}
-		t := time.Duration(seq) * cfg.EventInterval
 
 		if emitQuery {
 			qID++
-			q := g.genQuery(qRng, qID, t, qIssued, campaigns)
+			q := g.genQuery(qRng, qID, t, qIssued, campaigns, born)
 			events = append(events, model.Event{Seq: int64(seq), Kind: model.EventQuery, Query: q})
 			qIssued++
 		} else {
@@ -267,7 +310,7 @@ func (g *Generator) meanDensity(rng *rand.Rand) float64 {
 }
 
 func (g *Generator) genQuery(rng *rand.Rand, id model.QueryID, t time.Duration,
-	issued int, campaigns []campaign) *model.Query {
+	issued int, campaigns []campaign, born []model.Birth) *model.Query {
 
 	cfg := g.cfg
 	// Which campaign is active: campaigns own contiguous spans of the
@@ -281,15 +324,27 @@ func (g *Generator) genQuery(rng *rand.Rand, id model.QueryID, t time.Duration,
 		campIdx = rng.Intn(len(campaigns))
 	}
 	center := perturb(rng, campaigns[campIdx].center, cfg.CampaignSpreadDeg*math.Pi/180)
-	if rng.Float64() < cfg.BackgroundQueryFrac {
+	fresh := false
+	switch {
+	case len(born) > 0 && rng.Float64() < cfg.BirthBias:
+		// Access concentrates on newly released data: aim at one of the
+		// most recent births, tightly enough that its object is covered.
+		recent := born[max(0, len(born)-16):]
+		b := recent[rng.Intn(len(recent))]
+		center = perturb(rng, geom.FromRADec(b.RA, b.Dec), 0.2*math.Pi/180)
+		fresh = true
+	case rng.Float64() < cfg.BackgroundQueryFrac:
 		// Serendipitous one-off anywhere on the sky.
 		center = randomUnit(rng)
 	}
 
 	var radius float64
-	if rng.Float64() < cfg.WideScanFrac {
+	switch {
+	case fresh:
+		radius = 0.3 + rng.Float64()*0.7 // tight cone on the newborn
+	case rng.Float64() < cfg.WideScanFrac:
 		radius = 15 + rng.Float64()*45 // wide-area scan
-	} else {
+	default:
 		radius = cfg.QueryRadiusMinDeg +
 			rng.Float64()*(cfg.QueryRadiusMaxDeg-cfg.QueryRadiusMinDeg)
 	}

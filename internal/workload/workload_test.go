@@ -361,3 +361,111 @@ func TestUpdatesOnlyTrace(t *testing.T) {
 		}
 	}
 }
+
+func TestGrowthEventsInterleaved(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GrowthObjects = 40
+	cfg.BirthBias = 0.3
+	survey := testSurvey(t)
+	base := survey.NumObjects()
+	g, err := NewGenerator(survey, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.NumQueries + cfg.NumUpdates + cfg.GrowthObjects; len(events) != want {
+		t.Fatalf("generated %d events, want %d", len(events), want)
+	}
+	var births, queries, updates int
+	var firstBirth, lastBirth int64 = -1, -1
+	bornTouched := make(map[model.ObjectID]bool)
+	bornSeen := make(map[model.ObjectID]bool)
+	for i := range events {
+		e := &events[i]
+		if err := e.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Kind {
+		case model.EventBirth:
+			births++
+			if firstBirth < 0 {
+				firstBirth = e.Seq
+			}
+			lastBirth = e.Seq
+			if int(e.Birth.Object.ID) <= base {
+				t.Fatalf("birth reuses base ID %d", e.Birth.Object.ID)
+			}
+			bornSeen[e.Birth.Object.ID] = true
+		case model.EventQuery:
+			queries++
+			for _, id := range e.Query.Objects {
+				if int(id) > base {
+					if !bornSeen[id] {
+						t.Fatalf("query %d touches object %d before its birth", e.Query.ID, id)
+					}
+					bornTouched[id] = true
+				}
+			}
+		case model.EventUpdate:
+			updates++
+		}
+	}
+	if births != cfg.GrowthObjects || queries != cfg.NumQueries || updates != cfg.NumUpdates {
+		t.Fatalf("event mix: %d births %d queries %d updates", births, queries, updates)
+	}
+	if survey.NumObjects() != base+cfg.GrowthObjects {
+		t.Errorf("survey grew to %d, want %d", survey.NumObjects(), base+cfg.GrowthObjects)
+	}
+	// Births spread through the trace, not clumped at either end.
+	total := int64(len(events))
+	if firstBirth > total/2 || lastBirth < total/2 {
+		t.Errorf("births clumped: first at %d, last at %d of %d", firstBirth, lastBirth, total)
+	}
+	// The access-concentration bias makes born objects actually queried.
+	if len(bornTouched) < cfg.GrowthObjects/4 {
+		t.Errorf("only %d of %d born objects ever queried", len(bornTouched), cfg.GrowthObjects)
+	}
+}
+
+func TestGrowthDeterministicAndOffByDefault(t *testing.T) {
+	gen := func(growth int) []model.Event {
+		cfg := smallConfig()
+		cfg.NumQueries, cfg.NumUpdates = 800, 800
+		cfg.GrowthObjects = growth
+		cfg.BirthBias = 0.25
+		g, err := NewGenerator(testSurvey(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := gen(10), gen(10)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind {
+			t.Fatalf("event %d kind diverged", i)
+		}
+		if a[i].Kind == model.EventBirth && *a[i].Birth != *b[i].Birth {
+			t.Fatalf("birth %d diverged: %+v vs %+v", i, a[i].Birth, b[i].Birth)
+		}
+	}
+	// Growth off reproduces the pre-growth trace exactly.
+	plain, regen := gen(0), gen(0)
+	for i := range plain {
+		if plain[i].Kind != regen[i].Kind {
+			t.Fatalf("zero-growth trace not deterministic at %d", i)
+		}
+		if plain[i].Kind == model.EventQuery && plain[i].Query.Cost != regen[i].Query.Cost {
+			t.Fatalf("zero-growth query %d diverged", i)
+		}
+	}
+}
