@@ -16,6 +16,7 @@ import (
 	"github.com/deltacache/delta/internal/cluster"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
@@ -42,6 +43,7 @@ func run() error {
 		shardIdx   = flag.Int("shard-index", -1, "run as shard i of a cluster (-1: standalone)")
 		shardCount = flag.Int("shard-count", 0, "total shards in the cluster (with -shard-index)")
 		shardMode  = flag.String("shard-mode", "htm", "cluster ownership mode: htm|rendezvous (must match the router)")
+		wireVer    = flag.Int("wire-version", 0, "cap the negotiated wire version, both toward the repository and toward clients (0 = newest/v3 binary codec; 2 pins gob v2)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,26 @@ func run() error {
 	// whole survey standalone, the owned subset as a shard.
 	capacity := cost.Bytes(float64(ownedSize) * *cacheFrac)
 
+	// Region queries resolve only on a standalone cache: a cluster
+	// shard owns a subset of the sky, so regions must resolve at the
+	// router. The grow hook keeps the resolver survey extending with
+	// live births so region covers include newborns.
+	var (
+		resolver     func(geom.Cap) []model.ObjectID
+		resolverGrow func([]model.Birth) error
+	)
+	if *shardIdx < 0 {
+		resolver = survey.CoverCap
+		resolverGrow = func(births []model.Birth) error {
+			for _, b := range births {
+				if err := survey.AddObject(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
 	// The factory (rather than a one-shot instance) is what lets a
 	// live cluster resize rebuild the policy over a new owned
 	// universe (cache.Middleware.Reshard).
@@ -105,6 +127,9 @@ func run() error {
 		Scale:           netproto.PayloadScale{BytesPerGB: *bytesPerGB},
 		Serialized:      *serialized,
 		ExecDelay:       *execDelay,
+		Resolver:        resolver,
+		ResolverGrow:    resolverGrow,
+		WireVersion:     *wireVer,
 		Logf:            log.Printf,
 	})
 	if err != nil {

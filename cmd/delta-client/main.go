@@ -22,6 +22,7 @@ import (
 
 	"github.com/deltacache/delta/internal/catalog"
 	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 	"github.com/deltacache/delta/internal/sqlmini"
@@ -50,6 +51,8 @@ func run() error {
 		growSeed  = flag.Int64("grow-seed", 1, "seed for -grow object generation")
 		objects   = flag.Int("objects", 68, "objects (must match deployment)")
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
+		wireVer   = flag.Int("wire-version", 0, "cap the negotiated wire version (0 = newest/v3 binary codec; 2 forces gob v2)")
+		region    = flag.String("region", "", "query a sky region \"ra,dec,radiusDeg\" resolved server-side (no local universe needed)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -65,6 +68,7 @@ func run() error {
 	cl, err := client.Dial(*cacheAddr,
 		client.WithPoolSize(*pool),
 		client.WithRequestTimeout(*timeout),
+		client.WithWireVersion(*wireVer),
 	)
 	if err != nil {
 		return err
@@ -75,6 +79,10 @@ func run() error {
 	switch {
 	case *sql != "":
 		if err := runSQL(ctx, cl, survey, *sql, start); err != nil {
+			return err
+		}
+	case *region != "":
+		if err := runRegion(ctx, cl, *region, start); err != nil {
 			return err
 		}
 	case *demo > 0:
@@ -121,7 +129,7 @@ func run() error {
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -sql, -demo, -stats, -cluster-stats, -resize, -rebalance-status, -grow is required")
+		return fmt.Errorf("one of -sql, -region, -demo, -stats, -cluster-stats, -resize, -rebalance-status, -grow is required")
 	}
 
 	if *stats || *demo > 0 {
@@ -129,6 +137,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		fmt.Printf("connection: negotiated wire version v%d (%s)\n",
+			cl.WireVersion(), wireName(cl.WireVersion()))
 		printStats(st)
 	}
 	if *cstats {
@@ -171,6 +181,18 @@ func printRebalance(st *netproto.RebalanceStatusMsg) {
 	}
 }
 
+// wireName renders a negotiated wire version for humans.
+func wireName(v int) string {
+	switch v {
+	case netproto.ProtoV3:
+		return "binary codec"
+	case netproto.ProtoV2:
+		return "gob, multiplexed"
+	default:
+		return "gob, lockstep"
+	}
+}
+
 func printStats(st *netproto.StatsMsg) {
 	fmt.Printf("policy=%s queries=%d atCache=%d shipped=%d\n",
 		st.Policy, st.Queries, st.AtCache, st.Shipped)
@@ -178,7 +200,35 @@ func printStats(st *netproto.StatsMsg) {
 		st.Ledger.QueryShip, st.Ledger.UpdateShip, st.Ledger.ObjectLoad, st.Ledger.Total())
 	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d migrated-in=%d migrated-out=%d objects-born=%d\n",
 		st.DroppedInvalidations, st.DedupedLoads, st.MigratedIn, st.MigratedOut, st.ObjectsBorn)
+	fmt.Printf("cover cache: hits=%d misses=%d\n", st.CoverCacheHits, st.CoverCacheMisses)
 	fmt.Printf("cached objects: %v\n", st.Cached)
+}
+
+// runRegion submits one sky-region query resolved server-side: the
+// cache or router maps the cap to B(q) through its memoized HTM cover
+// cache, so this path needs no local survey mirror at all.
+func runRegion(ctx context.Context, cl *client.Client, spec string, start time.Time) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("-region wants \"ra,dec,radiusDeg\", got %q", spec)
+	}
+	var ra, dec, radius float64
+	if _, err := fmt.Sscanf(spec, "%f,%f,%f", &ra, &dec, &radius); err != nil {
+		return fmt.Errorf("-region %q: %w", spec, err)
+	}
+	res, err := cl.QueryRegion(ctx, ra, dec, radius, model.Query{
+		Cost:      cost.MB,
+		Tolerance: model.AnyStaleness,
+		Time:      time.Since(start),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("region (%g, %g, r=%g°) answered by %s in %v\n", ra, dec, radius, res.Source, res.Elapsed)
+	for _, row := range res.Rows {
+		fmt.Printf("  objID=%d ra=%.4f dec=%.4f r=%.2f\n", row.ObjID, row.RA, row.Dec, row.R)
+	}
+	return nil
 }
 
 func runSQL(ctx context.Context, cl *client.Client, survey *catalog.Survey, sql string, start time.Time) error {

@@ -40,6 +40,7 @@ import (
 
 	"github.com/deltacache/delta/internal/catalog"
 	"github.com/deltacache/delta/internal/cluster"
+	"github.com/deltacache/delta/internal/model"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func run() error {
 		seed      = flag.Int64("seed", 2, "survey seed (must match the deployment)")
 		pool      = flag.Int("shard-pool", 2, "connections in each shard session pool")
 		dialRetry = flag.Duration("dial-retry", 5*time.Second, "how long to retry refused shard dials (startup race)")
+		wireVer   = flag.Int("wire-version", 0, "cap the negotiated wire version, toward shards, the repository and clients (0 = newest/v3 binary codec; 2 pins gob v2)")
 	)
 	flag.Parse()
 
@@ -90,7 +92,19 @@ func run() error {
 		RepoAddr:  *repoAddr,
 		ShardPool: *pool,
 		DialRetry: *dialRetry,
-		Logf:      log.Printf,
+		Resolver:  survey.CoverCap,
+		// Keep the resolver survey extending with live births, so
+		// region covers include newborns published after startup.
+		ResolverGrow: func(births []model.Birth) error {
+			for _, b := range births {
+				if err := survey.AddObject(b); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		WireVersion: *wireVer,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		return err

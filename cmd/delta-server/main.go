@@ -34,6 +34,7 @@ func run() error {
 		seed         = flag.Int64("seed", 2, "survey seed")
 		pipelineRate = flag.Duration("pipeline-rate", 0, "feed one synthetic update per interval (0 = off)")
 		bytesPerGB   = flag.Int64("bytes-per-gb", 4096, "physical payload bytes per logical GB")
+		wireVer      = flag.Int("wire-version", 0, "cap the negotiated wire version (0 = newest/v3 binary codec; 2 pins gob v2)")
 	)
 	flag.Parse()
 
@@ -45,10 +46,11 @@ func run() error {
 		return err
 	}
 	repo, err := server.New(server.Config{
-		Addr:   *addr,
-		Survey: survey,
-		Scale:  netproto.PayloadScale{BytesPerGB: *bytesPerGB},
-		Logf:   log.Printf,
+		Addr:        *addr,
+		Survey:      survey,
+		Scale:       netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		WireVersion: *wireVer,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		return err

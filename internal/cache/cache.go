@@ -32,6 +32,8 @@ import (
 	"github.com/deltacache/delta/internal/clock"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/htm"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
@@ -95,6 +97,28 @@ type Config struct {
 	// Clock paces ExecDelay; nil means the wall clock. Tests inject a
 	// fake clock so simulated scan time costs no real time.
 	Clock clock.Clock
+	// Resolver maps a sky cap to the object IDs whose partitions may
+	// intersect it (typically catalog.Survey.CoverCap). When set,
+	// queries arriving with a SkyRegion instead of an object list are
+	// resolved here, memoized through a bounded cover cache whose
+	// hit/miss counters surface in StatsMsg. Nil rejects region
+	// queries. Cluster shards must leave it nil: a shard resolves
+	// against the whole sky but owns a subset, so every region query
+	// would die on the ownership check — regions resolve at the
+	// router.
+	Resolver func(geom.Cap) []model.ObjectID
+	// ResolverGrow feeds adopted births into the resolver's universe
+	// (typically wrapping catalog.Survey.AddObject on the same survey
+	// backing Resolver), so sky-region covers include live-born
+	// objects. Without it, a resolver built from the startup survey
+	// would silently exclude newborns from every region forever.
+	// Required when Resolver is set on a node that can grow.
+	ResolverGrow func([]model.Birth) error
+	// WireVersion caps the protocol version this node negotiates, on
+	// both sides: the version announced to the repository and the
+	// version granted to clients (0 = newest, i.e. the v3 binary
+	// codec; 2 pins gob v2) — the -wire-version escape hatch.
+	WireVersion int
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -134,6 +158,9 @@ type Middleware struct {
 	byID map[model.ObjectID]model.Object
 
 	loads loadGroup
+
+	// covers memoizes Resolver lookups (nil when no Resolver is set).
+	covers *htm.CoverCache
 
 	queries     atomic.Int64
 	atCache     atomic.Int64
@@ -207,6 +234,9 @@ func New(cfg Config) (*Middleware, error) {
 		conns:    make(map[net.Conn]struct{}),
 		byID:     make(map[model.ObjectID]model.Object, len(cfg.Objects)),
 	}
+	if cfg.Resolver != nil {
+		m.covers = htm.NewCoverCache(256)
+	}
 	for _, o := range cfg.Objects {
 		m.byID[o.ID] = o
 	}
@@ -234,8 +264,9 @@ func New(cfg Config) (*Middleware, error) {
 		retry = 5 * time.Second
 	}
 	sess, err := netproto.DialSession(cfg.RepoAddr, "cache", netproto.SessionConfig{
-		PoolSize:  cfg.RepoPool,
-		DialRetry: max(retry, 0),
+		PoolSize:    cfg.RepoPool,
+		DialRetry:   max(retry, 0),
+		WireVersion: cfg.WireVersion,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cache: dial repository: %w", err)
@@ -308,7 +339,7 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 	policy := m.policy.Name()
 	m.mu.Unlock()
 	slices.SortFunc(cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
-	return netproto.StatsMsg{
+	stats := netproto.StatsMsg{
 		Ledger:               m.ledger.Snapshot(),
 		Cached:               cached,
 		Policy:               policy,
@@ -321,6 +352,10 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 		MigratedOut:          m.migratedOut.Load(),
 		ObjectsBorn:          m.bornObjects.Load(),
 	}
+	if m.covers != nil {
+		stats.CoverCacheHits, stats.CoverCacheMisses = m.covers.Stats()
+	}
+	return stats
 }
 
 // Close shuts the middleware down, severing live client connections.
@@ -451,13 +486,11 @@ func (m *Middleware) serveClient(c *netproto.Conn) error {
 	if !ok || first.Type != netproto.MsgHello {
 		return fmt.Errorf("cache: expected hello, got %s", first.Type)
 	}
-	if netproto.NegotiateVersion(hello.Version) >= netproto.ProtoV2 {
-		if err := c.Send(netproto.Frame{
-			Type: netproto.MsgHelloAck,
-			Body: netproto.HelloAck{Version: netproto.ProtoV2},
-		}); err != nil {
-			return netproto.IgnoreClosed(err)
-		}
+	version, err := netproto.ServeHandshake(c, hello, m.cfg.WireVersion)
+	if err != nil {
+		return netproto.IgnoreClosed(err)
+	}
+	if version >= netproto.ProtoV2 {
 		return netproto.ServeMux(c, 0, func(f netproto.Frame) netproto.Frame {
 			reply, err := m.handleClientFrame(f)
 			if err != nil {
@@ -485,6 +518,13 @@ func (m *Middleware) serveClient(c *netproto.Conn) error {
 func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error) {
 	switch body := f.Body.(type) {
 	case netproto.QueryMsg:
+		if len(body.Query.Objects) == 0 && !body.Region.Empty() {
+			objs, err := m.resolveRegion(body.Region)
+			if err != nil {
+				return netproto.Frame{}, err
+			}
+			body.Query.Objects = objs
+		}
 		return m.handleQuery(context.Background(), &body.Query), nil
 	case netproto.ShardQueryMsg:
 		// A router-scattered fragment; objects are already restricted
@@ -515,6 +555,21 @@ func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error)
 	default:
 		return netproto.Frame{}, fmt.Errorf("cache: client sent %s", f.Type)
 	}
+}
+
+// resolveRegion maps a query's sky region to B(q) through the memoized
+// cover cache. A node with no resolver cannot serve region queries.
+func (m *Middleware) resolveRegion(region netproto.SkyRegion) ([]model.ObjectID, error) {
+	if m.cfg.Resolver == nil {
+		return nil, fmt.Errorf("cache: node has no region resolver; send explicit object lists")
+	}
+	objs := m.covers.Resolve(
+		geom.CapFromRADec(region.RA, region.Dec, region.RadiusDeg), m.cfg.Resolver)
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("cache: region (%v, %v, r=%v°) covers no objects",
+			region.RA, region.Dec, region.RadiusDeg)
+	}
+	return objs, nil
 }
 
 func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.Frame {
@@ -586,9 +641,10 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	result.Logical = q.Cost
 	result.Source = "cache"
 	result.Rows = m.sampleRowsFor(q.Objects)
-	result.Payload = netproto.MakePayload(m.cfg.Scale, q.Cost, int64(q.ID))
+	payload, release := netproto.NewPayload(m.cfg.Scale, q.Cost, int64(q.ID))
+	result.Payload = payload
 	result.Elapsed = time.Since(start)
-	return netproto.Frame{Type: netproto.MsgQueryResult, Body: result}
+	return netproto.Frame{Type: netproto.MsgQueryResult, Body: result, Release: release}
 }
 
 // handleBirths serves MsgObjectBirth: publish the births to the
@@ -635,11 +691,13 @@ func (m *Middleware) handleBirths(ctx context.Context, body netproto.ObjectBirth
 func (m *Middleware) AddObjects(ctx context.Context, births []model.Birth) (int, error) {
 	m.mu.Lock()
 	fresh := make([]model.Object, 0, len(births))
+	freshBirths := make([]model.Birth, 0, len(births))
 	for _, b := range births {
 		if _, dup := m.byID[b.Object.ID]; dup {
 			continue
 		}
 		fresh = append(fresh, b.Object)
+		freshBirths = append(freshBirths, b)
 	}
 	if len(fresh) == 0 {
 		m.mu.Unlock()
@@ -671,6 +729,18 @@ func (m *Middleware) AddObjects(ctx context.Context, births []model.Birth) (int,
 	// birth load (Replica) rolls residency back exactly like any
 	// failed load.
 	m.bornObjects.Add(int64(len(fresh)))
+	if m.covers != nil {
+		// Extend the resolver's universe first, then drop memoized
+		// covers: a newborn can join any region's cover, and a recompute
+		// against the pre-growth resolver would just re-memoize its
+		// absence.
+		if m.cfg.ResolverGrow != nil {
+			if err := m.cfg.ResolverGrow(freshBirths); err != nil {
+				m.cfg.Logf("resolver growth: %v (region covers may miss newborns)", err)
+			}
+		}
+		m.covers.Bump()
+	}
 	m.cfg.Logf("admitted %d born objects (universe now %d)", len(fresh), universe)
 	if err != nil {
 		return len(fresh), fmt.Errorf("cache: commit birth decision: %w", err)

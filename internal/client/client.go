@@ -32,6 +32,7 @@ type options struct {
 	requestTimeout time.Duration
 	dialRetry      time.Duration
 	lockstep       bool
+	wireVersion    int
 }
 
 // WithPoolSize sets how many connections back the session (default 1;
@@ -57,6 +58,11 @@ func WithRequestTimeout(d time.Duration) Option { return func(o *options) { o.re
 // connection) for servers that predate the v2 handshake.
 func WithLockstep() Option { return func(o *options) { o.lockstep = true } }
 
+// WithWireVersion caps the protocol version announced in the
+// handshake: 0 (the default) negotiates the newest — v3, the binary
+// codec — while 2 forces the gob v2 codec for peers pinned there.
+func WithWireVersion(v int) Option { return func(o *options) { o.wireVersion = v } }
+
 // Client is a connection to the middleware cache, safe for concurrent
 // use.
 type Client struct {
@@ -79,12 +85,17 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		DialTimeout: o.dialTimeout,
 		DialRetry:   max(o.dialRetry, 0),
 		Lockstep:    o.lockstep,
+		WireVersion: o.wireVersion,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return &Client{sess: sess, requestTimeout: o.requestTimeout}, nil
 }
+
+// WireVersion reports the protocol version the connection negotiated
+// (3 = binary codec, 2 = gob multiplexing, 1 = lockstep).
+func (c *Client) WireVersion() int { return c.sess.WireVersion() }
 
 // DialCluster connects to a cluster router's client endpoint. The
 // router speaks exactly the single-cache protocol, so this is Dial
@@ -125,15 +136,17 @@ type Outcome struct {
 
 // Query submits a query and waits for its result.
 func (c *Client) Query(ctx context.Context, q model.Query) (*Result, error) {
-	if q.ID == 0 {
-		q.ID = model.QueryID(c.nextID.Add(1))
+	return c.query(ctx, netproto.QueryMsg{Query: q})
+}
+
+// query is the shared round trip behind Query and QueryRegion.
+func (c *Client) query(ctx context.Context, msg netproto.QueryMsg) (*Result, error) {
+	if msg.Query.ID == 0 {
+		msg.Query.ID = model.QueryID(c.nextID.Add(1))
 	}
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
-	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{
-		Type: netproto.MsgQuery,
-		Body: netproto.QueryMsg{Query: q},
-	})
+	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{Type: netproto.MsgQuery, Body: msg})
 	if err != nil {
 		return nil, fmt.Errorf("client: query: %w", err)
 	}
@@ -149,6 +162,21 @@ func (c *Client) Query(ctx context.Context, q model.Query) (*Result, error) {
 		Degraded:      body.Degraded,
 		MissingShards: body.MissingShards,
 	}, nil
+}
+
+// QueryRegion submits a query restricted to a sky cap (center RA/Dec
+// and radius, in degrees) instead of an explicit object list: the
+// serving cache or router resolves the region to B(q) through its
+// memoized HTM cover cache, so the client needs no local copy of the
+// object universe. q.Objects must be empty; q.Cost still names ν(q).
+func (c *Client) QueryRegion(ctx context.Context, ra, dec, radiusDeg float64, q model.Query) (*Result, error) {
+	if len(q.Objects) != 0 {
+		return nil, fmt.Errorf("client: region query must not carry an object list")
+	}
+	return c.query(ctx, netproto.QueryMsg{
+		Query:  q,
+		Region: netproto.SkyRegion{RA: ra, Dec: dec, RadiusDeg: radiusDeg},
+	})
 }
 
 // QueryAsync submits a query without blocking and delivers its outcome

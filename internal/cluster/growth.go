@@ -134,6 +134,18 @@ func (r *Router) adoptBirths(ctx context.Context, births []model.Birth) (int, er
 
 	r.routing.Store(&routing{epoch: rt.epoch, own: ownNew, links: rt.links, alt: rt.alt})
 	r.births.Add(int64(len(fresh)))
+	if r.covers != nil {
+		// Extend the resolver's universe before dropping memoized
+		// covers — newborns can join any region's cover, and a
+		// recompute against the pre-growth resolver would re-memoize
+		// their absence.
+		if r.cfg.ResolverGrow != nil {
+			if err := r.cfg.ResolverGrow(freshBirths); err != nil {
+				r.cfg.Logf("resolver growth: %v (region covers may miss newborns)", err)
+			}
+		}
+		r.covers.Bump()
+	}
 	r.cfg.Logf("adopted %d born objects (universe now %d objects, epoch %d)",
 		len(fresh), len(ownNew.universe), rt.epoch)
 	if len(pushErrs) > 0 {

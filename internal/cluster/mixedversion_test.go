@@ -1,0 +1,188 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/cluster"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/server"
+)
+
+// TestMixedWireVersionSoak is the mixed-codec topology soak: one shard
+// pinned at the gob v2 codec inside an otherwise-v3 cluster (router,
+// repository, remaining shards and clients all negotiate v3), driven
+// through the growth + live-resize sequence of the growth soak. Every
+// query must succeed — the codec split must be invisible above the
+// wire — and the pinned shard must still be pinned after the 4→8
+// resize respawns topology around it.
+func TestMixedWireVersionSoak(t *testing.T) {
+	const (
+		nClients    = 16
+		nBase       = 32
+		nBirths     = 16
+		burstSize   = 4
+		pinnedShard = 1
+	)
+	repoSurvey, err := catalog.NewSurvey(growthSurveyConfig(nBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := catalog.NewSurvey(growthSurveyConfig(nBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: repoSurvey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  repoSurvey.Objects(),
+		Shards:   4,
+		Mode:     cluster.HTMAware,
+		Scale:    netproto.PayloadScale{},
+		ShardWireVersion: func(shard int) int {
+			if shard == pinnedShard {
+				return netproto.ProtoV2
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	// The codec split must be real: dialing the pinned shard directly
+	// negotiates v2, a default shard negotiates v3.
+	assertShardVersion := func(shard, want int) {
+		t.Helper()
+		probe, err := client.Dial(lc.Shards[shard].Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer probe.Close()
+		if got := probe.WireVersion(); got != want {
+			t.Fatalf("shard %d negotiated v%d, want v%d", shard, got, want)
+		}
+	}
+	assertShardVersion(pinnedShard, netproto.ProtoV2)
+	assertShardVersion(0, netproto.ProtoV3)
+
+	var (
+		knownMu sync.RWMutex
+		known   []model.ObjectID
+	)
+	for _, o := range repoSurvey.Objects() {
+		known = append(known, o.ID)
+	}
+
+	var (
+		stop   atomic.Bool
+		served atomic.Int64
+		wg     sync.WaitGroup
+	)
+	for c := 0; c < nClients; c++ {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func(c int, cl *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 77))
+			for i := 0; !stop.Load(); i++ {
+				knownMu.RLock()
+				ids := []model.ObjectID{known[rng.Intn(len(known))]}
+				if rng.Intn(3) == 0 { // force cross-shard (and cross-codec) scatters
+					extra := known[rng.Intn(len(known))]
+					if extra != ids[0] {
+						ids = append(ids, extra)
+					}
+				}
+				knownMu.RUnlock()
+				res, err := cl.Query(ctx, model.Query{
+					Objects:   ids,
+					Cost:      cost.KB,
+					Tolerance: model.AnyStaleness,
+					Time:      time.Duration(i) * time.Millisecond,
+				})
+				if err != nil {
+					t.Errorf("client %d query %d failed: %v", c, i, err)
+					return
+				}
+				if res.Degraded {
+					t.Errorf("client %d query %d degraded on a healthy mixed cluster", c, i)
+					return
+				}
+				served.Add(1)
+			}
+		}(c, cl)
+	}
+
+	// Growth bursts with a live 4→8 resize overlapping the middle one,
+	// exactly like the all-v3 soak.
+	growCl, err := client.DialCluster(lc.Router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer growCl.Close()
+	growRng := rand.New(rand.NewSource(4242))
+	resizeDone := make(chan error, 1)
+	for burst := 0; burst < nBirths/burstSize; burst++ {
+		if burst == nBirths/burstSize/2 {
+			go func() {
+				_, err := lc.Resize(ctx, 8, false)
+				resizeDone <- err
+			}()
+		}
+		births, err := mirror.GrowObjects(growRng, burstSize, time.Duration(burst)*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := growCl.AddObjects(ctx, births); err != nil {
+			t.Fatalf("burst %d: %v", burst, err)
+		}
+		knownMu.Lock()
+		for _, b := range births {
+			known = append(known, b.Object.ID)
+		}
+		knownMu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := <-resizeDone; err != nil {
+		t.Fatalf("resize during mixed-version soak: %v", err)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no queries served during the soak")
+	}
+
+	// The pinned shard survived the resize pinned; its siblings stayed
+	// on v3; and the routing universe spans the grown object set.
+	assertShardVersion(pinnedShard, netproto.ProtoV2)
+	assertShardVersion(0, netproto.ProtoV3)
+	own := lc.Router.Ownership()
+	if got := len(own.Universe()); got != nBase+nBirths {
+		t.Errorf("routing universe = %d objects, want %d", got, nBase+nBirths)
+	}
+	if own.Shards() != 8 {
+		t.Errorf("final shard count = %d, want 8", own.Shards())
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/htm"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
@@ -55,6 +57,22 @@ type Config struct {
 	// migration stream during a resize (it can move many objects).
 	// Defaults to 2m.
 	MigrateTimeout time.Duration
+	// Resolver maps a sky cap to the object IDs whose partitions may
+	// intersect it (typically catalog.Survey.CoverCap). When set,
+	// client queries arriving with a SkyRegion instead of an object
+	// list are resolved at the router, memoized through a bounded
+	// cover cache whose hit/miss counters join the aggregate StatsMsg.
+	// Nil rejects region queries.
+	Resolver func(geom.Cap) []model.ObjectID
+	// ResolverGrow feeds adopted births into the resolver's universe
+	// (typically wrapping catalog.Survey.AddObject on the survey
+	// backing Resolver), so region covers include live-born objects.
+	// Required when Resolver is set and RepoAddr enables growth.
+	ResolverGrow func([]model.Birth) error
+	// WireVersion caps the protocol version the router negotiates, on
+	// both sides: announced to shards and the repository, granted to
+	// clients (0 = newest, i.e. the v3 binary codec; 2 pins gob v2).
+	WireVersion int
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +118,10 @@ type Router struct {
 	// subscription backing live growth; nil/absent without RepoAddr.
 	repo   *netproto.Session
 	invRaw net.Conn
+
+	// covers memoizes Resolver lookups for region queries (nil when no
+	// Resolver is configured).
+	covers *htm.CoverCache
 
 	queries   atomic.Int64
 	scattered atomic.Int64 // queries split across ≥2 shards
@@ -177,6 +199,9 @@ func NewRouter(cfg Config) (*Router, error) {
 		conns: make(map[net.Conn]struct{}),
 		links: make(map[string]*shardLink),
 	}
+	if cfg.Resolver != nil {
+		r.covers = htm.NewCoverCache(256)
+	}
 	rt := &routing{own: cfg.Ownership}
 	for i, addr := range cfg.Shards {
 		link, err := r.dialLink(addr, i)
@@ -193,6 +218,7 @@ func NewRouter(cfg Config) (*Router, error) {
 			PoolSize:    max(cfg.RepoPool, 1),
 			DialTimeout: cfg.DialTimeout,
 			DialRetry:   max(cfg.DialRetry, 0),
+			WireVersion: cfg.WireVersion,
 		})
 		if err != nil {
 			r.closeLinks()
@@ -222,6 +248,7 @@ func (r *Router) dialLink(addr string, index int) (*shardLink, error) {
 		PoolSize:    r.cfg.ShardPool,
 		DialTimeout: r.cfg.DialTimeout,
 		DialRetry:   max(r.cfg.DialRetry, 0),
+		WireVersion: r.cfg.WireVersion,
 	})
 	if err != nil {
 		return nil, err
@@ -380,13 +407,11 @@ func (r *Router) serveClient(c *netproto.Conn) error {
 	if !ok || first.Type != netproto.MsgHello {
 		return fmt.Errorf("cluster: expected hello, got %s", first.Type)
 	}
-	if netproto.NegotiateVersion(hello.Version) >= netproto.ProtoV2 {
-		if err := c.Send(netproto.Frame{
-			Type: netproto.MsgHelloAck,
-			Body: netproto.HelloAck{Version: netproto.ProtoV2},
-		}); err != nil {
-			return netproto.IgnoreClosed(err)
-		}
+	version, err := netproto.ServeHandshake(c, hello, r.cfg.WireVersion)
+	if err != nil {
+		return netproto.IgnoreClosed(err)
+	}
+	if version >= netproto.ProtoV2 {
 		return netproto.ServeMux(c, 0, r.handleClientFrame, r.cfg.Logf)
 	}
 	for {
@@ -404,6 +429,13 @@ func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
 	ctx := context.Background()
 	switch body := f.Body.(type) {
 	case netproto.QueryMsg:
+		if len(body.Query.Objects) == 0 && !body.Region.Empty() {
+			objs, err := r.resolveRegion(body.Region)
+			if err != nil {
+				return netproto.ErrorFrame("%v", err)
+			}
+			body.Query.Objects = objs
+		}
 		return r.routeQuery(ctx, &body.Query)
 	case netproto.StatsMsg:
 		cs := r.clusterStats(ctx)
@@ -423,6 +455,22 @@ func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
 	default:
 		return netproto.ErrorFrame("cluster: client sent %s", f.Type)
 	}
+}
+
+// resolveRegion maps a client's sky region to B(q) through the
+// router's memoized cover cache; repeated sky-region queries skip the
+// partition.Cover recomputation entirely.
+func (r *Router) resolveRegion(region netproto.SkyRegion) ([]model.ObjectID, error) {
+	if r.cfg.Resolver == nil {
+		return nil, fmt.Errorf("cluster: router has no region resolver; send explicit object lists")
+	}
+	objs := r.covers.Resolve(
+		geom.CapFromRADec(region.RA, region.Dec, region.RadiusDeg), r.cfg.Resolver)
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("cluster: region (%v, %v, r=%v°) covers no objects",
+			region.RA, region.Dec, region.RadiusDeg)
+	}
+	return objs, nil
 }
 
 // fragment is one shard's slice of a scattered query. fragments is
@@ -699,10 +747,19 @@ func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
 		agg.MigratedIn += st.Stats.MigratedIn
 		agg.MigratedOut += st.Stats.MigratedOut
 		agg.ObjectsBorn += st.Stats.ObjectsBorn
+		agg.CoverCacheHits += st.Stats.CoverCacheHits
+		agg.CoverCacheMisses += st.Stats.CoverCacheMisses
 		agg.Cached = append(agg.Cached, st.Stats.Cached...)
 		if agg.Policy == "" && st.Stats.Policy != "" {
 			agg.Policy = fmt.Sprintf("cluster(%s×%d)", st.Stats.Policy, len(rt.links))
 		}
+	}
+	if r.covers != nil {
+		// Region resolution happens at the router, so its cover cache
+		// joins the aggregate the shards cannot see.
+		hits, misses := r.covers.Stats()
+		out.Aggregate.CoverCacheHits += hits
+		out.Aggregate.CoverCacheMisses += misses
 	}
 	slices.SortFunc(out.Aggregate.Cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
 	return out

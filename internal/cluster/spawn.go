@@ -9,6 +9,7 @@ import (
 	"github.com/deltacache/delta/internal/clock"
 	"github.com/deltacache/delta/internal/core"
 	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
@@ -42,6 +43,20 @@ type LocalConfig struct {
 	RepoPool int
 	// RouterPool is the router's per-shard session pool size.
 	RouterPool int
+	// Resolver, when set, lets the router answer sky-region queries
+	// (typically catalog.Survey.CoverCap; see cluster.Config.Resolver).
+	Resolver func(geom.Cap) []model.ObjectID
+	// ResolverGrow extends the resolver's universe with adopted births
+	// (see cluster.Config.ResolverGrow).
+	ResolverGrow func([]model.Birth) error
+	// WireVersion caps the whole topology's negotiated protocol
+	// version (0 = newest; 2 pins gob v2).
+	WireVersion int
+	// ShardWireVersion, when non-nil, overrides WireVersion per shard
+	// index — how tests stand up mixed-version topologies (e.g. one
+	// shard pinned at gob v2 inside an otherwise-v3 cluster). Return 0
+	// for "no override".
+	ShardWireVersion func(shard int) int
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -84,11 +99,14 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 		addrs[s] = mw.Addr()
 	}
 	router, err := NewRouter(Config{
-		Shards:    addrs,
-		Ownership: own,
-		RepoAddr:  cfg.RepoAddr,
-		ShardPool: cfg.RouterPool,
-		Logf:      cfg.Logf,
+		Shards:       addrs,
+		Ownership:    own,
+		RepoAddr:     cfg.RepoAddr,
+		ShardPool:    cfg.RouterPool,
+		Resolver:     cfg.Resolver,
+		ResolverGrow: cfg.ResolverGrow,
+		WireVersion:  cfg.WireVersion,
+		Logf:         cfg.Logf,
 	})
 	if err != nil {
 		return fail(err)
@@ -121,6 +139,12 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 			capacity += o.Size
 		}
 	}
+	wire := cfg.WireVersion
+	if cfg.ShardWireVersion != nil {
+		if v := cfg.ShardWireVersion(s); v > 0 {
+			wire = v
+		}
+	}
 	mw, err := cache.New(cache.Config{
 		RepoAddr:        cfg.RepoAddr,
 		RepoPool:        cfg.RepoPool,
@@ -132,6 +156,7 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 		Scale:           cfg.Scale,
 		ExecDelay:       cfg.ExecDelay,
 		Clock:           cfg.Clock,
+		WireVersion:     wire,
 		Logf:            cfg.Logf,
 	})
 	if err != nil {

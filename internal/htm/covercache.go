@@ -1,0 +1,123 @@
+package htm
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// CoverCache memoizes sky-cap → object-set resolutions behind a small
+// bounded LRU. Repeated sky-region queries (the same survey field
+// polled by many clients, a dashboard refreshing one region) would
+// otherwise recompute partition.Cover per request; the cache answers
+// them with one map lookup.
+//
+// Keys quantize the cap (center vector and cos-radius at ~1e-7): caps
+// within a quantum share an entry. Covers are conservative
+// may-intersect sets and the quantum is orders of magnitude below any
+// partition trixel's angular size, so sharing is harmless in practice;
+// callers needing exact boundary behavior should bypass the cache.
+//
+// The cache is safe for concurrent use and generation-aware: Bump
+// invalidates every entry (a grown universe changes covers), without
+// reallocating the table.
+type CoverCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[coverKey]*list.Element
+	order   *list.List // front = most recently used
+
+	gen    atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// coverKey is the quantized cap identity.
+type coverKey struct {
+	x, y, z int64
+	cosR    int64
+}
+
+type coverEntry struct {
+	key coverKey
+	gen int64
+	ids []model.ObjectID
+}
+
+const coverQuantum = 1e7 // quantization steps per unit
+
+func quantizeCap(c geom.Cap) coverKey {
+	return coverKey{
+		x:    int64(math.Round(c.Center.X * coverQuantum)),
+		y:    int64(math.Round(c.Center.Y * coverQuantum)),
+		z:    int64(math.Round(c.Center.Z * coverQuantum)),
+		cosR: int64(math.Round(c.CosRadius * coverQuantum)),
+	}
+}
+
+// NewCoverCache returns a cache holding at most capacity entries
+// (minimum 1; a typical router uses a few hundred).
+func NewCoverCache(capacity int) *CoverCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &CoverCache{
+		cap:     capacity,
+		entries: make(map[coverKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// Resolve returns the cover for c, computing it via compute on a miss
+// and memoizing the result. The returned slice is shared across
+// callers and must not be mutated.
+func (cc *CoverCache) Resolve(c geom.Cap, compute func(geom.Cap) []model.ObjectID) []model.ObjectID {
+	key := quantizeCap(c)
+	gen := cc.gen.Load()
+	cc.mu.Lock()
+	if el, ok := cc.entries[key]; ok {
+		ent := el.Value.(*coverEntry)
+		if ent.gen == gen {
+			cc.order.MoveToFront(el)
+			cc.mu.Unlock()
+			cc.hits.Add(1)
+			return ent.ids
+		}
+		// Stale generation: treat as a miss and recompute below.
+		cc.order.Remove(el)
+		delete(cc.entries, key)
+	}
+	cc.mu.Unlock()
+
+	cc.misses.Add(1)
+	ids := compute(c)
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.entries[key]; ok {
+		// A concurrent resolver beat us; keep its entry.
+		cc.order.MoveToFront(el)
+		return ids
+	}
+	for cc.order.Len() >= cc.cap {
+		oldest := cc.order.Back()
+		cc.order.Remove(oldest)
+		delete(cc.entries, oldest.Value.(*coverEntry).key)
+	}
+	cc.entries[key] = cc.order.PushFront(&coverEntry{key: key, gen: gen, ids: ids})
+	return ids
+}
+
+// Bump invalidates every cached cover: entries written before the bump
+// are treated as misses. Call it when the object universe grows (a
+// newborn can join any region's cover).
+func (cc *CoverCache) Bump() { cc.gen.Add(1) }
+
+// Stats reports lifetime hit and miss counts.
+func (cc *CoverCache) Stats() (hits, misses int64) {
+	return cc.hits.Load(), cc.misses.Load()
+}

@@ -1,0 +1,117 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
+)
+
+func TestCoverCacheHitMissAndBump(t *testing.T) {
+	cc := NewCoverCache(8)
+	calls := 0
+	compute := func(c geom.Cap) []model.ObjectID {
+		calls++
+		return []model.ObjectID{1, 2, 3}
+	}
+	capA := geom.CapFromRADec(120, 30, 2)
+
+	got := cc.Resolve(capA, compute)
+	if len(got) != 3 || calls != 1 {
+		t.Fatalf("first resolve: ids=%v calls=%d", got, calls)
+	}
+	for i := 0; i < 5; i++ {
+		cc.Resolve(capA, compute)
+	}
+	if calls != 1 {
+		t.Fatalf("repeated resolves recomputed: calls=%d", calls)
+	}
+	hits, misses := cc.Stats()
+	if hits != 5 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 5/1", hits, misses)
+	}
+
+	// A bump (universe growth) invalidates: the next resolve misses.
+	cc.Bump()
+	cc.Resolve(capA, compute)
+	if calls != 2 {
+		t.Fatalf("resolve after Bump served a stale cover (calls=%d)", calls)
+	}
+}
+
+func TestCoverCacheLRUEviction(t *testing.T) {
+	cc := NewCoverCache(2)
+	calls := map[float64]int{}
+	mk := func(ra float64) func(geom.Cap) []model.ObjectID {
+		return func(geom.Cap) []model.ObjectID {
+			calls[ra]++
+			return []model.ObjectID{model.ObjectID(ra)}
+		}
+	}
+	capOf := func(ra float64) geom.Cap { return geom.CapFromRADec(ra, 0, 1) }
+
+	cc.Resolve(capOf(10), mk(10))
+	cc.Resolve(capOf(20), mk(20))
+	cc.Resolve(capOf(10), mk(10)) // refresh 10 → 20 is now LRU
+	cc.Resolve(capOf(30), mk(30)) // evicts 20
+	cc.Resolve(capOf(10), mk(10)) // still cached
+	cc.Resolve(capOf(20), mk(20)) // must recompute
+	if calls[10] != 1 {
+		t.Errorf("entry 10 recomputed %d times, want 1 (LRU refresh lost)", calls[10])
+	}
+	if calls[20] != 2 {
+		t.Errorf("entry 20 computed %d times, want 2 (eviction expected)", calls[20])
+	}
+	if calls[30] != 1 {
+		t.Errorf("entry 30 computed %d times, want 1", calls[30])
+	}
+}
+
+func TestCoverCacheQuantizationSharesNearbyCaps(t *testing.T) {
+	cc := NewCoverCache(8)
+	calls := 0
+	compute := func(geom.Cap) []model.ObjectID { calls++; return []model.ObjectID{1} }
+	cc.Resolve(geom.CapFromRADec(45, -10, 1.5), compute)
+	// A cap perturbed far below the quantum maps to the same entry…
+	cc.Resolve(geom.CapFromRADec(45+1e-10, -10, 1.5), compute)
+	if calls != 1 {
+		t.Errorf("sub-quantum perturbation recomputed (calls=%d)", calls)
+	}
+	// …while a clearly different cap does not.
+	cc.Resolve(geom.CapFromRADec(46, -10, 1.5), compute)
+	if calls != 2 {
+		t.Errorf("distinct cap shared an entry (calls=%d)", calls)
+	}
+}
+
+// TestCoverCacheConcurrent hammers one cache from many goroutines
+// (run under -race in CI): resolves must stay consistent and the
+// hit+miss totals must equal the resolve count.
+func TestCoverCacheConcurrent(t *testing.T) {
+	cc := NewCoverCache(16)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ra := float64((g*perG + i) % 32)
+				ids := cc.Resolve(geom.CapFromRADec(ra, 0, 1), func(geom.Cap) []model.ObjectID {
+					return []model.ObjectID{model.ObjectID(ra) + 1}
+				})
+				if len(ids) != 1 || ids[0] != model.ObjectID(ra)+1 {
+					t.Errorf("wrong cover for ra=%v: %v", ra, ids)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := cc.Stats()
+	if hits+misses != goroutines*perG {
+		t.Errorf("hits %d + misses %d != %d resolves", hits, misses, goroutines*perG)
+	}
+}

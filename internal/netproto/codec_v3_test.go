@@ -1,0 +1,366 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// connOverBuffer returns a Conn whose writes and reads share one
+// buffer, so a frame sent on it can be received on it — the
+// single-goroutine harness for codec round trips.
+func connOverBuffer(version int) *Conn {
+	var buf bytes.Buffer
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{Reader: &buf, Writer: &buf})
+	if version >= ProtoV3 {
+		c.SetVersion(version)
+	}
+	return c
+}
+
+// roundTrip sends f and receives it back through one codec.
+func roundTrip(t *testing.T, version int, f Frame) Frame {
+	t.Helper()
+	c := connOverBuffer(version)
+	if err := c.Send(f); err != nil {
+		t.Fatalf("v%d send %s: %v", version, f.Type, err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatalf("v%d recv %s: %v", version, f.Type, err)
+	}
+	return got
+}
+
+// TestV3RoundTripSeedFrames pins the binary codec on every seed frame
+// shape: type, request ID and body must survive exactly.
+func TestV3RoundTripSeedFrames(t *testing.T) {
+	for _, f := range seedFrames() {
+		f.RequestID = 42
+		got := roundTrip(t, ProtoV3, f)
+		if got.Type != f.Type || got.RequestID != 42 {
+			t.Fatalf("%s: frame header mutated: %+v", f.Type, got)
+		}
+		want := roundTrip(t, 0, f) // gob normalizes empty slices to nil
+		if !reflect.DeepEqual(got.Body, want.Body) {
+			t.Errorf("%s: v3 body %+v != gob body %+v", f.Type, got.Body, want.Body)
+		}
+	}
+}
+
+// quickBodies lists every frame vocabulary entry for the property
+// test: the body's concrete type is generated randomly per trial.
+var quickBodies = []struct {
+	t    MsgType
+	body any
+}{
+	{MsgHello, Hello{}},
+	{MsgHelloAck, HelloAck{}},
+	{MsgQuery, QueryMsg{}},
+	{MsgQueryResult, QueryResultMsg{}},
+	{MsgUpdateFeed, UpdateFeedMsg{}},
+	{MsgShipUpdates, ShipUpdatesMsg{}},
+	{MsgUpdates, UpdatesMsg{}},
+	{MsgLoadObject, LoadObjectMsg{}},
+	{MsgObjectData, ObjectDataMsg{}},
+	{MsgInvalidate, InvalidateMsg{}},
+	{MsgStats, StatsMsg{}},
+	{MsgError, ErrorMsg{}},
+	{MsgShardQuery, ShardQueryMsg{}},
+	{MsgClusterStats, ClusterStatsMsg{}},
+	{MsgAdminResize, AdminResizeMsg{}},
+	{MsgRebalanceStatus, RebalanceStatusMsg{}},
+	{MsgReshard, ReshardMsg{}},
+	{MsgMigrateBegin, MigrateBeginMsg{}},
+	{MsgMigrateChunk, MigrateChunkMsg{}},
+	{MsgMigrateDone, MigrateDoneMsg{}},
+	{MsgObjectBirth, ObjectBirthMsg{}},
+}
+
+// TestGobV3RoundTripProperty is the gob↔v3 equivalence property:
+// for randomly generated instances of every frame type, the value that
+// comes out of a gob encode→decode round trip equals the value that
+// comes out of a v3 round trip (both codecs normalize empty slices to
+// nil, so comparing the two round trips — rather than each against the
+// original — checks exactly the wire contract).
+func TestGobV3RoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 25
+	for _, entry := range quickBodies {
+		typ := reflect.TypeOf(entry.body)
+		for trial := 0; trial < trials; trial++ {
+			v, ok := quick.Value(typ, rng)
+			if !ok {
+				t.Fatalf("%s: cannot generate %v", entry.t, typ)
+			}
+			f := Frame{Type: entry.t, RequestID: uint64(rng.Int63()), Body: v.Interface()}
+			gotGob := roundTrip(t, 0, f)
+			gotV3 := roundTrip(t, ProtoV3, f)
+			if gotGob.RequestID != gotV3.RequestID {
+				t.Fatalf("%s trial %d: request IDs diverge: gob %d, v3 %d",
+					entry.t, trial, gotGob.RequestID, gotV3.RequestID)
+			}
+			if !reflect.DeepEqual(gotGob.Body, gotV3.Body) {
+				t.Fatalf("%s trial %d: codecs disagree:\n gob: %#v\n v3:  %#v",
+					entry.t, trial, gotGob.Body, gotV3.Body)
+			}
+		}
+	}
+}
+
+// TestV3RejectsUnknownBody pins that the v3 encoder refuses a body
+// outside the vocabulary instead of writing garbage, and leaves the
+// stream clean for the next frame.
+func TestV3RejectsUnknownBody(t *testing.T) {
+	c := connOverBuffer(ProtoV3)
+	if err := c.Send(Frame{Type: MsgQuery, Body: struct{ X int }{1}}); err == nil {
+		t.Fatal("v3 encoded an unknown body type")
+	}
+	// The stream must still be usable: nothing was written.
+	if err := c.Send(Frame{Type: MsgError, Body: ErrorMsg{Message: "ok"}}); err != nil {
+		t.Fatalf("stream poisoned after a rejected encode: %v", err)
+	}
+	got, err := c.Recv()
+	if err != nil || got.Body.(ErrorMsg).Message != "ok" {
+		t.Fatalf("recv after rejected encode: %v %+v", err, got)
+	}
+}
+
+// TestV3OversizedFrameRejectedAtSender mirrors the gob sender-side
+// MaxFrame check.
+func TestV3OversizedFrameRejectedAtSender(t *testing.T) {
+	c := connOverBuffer(ProtoV3)
+	err := c.Send(Frame{Type: MsgObjectData, Body: ObjectDataMsg{
+		Payload: make([]byte, MaxFrame+1),
+	}})
+	if err == nil {
+		t.Fatal("oversized v3 frame accepted at the sender")
+	}
+}
+
+// TestV3DecodedFrameOwnsItsMemory is the buffer-reuse hazard test the
+// v3 decoder's ownership rule exists for: a decoded QueryResultMsg
+// payload held across subsequent Recvs on the same connection must not
+// be corrupted by the receive scratch buffer being reused. Run under
+// -race (CI does), aliasing would also surface as a data race when the
+// holder reads while Recv writes.
+func TestV3DecodedPayloadOwnershipAcrossRecv(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender, receiver := NewConn(a), NewConn(b)
+	sender.SetVersion(ProtoV3)
+	receiver.SetVersion(ProtoV3)
+
+	scale := DefaultScale()
+	const frames = 16
+	go func() {
+		for i := 0; i < frames; i++ {
+			// The sender uses the pooled payload path the servers use,
+			// so this also pins that a recycled send buffer cannot leak
+			// into a peer's decoded frame.
+			payload, release := NewPayload(scale, 2*cost.GB, int64(i))
+			_ = sender.Send(Frame{Type: MsgQueryResult, Body: QueryResultMsg{
+				QueryID: model.QueryID(i),
+				Logical: 2 * cost.GB,
+				Payload: payload,
+				Source:  "cache",
+			}, Release: release})
+		}
+	}()
+
+	first, err := receiver.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := first.Body.(QueryResultMsg).Payload
+	want := MakePayload(scale, 2*cost.GB, 0)
+	if !bytes.Equal(held, want) {
+		t.Fatal("first decoded payload wrong before any reuse")
+	}
+	done := make(chan struct{})
+	go func() {
+		// Concurrent reader of the held payload while later Recvs run:
+		// aliasing the receive scratch would be a data race here.
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			if held[i%len(held)] != want[i%len(want)] {
+				t.Error("held payload mutated concurrently")
+				return
+			}
+		}
+	}()
+	for i := 1; i < frames; i++ {
+		f, err := receiver.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Body.(QueryResultMsg).Payload; !bytes.Equal(got, MakePayload(scale, 2*cost.GB, int64(i))) {
+			t.Fatalf("frame %d payload corrupt", i)
+		}
+	}
+	<-done
+	if !bytes.Equal(held, want) {
+		t.Fatal("payload held across Recvs was corrupted: the decoder aliased its scratch buffer")
+	}
+}
+
+// codecRoundTripAllocs measures steady-state allocations of one
+// send+recv of a representative QueryResultMsg through a codec.
+func codecRoundTripAllocs(version int) float64 {
+	c := connOverBuffer(version)
+	scale := DefaultScale()
+	frame := Frame{Type: MsgQueryResult, RequestID: 9, Body: QueryResultMsg{
+		QueryID: 7,
+		Logical: cost.GB,
+		Rows: []ResultRow{
+			{ObjID: 1, RA: 10, Dec: -5, R: 17.1}, {ObjID: 2, RA: 11, Dec: -6, R: 18.2},
+			{ObjID: 3, RA: 12, Dec: -7, R: 19.3}, {ObjID: 4, RA: 13, Dec: -8, R: 20.4},
+		},
+		Payload: MakePayload(scale, cost.GB, 7),
+		Source:  "repository",
+		Elapsed: 3 * time.Millisecond,
+	}}
+	return testing.AllocsPerRun(300, func() {
+		if err := c.Send(frame); err != nil {
+			panic(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// TestV3AllocAdvantage enforces the codec's reason to exist in tier-1:
+// a QueryResultMsg encode+decode through v3 must allocate at least 3×
+// less than through gob (allocation counts are deterministic, so this
+// is stable where ns/op would be noisy; BenchmarkCodec tracks ns/op).
+func TestV3AllocAdvantage(t *testing.T) {
+	gobAllocs := codecRoundTripAllocs(0)
+	v3Allocs := codecRoundTripAllocs(ProtoV3)
+	t.Logf("allocs per encode+decode: gob %.1f, v3 %.1f (%.1fx)",
+		gobAllocs, v3Allocs, gobAllocs/v3Allocs)
+	if v3Allocs*3 > gobAllocs {
+		t.Errorf("v3 allocates %.1f/op vs gob %.1f/op — less than the required 3x advantage",
+			v3Allocs, gobAllocs)
+	}
+}
+
+// TestHandshakeV3Matrix extends the version matrix to the binary
+// codec: v3↔v3 runs binary, a v2-capped peer on either side negotiates
+// the connection down to gob, and lockstep still reaches v1 — all
+// against servers built with ServeHandshake, which every node uses.
+func TestHandshakeV3Matrix(t *testing.T) {
+	// startServer serves queries through ServeHandshake with a version
+	// cap (0 = newest).
+	startServer := func(t *testing.T, maxVersion int) string {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					c := NewConn(conn)
+					first, err := c.Recv()
+					if err != nil {
+						return
+					}
+					hello, ok := first.Body.(Hello)
+					if !ok {
+						return
+					}
+					if _, err := ServeHandshake(c, hello, maxVersion); err != nil {
+						return
+					}
+					for {
+						f, err := c.Recv()
+						if err != nil {
+							return
+						}
+						echoQuery(f, c)
+					}
+				}()
+			}
+		}()
+		return ln.Addr().String()
+	}
+
+	check := func(t *testing.T, s *Session, wantVersion int) {
+		t.Helper()
+		if got := s.WireVersion(); got != wantVersion {
+			t.Fatalf("negotiated v%d, want v%d", got, wantVersion)
+		}
+		reply, err := s.RoundTrip(t.Context(), Frame{Type: MsgQuery, Body: QueryMsg{
+			Query: model.Query{ID: 3, Objects: []model.ObjectID{1}, Cost: 3},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := reply.Body.(QueryResultMsg); res.QueryID != 3 {
+			t.Fatalf("reply = %+v", res)
+		}
+	}
+
+	t.Run("v3-client-v3-server", func(t *testing.T) {
+		s, err := DialSession(startServer(t, 0), "client", SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		check(t, s, ProtoV3)
+	})
+	t.Run("v2-pinned-client-v3-server", func(t *testing.T) {
+		s, err := DialSession(startServer(t, 0), "client", SessionConfig{WireVersion: ProtoV2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		check(t, s, ProtoV2)
+	})
+	t.Run("v3-client-v2-pinned-server", func(t *testing.T) {
+		s, err := DialSession(startServer(t, ProtoV2), "client", SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		check(t, s, ProtoV2)
+	})
+	t.Run("v1-capped-server-clamps-to-v2", func(t *testing.T) {
+		// An operator cap below v2 clamps: the cap selects the stream
+		// codec, and capping below v2 would suppress the HelloAck a
+		// v2+ dialer is blocked waiting for.
+		s, err := DialSession(startServer(t, ProtoV1), "client", SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		check(t, s, ProtoV2)
+	})
+	t.Run("lockstep-client-v3-server", func(t *testing.T) {
+		s, err := DialSession(startServer(t, 0), "client", SessionConfig{Lockstep: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		check(t, s, ProtoV1)
+	})
+}

@@ -2,7 +2,10 @@ package netproto
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -15,11 +18,25 @@ import (
 // mutate.
 func encodeFrames(t testing.TB, frames ...Frame) []byte {
 	t.Helper()
+	return encodeFramesVersion(t, 0, frames...)
+}
+
+// encodeFramesV3 renders frames with the v3 binary codec.
+func encodeFramesV3(t testing.TB, frames ...Frame) []byte {
+	t.Helper()
+	return encodeFramesVersion(t, ProtoV3, frames...)
+}
+
+func encodeFramesVersion(t testing.TB, version int, frames ...Frame) []byte {
+	t.Helper()
 	var buf bytes.Buffer
 	c := NewConn(struct {
 		io.Reader
 		io.Writer
 	}{Reader: bytes.NewReader(nil), Writer: &buf})
+	if version >= ProtoV3 {
+		c.SetVersion(version)
+	}
 	for _, f := range frames {
 		if err := c.Send(f); err != nil {
 			t.Fatalf("encode seed frame %s: %v", f.Type, err)
@@ -62,82 +79,131 @@ func seedFrames() []Frame {
 	}
 }
 
-// FuzzDecodeFrame feeds arbitrary bytes to Conn.Recv: malformed,
-// truncated, or bit-flipped streams (including the growth frames) must
-// surface as errors, never as panics or unbounded allocations. The
-// checked-in seed corpus under testdata/fuzz/FuzzDecodeFrame holds
-// hand-written malformed streams; the programmatic seeds below add
-// every valid frame shape plus systematic truncations and flips.
+// drainStream feeds data to Conn.Recv under one codec until the first
+// error: every frame either decodes or errors, never panics, and the
+// input is finite so EOF terminates the loop.
+func drainStream(version int, data []byte) {
+	c := NewConn(struct {
+		io.Reader
+		io.Writer
+	}{Reader: bytes.NewReader(data), Writer: io.Discard})
+	if version >= ProtoV3 {
+		c.SetVersion(version)
+	}
+	for {
+		if _, err := c.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to Conn.Recv under BOTH codecs
+// (gob and v3 binary): malformed, truncated, or bit-flipped streams —
+// including the growth frames — must surface as errors, never as
+// panics or unbounded allocations, whichever codec the connection
+// negotiated. The checked-in seed corpus under
+// testdata/fuzz/FuzzDecodeFrame holds hand-written malformed streams
+// in both encodings; the programmatic seeds below add every valid
+// frame shape in both encodings plus systematic truncations and flips.
 func FuzzDecodeFrame(f *testing.F) {
 	valid := encodeFrames(f, seedFrames()...)
+	validV3 := encodeFramesV3(f, seedFrames()...)
 	f.Add(valid)
+	f.Add(validV3)
 	f.Add(valid[:len(valid)/2])                                         // truncated mid-stream
+	f.Add(validV3[:len(validV3)/2])                                     // truncated mid-stream (v3 framing)
 	f.Add(valid[:1])                                                    // truncated inside the first length
+	f.Add(validV3[:3])                                                  // truncated inside the v3 length prefix
 	f.Add([]byte{})                                                     // empty stream
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // absurd length prefix
 	for _, fr := range seedFrames() {
-		one := encodeFrames(f, fr)
-		f.Add(one)
-		if len(one) > 4 {
-			flipped := bytes.Clone(one)
-			flipped[len(flipped)/2] ^= 0x55
-			f.Add(flipped)
+		for _, enc := range []func(testing.TB, ...Frame) []byte{encodeFrames, encodeFramesV3} {
+			one := enc(f, fr)
+			f.Add(one)
+			if len(one) > 4 {
+				flipped := bytes.Clone(one)
+				flipped[len(flipped)/2] ^= 0x55
+				f.Add(flipped)
+			}
 		}
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		c := NewConn(struct {
-			io.Reader
-			io.Writer
-		}{Reader: bytes.NewReader(data), Writer: io.Discard})
-		// Drain the stream: every frame either decodes or errors; the
-		// input is finite so EOF terminates the loop.
-		for {
-			if _, err := c.Recv(); err != nil {
-				return
-			}
-		}
+		drainStream(0, data)
+		drainStream(ProtoV3, data)
 	})
 }
 
 // TestDecodeFrameSeedCorpus replays the programmatic seeds through the
 // fuzz body on ordinary `go test` runs (the fuzz engine only replays
 // testdata seeds), so the malformed-input contract is exercised in
-// tier-1 CI too.
+// tier-1 CI too — under both codecs.
 func TestDecodeFrameSeedCorpus(t *testing.T) {
 	valid := encodeFrames(t, seedFrames()...)
+	validV3 := encodeFramesV3(t, seedFrames()...)
 	cases := [][]byte{
 		valid,
+		validV3,
 		valid[:len(valid)/2],
+		validV3[:len(validV3)/2],
 		valid[:1],
+		validV3[:3],
 		{},
 		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
 	}
 	for _, fr := range seedFrames() {
-		one := encodeFrames(t, fr)
-		cases = append(cases, one)
-		for cut := 1; cut < len(one); cut += 7 {
-			cases = append(cases, one[:cut])
+		for _, enc := range []func(testing.TB, ...Frame) []byte{encodeFrames, encodeFramesV3} {
+			one := enc(t, fr)
+			cases = append(cases, one)
+			for cut := 1; cut < len(one); cut += 7 {
+				cases = append(cases, one[:cut])
+			}
+			flipped := bytes.Clone(one)
+			flipped[len(flipped)/2] ^= 0x55
+			cases = append(cases, flipped)
 		}
-		flipped := bytes.Clone(one)
-		flipped[len(flipped)/2] ^= 0x55
-		cases = append(cases, flipped)
 	}
 	for i, data := range cases {
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("case %d: Recv panicked: %v", i, r)
-				}
+		for _, version := range []int{0, ProtoV3} {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("case %d (codec v%d): Recv panicked: %v", i, version, r)
+					}
+				}()
+				drainStream(version, data)
 			}()
-			c := NewConn(struct {
-				io.Reader
-				io.Writer
-			}{Reader: bytes.NewReader(data), Writer: io.Discard})
-			for {
-				if _, err := c.Recv(); err != nil {
-					return
-				}
-			}
-		}()
+		}
+	}
+}
+
+// TestWriteV3FuzzCorpus regenerates the checked-in v3 seed-corpus
+// files (testdata/fuzz/FuzzDecodeFrame/*v3*) when WRITE_V3_CORPUS is
+// set; it documents their provenance and skips otherwise. The files
+// are deterministic renderings of the programmatic seeds, so the fuzz
+// engine starts from structurally valid v3 streams even before its
+// first minimization.
+func TestWriteV3FuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_V3_CORPUS") == "" {
+		t.Skip("set WRITE_V3_CORPUS=1 to regenerate the v3 seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	valid := encodeFramesV3(t, seedFrames()...)
+	oneBirth := encodeFramesV3(t, seedFrames()[5]) // MsgObjectBirth
+	flipped := bytes.Clone(oneBirth)
+	flipped[len(flipped)/2] ^= 0x55
+	entries := map[string][]byte{
+		"valid-v3-stream":    valid,
+		"truncated-v3-birth": oneBirth[:len(oneBirth)*2/3],
+		"bitflip-v3-birth":   flipped,
+		"v3-absurd-length":   {0xff, 0xff, 0xff, 0x7f, 0x01},
+	}
+	for name, data := range entries {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -25,6 +25,7 @@ package netproto
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -49,16 +50,53 @@ const (
 	// ProtoV2 multiplexes: frames carry a RequestID, replies may be
 	// reordered, and the server acknowledges the handshake.
 	ProtoV2 = 2
+	// ProtoV3 keeps v2's request semantics but switches the
+	// post-handshake stream to the hand-rolled binary codec (see
+	// codec_v3.go): length-prefixed frames, varint fields, pooled
+	// buffers, no gob on the hot path. The handshake itself always
+	// rides gob so every version negotiates over one vocabulary.
+	ProtoV3 = 3
 )
 
 // NegotiateVersion returns the effective protocol version for a peer
 // that announced the given version. Zero (a v1 peer's gob-decoded
 // Hello has no Version field) negotiates to v1.
 func NegotiateVersion(peer int) int {
-	if peer >= ProtoV2 {
+	switch {
+	case peer >= ProtoV3:
+		return ProtoV3
+	case peer == ProtoV2:
 		return ProtoV2
+	default:
+		return ProtoV1
 	}
-	return ProtoV1
+}
+
+// ServeHandshake completes the server half of a request-connection
+// handshake after the Hello has been received: it negotiates against
+// the peer's announced version (capped at maxVersion when positive —
+// the -wire-version escape hatch), sends the HelloAck v2+ peers wait
+// for, and switches the stream to the binary codec for v3 peers.
+// Returns the negotiated version; the caller serves lockstep below v2.
+//
+// The cap clamps to v2, mirroring the dial side: it selects the stream
+// codec, never the request semantics, and capping a v2+ peer below v2
+// would suppress the HelloAck it is blocked waiting for. v1 is only
+// ever negotiated when the peer itself announced it.
+func ServeHandshake(c *Conn, hello Hello, maxVersion int) (int, error) {
+	v := NegotiateVersion(hello.Version)
+	if maxVersion > 0 && v > max(maxVersion, ProtoV2) {
+		v = max(maxVersion, ProtoV2)
+	}
+	if v >= ProtoV2 {
+		if err := c.Send(Frame{Type: MsgHelloAck, Body: HelloAck{Version: v}}); err != nil {
+			return 0, err
+		}
+	}
+	if v >= ProtoV3 {
+		c.SetVersion(v)
+	}
+	return v, nil
 }
 
 // IsClosed reports whether err indicates an orderly or forced
@@ -222,9 +260,28 @@ type HelloAck struct {
 	Features []string
 }
 
-// QueryMsg ships a query.
+// SkyRegion is an optional spherical-cap restriction riding a query:
+// clients that know the sky region but not the object universe leave
+// Query.Objects empty and set the region instead, and the serving node
+// (cache or cluster router) resolves it to B(q) through its memoized
+// HTM cover cache. The zero value means "no region".
+type SkyRegion struct {
+	// RA and Dec are the cap center in degrees.
+	RA  float64
+	Dec float64
+	// RadiusDeg is the cap radius in degrees; zero or negative means
+	// the region is absent.
+	RadiusDeg float64
+}
+
+// Empty reports whether the region is absent.
+func (r SkyRegion) Empty() bool { return r.RadiusDeg <= 0 }
+
+// QueryMsg ships a query. Region optionally carries the query's sky
+// cap for server-side object resolution (see SkyRegion).
 type QueryMsg struct {
-	Query model.Query
+	Query  model.Query
+	Region SkyRegion
 }
 
 // QueryResultMsg returns a result with a scaled payload.
@@ -322,6 +379,12 @@ type StatsMsg struct {
 	// ObjectsBorn counts newly published objects this node has admitted
 	// into its universe since start (live repository growth).
 	ObjectsBorn int64
+	// CoverCacheHits / CoverCacheMisses count sky-region → object-set
+	// resolutions answered from the node's memoized HTM cover cache
+	// versus recomputed via partition.Cover (repeated sky-region
+	// queries hit; novel regions miss).
+	CoverCacheHits   int64
+	CoverCacheMisses int64
 }
 
 // ShardQueryMsg is the router→shard leg of a scattered query: the
@@ -466,12 +529,18 @@ type ErrorMsg struct {
 	Message string
 }
 
-// Frame is the unit of transmission. RequestID correlates a v2 reply
+// Frame is the unit of transmission. RequestID correlates a v2+ reply
 // with its request; it is zero on v1 connections and one-way streams.
 type Frame struct {
 	Type      MsgType
 	RequestID uint64
 	Body      any
+	// Release, when non-nil, is invoked exactly once by Conn.Send after
+	// the frame's bytes have been staged onto the connection (whether
+	// the send succeeded or not). It is how pooled payload buffers
+	// (NewPayload) return to their pool without the handler tracking
+	// the send's completion. Local metadata only — never on the wire.
+	Release func()
 }
 
 func init() {
@@ -499,14 +568,14 @@ func init() {
 	gob.Register(ObjectBirthMsg{})
 }
 
-// Conn wraps a stream with gob-encoded frames. Both directions use a
-// persistent gob stream, so type descriptors cross the wire once per
-// connection instead of once per frame (the per-frame encoders of
-// protocol v1 spent about half the wire path's CPU recompiling gob
-// type machinery). Send is safe for any number of concurrent writer
-// goroutines (frames are serialized internally — this is what lets v2
-// servers reply from per-request workers over one socket); Recv must
-// be called from a single reader goroutine.
+// Conn wraps a stream with framed messages. Connections start on the
+// gob codec (shared by v1 and v2: persistent encoder/decoder streams,
+// type descriptors once per connection); a v3 handshake switches both
+// directions to the binary codec (codec_v3.go) via SetVersion. Send is
+// safe for any number of concurrent writer goroutines (frames are
+// serialized internally — this is what lets v2+ servers reply from
+// per-request workers over one socket); Recv must be called from a
+// single reader goroutine.
 type Conn struct {
 	sendMu  sync.Mutex // serializes whole frames onto bw
 	bw      *bufio.Writer
@@ -517,6 +586,14 @@ type Conn struct {
 	lim    *limitReader
 	dec    *gob.Decoder
 	closer io.Closer // underlying stream, when closable (see Abort)
+
+	// version is the stream codec: 0 means the gob framing v1/v2
+	// share, ProtoV3 means binary frames. Written only by SetVersion at
+	// a handshake boundary (see its contract).
+	version int
+	// recvBuf is the v3 receive scratch, reused across Recvs; decoded
+	// frames never alias it (codec_v3.go's ownership rule).
+	recvBuf []byte
 }
 
 // NewConn wraps a stream.
@@ -543,13 +620,35 @@ func (c *Conn) Abort() {
 	}
 }
 
+// SetVersion switches the connection's stream codec: ProtoV3 selects
+// the binary framing, anything lower the gob framing v1/v2 share. It
+// must be called at a frame boundary with no Send or Recv in flight —
+// in practice only the handshake owner calls it (ServeHandshake on the
+// accept side, DialSession on the dial side), immediately after the
+// HelloAck crosses, so both ends switch at the same stream position.
+func (c *Conn) SetVersion(v int) { c.version = v }
+
+// Version reports the stream codec version: ProtoV3 after a v3
+// handshake upgraded the connection, 0 for the gob framing v1 and v2
+// share.
+func (c *Conn) Version() int { return c.version }
+
 // Send writes one frame. Frames over MaxFrame are rejected here, at
 // the sender, before any bytes hit the wire — shipping one would
 // force the receiver to tear down the whole multiplexed connection.
-// A rejected or failed encode poisons the connection for sending
-// (the persistent encoder's type-descriptor state can no longer be
-// trusted); receiving is unaffected.
+// On the gob codec a rejected or failed encode poisons the connection
+// for sending (the persistent encoder's type-descriptor state can no
+// longer be trusted); the v3 codec stages frames fully before writing,
+// so a failed encode leaves the stream clean. Receiving is unaffected
+// either way. A non-nil f.Release is invoked exactly once before Send
+// returns.
 func (c *Conn) Send(f Frame) error {
+	if f.Release != nil {
+		defer f.Release()
+	}
+	if c.version >= ProtoV3 {
+		return c.sendV3(f)
+	}
 	var body frameBody
 	body.Type = f.Type
 	body.RequestID = f.RequestID
@@ -577,9 +676,52 @@ func (c *Conn) Send(f Frame) error {
 	return nil
 }
 
+// sendV3 stages one binary frame in a pooled scratch buffer (encoding
+// happens outside the send lock, so concurrent writers only serialize
+// on the actual socket write) and flushes it.
+func (c *Conn) sendV3(f Frame) error {
+	bufp := encPool.Get().(*[]byte)
+	e := encBuf{b: (*bufp)[:0]}
+	e.b = append(e.b, 0, 0, 0, 0) // length prefix, patched below
+	e.u8(byte(f.Type))
+	e.uvarint(f.RequestID)
+	err := encodeBodyV3(&e, f.Type, f.Body)
+	if err == nil && len(e.b)-4 > MaxFrame {
+		err = fmt.Errorf("netproto: frame %s too large (%d bytes)", f.Type, len(e.b)-4)
+	}
+	var werr, ferr error
+	if err == nil {
+		binary.LittleEndian.PutUint32(e.b[:4], uint32(len(e.b)-4))
+		c.sendMu.Lock()
+		if c.sendErr != nil {
+			err = c.sendErr
+		} else {
+			_, werr = c.bw.Write(e.b)
+			if werr == nil {
+				ferr = c.bw.Flush()
+			}
+		}
+		c.sendMu.Unlock()
+	}
+	*bufp = e.b[:0]
+	encPool.Put(bufp)
+	switch {
+	case err != nil:
+		return err
+	case werr != nil:
+		return fmt.Errorf("netproto: write %s: %w", f.Type, werr)
+	case ferr != nil:
+		return fmt.Errorf("netproto: flush %s: %w", f.Type, ferr)
+	}
+	return nil
+}
+
 // Recv reads one frame. A frame whose wire size exceeds MaxFrame
 // aborts the stream.
 func (c *Conn) Recv() (Frame, error) {
+	if c.version >= ProtoV3 {
+		return c.recvV3()
+	}
 	c.lim.n = 0
 	var fb frameBody
 	if err := c.dec.Decode(&fb); err != nil {
@@ -589,6 +731,41 @@ func (c *Conn) Recv() (Frame, error) {
 		return Frame{}, fmt.Errorf("netproto: decode frame: %w", err)
 	}
 	return Frame{Type: fb.Type, RequestID: fb.RequestID, Body: fb.Body}, nil
+}
+
+// recvV3 reads one binary frame into the per-connection scratch buffer
+// and decodes it; the decoded frame owns all of its memory, so callers
+// may hold it across later Recvs.
+func (c *Conn) recvV3() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.lim.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, err // clean shutdown between frames
+		}
+		return Frame{}, fmt.Errorf("netproto: read frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return Frame{}, fmt.Errorf("netproto: oversized frame (%d bytes, max %d)", n, MaxFrame)
+	}
+	if cap(c.recvBuf) < int(n) {
+		c.recvBuf = make([]byte, n)
+	}
+	buf := c.recvBuf[:n]
+	if _, err := io.ReadFull(c.lim.r, buf); err != nil {
+		return Frame{}, fmt.Errorf("netproto: read frame body: %w", err)
+	}
+	d := decBuf{b: buf}
+	t := MsgType(d.u8())
+	reqID := d.uvarint()
+	if d.err != nil {
+		return Frame{}, d.err
+	}
+	body, err := decodeBodyV3(&d, t)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: t, RequestID: reqID, Body: body}, nil
 }
 
 // frameBody is the gob-encoded frame content. gob tolerates the
@@ -644,10 +821,46 @@ func MakePayload(scale PayloadScale, logical cost.Bytes, seed int64) []byte {
 		return nil
 	}
 	out := make([]byte, n)
+	fillPayload(out, seed)
+	return out
+}
+
+// fillPayload writes the deterministic pseudo-payload content shared
+// by MakePayload and NewPayload.
+func fillPayload(out []byte, seed int64) {
 	state := uint64(seed)*2654435761 + 1
 	for i := range out {
 		state = state*6364136223846793005 + 1442695040888963407
 		out[i] = byte(state >> 56)
 	}
-	return out
+}
+
+// payloadPool recycles result-payload buffers for the hot reply path
+// (query results, shipped updates, object loads), so a server under
+// fan-out stops allocating a fresh payload per fragment.
+var payloadPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4<<10); return &b },
+}
+
+// NewPayload builds the same deterministic pseudo-payload as
+// MakePayload, but in a pooled buffer. The returned release function
+// (nil when the payload is empty) returns the buffer to the pool; set
+// it as the reply Frame's Release so Conn.Send recycles the buffer the
+// moment the bytes are staged. The payload must not be retained after
+// release.
+func NewPayload(scale PayloadScale, logical cost.Bytes, seed int64) (payload []byte, release func()) {
+	n := scale.PayloadLen(logical)
+	if n == 0 {
+		return nil, nil
+	}
+	bufp := payloadPool.Get().(*[]byte)
+	if cap(*bufp) < n {
+		*bufp = make([]byte, 0, n)
+	}
+	out := (*bufp)[:n]
+	fillPayload(out, seed)
+	return out, func() {
+		*bufp = out[:0]
+		payloadPool.Put(bufp)
+	}
 }

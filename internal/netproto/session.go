@@ -41,6 +41,12 @@ type SessionConfig struct {
 	// (no route, timeout, DNS) still fail immediately. Zero disables
 	// retrying.
 	DialRetry time.Duration
+	// WireVersion caps the protocol version the session announces in
+	// its handshake, and therefore the stream codec it ends up on: 0
+	// means the newest (v3, binary framing), ProtoV2 forces the gob v2
+	// codec — the escape hatch for talking to peers pinned at v2.
+	// Lockstep overrides this entirely (v1 semantics, gob framing).
+	WireVersion int
 }
 
 // Session is a concurrency-safe request/response channel to a Delta
@@ -62,8 +68,9 @@ type Session struct {
 
 // sessionConn is one pooled connection with its demux state.
 type sessionConn struct {
-	nc net.Conn
-	c  *Conn
+	nc      net.Conn
+	c       *Conn
+	version int // negotiated protocol version (set during the handshake)
 
 	lockMu sync.Mutex // lockstep mode: serializes send+recv pairs
 
@@ -138,18 +145,22 @@ func dialSessionConn(addr, role string, cfg SessionConfig) (*sessionConn, error)
 	sc := &sessionConn{
 		nc:      nc,
 		c:       NewConn(nc),
+		version: ProtoV1,
 		pending: make(map[uint64]chan roundTripResult),
 	}
 	hello := Hello{Role: role}
 	if !cfg.Lockstep {
-		hello.Version = ProtoV2
+		hello.Version = ProtoV3
+		if cfg.WireVersion > 0 && cfg.WireVersion < hello.Version {
+			hello.Version = max(cfg.WireVersion, ProtoV2)
+		}
 	}
 	if err := sc.c.Send(Frame{Type: MsgHello, Body: hello}); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("netproto: hello: %w", err)
 	}
 	if !cfg.Lockstep {
-		// v2 servers acknowledge before any request flows; a v1 server
+		// v2+ servers acknowledge before any request flows; a v1 server
 		// would stay silent here, so pre-v2 peers need Lockstep.
 		if err := nc.SetReadDeadline(time.Now().Add(cfg.DialTimeout)); err != nil {
 			nc.Close()
@@ -168,6 +179,12 @@ func dialSessionConn(addr, role string, cfg SessionConfig) (*sessionConn, error)
 		if body.Version < ProtoV2 {
 			nc.Close()
 			return nil, fmt.Errorf("netproto: server negotiated v%d, need v%d", body.Version, ProtoV2)
+		}
+		sc.version = body.Version
+		if body.Version >= ProtoV3 {
+			// Both ends switch codecs at the same stream position:
+			// immediately after the HelloAck.
+			sc.c.SetVersion(ProtoV3)
 		}
 		if err := nc.SetReadDeadline(time.Time{}); err != nil {
 			nc.Close()
@@ -330,6 +347,17 @@ func (s *Session) pick() *sessionConn {
 		}
 	}
 	return nil
+}
+
+// WireVersion reports the protocol version the session negotiated:
+// ProtoV3 on the binary codec, ProtoV2 on gob multiplexing, ProtoV1
+// for lockstep sessions. Every pooled connection negotiates against
+// the same server, so the first connection's answer stands for all.
+func (s *Session) WireVersion() int {
+	if len(s.conns) == 0 {
+		return 0
+	}
+	return s.conns[0].version
 }
 
 // Live reports whether the session still has at least one usable

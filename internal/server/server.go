@@ -46,6 +46,10 @@ type Config struct {
 	// Clock paces ExecDelay; nil means the wall clock. Tests inject a
 	// fake clock so simulated execution time costs no real time.
 	Clock clock.Clock
+	// WireVersion caps the protocol version negotiated with request
+	// peers (0 = newest, i.e. the v3 binary codec; 2 pins gob v2) —
+	// the -wire-version escape hatch for mixed-version deployments.
+	WireVersion int
 	// Logf logs server events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -277,7 +281,7 @@ func (r *Repository) serveConn(nc net.Conn) error {
 	case "invalidations":
 		return r.serveInvalidations(nc, c)
 	case "cache", "client":
-		return r.serveRequests(c, netproto.NegotiateVersion(hello.Version))
+		return r.serveRequests(c, hello)
 	default:
 		return fmt.Errorf("server: unknown role %q", hello.Role)
 	}
@@ -333,17 +337,16 @@ func (r *Repository) serveInvalidations(nc net.Conn, c *netproto.Conn) error {
 	return nil
 }
 
-// serveRequests handles a cache or client request connection. v2 peers
-// get per-request worker goroutines; v1 peers are served lockstep so
-// replies stay in order.
-func (r *Repository) serveRequests(c *netproto.Conn, version int) error {
+// serveRequests handles a cache or client request connection. v2+
+// peers get per-request worker goroutines (v3 peers additionally
+// switch to the binary codec inside ServeHandshake); v1 peers are
+// served lockstep so replies stay in order.
+func (r *Repository) serveRequests(c *netproto.Conn, hello netproto.Hello) error {
+	version, err := netproto.ServeHandshake(c, hello, r.cfg.WireVersion)
+	if err != nil {
+		return err
+	}
 	if version >= netproto.ProtoV2 {
-		if err := c.Send(netproto.Frame{
-			Type: netproto.MsgHelloAck,
-			Body: netproto.HelloAck{Version: version},
-		}); err != nil {
-			return err
-		}
 		return netproto.ServeMux(c, 0, r.handleRequest, r.cfg.Logf)
 	}
 	for {
@@ -415,14 +418,15 @@ func (r *Repository) execQuery(q *model.Query) netproto.Frame {
 	}
 	r.ledger.Charge(cost.QueryShip, q.Cost)
 	rows := r.sampleRowsFor(q.Objects)
+	payload, release := netproto.NewPayload(r.cfg.Scale, q.Cost, int64(q.ID))
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
 		QueryID: q.ID,
 		Logical: q.Cost,
 		Rows:    rows,
-		Payload: netproto.MakePayload(r.cfg.Scale, q.Cost, int64(q.ID)),
+		Payload: payload,
 		Source:  "repository",
 		Elapsed: time.Since(start),
-	}}
+	}, Release: release}
 }
 
 func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
@@ -442,10 +446,11 @@ func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
 	}
 	r.mu.Unlock()
 	r.ledger.Charge(cost.UpdateShip, total)
+	payload, release := netproto.NewPayload(r.cfg.Scale, total, int64(len(ids)))
 	return netproto.Frame{Type: netproto.MsgUpdates, Body: netproto.UpdatesMsg{
 		Updates: ships,
-		Payload: netproto.MakePayload(r.cfg.Scale, total, int64(len(ids))),
-	}}
+		Payload: payload,
+	}, Release: release}
 }
 
 func (r *Repository) loadObject(id model.ObjectID) netproto.Frame {
@@ -463,11 +468,12 @@ func (r *Repository) loadObject(id model.ObjectID) netproto.Frame {
 	r.freshAsOf[id] = fresh
 	r.mu.Unlock()
 	r.ledger.Charge(cost.ObjectLoad, obj.Size)
+	payload, release := netproto.NewPayload(r.cfg.Scale, obj.Size, int64(obj.ID))
 	return netproto.Frame{Type: netproto.MsgObjectData, Body: netproto.ObjectDataMsg{
 		Object:    obj,
 		FreshAsOf: fresh,
-		Payload:   netproto.MakePayload(r.cfg.Scale, obj.Size, int64(obj.ID)),
-	}}
+		Payload:   payload,
+	}, Release: release}
 }
 
 func (r *Repository) sampleRowsFor(objs []model.ObjectID) []netproto.ResultRow {
