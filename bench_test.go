@@ -1274,3 +1274,210 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkRestartRecovery measures what durable warm restarts buy: a
+// 3-shard cluster is fully warmed, shard 1 is bounced, and the run
+// measures how long the cluster takes to return to a steady hit rate
+// plus its post-restart throughput. The "cold" mode restarts the shard
+// with no persistence (it rejoins empty and reloads on demand); the
+// "warm" mode restarts it from its data directory, so the recovered
+// residents rejoin without touching the repository. When BENCH_JSON_DIR
+// is set the run writes BENCH_persist.json for the CI bench trajectory.
+func BenchmarkRestartRecovery(b *testing.B) {
+	var results []restartModeResult
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{
+		{name: "cold", warm: false},
+		{name: "warm", warm: true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last restartModeResult
+			for iter := 0; iter < b.N; iter++ {
+				last = runRestartScenario(b, mode.name, mode.warm)
+			}
+			b.ReportMetric(last.TimeToSteadyMillis, "steadyMs")
+			b.ReportMetric(last.QueriesPerSec, "queries/s")
+			b.ReportMetric(last.FirstSweepHitRate, "firstSweepHitRate")
+			results = append(results, last)
+		})
+	}
+	if len(results) == 2 {
+		b.Logf("restart: cold steady %.1fms hit %.2f → warm steady %.1fms hit %.2f (recovered %d residents)",
+			results[0].TimeToSteadyMillis, results[0].FirstSweepHitRate,
+			results[1].TimeToSteadyMillis, results[1].FirstSweepHitRate,
+			results[1].RecoveredWarm)
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		out := struct {
+			Benchmark string              `json:"benchmark"`
+			Timestamp time.Time           `json:"timestamp"`
+			Modes     []restartModeResult `json:"modes"`
+		}{Benchmark: "BenchmarkRestartRecovery", Timestamp: time.Now().UTC(), Modes: results}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_persist.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
+// restartModeResult is one BenchmarkRestartRecovery mode's measurement,
+// as serialized into BENCH_persist.json.
+type restartModeResult struct {
+	Name               string  `json:"name"`
+	RestartMillis      float64 `json:"restartMillis"`
+	TimeToSteadyMillis float64 `json:"timeToSteadyMillis"`
+	FirstSweepHitRate  float64 `json:"firstSweepHitRate"`
+	QueriesPerSec      float64 `json:"queriesPerSec"`
+	RecoveredWarm      int64   `json:"recoveredWarm"`
+}
+
+// runRestartScenario warms a 3-shard cluster over 24 equal objects,
+// bounces shard 1 (with or without a persistence directory), and
+// measures recovery: hit-rate sweeps until steady (≥99% of queries
+// answered at cache) and a short concurrent-throughput burst.
+func runRestartScenario(b *testing.B, name string, warm bool) (res restartModeResult) {
+	b.Helper()
+	const nBase = 24
+	// A non-trivial payload scale is what makes the cold baseline pay:
+	// every logical GB a restarted-cold shard reloads ships 16 MiB from
+	// the repository, while a warm-recovered resident ships nothing.
+	scale := netproto.PayloadScale{BytesPerGB: 16 << 20}
+	res.Name = name
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = nBase
+	scfg.TotalSize = nBase * cost.GB
+	scfg.MinObjectSize = cost.GB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	lcfg := cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  survey.Objects(),
+		Shards:   3,
+		Mode:     cluster.HTMAware,
+		Scale:    scale,
+	}
+	if warm {
+		dir := b.TempDir()
+		lcfg.ShardDataDir = func(s int) string {
+			return filepath.Join(dir, fmt.Sprintf("shard-%d", s))
+		}
+		lcfg.SnapshotInterval = 50 * time.Millisecond
+	}
+	lc, err := cluster.SpawnLocal(lcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+
+	ctx := context.Background()
+	cl, err := client.DialCluster(lc.Router.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ids := make([]model.ObjectID, 0, nBase)
+	for _, o := range survey.Objects() {
+		ids = append(ids, o.ID)
+		// Query cost = object size forces the immediate load: the whole
+		// cluster is warm before the bounce.
+		if _, err := cl.Query(ctx, model.Query{
+			Objects: []model.ObjectID{o.ID}, Cost: o.Size,
+			Tolerance: model.AnyStaleness, Time: time.Second,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	restartStart := time.Now()
+	if err := lc.RestartShard(ctx, 1); err != nil {
+		b.Fatal(err)
+	}
+	res.RestartMillis = float64(time.Since(restartStart).Milliseconds())
+
+	// Sweep the universe until steady: every sweep queries every object
+	// at full cost, so cold shards reload what they miss and converge.
+	sweep := func() float64 {
+		hits := 0
+		for _, id := range ids {
+			r, err := cl.Query(ctx, model.Query{
+				Objects: []model.ObjectID{id}, Cost: cost.GB,
+				Tolerance: model.AnyStaleness, Time: time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Source == "cache" {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(ids))
+	}
+	for i := 0; i < 20; i++ {
+		rate := sweep()
+		if i == 0 {
+			res.FirstSweepHitRate = rate
+		}
+		if rate >= 0.99 {
+			res.TimeToSteadyMillis = float64(time.Since(restartStart).Milliseconds())
+			break
+		}
+	}
+
+	// Post-restart throughput burst: 8 workers hammering the warm
+	// universe for a fixed window.
+	var served atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wcl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wcl.Close()
+		wg.Add(1)
+		go func(w int, wcl *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for !stop.Load() {
+				id := ids[rng.Intn(len(ids))]
+				if _, err := wcl.Query(ctx, model.Query{
+					Objects: []model.ObjectID{id}, Cost: cost.GB,
+					Tolerance: model.AnyStaleness, Time: time.Minute,
+				}); err != nil {
+					return
+				}
+				served.Add(1)
+			}
+		}(w, wcl)
+	}
+	window := 200 * time.Millisecond
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	res.QueriesPerSec = float64(served.Load()) / window.Seconds()
+
+	st, err := cl.ClusterStats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.RecoveredWarm = st.Aggregate.RecoveredWarm
+	return res
+}

@@ -44,6 +44,8 @@ func run() error {
 		shardCount = flag.Int("shard-count", 0, "total shards in the cluster (with -shard-index)")
 		shardMode  = flag.String("shard-mode", "htm", "cluster ownership mode: htm|rendezvous (must match the router)")
 		wireVer    = flag.Int("wire-version", 0, "cap the negotiated wire version, both toward the repository and toward clients (0 = newest/v3 binary codec; 2 pins gob v2)")
+		dataDir    = flag.String("data-dir", "", "directory for warm-state snapshots and the decision journal; restarts rejoin warm from it (empty = no persistence)")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -data-dir (0 = 30s default)")
 	)
 	flag.Parse()
 
@@ -123,14 +125,16 @@ func run() error {
 		Capacity:      capacity,
 		// Across live reshards the cache keeps holding the same
 		// fraction of whatever it currently owns.
-		ReshardCapacity: cache.FractionalCapacity(*cacheFrac),
-		Scale:           netproto.PayloadScale{BytesPerGB: *bytesPerGB},
-		Serialized:      *serialized,
-		ExecDelay:       *execDelay,
-		Resolver:        resolver,
-		ResolverGrow:    resolverGrow,
-		WireVersion:     *wireVer,
-		Logf:            log.Printf,
+		ReshardCapacity:  cache.FractionalCapacity(*cacheFrac),
+		Scale:            netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		Serialized:       *serialized,
+		ExecDelay:        *execDelay,
+		Resolver:         resolver,
+		ResolverGrow:     resolverGrow,
+		WireVersion:      *wireVer,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapEvery,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		return err

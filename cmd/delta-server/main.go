@@ -35,6 +35,8 @@ func run() error {
 		pipelineRate = flag.Duration("pipeline-rate", 0, "feed one synthetic update per interval (0 = off)")
 		bytesPerGB   = flag.Int64("bytes-per-gb", 4096, "physical payload bytes per logical GB")
 		wireVer      = flag.Int("wire-version", 0, "cap the negotiated wire version (0 = newest/v3 binary codec; 2 pins gob v2)")
+		dataDir      = flag.String("data-dir", "", "directory for grown-universe snapshots and the birth journal; restarts recover births from it (empty = no persistence)")
+		snapEvery    = flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -data-dir (0 = 30s default)")
 	)
 	flag.Parse()
 
@@ -46,11 +48,13 @@ func run() error {
 		return err
 	}
 	repo, err := server.New(server.Config{
-		Addr:        *addr,
-		Survey:      survey,
-		Scale:       netproto.PayloadScale{BytesPerGB: *bytesPerGB},
-		WireVersion: *wireVer,
-		Logf:        log.Printf,
+		Addr:             *addr,
+		Survey:           survey,
+		Scale:            netproto.PayloadScale{BytesPerGB: *bytesPerGB},
+		WireVersion:      *wireVer,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapEvery,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		return err

@@ -36,6 +36,7 @@ import (
 	"github.com/deltacache/delta/internal/htm"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/persist"
 )
 
 // Config parameterizes the middleware.
@@ -119,6 +120,20 @@ type Config struct {
 	// version granted to clients (0 = newest, i.e. the v3 binary
 	// codec; 2 pins gob v2) — the -wire-version escape hatch.
 	WireVersion int
+	// DataDir, when set, enables the durability layer (internal/persist):
+	// the node journals births and admission/eviction decisions, writes
+	// periodic snapshots of its warm state, and on startup replays
+	// snapshot+journal to rejoin warm — the policy is rebuilt over the
+	// persisted universe and residents are re-adopted through the same
+	// core.Warmable boundary a live reshard uses, re-validated against
+	// current ownership so a node restarted into a resized cluster
+	// drops no-longer-owned state. Empty disables persistence.
+	DataDir string
+	// SnapshotInterval paces the periodic snapshot loop when DataDir is
+	// set (0 = 30s default). Snapshots are also written after every
+	// reshard and on Close, so the interval only bounds how much journal
+	// a crash replays.
+	SnapshotInterval time.Duration
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -162,14 +177,23 @@ type Middleware struct {
 	// covers memoizes Resolver lookups (nil when no Resolver is set).
 	covers *htm.CoverCache
 
-	queries     atomic.Int64
-	atCache     atomic.Int64
-	shipped     atomic.Int64
-	droppedInv  atomic.Int64
-	dedupLoads  atomic.Int64
-	migratedIn  atomic.Int64
-	migratedOut atomic.Int64
-	bornObjects atomic.Int64
+	// store is the durability layer (nil when Config.DataDir is empty);
+	// births holds every adopted birth in publication order (guarded by
+	// mu) so snapshots carry full-fidelity growth for the next restart.
+	store  *persist.Store
+	births []model.Birth
+	// stop ends the snapshot loop on Close.
+	stop chan struct{}
+
+	queries       atomic.Int64
+	atCache       atomic.Int64
+	shipped       atomic.Int64
+	droppedInv    atomic.Int64
+	dedupLoads    atomic.Int64
+	migratedIn    atomic.Int64
+	migratedOut   atomic.Int64
+	bornObjects   atomic.Int64
+	recoveredWarm atomic.Int64
 
 	invRaw net.Conn
 	wg     sync.WaitGroup
@@ -182,9 +206,11 @@ type Middleware struct {
 	closing bool
 }
 
-// plan lists the repository I/O a committed decision still owes.
+// plan lists the repository I/O a committed decision still owes, plus
+// the residency changes it already applied (for the durability journal).
 type plan struct {
 	loads       []pendingLoad
+	evicts      []model.ObjectID
 	shipUpdates []model.UpdateID
 }
 
@@ -233,6 +259,7 @@ func New(cfg Config) (*Middleware, error) {
 		resident: make(map[model.ObjectID]struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		byID:     make(map[model.ObjectID]model.Object, len(cfg.Objects)),
+		stop:     make(chan struct{}),
 	}
 	if cfg.Resolver != nil {
 		m.covers = htm.NewCoverCache(256)
@@ -240,6 +267,43 @@ func New(cfg Config) (*Middleware, error) {
 	for _, o := range cfg.Objects {
 		m.byID[o.ID] = o
 	}
+
+	// Recover the previous incarnation's state before the policy sees
+	// any universe: born objects the static config cannot rebuild must
+	// be part of what Init reasons about, and residents re-adopt through
+	// core.Warmable, which only works on a freshly initialized policy
+	// (the same contract a live reshard relies on).
+	var recovered *persist.State
+	if cfg.DataDir != "" {
+		store, err := persist.Open(persist.Options{Dir: cfg.DataDir, Logf: cfg.Logf})
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		m.store = store
+		if recovered, err = store.Recover(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	// Universe metadata beyond the static config: born objects and
+	// reshard/migration arrivals from the persisted state. Everything
+	// merges into byID (reshard lookups need the metadata regardless of
+	// ownership); only what the node owns joins the policy universe.
+	var extras []model.Object
+	recoveredOwned := make(map[model.ObjectID]struct{})
+	if recovered != nil {
+		for _, o := range recovered.Universe {
+			if _, known := m.byID[o.ID]; !known {
+				m.byID[o.ID] = o
+				extras = append(extras, o)
+			}
+		}
+		slices.SortFunc(extras, func(a, b model.Object) int { return cmp.Compare(a.ID, b.ID) })
+		for _, id := range recovered.Owned {
+			recoveredOwned[id] = struct{}{}
+		}
+	}
+
 	universe := cfg.Objects
 	if cfg.ObjectFilter != nil {
 		universe = make([]model.Object, 0, len(cfg.Objects))
@@ -251,11 +315,45 @@ func New(cfg Config) (*Middleware, error) {
 			}
 		}
 		if len(universe) == 0 {
+			m.closeStore()
 			return nil, fmt.Errorf("cache: object filter leaves the shard empty")
 		}
 	}
-	if err := m.policy.Init(universe, cfg.Capacity); err != nil {
+	for _, o := range extras {
+		// Ownership revalidation for recovered objects: the current
+		// filter (computed from the current cluster shape) decides, with
+		// persisted grants honored for newborns the static filter cannot
+		// know — the next reshard from the router settles any remainder.
+		if cfg.ObjectFilter != nil {
+			_, granted := recoveredOwned[o.ID]
+			if !granted && !cfg.ObjectFilter(o.ID) {
+				continue
+			}
+			m.owned[o.ID] = struct{}{}
+		}
+		universe = append(universe, o)
+	}
+	capacity := cfg.Capacity
+	if len(extras) > 0 && cfg.ReshardCapacity != nil {
+		// The boot capacity was computed over the static universe; a
+		// recovered grown universe resizes it the same way a reshard
+		// would.
+		capacity = cfg.ReshardCapacity(universe)
+	}
+	if err := m.policy.Init(universe, capacity); err != nil {
+		m.closeStore()
 		return nil, fmt.Errorf("cache: %w", err)
+	}
+	if recovered != nil {
+		m.adoptRecovered(recovered)
+	}
+	if m.store != nil {
+		// Land the post-recovery truth as the new baseline snapshot (and
+		// rotate the journal) before serving anything.
+		if err := m.store.WriteSnapshot(m.persistState()); err != nil {
+			m.closeStore()
+			return nil, fmt.Errorf("cache: %w", err)
+		}
 	}
 
 	// Multiplexed request/response session to the repository.
@@ -269,6 +367,7 @@ func New(cfg Config) (*Middleware, error) {
 		WireVersion: cfg.WireVersion,
 	})
 	if err != nil {
+		m.closeStore()
 		return nil, fmt.Errorf("cache: dial repository: %w", err)
 	}
 	m.repo = sess
@@ -277,6 +376,7 @@ func New(cfg Config) (*Middleware, error) {
 	ic, err := net.Dial("tcp", cfg.RepoAddr)
 	if err != nil {
 		sess.Close()
+		m.closeStore()
 		return nil, fmt.Errorf("cache: dial invalidations: %w", err)
 	}
 	m.invRaw = ic
@@ -284,6 +384,7 @@ func New(cfg Config) (*Middleware, error) {
 	if err := invConn.Send(netproto.Frame{Type: netproto.MsgHello, Body: netproto.Hello{Role: "invalidations"}}); err != nil {
 		sess.Close()
 		ic.Close()
+		m.closeStore()
 		return nil, fmt.Errorf("cache: subscribe: %w", err)
 	}
 	m.wg.Add(1)
@@ -302,7 +403,154 @@ func New(cfg Config) (*Middleware, error) {
 			m.mu.Unlock()
 		}
 	}
+	if m.store != nil {
+		m.wg.Add(1)
+		go m.snapshotLoop()
+	}
 	return m, nil
+}
+
+// closeStore releases the persist store on constructor error paths.
+func (m *Middleware) closeStore() {
+	if m.store != nil {
+		m.store.Close()
+		m.store = nil
+	}
+}
+
+// adoptRecovered restores the previous incarnation's warm state onto a
+// freshly initialized policy. Residents are re-validated against the
+// current universe — ownership included, so a node restarted into a
+// resized cluster drops no-longer-owned state here for free — and
+// offered through core.Warmable, the same carry-over boundary a live
+// reshard uses; the policy adopts what fits its capacity. Policies
+// without Warm (SOptimal, NoCache) simply restart cold.
+func (m *Middleware) adoptRecovered(st *persist.State) {
+	m.reshardEpoch = st.Epoch
+	m.births = slices.Clone(st.Births)
+	carried := make([]model.ObjectID, 0, len(st.Resident))
+	for _, id := range st.Resident {
+		if m.owned != nil {
+			if _, ok := m.owned[id]; !ok {
+				continue
+			}
+		} else if _, ok := m.byID[id]; !ok {
+			continue
+		}
+		carried = append(carried, id)
+	}
+	slices.Sort(carried)
+	if w, ok := m.policy.(core.Warmable); ok && len(carried) > 0 {
+		adopted, err := w.Warm(carried)
+		if err != nil {
+			m.cfg.Logf("recovery warm-up: %v (restarting cold)", err)
+			adopted = nil
+		}
+		for _, id := range adopted {
+			m.resident[id] = struct{}{}
+		}
+		m.recoveredWarm.Store(int64(len(adopted)))
+	}
+	if len(st.Births) > 0 && m.covers != nil && m.cfg.ResolverGrow != nil {
+		// The resolver was built from the startup survey; recovered
+		// births must rejoin its universe or region covers would exclude
+		// them until the next live birth.
+		if err := m.cfg.ResolverGrow(st.Births); err != nil {
+			m.cfg.Logf("recovery resolver growth: %v (region covers may miss recovered newborns)", err)
+		}
+		m.covers.Bump()
+	}
+	m.cfg.Logf("recovered warm: epoch %d, %d births, %d/%d residents re-adopted",
+		st.Epoch, len(st.Births), len(m.resident), len(st.Resident))
+}
+
+// persistState captures the node's durable state under mu.
+func (m *Middleware) persistState() *persist.State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := &persist.State{
+		Epoch:    m.reshardEpoch,
+		Births:   slices.Clone(m.births),
+		Universe: make([]model.Object, 0, len(m.byID)),
+	}
+	for _, o := range m.byID {
+		st.Universe = append(st.Universe, o)
+	}
+	slices.SortFunc(st.Universe, func(a, b model.Object) int { return cmp.Compare(a.ID, b.ID) })
+	if m.owned != nil {
+		st.Owned = make([]model.ObjectID, 0, len(m.owned))
+		for id := range m.owned {
+			st.Owned = append(st.Owned, id)
+		}
+		slices.Sort(st.Owned)
+	}
+	st.Resident = make([]model.ObjectID, 0, len(m.resident))
+	for id := range m.resident {
+		st.Resident = append(st.Resident, id)
+	}
+	slices.Sort(st.Resident)
+	return st
+}
+
+// snapshotNow lands a snapshot of the current state; errors are logged,
+// not fatal (the journal still protects the delta since the last good
+// snapshot).
+func (m *Middleware) snapshotNow() {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.WriteSnapshot(m.persistState()); err != nil {
+		m.cfg.Logf("snapshot: %v", err)
+	}
+}
+
+// snapshotLoop writes periodic snapshots until Close. The interval only
+// bounds journal replay length: reshards and Close snapshot on their
+// own.
+func (m *Middleware) snapshotLoop() {
+	defer m.wg.Done()
+	interval := m.cfg.SnapshotInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.snapshotNow()
+		}
+	}
+}
+
+// journalPlan records a committed decision's residency changes in the
+// durability journal. Admissions are journaled optimistically alongside
+// the optimistic residency commit: a load that later fails leaves a
+// stale admit behind, which recovery tolerates by design (residency is
+// a warmth hint re-validated through Warm, not a durability contract).
+// Journal errors are logged and never fail the query.
+func (m *Middleware) journalPlan(p plan) {
+	if m.store == nil {
+		return
+	}
+	for _, id := range p.evicts {
+		if err := m.store.AppendEvict(id); err != nil {
+			m.cfg.Logf("journal evict %d: %v", id, err)
+			return
+		}
+	}
+	for _, l := range p.loads {
+		if !l.leader {
+			// The leader's plan already journaled this admit.
+			continue
+		}
+		if err := m.store.AppendAdmit(l.id); err != nil {
+			m.cfg.Logf("journal admit %d: %v", l.id, err)
+			return
+		}
+	}
 }
 
 // Start begins serving clients.
@@ -351,28 +599,46 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 		MigratedIn:           m.migratedIn.Load(),
 		MigratedOut:          m.migratedOut.Load(),
 		ObjectsBorn:          m.bornObjects.Load(),
+		RecoveredWarm:        m.recoveredWarm.Load(),
 	}
 	if m.covers != nil {
 		stats.CoverCacheHits, stats.CoverCacheMisses = m.covers.Stats()
+	}
+	if m.store != nil {
+		stats.SnapshotAge = m.store.SnapshotAge()
+		stats.JournalRecords = m.store.JournalRecords()
 	}
 	return stats
 }
 
 // Close shuts the middleware down, severing live client connections.
+// When persistence is enabled, a final snapshot lands before the store
+// closes — a clean shutdown (SIGTERM included) never loses warmth to
+// the journal window.
 func (m *Middleware) Close() error {
 	var err error
 	if m.ln != nil {
 		err = m.ln.Close()
 	}
 	m.connMu.Lock()
+	already := m.closing
 	m.closing = true
 	for c := range m.conns {
 		c.Close()
 	}
 	m.connMu.Unlock()
+	if !already {
+		close(m.stop)
+	}
 	m.repo.Close()
 	m.invRaw.Close()
 	m.wg.Wait()
+	if m.store != nil && !already {
+		m.snapshotNow()
+		if cerr := m.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -719,9 +985,18 @@ func (m *Middleware) AddObjects(ctx context.Context, births []model.Birth) (int,
 			m.owned[o.ID] = struct{}{}
 		}
 	}
+	m.births = append(m.births, freshBirths...)
 	p, err := m.commitDecisionLocked(d)
 	universe := len(m.byID)
 	m.mu.Unlock()
+	if m.store != nil {
+		for _, b := range freshBirths {
+			if jerr := m.store.AppendBirth(b); jerr != nil {
+				m.cfg.Logf("journal birth %d: %v", b.Object.ID, jerr)
+				break
+			}
+		}
+	}
 	// The adoption itself is done — the universe extended and the
 	// policy knows the newborns — so it counts even if the immediate
 	// decision below fails: a retry will correctly dedup against the
@@ -778,6 +1053,7 @@ func (m *Middleware) commitDecisionLocked(d core.Decision) (plan, error) {
 		}
 	}
 	var p plan
+	p.evicts = d.Evict
 	for _, id := range d.Evict {
 		delete(m.resident, id)
 	}
@@ -796,6 +1072,7 @@ func (m *Middleware) commitDecisionLocked(d core.Decision) (plan, error) {
 // executePlan performs the network I/O a committed decision owes:
 // object loads (singleflighted per object) and update shipments.
 func (m *Middleware) executePlan(ctx context.Context, p plan) error {
+	m.journalPlan(p)
 	// Start every owned flight before waiting on any, so sibling
 	// loads of one decision overlap.
 	for _, l := range p.loads {

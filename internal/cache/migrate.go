@@ -134,12 +134,16 @@ func (m *Middleware) Reshard(epoch int, owned []model.ObjectID, meta []model.Obj
 	return len(adopted), dropped, nil
 }
 
-// handleReshard serves MsgReshard: the router's filter-swap command.
+// handleReshard serves MsgReshard: the router's filter-swap command. A
+// successful swap snapshots immediately — the owned set and epoch just
+// changed wholesale, and a crash replaying a pre-reshard journal onto a
+// pre-reshard snapshot would resurrect state the router re-homed.
 func (m *Middleware) handleReshard(body netproto.ReshardMsg) (netproto.Frame, error) {
 	resident, droppedCount, err := m.Reshard(body.Epoch, body.Owned, body.Universe)
 	if err != nil {
 		return netproto.Frame{}, err
 	}
+	m.snapshotNow()
 	return netproto.Frame{Type: netproto.MsgReshard, Body: netproto.ReshardMsg{
 		Epoch:    body.Epoch,
 		Resident: resident,
@@ -240,6 +244,7 @@ func (m *Middleware) handleMigrateOut(ctx context.Context, body netproto.Migrate
 // cold later, which costs traffic but never correctness.
 func (m *Middleware) handleMigrateChunk(body netproto.MigrateChunkMsg) (netproto.Frame, error) {
 	imported := 0
+	var adoptedIDs []model.ObjectID
 	m.mu.Lock()
 	for _, mo := range body.Objects {
 		id := mo.Object.ID
@@ -268,9 +273,18 @@ func (m *Middleware) handleMigrateChunk(body netproto.MigrateChunkMsg) (netproto
 			continue
 		}
 		m.resident[id] = struct{}{}
+		adoptedIDs = append(adoptedIDs, id)
 		imported++
 	}
 	m.mu.Unlock()
+	if m.store != nil {
+		for _, id := range adoptedIDs {
+			if err := m.store.AppendAdmit(id); err != nil {
+				m.cfg.Logf("journal migrated admit %d: %v", id, err)
+				break
+			}
+		}
+	}
 	m.migratedIn.Add(int64(imported))
 	return netproto.Frame{Type: netproto.MsgMigrateChunk, Body: netproto.MigrateChunkMsg{
 		Epoch:    body.Epoch,

@@ -178,12 +178,13 @@ type Survey struct {
 	bornByCell map[int][]int // partition cell index → born indexes
 }
 
-// bornObject is one live-ingested object with its sky position and the
-// partition cell it attaches to.
+// bornObject is one live-ingested object with its sky position, its
+// publication time, and the partition cell it attaches to.
 type bornObject struct {
 	obj  model.Object
 	pos  geom.Vec3
 	cell int
+	t    time.Duration
 }
 
 // NewSurvey constructs the survey: the sky density model, the adaptive
@@ -377,7 +378,7 @@ func (s *Survey) AddObject(b model.Birth) error {
 		s.bornByCell = make(map[int][]int)
 	}
 	s.bornByCell[cell] = append(s.bornByCell[cell], len(s.born))
-	s.born = append(s.born, bornObject{obj: obj, pos: pos, cell: cell})
+	s.born = append(s.born, bornObject{obj: obj, pos: pos, cell: cell, t: b.Time})
 	return nil
 }
 
@@ -451,7 +452,7 @@ func (s *Survey) BornObjects() []model.Birth {
 	out := make([]model.Birth, len(s.born))
 	for i, b := range s.born {
 		ra, dec := b.pos.RADec()
-		out[i] = model.Birth{Object: b.obj, RA: ra, Dec: dec}
+		out[i] = model.Birth{Object: b.obj, RA: ra, Dec: dec, Time: b.t}
 	}
 	return out
 }

@@ -749,6 +749,11 @@ func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
 		agg.ObjectsBorn += st.Stats.ObjectsBorn
 		agg.CoverCacheHits += st.Stats.CoverCacheHits
 		agg.CoverCacheMisses += st.Stats.CoverCacheMisses
+		agg.JournalRecords += st.Stats.JournalRecords
+		agg.RecoveredWarm += st.Stats.RecoveredWarm
+		// The aggregate snapshot age is the oldest shard's: it bounds
+		// how much journal any crash in the cluster would replay.
+		agg.SnapshotAge = max(agg.SnapshotAge, st.Stats.SnapshotAge)
 		agg.Cached = append(agg.Cached, st.Stats.Cached...)
 		if agg.Policy == "" && st.Stats.Policy != "" {
 			agg.Policy = fmt.Sprintf("cluster(%s×%d)", st.Stats.Policy, len(rt.links))

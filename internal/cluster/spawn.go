@@ -57,6 +57,14 @@ type LocalConfig struct {
 	// shard pinned at gob v2 inside an otherwise-v3 cluster). Return 0
 	// for "no override".
 	ShardWireVersion func(shard int) int
+	// ShardDataDir, when non-nil, gives each shard a persistence
+	// directory (cache.Config.DataDir), enabling durable warm restarts:
+	// RestartShard respawns a shard from its directory and the recovered
+	// residents rejoin warm. Return "" to leave a shard ephemeral.
+	ShardDataDir func(shard int) string
+	// SnapshotInterval paces each persistent shard's snapshot loop
+	// (cache.Config.SnapshotInterval).
+	SnapshotInterval time.Duration
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -145,19 +153,25 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 			wire = v
 		}
 	}
+	var dataDir string
+	if cfg.ShardDataDir != nil {
+		dataDir = cfg.ShardDataDir(s)
+	}
 	mw, err := cache.New(cache.Config{
-		RepoAddr:        cfg.RepoAddr,
-		RepoPool:        cfg.RepoPool,
-		PolicyFactory:   factory,
-		Objects:         universe,
-		ObjectFilter:    own.Filter(s),
-		Capacity:        capacity,
-		ReshardCapacity: reshardCapacity,
-		Scale:           cfg.Scale,
-		ExecDelay:       cfg.ExecDelay,
-		Clock:           cfg.Clock,
-		WireVersion:     wire,
-		Logf:            cfg.Logf,
+		RepoAddr:         cfg.RepoAddr,
+		RepoPool:         cfg.RepoPool,
+		PolicyFactory:    factory,
+		Objects:          universe,
+		ObjectFilter:     own.Filter(s),
+		Capacity:         capacity,
+		ReshardCapacity:  reshardCapacity,
+		Scale:            cfg.Scale,
+		ExecDelay:        cfg.ExecDelay,
+		Clock:            cfg.Clock,
+		WireVersion:      wire,
+		DataDir:          dataDir,
+		SnapshotInterval: cfg.SnapshotInterval,
+		Logf:             cfg.Logf,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
@@ -215,6 +229,47 @@ func (lc *LocalCluster) Resize(ctx context.Context, m int, skipMigration bool) (
 	lc.Shards = shards[:m:m]
 	lc.Ownership = lc.Router.Ownership()
 	return st, err
+}
+
+// RestartShard stops shard s and brings it back from its persistence
+// directory — the durable-warm-restart path. The old process closes
+// (flushing a final snapshot), a fresh Middleware recovers the shard's
+// grown universe and resident set from disk, and the router is resized
+// in place over the same shard count so the replacement address joins
+// the routing table: the accompanying reshard at the next epoch
+// re-grants ownership, and the recovered residents — already
+// re-validated against ownership during recovery — carry over warm
+// through the same core.Warmable path a live resize uses. Queries
+// issued between Close and the resize completing fail over nothing (the
+// routing table still names the dead address), so callers pause traffic
+// to the shard or tolerate errors for the window.
+func (lc *LocalCluster) RestartShard(ctx context.Context, s int) error {
+	if s < 0 || s >= len(lc.Shards) {
+		return fmt.Errorf("cluster: no shard %d to restart", s)
+	}
+	if err := lc.Shards[s].Close(); err != nil {
+		return fmt.Errorf("cluster: stop shard %d: %w", s, err)
+	}
+	own := lc.Router.Ownership()
+	mw, err := lc.spawnShard(s, own)
+	if err != nil {
+		return err
+	}
+	addrs := make([]string, len(lc.Shards))
+	for i, sh := range lc.Shards {
+		addrs[i] = sh.Addr()
+	}
+	addrs[s] = mw.Addr()
+	// Same shard count, one replaced address: the ownership cut is
+	// unchanged, so nothing migrates — the restarted shard's warmth
+	// comes from its own disk, not from siblings.
+	if _, err := lc.Router.Resize(ctx, ResizeSpec{Shards: addrs, SkipMigration: true}); err != nil {
+		mw.Close()
+		return fmt.Errorf("cluster: rejoin restarted shard %d: %w", s, err)
+	}
+	lc.Shards[s] = mw
+	lc.Ownership = lc.Router.Ownership()
+	return nil
 }
 
 // Close tears the whole topology down, router first.

@@ -97,10 +97,14 @@ type Grower interface {
 // warm half of a live cluster reshard, where a shard's cached state
 // survives an ownership change (carried residents) or arrives from a
 // sibling shard (migration) instead of being re-fetched from the
-// repository. Warm is called after Init and before any event; it
-// returns the subset of ids the policy actually adopted (an object may
-// be declined when it no longer fits the capacity). A policy that does
-// not implement Warmable starts cold after a reshard.
+// repository. Its second consumer is durable restart (internal/persist
+// + cache.Middleware recovery, see docs/PERSISTENCE.md): residents
+// recovered from a node's snapshot+journal are re-adopted through the
+// same call, so a restarted node rejoins warm. Warm is called after
+// Init and before any event; it returns the subset of ids the policy
+// actually adopted (an object may be declined when it no longer fits
+// the capacity). A policy that does not implement Warmable starts cold
+// after a reshard — and restarts cold from disk.
 type Warmable interface {
 	Warm(ids []model.ObjectID) ([]model.ObjectID, error)
 }

@@ -310,6 +310,9 @@ func encStats(e *encBuf, s *StatsMsg) {
 	e.varint(s.ObjectsBorn)
 	e.varint(s.CoverCacheHits)
 	e.varint(s.CoverCacheMisses)
+	e.varint(int64(s.SnapshotAge))
+	e.varint(s.JournalRecords)
+	e.varint(s.RecoveredWarm)
 }
 
 func decStats(d *decBuf) StatsMsg {
@@ -332,6 +335,9 @@ func decStats(d *decBuf) StatsMsg {
 	s.ObjectsBorn = d.varint()
 	s.CoverCacheHits = d.varint()
 	s.CoverCacheMisses = d.varint()
+	s.SnapshotAge = time.Duration(d.varint())
+	s.JournalRecords = d.varint()
+	s.RecoveredWarm = d.varint()
 	return s
 }
 

@@ -385,6 +385,17 @@ type StatsMsg struct {
 	// queries hit; novel regions miss).
 	CoverCacheHits   int64
 	CoverCacheMisses int64
+	// SnapshotAge is how long ago the node's durability layer landed
+	// its last warm-state snapshot (zero when persistence is off); the
+	// journal covers everything since.
+	SnapshotAge time.Duration
+	// JournalRecords counts records appended to the durability journal
+	// since the last snapshot (bounds what a crash right now replays).
+	JournalRecords int64
+	// RecoveredWarm counts residents the node re-adopted from disk at
+	// its last startup (via the policy's Warm carry-over boundary);
+	// zero for a cold start.
+	RecoveredWarm int64
 }
 
 // ShardQueryMsg is the router→shard leg of a scattered query: the

@@ -1,0 +1,197 @@
+// Package persist is the durability layer under a Delta node: a
+// snapshot file holding the node's warm state (resident set, owned
+// universe metadata, born objects, reshard epoch) plus an append-only
+// journal recording the births and admission/eviction decisions made
+// since that snapshot. Together they let a restarted node rejoin the
+// deployment warm — the policy is rebuilt over the persisted universe
+// and re-adopts its residents through the same core.Warmable boundary
+// a live reshard uses — instead of paying the full warmup the caching
+// policies exist to avoid.
+//
+// File formats follow the v3 wire codec conventions (no gob): each
+// record is a little-endian uint32 length prefix over a one-byte
+// record type plus a varint-encoded payload, followed by a
+// little-endian uint32 CRC-32C over the type and payload. Snapshots
+// are replaced atomically (write temp, fsync, rename, fsync dir);
+// the journal is append-only with batched fsyncs and tolerates a
+// truncated or corrupt tail, so a crash mid-write never loses more
+// than the records after the last clean one. A generation counter
+// links the journal to the snapshot it extends: a crash between
+// snapshot rename and journal reset leaves a stale-generation journal
+// that replay ignores instead of misapplying. docs/PERSISTENCE.md
+// specifies the formats and the recovery semantics in full.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Record types. The zero value is invalid so a zero-filled tail never
+// parses as a record.
+const (
+	// recHeader opens a journal: payload is the uvarint generation of
+	// the snapshot this journal extends.
+	recHeader byte = iota + 1
+	// recSnapshot is a snapshot file's single state record.
+	recSnapshot
+	// recBirth journals one adopted object birth (full fidelity:
+	// metadata plus sky position and publication time).
+	recBirth
+	// recAdmit journals one object admitted to the resident set.
+	recAdmit
+	// recEvict journals one object evicted from the resident set.
+	recEvict
+)
+
+// Magic prefixes distinguish the two files (and their format version).
+var (
+	snapshotMagic = []byte("DPS1")
+	journalMagic  = []byte("DPJ1")
+)
+
+// maxRecord bounds a single record so a corrupt length prefix cannot
+// trigger an unbounded read; 64 MiB is far above any real snapshot of
+// a paper-scale universe.
+const maxRecord = 64 << 20
+
+// castagnoli is the CRC-32C table (hardware-accelerated on the
+// platforms that matter).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// enc is an append-only encode cursor mirroring the v3 wire codec's
+// scalar conventions: uvarints for unsigned, zigzag varints for signed
+// (including durations and cost.Bytes), raw little-endian float64s.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u8(v byte)        { e.b = append(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f64(v float64)    { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// dec is a bounds-checked decode cursor with a sticky error: every
+// getter reports truncation or corruption through err instead of
+// panicking, and slice lengths are validated against the bytes
+// actually remaining before any allocation — the same contract the
+// wire codec's fuzzers pin, here pinned by FuzzJournalReplay.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: truncated or corrupt %s", what)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) boolean() bool { return d.u8() != 0 }
+
+// length decodes a slice length and validates it against the remaining
+// bytes at minSize encoded bytes per element.
+func (d *dec) length(minSize int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if n > uint64(len(d.b)/minSize) {
+		d.fail("slice length")
+		return 0
+	}
+	return int(n)
+}
+
+// frameRecord renders one record (length prefix, type, payload, CRC)
+// onto dst and returns the extended slice.
+func frameRecord(dst []byte, typ byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(payload)))
+	start := len(dst)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// readRecord parses one record from b, returning the record type, its
+// payload (aliasing b), and the remaining bytes. Any truncation,
+// absurd length, or CRC mismatch returns an error — the caller decides
+// whether that terminates a replay cleanly (journal tail) or fails a
+// load (snapshot body).
+func readRecord(b []byte) (typ byte, payload, rest []byte, err error) {
+	if len(b) < 4 {
+		return 0, nil, b, fmt.Errorf("persist: truncated record length")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 1 || n > maxRecord {
+		return 0, nil, b, fmt.Errorf("persist: corrupt record length %d", n)
+	}
+	if uint32(len(b)-4) < n+4 {
+		return 0, nil, b, fmt.Errorf("persist: truncated record body")
+	}
+	body := b[4 : 4+n]
+	want := binary.LittleEndian.Uint32(b[4+n:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return 0, nil, b, fmt.Errorf("persist: record CRC mismatch (got %08x want %08x)", got, want)
+	}
+	return body[0], body[1:], b[8+n:], nil
+}

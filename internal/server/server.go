@@ -26,6 +26,7 @@ import (
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/persist"
 )
 
 // Config parameterizes a repository.
@@ -50,6 +51,14 @@ type Config struct {
 	// peers (0 = newest, i.e. the v3 binary codec; 2 pins gob v2) —
 	// the -wire-version escape hatch for mixed-version deployments.
 	WireVersion int
+	// DataDir, when set, makes repository growth durable: ingested
+	// births are journaled and snapshotted (internal/persist), and New
+	// replays them into the survey so the grown universe survives
+	// restarts. Empty disables persistence.
+	DataDir string
+	// SnapshotInterval paces the periodic snapshot loop when DataDir is
+	// set (0 = 30s default); Close also snapshots.
+	SnapshotInterval time.Duration
 	// Logf logs server events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -73,6 +82,12 @@ type Repository struct {
 
 	droppedInvalidations atomic.Int64
 	objectsBorn          atomic.Int64
+	recoveredBirths      atomic.Int64
+
+	// store is the durability layer for the grown universe (nil when
+	// Config.DataDir is empty); stop ends its snapshot loop on Close.
+	store *persist.Store
+	stop  chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -94,14 +109,88 @@ func New(cfg Config) (*Repository, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Wall{}
 	}
-	return &Repository{
+	r := &Repository{
 		cfg:         cfg,
 		rows:        cfg.Survey.SampleRows(2000, cfg.Survey.Config().Seed),
 		updates:     make(map[model.UpdateID]model.Update),
 		perObject:   make(map[model.ObjectID][]model.UpdateID),
 		freshAsOf:   make(map[model.ObjectID]time.Duration),
 		subscribers: make(map[int]chan netproto.Frame),
-	}, nil
+		stop:        make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		store, err := persist.Open(persist.Options{Dir: cfg.DataDir, Logf: cfg.Logf})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		recovered, err := store.Recover()
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		r.store = store
+		if recovered != nil {
+			// Replay the persisted births into the freshly built survey
+			// in publication order (births carry dense sequential IDs, so
+			// order is the ingest invariant). Births the survey already
+			// knows — a DataDir shared with a survey that grew — skip
+			// idempotently, like a duplicate publication would.
+			replayed := 0
+			for _, b := range recovered.Births {
+				if err := cfg.Survey.AddObject(b); err != nil {
+					if int(b.Object.ID) >= 1 && int(b.Object.ID) <= cfg.Survey.NumObjects() {
+						continue
+					}
+					store.Close()
+					return nil, fmt.Errorf("server: recover birth %d: %w", b.Object.ID, err)
+				}
+				replayed++
+			}
+			r.recoveredBirths.Store(int64(replayed))
+			if replayed > 0 {
+				cfg.Logf("recovered %d born objects from %s (universe now %d)",
+					replayed, cfg.DataDir, cfg.Survey.NumObjects())
+			}
+		}
+		// Land the post-recovery universe as the new baseline snapshot.
+		if err := store.WriteSnapshot(r.persistState()); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		r.wg.Add(1)
+		go r.snapshotLoop()
+	}
+	return r, nil
+}
+
+// persistState captures the repository's durable state: the grown
+// universe as full-fidelity births (static base objects rebuild from
+// the survey seed). No epoch, ownership, or residency — the repository
+// owns everything and caches nothing.
+func (r *Repository) persistState() *persist.State {
+	return &persist.State{Births: r.cfg.Survey.BornObjects()}
+}
+
+// snapshotLoop periodically compacts the birth journal into a snapshot
+// until Close.
+func (r *Repository) snapshotLoop() {
+	defer r.wg.Done()
+	interval := r.cfg.SnapshotInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			if err := r.store.WriteSnapshot(r.persistState()); err != nil {
+				r.cfg.Logf("snapshot: %v", err)
+			}
+		}
+	}
 }
 
 // Start begins listening and serving.
@@ -143,20 +232,34 @@ func (r *Repository) DroppedInvalidations() int64 {
 	return r.droppedInvalidations.Load()
 }
 
-// Close stops the server and waits for connection handlers.
+// Close stops the server and waits for connection handlers. With
+// persistence enabled, a final snapshot of the grown universe lands
+// before the store closes.
 func (r *Repository) Close() error {
 	r.mu.Lock()
+	already := r.closed
 	r.closed = true
 	for id, ch := range r.subscribers {
 		close(ch)
 		delete(r.subscribers, id)
 	}
 	r.mu.Unlock()
+	if !already {
+		close(r.stop)
+	}
 	var err error
 	if r.ln != nil {
 		err = r.ln.Close()
 	}
 	r.wg.Wait()
+	if r.store != nil && !already {
+		if serr := r.store.WriteSnapshot(r.persistState()); serr != nil {
+			r.cfg.Logf("final snapshot: %v", serr)
+		}
+		if cerr := r.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -217,6 +320,14 @@ func (r *Repository) AddObjects(births []model.Birth) (int, error) {
 	}
 	if len(accepted) == 0 {
 		return 0, nil
+	}
+	if r.store != nil {
+		for _, b := range accepted {
+			if err := r.store.AppendBirth(b); err != nil {
+				r.cfg.Logf("journal birth %d: %v", b.Object.ID, err)
+				break
+			}
+		}
 	}
 	r.objectsBorn.Add(int64(len(accepted)))
 	r.cfg.Logf("ingested %d new objects (universe now %d)", len(accepted), r.cfg.Survey.NumObjects())
@@ -392,12 +503,18 @@ func (r *Repository) handleRequest(f netproto.Frame) netproto.Frame {
 			Accepted: accepted,
 		}}
 	case netproto.StatsMsg:
-		return netproto.Frame{Type: netproto.MsgStats, Body: netproto.StatsMsg{
+		stats := netproto.StatsMsg{
 			Ledger:               r.ledger.Snapshot(),
 			Policy:               "repository",
 			DroppedInvalidations: r.droppedInvalidations.Load(),
 			ObjectsBorn:          r.objectsBorn.Load(),
-		}}
+			RecoveredWarm:        r.recoveredBirths.Load(),
+		}
+		if r.store != nil {
+			stats.SnapshotAge = r.store.SnapshotAge()
+			stats.JournalRecords = r.store.JournalRecords()
+		}
+		return netproto.Frame{Type: netproto.MsgStats, Body: stats}
 	default:
 		return netproto.ErrorFrame("unsupported request %s", f.Type)
 	}
