@@ -25,6 +25,7 @@ import (
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/obs"
 	"github.com/deltacache/delta/internal/sqlmini"
 )
 
@@ -53,6 +54,7 @@ func run() error {
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
 		wireVer   = flag.Int("wire-version", 0, "cap the negotiated wire version (0 = newest/v3 binary codec; 2 forces gob v2)")
 		region    = flag.String("region", "", "query a sky region \"ra,dec,radiusDeg\" resolved server-side (no local universe needed)")
+		trace     = flag.Bool("trace", false, "stamp queries with a trace ID and print the per-hop fan-out tree (router scatter, shard fragments, repository work)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -65,11 +67,24 @@ func run() error {
 		return err
 	}
 
-	cl, err := client.Dial(*cacheAddr,
+	opts := []client.Option{
 		client.WithPoolSize(*pool),
 		client.WithRequestTimeout(*timeout),
 		client.WithWireVersion(*wireVer),
-	)
+	}
+	if *trace {
+		opts = append(opts, client.WithTrace())
+	}
+	// The demo keeps a client-side latency histogram: the end-to-end
+	// wall-clock view including the network, where the per-result
+	// Elapsed is only server-side handling time.
+	var demoLat *obs.Histogram
+	if *demo > 0 {
+		demoLat = obs.NewRegistry().NewHistogram(
+			"client_query_seconds", "Client-observed query latency.", nil)
+		opts = append(opts, client.WithQueryObserver(demoLat.Observe))
+	}
+	cl, err := client.Dial(*cacheAddr, opts...)
 	if err != nil {
 		return err
 	}
@@ -88,6 +103,11 @@ func run() error {
 	case *demo > 0:
 		if err := runDemo(ctx, cl, survey, *demo, *workers, start); err != nil {
 			return err
+		}
+		if demoLat.Count() > 0 {
+			fmt.Printf("client latency: p50=%s p90=%s p99=%s (%d samples)\n",
+				quantileDur(demoLat, 0.50), quantileDur(demoLat, 0.90),
+				quantileDur(demoLat, 0.99), demoLat.Count())
 		}
 	case *resize != "":
 		st, err := cl.Resize(ctx, strings.Split(*resize, ","))
@@ -146,22 +166,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		degraded := ""
-		if cs.Degraded {
-			degraded = " DEGRADED"
-		}
-		fmt.Printf("cluster: %d shards%s\n", len(cs.Shards), degraded)
-		for _, sh := range cs.Shards {
-			if !sh.Alive {
-				fmt.Printf("  shard %d %s: DOWN (%s)\n", sh.Shard, sh.Addr, sh.Err)
-				continue
-			}
-			fmt.Printf("  shard %d %s: queries=%d atCache=%d shipped=%d cached=%d traffic=%v\n",
-				sh.Shard, sh.Addr, sh.Stats.Queries, sh.Stats.AtCache, sh.Stats.Shipped,
-				len(sh.Stats.Cached), sh.Stats.Ledger.Total())
-		}
-		fmt.Println("aggregate:")
-		printStats(&cs.Aggregate)
+		printClusterStats(cs)
 	}
 	if *rebStatus {
 		st, err := cl.RebalanceStatus(ctx)
@@ -171,6 +176,61 @@ func run() error {
 		printRebalance(st)
 	}
 	return nil
+}
+
+// printClusterStats renders the per-shard breakdown as a table plus a
+// hit-rate spread summary (an unbalanced spread is the first sign one
+// shard's working set outgrew its cache).
+func printClusterStats(cs *netproto.ClusterStatsMsg) {
+	degraded := ""
+	if cs.Degraded {
+		degraded = " DEGRADED"
+	}
+	fmt.Printf("cluster: %d shards%s\n", len(cs.Shards), degraded)
+	fmt.Printf("  %-5s %-21s %9s %9s %8s %8s %6s %7s %8s %10s\n",
+		"shard", "addr", "queries", "hit-rate", "cached", "shipped", "born", "mig-in", "mig-out", "traffic")
+	var rates []float64
+	for _, sh := range cs.Shards {
+		if !sh.Alive {
+			fmt.Printf("  %-5d %-21s DOWN (%s)\n", sh.Shard, sh.Addr, sh.Err)
+			continue
+		}
+		var rate float64
+		if sh.Stats.Queries > 0 {
+			rate = float64(sh.Stats.AtCache) / float64(sh.Stats.Queries)
+		}
+		rates = append(rates, rate)
+		fmt.Printf("  %-5d %-21s %9d %8.1f%% %8d %8d %6d %7d %8d %10v\n",
+			sh.Shard, sh.Addr, sh.Stats.Queries, rate*100, len(sh.Stats.Cached),
+			sh.Stats.Shipped, sh.Stats.ObjectsBorn, sh.Stats.MigratedIn,
+			sh.Stats.MigratedOut, sh.Stats.Ledger.Total())
+	}
+	if len(rates) > 0 {
+		lo, hi, sum := rates[0], rates[0], 0.0
+		for _, r := range rates {
+			sum += r
+			lo = min(lo, r)
+			hi = max(hi, r)
+		}
+		fmt.Printf("  hit-rate across %d live shards: min=%.1f%% mean=%.1f%% max=%.1f%%\n",
+			len(rates), lo*100, sum/float64(len(rates))*100, hi*100)
+	}
+	fmt.Println("aggregate:")
+	printStats(&cs.Aggregate)
+}
+
+// printTrace renders a traced query's fan-out tree.
+func printTrace(res *client.Result) {
+	if res.TraceID == 0 || len(res.Spans) == 0 {
+		return
+	}
+	fmt.Printf("trace %#x:\n%s", res.TraceID, obs.FormatSpans(res.Spans))
+}
+
+// quantileDur converts a histogram quantile (seconds) to a rounded
+// duration for display.
+func quantileDur(h *obs.Histogram, p float64) time.Duration {
+	return time.Duration(h.Quantile(p) * float64(time.Second)).Round(10 * time.Microsecond)
 }
 
 func printRebalance(st *netproto.RebalanceStatusMsg) {
@@ -227,6 +287,7 @@ func runRegion(ctx context.Context, cl *client.Client, spec string, start time.T
 		return err
 	}
 	fmt.Printf("region (%g, %g, r=%g°) answered by %s in %v\n", ra, dec, radius, res.Source, res.Elapsed)
+	printTrace(res)
 	for _, row := range res.Rows {
 		fmt.Printf("  objID=%d ra=%.4f dec=%.4f r=%.2f\n", row.ObjID, row.RA, row.Dec, row.R)
 	}
@@ -245,6 +306,7 @@ func runSQL(ctx context.Context, cl *client.Client, survey *catalog.Survey, sql 
 	}
 	fmt.Printf("answered by %s in %v; result size %v; B(q)=%v\n",
 		res.Source, res.Elapsed, model.Query{Cost: q.Cost}.Cost, q.Objects)
+	printTrace(res)
 	if st.Count {
 		fmt.Println("(count query)")
 	}

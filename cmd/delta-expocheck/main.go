@@ -1,0 +1,52 @@
+// Command delta-expocheck validates Prometheus text exposition on
+// stdin: it fails (exit 1) when the input violates the exposition
+// format — unknown sample names, non-numeric values, inconsistent
+// histogram buckets — or when a family named via -require is absent.
+// CI pipes a live node's /metrics scrape through it, so the smoke
+// gate is the same parser the tests use:
+//
+//	curl -fsS http://127.0.0.1:9900/metrics | delta-expocheck -require delta_queries_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/deltacache/delta/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delta-expocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	families, err := obs.ParseExposition(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(families) == 0 {
+		return fmt.Errorf("exposition is empty")
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, ok := families[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("ok: %d families\n", len(families))
+	return nil
+}

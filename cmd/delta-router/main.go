@@ -61,6 +61,7 @@ func run() error {
 		pool      = flag.Int("shard-pool", 2, "connections in each shard session pool")
 		dialRetry = flag.Duration("dial-retry", 5*time.Second, "how long to retry refused shard dials (startup race)")
 		wireVer   = flag.Int("wire-version", 0, "cap the negotiated wire version, toward shards, the repository and clients (0 = newest/v3 binary codec; 2 pins gob v2)")
+		metrics   = flag.String("metrics-addr", "", "debug HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -104,6 +105,7 @@ func run() error {
 			return nil
 		},
 		WireVersion: *wireVer,
+		MetricsAddr: *metrics,
 		Logf:        log.Printf,
 	})
 	if err != nil {

@@ -37,6 +37,7 @@ func run() error {
 		wireVer      = flag.Int("wire-version", 0, "cap the negotiated wire version (0 = newest/v3 binary codec; 2 pins gob v2)")
 		dataDir      = flag.String("data-dir", "", "directory for grown-universe snapshots and the birth journal; restarts recover births from it (empty = no persistence)")
 		snapEvery    = flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -data-dir (0 = 30s default)")
+		metricsAddr  = flag.String("metrics-addr", "", "debug HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func run() error {
 		WireVersion:      *wireVer,
 		DataDir:          *dataDir,
 		SnapshotInterval: *snapEvery,
+		MetricsAddr:      *metricsAddr,
 		Logf:             log.Printf,
 	})
 	if err != nil {

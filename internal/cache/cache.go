@@ -36,6 +36,7 @@ import (
 	"github.com/deltacache/delta/internal/htm"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/obs"
 	"github.com/deltacache/delta/internal/persist"
 )
 
@@ -134,6 +135,15 @@ type Config struct {
 	// reshard and on Close, so the interval only bounds how much journal
 	// a crash replays.
 	SnapshotInterval time.Duration
+	// MetricsAddr, when set, binds the node's debug HTTP endpoint
+	// (/metrics, /healthz, /debug/traces, /debug/pprof) on Start — the
+	// -metrics-addr flag. Empty disables the listener; metrics and
+	// traces are still collected unless DisableObs is set.
+	MetricsAddr string
+	// DisableObs turns off all metric and trace collection (nil
+	// registry, nil ring): the baseline BenchmarkObsOverhead compares
+	// against.
+	DisableObs bool
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -194,6 +204,15 @@ type Middleware struct {
 	migratedOut   atomic.Int64
 	bornObjects   atomic.Int64
 	recoveredWarm atomic.Int64
+
+	// Observability (all nil under Config.DisableObs; every use is
+	// nil-safe).
+	reg      *obs.Registry
+	traces   *obs.TraceRing
+	debug    *obs.DebugServer
+	queryLat *obs.Histogram
+	loadLat  *obs.Histogram
+	fsyncLat *obs.Histogram
 
 	invRaw net.Conn
 	wg     sync.WaitGroup
@@ -264,6 +283,17 @@ func New(cfg Config) (*Middleware, error) {
 	if cfg.Resolver != nil {
 		m.covers = htm.NewCoverCache(256)
 	}
+	if !cfg.DisableObs {
+		m.reg = obs.NewRegistry()
+		m.traces = obs.NewTraceRing(0)
+		m.queryLat = m.reg.NewHistogram("delta_query_seconds",
+			"End-to-end query handling latency at this cache node (fragment or whole query).", nil)
+		m.loadLat = m.reg.NewHistogram("delta_load_seconds",
+			"Repository object-load round-trip latency.", nil)
+		m.fsyncLat = m.reg.NewHistogram("delta_journal_fsync_seconds",
+			"Durability journal fsync latency.", nil)
+		obs.RegisterStats(m.reg, func() (netproto.StatsMsg, error) { return m.Stats(), nil })
+	}
 	for _, o := range cfg.Objects {
 		m.byID[o.ID] = o
 	}
@@ -275,7 +305,11 @@ func New(cfg Config) (*Middleware, error) {
 	// (the same contract a live reshard relies on).
 	var recovered *persist.State
 	if cfg.DataDir != "" {
-		store, err := persist.Open(persist.Options{Dir: cfg.DataDir, Logf: cfg.Logf})
+		store, err := persist.Open(persist.Options{
+			Dir:         cfg.DataDir,
+			Logf:        cfg.Logf,
+			SyncObserve: m.fsyncLat.Observe,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
@@ -560,11 +594,25 @@ func (m *Middleware) Start() error {
 		return fmt.Errorf("cache: listen: %w", err)
 	}
 	m.ln = ln
+	if m.cfg.MetricsAddr != "" {
+		dbg, err := obs.ServeDebug(m.cfg.MetricsAddr, m.reg, m.traces)
+		if err != nil {
+			ln.Close()
+			m.ln = nil
+			return fmt.Errorf("cache: metrics listen: %w", err)
+		}
+		m.debug = dbg
+		m.cfg.Logf("cache debug endpoint on %s", dbg.Addr())
+	}
 	m.wg.Add(1)
 	go m.acceptLoop()
 	m.cfg.Logf("cache listening on %s (policy %s)", ln.Addr(), m.policy.Name())
 	return nil
 }
+
+// DebugAddr reports the bound debug (metrics) address, or "" when no
+// debug endpoint is serving.
+func (m *Middleware) DebugAddr() string { return m.debug.Addr() }
 
 // Addr returns the client-facing address, or "" before Start.
 func (m *Middleware) Addr() string {
@@ -629,6 +677,9 @@ func (m *Middleware) Close() error {
 	m.connMu.Unlock()
 	if !already {
 		close(m.stop)
+	}
+	if m.debug != nil {
+		m.debug.Close()
 	}
 	m.repo.Close()
 	m.invRaw.Close()
@@ -784,18 +835,25 @@ func (m *Middleware) serveClient(c *netproto.Conn) error {
 func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error) {
 	switch body := f.Body.(type) {
 	case netproto.QueryMsg:
+		meta := queryMeta{traceID: body.TraceID, shard: -1}
 		if len(body.Query.Objects) == 0 && !body.Region.Empty() {
-			objs, err := m.resolveRegion(body.Region)
+			objs, hit, err := m.resolveRegion(body.Region)
 			if err != nil {
 				return netproto.Frame{}, err
 			}
 			body.Query.Objects = objs
+			if hit {
+				meta.detail = "cover-cache=hit"
+			} else {
+				meta.detail = "cover-cache=miss"
+			}
 		}
-		return m.handleQuery(context.Background(), &body.Query), nil
+		return m.handleQuery(context.Background(), &body.Query, meta), nil
 	case netproto.ShardQueryMsg:
 		// A router-scattered fragment; objects are already restricted
 		// to this shard's owned set (handleQuery verifies).
-		return m.handleQuery(context.Background(), &body.Query), nil
+		meta := queryMeta{traceID: body.TraceID, shard: body.Shard, fragments: body.Fragments}
+		return m.handleQuery(context.Background(), &body.Query, meta), nil
 	case netproto.ObjectBirthMsg:
 		return m.handleBirths(context.Background(), body)
 	case netproto.StatsMsg:
@@ -824,21 +882,53 @@ func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error)
 }
 
 // resolveRegion maps a query's sky region to B(q) through the memoized
-// cover cache. A node with no resolver cannot serve region queries.
-func (m *Middleware) resolveRegion(region netproto.SkyRegion) ([]model.ObjectID, error) {
+// cover cache (also reporting whether the cover was memoized, for the
+// trace span). A node with no resolver cannot serve region queries.
+func (m *Middleware) resolveRegion(region netproto.SkyRegion) ([]model.ObjectID, bool, error) {
 	if m.cfg.Resolver == nil {
-		return nil, fmt.Errorf("cache: node has no region resolver; send explicit object lists")
+		return nil, false, fmt.Errorf("cache: node has no region resolver; send explicit object lists")
 	}
-	objs := m.covers.Resolve(
+	objs, hit := m.covers.ResolveHit(
 		geom.CapFromRADec(region.RA, region.Dec, region.RadiusDeg), m.cfg.Resolver)
 	if len(objs) == 0 {
-		return nil, fmt.Errorf("cache: region (%v, %v, r=%v°) covers no objects",
+		return nil, hit, fmt.Errorf("cache: region (%v, %v, r=%v°) covers no objects",
 			region.RA, region.Dec, region.RadiusDeg)
 	}
-	return objs, nil
+	return objs, hit, nil
 }
 
-func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.Frame {
+// queryMeta carries a query's routing and tracing context into
+// handleQuery: who we are in the scatter (shard index and width, or a
+// direct client query), the trace ID riding the request, and any hop
+// detail accumulated before execution (cover-cache resolution).
+type queryMeta struct {
+	traceID   uint64
+	shard     int // receiving shard index; -1 for a direct client query
+	fragments int // scatter width the fragment arrived with; 0 direct
+	detail    string
+}
+
+// span builds this hop's trace span: "fragment" when the query arrived
+// through a router scatter, "cache" when it came straight from a
+// client.
+func (meta *queryMeta) span(node string, objects int, source string, elapsed time.Duration) netproto.TraceSpan {
+	name := "cache"
+	if meta.shard >= 0 {
+		name = "fragment"
+	}
+	return netproto.TraceSpan{
+		Name:      name,
+		Node:      node,
+		Shard:     meta.shard,
+		Fragments: meta.fragments,
+		Objects:   objects,
+		Source:    source,
+		Detail:    meta.detail,
+		Elapsed:   elapsed,
+	}
+}
+
+func (m *Middleware) handleQuery(ctx context.Context, q *model.Query, meta queryMeta) netproto.Frame {
 	if m.cfg.Serialized {
 		m.serialMu.Lock()
 		defer m.serialMu.Unlock()
@@ -877,7 +967,7 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 		m.shipped.Add(1)
 		reply, err := m.repo.RoundTrip(ctx, netproto.Frame{
 			Type: netproto.MsgQuery,
-			Body: netproto.QueryMsg{Query: *q},
+			Body: netproto.QueryMsg{Query: *q, TraceID: meta.traceID},
 		})
 		if err != nil {
 			return netproto.ErrorFrame("ship query: %v", err)
@@ -888,6 +978,17 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 		}
 		m.ledger.Charge(cost.QueryShip, q.Cost)
 		res.Elapsed = time.Since(start)
+		m.queryLat.Observe(res.Elapsed)
+		if meta.traceID != 0 {
+			// This hop's span leads; the repository's spans (already in
+			// res.Spans) nest under it.
+			res.TraceID = meta.traceID
+			spans := append([]netproto.TraceSpan{
+				meta.span(m.Addr(), len(q.Objects), res.Source, res.Elapsed),
+			}, res.Spans...)
+			res.Spans = spans
+			m.traces.Add(meta.traceID, spans)
+		}
 		return netproto.Frame{Type: netproto.MsgQueryResult, Body: res}
 	}
 	m.atCache.Add(1)
@@ -910,6 +1011,14 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query) netproto.F
 	payload, release := netproto.NewPayload(m.cfg.Scale, q.Cost, int64(q.ID))
 	result.Payload = payload
 	result.Elapsed = time.Since(start)
+	m.queryLat.Observe(result.Elapsed)
+	if meta.traceID != 0 {
+		result.TraceID = meta.traceID
+		result.Spans = []netproto.TraceSpan{
+			meta.span(m.Addr(), len(q.Objects), result.Source, result.Elapsed),
+		}
+		m.traces.Add(meta.traceID, result.Spans)
+	}
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: result, Release: release}
 }
 
@@ -1125,6 +1234,8 @@ func (m *Middleware) fetchObject(ctx context.Context, id model.ObjectID, charge 
 // have bailed on their own contexts while it was still going).
 func (m *Middleware) loadFlight(id model.ObjectID, charge bool) func(context.Context) error {
 	return func(ctx context.Context) error {
+		start := time.Now()
+		defer func() { m.loadLat.Observe(time.Since(start)) }()
 		err := func() error {
 			reply, err := m.repo.RoundTrip(ctx, netproto.Frame{
 				Type: netproto.MsgLoadObject,

@@ -33,6 +33,8 @@ type options struct {
 	dialRetry      time.Duration
 	lockstep       bool
 	wireVersion    int
+	trace          bool
+	observer       func(time.Duration)
 }
 
 // WithPoolSize sets how many connections back the session (default 1;
@@ -63,12 +65,30 @@ func WithLockstep() Option { return func(o *options) { o.lockstep = true } }
 // codec — while 2 forces the gob v2 codec for peers pinned there.
 func WithWireVersion(v int) Option { return func(o *options) { o.wireVersion = v } }
 
+// WithTrace stamps every query with a fresh trace ID, so each hop
+// (router, shard cache, repository) records its span and the Result
+// carries the assembled fan-out tree. Peers that predate tracing
+// simply ignore the ID and return no spans.
+func WithTrace() Option { return func(o *options) { o.trace = true } }
+
+// WithQueryObserver calls fn with the client-observed wall-clock
+// latency of every successful query — the end-to-end figure including
+// the network, where Result.Elapsed is only the server-side handling
+// time. fn must be safe for concurrent use.
+func WithQueryObserver(fn func(time.Duration)) Option {
+	return func(o *options) { o.observer = fn }
+}
+
 // Client is a connection to the middleware cache, safe for concurrent
 // use.
 type Client struct {
 	sess           *netproto.Session
 	requestTimeout time.Duration
 	nextID         atomic.Int64
+	trace          bool
+	traceSeed      uint64
+	traceCtr       atomic.Uint64
+	observer       func(time.Duration)
 }
 
 // Dial connects to the cache's client endpoint. Refused connections
@@ -90,7 +110,15 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{sess: sess, requestTimeout: o.requestTimeout}, nil
+	return &Client{
+		sess:           sess,
+		requestTimeout: o.requestTimeout,
+		trace:          o.trace,
+		// Seeded from the wall clock so concurrent clients against the
+		// same deployment almost never collide in a node's trace ring.
+		traceSeed: uint64(time.Now().UnixNano()),
+		observer:  o.observer,
+	}, nil
 }
 
 // WireVersion reports the protocol version the connection negotiated
@@ -126,6 +154,12 @@ type Result struct {
 	// talking to a single cache.
 	Degraded      bool
 	MissingShards []int
+	// TraceID and Spans carry the query's fan-out trace when the client
+	// was dialed WithTrace and the serving nodes record spans: the
+	// router's scatter/gather span, each shard fragment's, and the
+	// repository's for shipped work. Empty against untraced peers.
+	TraceID uint64
+	Spans   []netproto.TraceSpan
 }
 
 // Outcome pairs a query's result with its error for async delivery.
@@ -144,6 +178,13 @@ func (c *Client) query(ctx context.Context, msg netproto.QueryMsg) (*Result, err
 	if msg.Query.ID == 0 {
 		msg.Query.ID = model.QueryID(c.nextID.Add(1))
 	}
+	if c.trace && msg.TraceID == 0 {
+		msg.TraceID = c.traceSeed + c.traceCtr.Add(1)
+		if msg.TraceID == 0 { // zero means untraced on the wire
+			msg.TraceID = 1
+		}
+	}
+	start := time.Now()
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	reply, err := c.sess.RoundTrip(ctx, netproto.Frame{Type: netproto.MsgQuery, Body: msg})
@@ -154,6 +195,9 @@ func (c *Client) query(ctx context.Context, msg netproto.QueryMsg) (*Result, err
 	if !ok {
 		return nil, fmt.Errorf("client: unexpected reply %s", reply.Type)
 	}
+	if c.observer != nil {
+		c.observer(time.Since(start))
+	}
 	return &Result{
 		Source:        body.Source,
 		Logical:       int64(body.Logical),
@@ -161,6 +205,8 @@ func (c *Client) query(ctx context.Context, msg netproto.QueryMsg) (*Result, err
 		Elapsed:       body.Elapsed,
 		Degraded:      body.Degraded,
 		MissingShards: body.MissingShards,
+		TraceID:       body.TraceID,
+		Spans:         body.Spans,
 	}, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"github.com/deltacache/delta/internal/htm"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/obs"
 )
 
 // Config parameterizes a Router.
@@ -73,6 +74,14 @@ type Config struct {
 	// both sides: announced to shards and the repository, granted to
 	// clients (0 = newest, i.e. the v3 binary codec; 2 pins gob v2).
 	WireVersion int
+	// MetricsAddr, when set, serves the debug HTTP mux (/metrics,
+	// /healthz, /debug/traces, /debug/pprof) on that address. The
+	// router's /metrics is the cluster view: the aggregate StatsMsg
+	// across shards plus router-local scatter/gather counters.
+	MetricsAddr string
+	// DisableObs skips metric registration and trace recording
+	// entirely (benchmark baselines measuring instrumentation cost).
+	DisableObs bool
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -128,6 +137,13 @@ type Router struct {
 	degraded  atomic.Int64 // queries answered without every fragment
 	rerouted  atomic.Int64 // fragments recovered via an alternate owner
 	births    atomic.Int64 // born objects adopted into routing
+
+	// reg/traces/debug are the router's observability surface; all nil
+	// under Config.DisableObs (every use is nil-safe).
+	reg       *obs.Registry
+	traces    *obs.TraceRing
+	debug     *obs.DebugServer
+	routerLat *obs.Histogram // end-to-end scatter/gather latency
 
 	wg sync.WaitGroup
 
@@ -201,6 +217,44 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.Resolver != nil {
 		r.covers = htm.NewCoverCache(256)
+	}
+	if !cfg.DisableObs {
+		r.reg = obs.NewRegistry()
+		r.traces = obs.NewTraceRing(obs.DefaultTraceRing)
+		r.routerLat = r.reg.NewHistogram("delta_router_query_seconds",
+			"End-to-end scatter/gather latency of routed queries.", nil)
+		r.reg.NewCounterFunc("delta_router_queries_total",
+			"Client queries routed by this router.",
+			func() float64 { return float64(r.queries.Load()) })
+		r.reg.NewCounterFunc("delta_router_scattered_total",
+			"Routed queries split across two or more shards.",
+			func() float64 { return float64(r.scattered.Load()) })
+		r.reg.NewCounterFunc("delta_router_degraded_total",
+			"Routed queries answered without every fragment.",
+			func() float64 { return float64(r.degraded.Load()) })
+		r.reg.NewCounterFunc("delta_router_rerouted_total",
+			"Failed fragments fully recovered via an alternate owner.",
+			func() float64 { return float64(r.rerouted.Load()) })
+		r.reg.NewCounterFunc("delta_router_births_total",
+			"Born objects adopted into the routing universe.",
+			func() float64 { return float64(r.births.Load()) })
+		r.reg.NewGaugeFunc("delta_router_shards",
+			"Shards in the current routing epoch.",
+			func() float64 { return float64(len(r.routing.Load().links)) })
+		r.reg.NewGaugeFunc("delta_router_epoch",
+			"Current routing epoch (completed resizes).",
+			func() float64 { return float64(r.routing.Load().epoch) })
+		// The StatsMsg families on a router expose the cluster
+		// aggregate. A degraded probe (a shard down) reports an error so
+		// the scrape serves the last complete snapshot instead of a view
+		// with a shard's counters missing.
+		obs.RegisterStats(r.reg, func() (netproto.StatsMsg, error) {
+			cs := r.clusterStats(context.Background())
+			if cs.Degraded {
+				return cs.Aggregate, fmt.Errorf("cluster: stats probe degraded")
+			}
+			return cs.Aggregate, nil
+		})
 	}
 	rt := &routing{own: cfg.Ownership}
 	for i, addr := range cfg.Shards {
@@ -310,6 +364,16 @@ func (r *Router) Start() error {
 		return fmt.Errorf("cluster: listen: %w", err)
 	}
 	r.ln = ln
+	if r.cfg.MetricsAddr != "" {
+		debug, err := obs.ServeDebug(r.cfg.MetricsAddr, r.reg, r.traces)
+		if err != nil {
+			ln.Close()
+			r.ln = nil
+			return fmt.Errorf("cluster: metrics listen: %w", err)
+		}
+		r.debug = debug
+		r.cfg.Logf("cluster router metrics on http://%s/metrics", debug.Addr())
+	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	rt := r.routing.Load()
@@ -317,6 +381,10 @@ func (r *Router) Start() error {
 		ln.Addr(), len(rt.links), rt.own.Mode())
 	return nil
 }
+
+// DebugAddr returns the debug HTTP server's address, or "" when no
+// MetricsAddr was configured or Start has not run.
+func (r *Router) DebugAddr() string { return r.debug.Addr() }
 
 // Addr returns the client-facing address, or "" before Start.
 func (r *Router) Addr() string {
@@ -335,6 +403,7 @@ func (r *Router) Close() error {
 	if r.ln != nil {
 		err = r.ln.Close()
 	}
+	r.debug.Close()
 	r.connMu.Lock()
 	r.closing = true
 	for c := range r.conns {
@@ -429,14 +498,19 @@ func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
 	ctx := context.Background()
 	switch body := f.Body.(type) {
 	case netproto.QueryMsg:
+		var detail string
 		if len(body.Query.Objects) == 0 && !body.Region.Empty() {
-			objs, err := r.resolveRegion(body.Region)
+			objs, hit, err := r.resolveRegion(body.Region)
 			if err != nil {
 				return netproto.ErrorFrame("%v", err)
 			}
 			body.Query.Objects = objs
+			detail = "cover-cache=miss"
+			if hit {
+				detail = "cover-cache=hit"
+			}
 		}
-		return r.routeQuery(ctx, &body.Query)
+		return r.routeQuery(ctx, &body.Query, body.TraceID, detail)
 	case netproto.StatsMsg:
 		cs := r.clusterStats(ctx)
 		return netproto.Frame{Type: netproto.MsgStats, Body: cs.Aggregate}
@@ -459,18 +533,19 @@ func (r *Router) handleClientFrame(f netproto.Frame) netproto.Frame {
 
 // resolveRegion maps a client's sky region to B(q) through the
 // router's memoized cover cache; repeated sky-region queries skip the
-// partition.Cover recomputation entirely.
-func (r *Router) resolveRegion(region netproto.SkyRegion) ([]model.ObjectID, error) {
+// partition.Cover recomputation entirely. The hit flag feeds the trace
+// span's cover-cache detail.
+func (r *Router) resolveRegion(region netproto.SkyRegion) ([]model.ObjectID, bool, error) {
 	if r.cfg.Resolver == nil {
-		return nil, fmt.Errorf("cluster: router has no region resolver; send explicit object lists")
+		return nil, false, fmt.Errorf("cluster: router has no region resolver; send explicit object lists")
 	}
-	objs := r.covers.Resolve(
+	objs, hit := r.covers.ResolveHit(
 		geom.CapFromRADec(region.RA, region.Dec, region.RadiusDeg), r.cfg.Resolver)
 	if len(objs) == 0 {
-		return nil, fmt.Errorf("cluster: region (%v, %v, r=%v°) covers no objects",
+		return nil, false, fmt.Errorf("cluster: region (%v, %v, r=%v°) covers no objects",
 			region.RA, region.Dec, region.RadiusDeg)
 	}
-	return objs, nil
+	return objs, hit, nil
 }
 
 // fragment is one shard's slice of a scattered query. fragments is
@@ -480,6 +555,7 @@ type fragment struct {
 	link      *shardLink
 	query     model.Query
 	fragments int
+	traceID   uint64 // propagated to the shard so its span joins the trace
 }
 
 // routeQuery scatters a query to the shards owning its objects under
@@ -491,8 +567,9 @@ type fragment struct {
 // answer. If some — but not all — objects' fragments fail, the merged
 // result is returned with Degraded set and the failed shards listed,
 // so a dead shard degrades answers instead of failing them.
-func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame {
+func (r *Router) routeQuery(ctx context.Context, q *model.Query, traceID uint64, detail string) netproto.Frame {
 	r.queries.Add(1)
+	start := time.Now()
 	if len(q.Objects) == 0 {
 		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
 	}
@@ -502,6 +579,9 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 		return netproto.ErrorFrame("query %d: %v", q.ID, err)
 	}
 	frags := fragmentsFor(rt, q, parts)
+	for i := range frags {
+		frags[i].traceID = traceID
+	}
 	if len(frags) > 1 {
 		r.scattered.Add(1)
 	}
@@ -553,6 +633,7 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 		for _, res := range out.results {
 			okCount++
 			merged.Logical += res.Logical
+			merged.Spans = append(merged.Spans, res.Spans...)
 			merged.Rows = append(merged.Rows, res.Rows...)
 			// Cap the merged payload at what a single node may ship
 			// (PayloadLen's MaxFrame/2 bound): fragments past the cap are
@@ -590,6 +671,23 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query) netproto.Frame 
 	default:
 		merged.Source = "repository"
 	}
+	elapsed := time.Since(start)
+	r.routerLat.Observe(elapsed)
+	if traceID != 0 {
+		merged.TraceID = traceID
+		merged.Spans = append([]netproto.TraceSpan{{
+			Name:      "router",
+			Node:      r.Addr(),
+			Shard:     -1,
+			Epoch:     rt.epoch,
+			Fragments: len(frags),
+			Objects:   len(q.Objects),
+			Source:    merged.Source,
+			Detail:    detail,
+			Elapsed:   elapsed,
+		}}, merged.Spans...)
+		r.traces.Add(traceID, merged.Spans)
+	}
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: merged}
 }
 
@@ -599,7 +697,12 @@ func (r *Router) shardRoundTrip(ctx context.Context, fr fragment) (netproto.Quer
 	defer cancel()
 	reply, err := fr.link.sess.RoundTrip(ctx, netproto.Frame{
 		Type: netproto.MsgShardQuery,
-		Body: netproto.ShardQueryMsg{Query: fr.query, Shard: fr.link.index, Fragments: max(fr.fragments, 1)},
+		Body: netproto.ShardQueryMsg{
+			Query:     fr.query,
+			Shard:     fr.link.index,
+			Fragments: max(fr.fragments, 1),
+			TraceID:   fr.traceID,
+		},
 	})
 	if err != nil {
 		return netproto.QueryResultMsg{}, err
@@ -653,7 +756,7 @@ func (r *Router) reroute(ctx context.Context, failed fragment) ([]netproto.Query
 		sub.Objects = groups[link]
 		sub.Cost = failed.query.Cost * cost.Bytes(len(sub.Objects)) / cost.Bytes(len(failed.query.Objects))
 		assigned += sub.Cost
-		res, err := r.shardRoundTrip(ctx, fragment{link: link, query: sub})
+		res, err := r.shardRoundTrip(ctx, fragment{link: link, query: sub, traceID: failed.traceID})
 		if err != nil {
 			r.cfg.Logf("reroute of %d objects to shard %d failed: %v", len(sub.Objects), link.index, err)
 			all = false

@@ -65,6 +65,9 @@ type LocalConfig struct {
 	// SnapshotInterval paces each persistent shard's snapshot loop
 	// (cache.Config.SnapshotInterval).
 	SnapshotInterval time.Duration
+	// DisableObs spawns every node without metrics registries or trace
+	// rings — the baseline side of BenchmarkObsOverhead.
+	DisableObs bool
 	// Logf logs events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -114,6 +117,7 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 		Resolver:     cfg.Resolver,
 		ResolverGrow: cfg.ResolverGrow,
 		WireVersion:  cfg.WireVersion,
+		DisableObs:   cfg.DisableObs,
 		Logf:         cfg.Logf,
 	})
 	if err != nil {
@@ -171,6 +175,7 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 		WireVersion:      wire,
 		DataDir:          dataDir,
 		SnapshotInterval: cfg.SnapshotInterval,
+		DisableObs:       cfg.DisableObs,
 		Logf:             cfg.Logf,
 	})
 	if err != nil {

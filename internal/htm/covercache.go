@@ -76,6 +76,14 @@ func NewCoverCache(capacity int) *CoverCache {
 // and memoizing the result. The returned slice is shared across
 // callers and must not be mutated.
 func (cc *CoverCache) Resolve(c geom.Cap, compute func(geom.Cap) []model.ObjectID) []model.ObjectID {
+	ids, _ := cc.ResolveHit(c, compute)
+	return ids
+}
+
+// ResolveHit is Resolve plus whether the cover came from the cache —
+// the per-query signal a trace span records (the lifetime counters in
+// Stats can't attribute a hit to one query under concurrency).
+func (cc *CoverCache) ResolveHit(c geom.Cap, compute func(geom.Cap) []model.ObjectID) ([]model.ObjectID, bool) {
 	key := quantizeCap(c)
 	gen := cc.gen.Load()
 	cc.mu.Lock()
@@ -85,7 +93,7 @@ func (cc *CoverCache) Resolve(c geom.Cap, compute func(geom.Cap) []model.ObjectI
 			cc.order.MoveToFront(el)
 			cc.mu.Unlock()
 			cc.hits.Add(1)
-			return ent.ids
+			return ent.ids, true
 		}
 		// Stale generation: treat as a miss and recompute below.
 		cc.order.Remove(el)
@@ -101,7 +109,7 @@ func (cc *CoverCache) Resolve(c geom.Cap, compute func(geom.Cap) []model.ObjectI
 	if el, ok := cc.entries[key]; ok {
 		// A concurrent resolver beat us; keep its entry.
 		cc.order.MoveToFront(el)
-		return ids
+		return ids, false
 	}
 	for cc.order.Len() >= cc.cap {
 		oldest := cc.order.Back()
@@ -109,7 +117,7 @@ func (cc *CoverCache) Resolve(c geom.Cap, compute func(geom.Cap) []model.ObjectI
 		delete(cc.entries, oldest.Value.(*coverEntry).key)
 	}
 	cc.entries[key] = cc.order.PushFront(&coverEntry{key: key, gen: gen, ids: ids})
-	return ids
+	return ids, false
 }
 
 // Bump invalidates every cached cover: entries written before the bump

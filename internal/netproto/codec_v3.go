@@ -341,6 +341,32 @@ func decStats(d *decBuf) StatsMsg {
 	return s
 }
 
+func encSpan(e *encBuf, s *TraceSpan) {
+	e.str(s.Name)
+	e.str(s.Node)
+	e.varint(int64(s.Shard))
+	e.varint(int64(s.Epoch))
+	e.varint(int64(s.Fragments))
+	e.varint(int64(s.Objects))
+	e.str(s.Source)
+	e.str(s.Detail)
+	e.varint(int64(s.Elapsed))
+}
+
+func decSpan(d *decBuf) TraceSpan {
+	return TraceSpan{
+		Name:      d.str(),
+		Node:      d.str(),
+		Shard:     int(d.varint()),
+		Epoch:     int(d.varint()),
+		Fragments: int(d.varint()),
+		Objects:   int(d.varint()),
+		Source:    d.str(),
+		Detail:    d.str(),
+		Elapsed:   timeDuration(d.varint()),
+	}
+}
+
 // --- frame bodies ---
 
 // encodeBodyV3 appends the body's binary layout, dispatching on the
@@ -367,6 +393,14 @@ func encodeBodyV3(e *encBuf, t MsgType, body any) error {
 		e.f64(b.Region.RA)
 		e.f64(b.Region.Dec)
 		e.f64(b.Region.RadiusDeg)
+		// Frame tail, written only when meaningful: decoders treat an
+		// absent tail as an untraced query, and untraced frames stay
+		// byte-identical to pre-trace builds — whose decoders reject
+		// trailing bytes — so mixed-build v3 peers interop for
+		// everything except tracing itself.
+		if b.TraceID != 0 {
+			e.uvarint(b.TraceID)
+		}
 	case QueryResultMsg:
 		e.varint(int64(b.QueryID))
 		e.varint(int64(b.Logical))
@@ -385,6 +419,16 @@ func encodeBodyV3(e *encBuf, t MsgType, body any) error {
 		e.uvarint(uint64(len(b.MissingShards)))
 		for _, s := range b.MissingShards {
 			e.varint(int64(s))
+		}
+		// Frame tail: trace ID + recorded spans, elided entirely when
+		// both are empty (see the QueryMsg tail note). A present tail
+		// always carries both fields.
+		if b.TraceID != 0 || len(b.Spans) > 0 {
+			e.uvarint(b.TraceID)
+			e.uvarint(uint64(len(b.Spans)))
+			for i := range b.Spans {
+				encSpan(e, &b.Spans[i])
+			}
 		}
 	case UpdateFeedMsg:
 		encUpdate(e, &b.Update)
@@ -415,6 +459,10 @@ func encodeBodyV3(e *encBuf, t MsgType, body any) error {
 		encQuery(e, &b.Query)
 		e.varint(int64(b.Shard))
 		e.varint(int64(b.Fragments))
+		// Frame tail: trace ID (see the QueryMsg tail note).
+		if b.TraceID != 0 {
+			e.uvarint(b.TraceID)
+		}
 	case ClusterStatsMsg:
 		e.uvarint(uint64(len(b.Shards)))
 		for i := range b.Shards {
@@ -514,6 +562,11 @@ func decodeBodyV3(d *decBuf, t MsgType) (any, error) {
 		b.Region.RA = d.f64()
 		b.Region.Dec = d.f64()
 		b.Region.RadiusDeg = d.f64()
+		// Forward-compatible tail: absent on frames from older
+		// encoders, which decodes as an untraced query.
+		if d.err == nil && len(d.b) > 0 {
+			b.TraceID = d.uvarint()
+		}
 		body = b
 	case MsgQueryResult:
 		var b QueryResultMsg
@@ -534,6 +587,19 @@ func decodeBodyV3(d *decBuf, t MsgType) (any, error) {
 			b.MissingShards = make([]int, n)
 			for i := range b.MissingShards {
 				b.MissingShards[i] = int(d.varint())
+			}
+		}
+		// Forward-compatible tail: trace ID + spans. A present tail
+		// always carries both fields.
+		if d.err == nil && len(d.b) > 0 {
+			b.TraceID = d.uvarint()
+			// Minimum span encoding: four 1-byte strings + five 1-byte
+			// varints.
+			if n := d.length(9); n > 0 {
+				b.Spans = make([]TraceSpan, n)
+				for i := range b.Spans {
+					b.Spans[i] = decSpan(d)
+				}
 			}
 		}
 		body = b
@@ -577,6 +643,10 @@ func decodeBodyV3(d *decBuf, t MsgType) (any, error) {
 		b.Query = decQuery(d)
 		b.Shard = int(d.varint())
 		b.Fragments = int(d.varint())
+		// Forward-compatible tail, as on MsgQuery.
+		if d.err == nil && len(d.b) > 0 {
+			b.TraceID = d.uvarint()
+		}
 		body = b
 	case MsgClusterStats:
 		var b ClusterStatsMsg

@@ -119,6 +119,88 @@ func TestGobV3RoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestV3TraceTailCompat pins the trace tail's wire contract on the
+// three frame types that carry it: an untraced frame encodes with no
+// tail at all (byte-identical to pre-trace builds, whose decoders
+// reject trailing bytes), a traced frame round-trips its TraceID and
+// spans exactly, and a tail-less body decodes as untraced.
+func TestV3TraceTailCompat(t *testing.T) {
+	span := TraceSpan{Name: "fragment", Node: "n", Shard: 1, Objects: 2,
+		Source: "cache", Elapsed: time.Millisecond}
+	cases := []struct {
+		name              string
+		untraced, traced  Frame
+		tailLen           int // extra bytes the traced encoding may add
+		checkTraced       func(t *testing.T, body any)
+		checkUntracedZero func(t *testing.T, body any)
+	}{
+		{
+			name:     "query",
+			untraced: Frame{Type: MsgQuery, Body: QueryMsg{Query: model.Query{ID: 1, Objects: []model.ObjectID{1}}}},
+			traced:   Frame{Type: MsgQuery, Body: QueryMsg{Query: model.Query{ID: 1, Objects: []model.ObjectID{1}}, TraceID: 0xbeef}},
+			checkTraced: func(t *testing.T, body any) {
+				if got := body.(QueryMsg).TraceID; got != 0xbeef {
+					t.Errorf("TraceID = %#x, want 0xbeef", got)
+				}
+			},
+			checkUntracedZero: func(t *testing.T, body any) {
+				if got := body.(QueryMsg).TraceID; got != 0 {
+					t.Errorf("untraced TraceID = %#x, want 0", got)
+				}
+			},
+		},
+		{
+			name:     "shard-query",
+			untraced: Frame{Type: MsgShardQuery, Body: ShardQueryMsg{Query: model.Query{ID: 1}, Shard: 1, Fragments: 2}},
+			traced:   Frame{Type: MsgShardQuery, Body: ShardQueryMsg{Query: model.Query{ID: 1}, Shard: 1, Fragments: 2, TraceID: 0xbeef}},
+			checkTraced: func(t *testing.T, body any) {
+				if got := body.(ShardQueryMsg).TraceID; got != 0xbeef {
+					t.Errorf("TraceID = %#x, want 0xbeef", got)
+				}
+			},
+			checkUntracedZero: func(t *testing.T, body any) {
+				if got := body.(ShardQueryMsg).TraceID; got != 0 {
+					t.Errorf("untraced TraceID = %#x, want 0", got)
+				}
+			},
+		},
+		{
+			name:     "query-result",
+			untraced: Frame{Type: MsgQueryResult, Body: QueryResultMsg{QueryID: 1, Source: "cache"}},
+			traced: Frame{Type: MsgQueryResult, Body: QueryResultMsg{QueryID: 1, Source: "cache",
+				TraceID: 0xbeef, Spans: []TraceSpan{span}}},
+			checkTraced: func(t *testing.T, body any) {
+				res := body.(QueryResultMsg)
+				if res.TraceID != 0xbeef || len(res.Spans) != 1 || !reflect.DeepEqual(res.Spans[0], span) {
+					t.Errorf("traced result mutated: %+v", res)
+				}
+			},
+			checkUntracedZero: func(t *testing.T, body any) {
+				res := body.(QueryResultMsg)
+				if res.TraceID != 0 || res.Spans != nil {
+					t.Errorf("untraced result grew a tail: %+v", res)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := encodeFramesV3(t, tc.untraced)
+			withTail := encodeFramesV3(t, tc.traced)
+			if len(withTail) <= len(plain) {
+				t.Errorf("traced frame (%d bytes) not longer than untraced (%d): tail missing",
+					len(withTail), len(plain))
+			}
+			tc.checkTraced(t, roundTrip(t, ProtoV3, tc.traced).Body)
+			// The untraced encoding IS the pre-trace wire format: the
+			// conditional tail decode must see no trailing bytes (a
+			// trailing-byte error would fail the round trip) and leave
+			// the trace fields zero.
+			tc.checkUntracedZero(t, roundTrip(t, ProtoV3, tc.untraced).Body)
+		})
+	}
+}
+
 // TestV3RejectsUnknownBody pins that the v3 encoder refuses a body
 // outside the vocabulary instead of writing garbage, and leaves the
 // stream clean for the next frame.

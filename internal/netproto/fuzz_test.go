@@ -76,6 +76,27 @@ func seedFrames() []Frame {
 		}},
 		{Type: MsgStats, Body: StatsMsg{Queries: 12, ObjectsBorn: 3}},
 		{Type: MsgError, Body: ErrorMsg{Message: "boom"}},
+		// Trace-bearing shapes: the forward-compatible v3 frame tails
+		// carrying TraceID (queries) and TraceID+Spans (results), so the
+		// fuzzer mutates tail bytes too. Appended last — earlier indices
+		// are referenced by the corpus writer.
+		{Type: MsgQuery, RequestID: 8, Body: QueryMsg{Query: model.Query{
+			ID: 2, Objects: []model.ObjectID{3}, Cost: cost.KB,
+			Tolerance: model.AnyStaleness,
+		}, TraceID: 0xdeadbeef}},
+		{Type: MsgShardQuery, RequestID: 9, Body: ShardQueryMsg{Query: model.Query{
+			ID: 2, Objects: []model.ObjectID{3}, Cost: cost.KB,
+		}, Shard: 1, Fragments: 2, TraceID: 0xdeadbeef}},
+		{Type: MsgQueryResult, RequestID: 8, Body: QueryResultMsg{
+			QueryID: 2, Logical: cost.KB, Source: "mixed", TraceID: 0xdeadbeef,
+			Spans: []TraceSpan{
+				{Name: "router", Node: "127.0.0.1:7708", Shard: -1, Epoch: 1,
+					Fragments: 2, Objects: 3, Source: "mixed",
+					Detail: "cover-cache=hit", Elapsed: time.Millisecond},
+				{Name: "fragment", Node: "127.0.0.1:7801", Shard: 1,
+					Objects: 1, Source: "cache", Elapsed: 300 * time.Microsecond},
+			},
+		}},
 	}
 }
 
@@ -194,11 +215,17 @@ func TestWriteV3FuzzCorpus(t *testing.T) {
 	oneBirth := encodeFramesV3(t, seedFrames()[5]) // MsgObjectBirth
 	flipped := bytes.Clone(oneBirth)
 	flipped[len(flipped)/2] ^= 0x55
+	traced := encodeFramesV3(t, seedFrames()[12]) // QueryResultMsg with TraceID+Spans tail
+	tracedFlip := bytes.Clone(traced)
+	tracedFlip[len(tracedFlip)-2] ^= 0x55 // corrupt inside the trace tail
 	entries := map[string][]byte{
-		"valid-v3-stream":    valid,
-		"truncated-v3-birth": oneBirth[:len(oneBirth)*2/3],
-		"bitflip-v3-birth":   flipped,
-		"v3-absurd-length":   {0xff, 0xff, 0xff, 0x7f, 0x01},
+		"valid-v3-stream":     valid,
+		"truncated-v3-birth":  oneBirth[:len(oneBirth)*2/3],
+		"bitflip-v3-birth":    flipped,
+		"v3-absurd-length":    {0xff, 0xff, 0xff, 0x7f, 0x01},
+		"valid-v3-traced":     traced,
+		"truncated-v3-traced": traced[:len(traced)*3/4],
+		"bitflip-v3-traced":   tracedFlip,
 	}
 	for name, data := range entries {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)

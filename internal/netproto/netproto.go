@@ -282,6 +282,12 @@ func (r SkyRegion) Empty() bool { return r.RadiusDeg <= 0 }
 type QueryMsg struct {
 	Query  model.Query
 	Region SkyRegion
+	// TraceID, when nonzero, asks every node on the query's path to
+	// record TraceSpans for this query (see QueryResultMsg.Spans and
+	// the obs package's trace ring). It rides the v3 frame tail —
+	// absent on older frames, which decode it as zero (untraced) — and
+	// gob simply ignores it on v2 streams.
+	TraceID uint64
 }
 
 // QueryResultMsg returns a result with a scaled payload.
@@ -306,6 +312,51 @@ type QueryResultMsg struct {
 	// MissingShards lists the shard indices whose fragments failed
 	// when Degraded is set.
 	MissingShards []int
+	// TraceID echoes the request's trace ID when the query was traced
+	// (zero otherwise); Spans carries every span the answering node
+	// (and, through a router, every shard it scattered to) recorded
+	// for the query. Both ride the v3 frame tail: older peers neither
+	// send nor expect them.
+	TraceID uint64
+	Spans   []TraceSpan
+}
+
+// TraceSpan is one hop's timing record for a traced query. Each node a
+// traced query touches appends one span per unit of work it did: a
+// router records a "router" span for the scatter/gather, every shard a
+// "fragment" span (or a cache a "cache" span for a direct client
+// query), and a repository a "repository" span when the query (or part
+// of it) was shipped upstream. The client reassembles the fan-out tree
+// from Name nesting; see docs/OBSERVABILITY.md for semantics.
+type TraceSpan struct {
+	// Name classifies the hop: "router", "fragment", "cache",
+	// "repository", or "load".
+	Name string
+	// Node identifies the recording node, typically its listen
+	// address.
+	Node string
+	// Shard is the recording shard's index in the cluster topology, or
+	// -1 when the node is not a shard (repository, single cache,
+	// router).
+	Shard int
+	// Epoch is the routing epoch the query was scattered under (router
+	// spans; zero elsewhere).
+	Epoch int
+	// Fragments is the scatter width: on a router span, how many
+	// fragments the query split into; on a fragment span, the width
+	// the fragment arrived annotated with.
+	Fragments int
+	// Objects is how many objects the hop's (fragment of the) query
+	// named.
+	Objects int
+	// Source is the hop's answer source ("cache", "repository",
+	// "mixed"); empty when the hop is not an answer (e.g. "load").
+	Source string
+	// Detail carries hop-specific notes, comma-joined key=value pairs
+	// (e.g. "cover-cache=hit", "rerouted=1").
+	Detail string
+	// Elapsed is the hop's processing time.
+	Elapsed time.Duration
 }
 
 // ResultRow is one row of a demo result set.
@@ -409,6 +460,9 @@ type ShardQueryMsg struct {
 	// Fragments is how many fragments the original query was split
 	// into (1 for a query wholly owned by one shard).
 	Fragments int
+	// TraceID propagates the client query's trace ID to the shard (see
+	// QueryMsg.TraceID); rides the v3 frame tail.
+	TraceID uint64
 }
 
 // ShardStats is one shard's slice of a cluster statistics view.

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a node's debug HTTP endpoint: /metrics, /healthz,
+// /debug/traces, and the net/http/pprof handlers, one listener per
+// node. It is deliberately separate from the node's wire-protocol
+// listener so operators can firewall it independently.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// debug mux in a background goroutine. reg and ring may be nil — the
+// endpoints still answer, with an empty exposition and an empty trace
+// list.
+func ServeDebug(addr string, reg *Registry, ring *TraceRing) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.Handle("/debug/traces", ring.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the bound address (useful with port 0).
+func (s *DebugServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the debug server down, bounding the drain so a stuck
+// scrape cannot wedge node shutdown. Nil-safe.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

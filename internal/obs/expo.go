@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a sample value the way Prometheus text format
+// expects: shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExposition renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family followed by its samples. A nil registry writes nothing —
+// still a valid (empty) exposition.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		name, help, typ := m.meta()
+		if help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		for _, s := range m.samples() {
+			fmt.Fprintf(bw, "%s %s\n", s.Name, formatFloat(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition at GET (anything, really — scrapers
+// only GET). Safe on a nil registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteExposition(w)
+	})
+}
+
+// Family is one parsed metric family: its declared type and every
+// sample belonging to it, keyed by the full sample name including any
+// label suffix.
+type Family struct {
+	Type    string
+	Samples map[string]float64
+}
+
+// ParseExposition parses and validates Prometheus text exposition
+// format. It enforces what a scraper depends on — every sample belongs
+// to a declared family, names are legal, values parse, histogram
+// bucket counts are cumulative and consistent with _count — and
+// returns the families keyed by base name. The CI smoke test and the
+// obs test suite both run scraped /metrics output through it, so an
+// unparseable exposition fails the build, not the fleet's Prometheus.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", line, text)
+			}
+			name, typ := fields[2], fields[3]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("obs: line %d: invalid metric name %q", line, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", line, typ)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %q", line, name)
+			}
+			fams[name] = &Family{Type: typ, Samples: make(map[string]float64)}
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: line %d: malformed sample %q", line, text)
+		}
+		sample, valStr := text[:sp], text[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", line, valStr, err)
+		}
+		base := sample
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				return nil, fmt.Errorf("obs: line %d: unterminated labels in %q", line, sample)
+			}
+			base = base[:i]
+		}
+		fam := familyFor(fams, base)
+		if fam == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q precedes its TYPE line", line, sample)
+		}
+		if !validMetricName(base) {
+			return nil, fmt.Errorf("obs: line %d: invalid sample name %q", line, base)
+		}
+		if _, dup := fam.Samples[sample]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate sample %q", line, sample)
+		}
+		fam.Samples[sample] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := checkHistogram(name, fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves a sample's family, stripping the histogram/summary
+// suffixes its samples carry.
+func familyFor(fams map[string]*Family, base string) *Family {
+	if f, ok := fams[base]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(base, suffix) {
+			if f, ok := fams[strings.TrimSuffix(base, suffix)]; ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// checkHistogram validates a histogram family's invariants: cumulative
+// non-decreasing bucket counts and a +Inf bucket equal to _count.
+func checkHistogram(name string, fam *Family) error {
+	type bucket struct {
+		le  float64
+		val float64
+		inf bool
+	}
+	var buckets []bucket
+	for sample, val := range fam.Samples {
+		if !strings.HasPrefix(sample, name+"_bucket{") {
+			continue
+		}
+		rest := strings.TrimPrefix(sample, name+"_bucket{")
+		rest = strings.TrimSuffix(rest, "}")
+		le, ok := strings.CutPrefix(rest, `le="`)
+		if !ok {
+			return fmt.Errorf("obs: histogram %s bucket missing le label: %q", name, sample)
+		}
+		le = strings.TrimSuffix(le, `"`)
+		b := bucket{val: val}
+		if le == "+Inf" {
+			b.inf = true
+		} else {
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %s bad le %q: %v", name, le, err)
+			}
+			b.le = f
+		}
+		buckets = append(buckets, b)
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("obs: histogram %s has no buckets", name)
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].inf != buckets[j].inf {
+			return buckets[j].inf
+		}
+		return buckets[i].le < buckets[j].le
+	})
+	prev := 0.0
+	for _, b := range buckets {
+		if b.val < prev {
+			return fmt.Errorf("obs: histogram %s bucket counts not cumulative", name)
+		}
+		prev = b.val
+	}
+	if !buckets[len(buckets)-1].inf {
+		return fmt.Errorf("obs: histogram %s missing +Inf bucket", name)
+	}
+	count, ok := fam.Samples[name+"_count"]
+	if !ok {
+		return fmt.Errorf("obs: histogram %s missing _count", name)
+	}
+	if buckets[len(buckets)-1].val != count {
+		return fmt.Errorf("obs: histogram %s +Inf bucket %v != count %v",
+			name, buckets[len(buckets)-1].val, count)
+	}
+	if _, ok := fam.Samples[name+"_sum"]; !ok {
+		return fmt.Errorf("obs: histogram %s missing _sum", name)
+	}
+	return nil
+}
+
+// validMetricName checks the Prometheus metric name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

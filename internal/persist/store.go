@@ -42,6 +42,11 @@ type Options struct {
 	// Logf logs recovery events (torn tails, ignored journals); nil
 	// silences.
 	Logf func(format string, args ...any)
+	// SyncObserve, when non-nil, is called with the wall-clock duration
+	// of every journal fsync (batched or forced) — the hook the owning
+	// node's fsync-latency histogram observes through. Called with the
+	// store lock held; must not block.
+	SyncObserve func(time.Duration)
 }
 
 // Store is one node's durability directory: a snapshot file and the
@@ -350,8 +355,12 @@ func (s *Store) syncJournalLocked() error {
 	if s.journal == nil || !s.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := s.journal.Sync(); err != nil {
 		return fmt.Errorf("persist: sync journal: %w", err)
+	}
+	if s.opts.SyncObserve != nil {
+		s.opts.SyncObserve(time.Since(start))
 	}
 	s.pending, s.dirty = 0, false
 	return nil

@@ -26,6 +26,7 @@ import (
 	"github.com/deltacache/delta/internal/cost"
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/obs"
 	"github.com/deltacache/delta/internal/persist"
 )
 
@@ -59,6 +60,15 @@ type Config struct {
 	// SnapshotInterval paces the periodic snapshot loop when DataDir is
 	// set (0 = 30s default); Close also snapshots.
 	SnapshotInterval time.Duration
+	// MetricsAddr, when set, binds the node's debug HTTP endpoint
+	// (/metrics, /healthz, /debug/traces, /debug/pprof) on Start —
+	// the -metrics-addr flag. Empty disables the listener; metrics and
+	// traces are still collected unless DisableObs is set.
+	MetricsAddr string
+	// DisableObs turns off all metric and trace collection (nil
+	// registry, nil ring): the baseline BenchmarkObsOverhead compares
+	// against.
+	DisableObs bool
 	// Logf logs server events; nil silences.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +99,17 @@ type Repository struct {
 	store *persist.Store
 	stop  chan struct{}
 
+	// Observability (all nil under Config.DisableObs; every use is
+	// nil-safe). queriesTotal mirrors StatsMsg.Queries, which the
+	// repository otherwise does not track.
+	reg          *obs.Registry
+	traces       *obs.TraceRing
+	debug        *obs.DebugServer
+	queriesTotal atomic.Int64
+	execLat      *obs.Histogram
+	loadLat      *obs.Histogram
+	fsyncLat     *obs.Histogram
+
 	wg sync.WaitGroup
 }
 
@@ -118,8 +139,23 @@ func New(cfg Config) (*Repository, error) {
 		subscribers: make(map[int]chan netproto.Frame),
 		stop:        make(chan struct{}),
 	}
+	if !cfg.DisableObs {
+		r.reg = obs.NewRegistry()
+		r.traces = obs.NewTraceRing(0)
+		r.execLat = r.reg.NewHistogram("delta_repo_query_seconds",
+			"Repository query execution latency.", nil)
+		r.loadLat = r.reg.NewHistogram("delta_repo_load_seconds",
+			"Repository object-load latency.", nil)
+		r.fsyncLat = r.reg.NewHistogram("delta_journal_fsync_seconds",
+			"Durability journal fsync latency.", nil)
+		obs.RegisterStats(r.reg, func() (netproto.StatsMsg, error) { return r.Stats(), nil })
+	}
 	if cfg.DataDir != "" {
-		store, err := persist.Open(persist.Options{Dir: cfg.DataDir, Logf: cfg.Logf})
+		store, err := persist.Open(persist.Options{
+			Dir:         cfg.DataDir,
+			Logf:        cfg.Logf,
+			SyncObserve: r.fsyncLat.Observe,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
@@ -200,11 +236,25 @@ func (r *Repository) Start() error {
 		return fmt.Errorf("server: listen: %w", err)
 	}
 	r.ln = ln
+	if r.cfg.MetricsAddr != "" {
+		dbg, err := obs.ServeDebug(r.cfg.MetricsAddr, r.reg, r.traces)
+		if err != nil {
+			ln.Close()
+			r.ln = nil
+			return fmt.Errorf("server: metrics listen: %w", err)
+		}
+		r.debug = dbg
+		r.cfg.Logf("repository debug endpoint on %s", dbg.Addr())
+	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	r.cfg.Logf("repository listening on %s", ln.Addr())
 	return nil
 }
+
+// DebugAddr reports the bound debug (metrics) address, or "" when no
+// debug endpoint is serving.
+func (r *Repository) DebugAddr() string { return r.debug.Addr() }
 
 // Addr returns the bound address, or "" before Start.
 func (r *Repository) Addr() string {
@@ -250,6 +300,9 @@ func (r *Repository) Close() error {
 	var err error
 	if r.ln != nil {
 		err = r.ln.Close()
+	}
+	if r.debug != nil {
+		r.debug.Close()
 	}
 	r.wg.Wait()
 	if r.store != nil && !already {
@@ -476,7 +529,7 @@ func (r *Repository) serveRequests(c *netproto.Conn, hello netproto.Hello) error
 func (r *Repository) handleRequest(f netproto.Frame) netproto.Frame {
 	switch body := f.Body.(type) {
 	case netproto.QueryMsg:
-		return r.execQuery(&body.Query)
+		return r.execQuery(&body.Query, body.TraceID)
 	case netproto.ShipUpdatesMsg:
 		return r.shipUpdates(body.IDs)
 	case netproto.LoadObjectMsg:
@@ -503,25 +556,33 @@ func (r *Repository) handleRequest(f netproto.Frame) netproto.Frame {
 			Accepted: accepted,
 		}}
 	case netproto.StatsMsg:
-		stats := netproto.StatsMsg{
-			Ledger:               r.ledger.Snapshot(),
-			Policy:               "repository",
-			DroppedInvalidations: r.droppedInvalidations.Load(),
-			ObjectsBorn:          r.objectsBorn.Load(),
-			RecoveredWarm:        r.recoveredBirths.Load(),
-		}
-		if r.store != nil {
-			stats.SnapshotAge = r.store.SnapshotAge()
-			stats.JournalRecords = r.store.JournalRecords()
-		}
-		return netproto.Frame{Type: netproto.MsgStats, Body: stats}
+		return netproto.Frame{Type: netproto.MsgStats, Body: r.Stats()}
 	default:
 		return netproto.ErrorFrame("unsupported request %s", f.Type)
 	}
 }
 
-func (r *Repository) execQuery(q *model.Query) netproto.Frame {
+// Stats snapshots the repository's StatsMsg view — what a MsgStats
+// request returns and what the /metrics exposition exports.
+func (r *Repository) Stats() netproto.StatsMsg {
+	stats := netproto.StatsMsg{
+		Ledger:               r.ledger.Snapshot(),
+		Policy:               "repository",
+		Queries:              r.queriesTotal.Load(),
+		DroppedInvalidations: r.droppedInvalidations.Load(),
+		ObjectsBorn:          r.objectsBorn.Load(),
+		RecoveredWarm:        r.recoveredBirths.Load(),
+	}
+	if r.store != nil {
+		stats.SnapshotAge = r.store.SnapshotAge()
+		stats.JournalRecords = r.store.JournalRecords()
+	}
+	return stats
+}
+
+func (r *Repository) execQuery(q *model.Query, traceID uint64) netproto.Frame {
 	start := time.Now()
+	r.queriesTotal.Add(1)
 	if len(q.Objects) == 0 {
 		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
 	}
@@ -536,14 +597,29 @@ func (r *Repository) execQuery(q *model.Query) netproto.Frame {
 	r.ledger.Charge(cost.QueryShip, q.Cost)
 	rows := r.sampleRowsFor(q.Objects)
 	payload, release := netproto.NewPayload(r.cfg.Scale, q.Cost, int64(q.ID))
-	return netproto.Frame{Type: netproto.MsgQueryResult, Body: netproto.QueryResultMsg{
+	elapsed := time.Since(start)
+	r.execLat.Observe(elapsed)
+	res := netproto.QueryResultMsg{
 		QueryID: q.ID,
 		Logical: q.Cost,
 		Rows:    rows,
 		Payload: payload,
 		Source:  "repository",
-		Elapsed: time.Since(start),
-	}, Release: release}
+		Elapsed: elapsed,
+	}
+	if traceID != 0 {
+		res.TraceID = traceID
+		res.Spans = []netproto.TraceSpan{{
+			Name:    "repository",
+			Node:    r.Addr(),
+			Shard:   -1,
+			Objects: len(q.Objects),
+			Source:  "repository",
+			Elapsed: elapsed,
+		}}
+		r.traces.Add(traceID, res.Spans)
+	}
+	return netproto.Frame{Type: netproto.MsgQueryResult, Body: res, Release: release}
 }
 
 func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
@@ -571,6 +647,8 @@ func (r *Repository) shipUpdates(ids []model.UpdateID) netproto.Frame {
 }
 
 func (r *Repository) loadObject(id model.ObjectID) netproto.Frame {
+	start := time.Now()
+	defer func() { r.loadLat.Observe(time.Since(start)) }()
 	obj, err := r.cfg.Survey.Object(id)
 	if err != nil {
 		return netproto.ErrorFrame("load: %v", err)
