@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1019,6 +1020,210 @@ func writeObsJSON(b *testing.B, dir string) {
 	}
 	b.Logf("wrote %s (on/off ratio %.3f, overhead %.1f%%)",
 		path, out.QPSRatioOnOverOff, out.OverheadFraction*100)
+}
+
+// BenchmarkReplicaHedging prices K-way replication and the hedged-read
+// tail cut on a 3-shard cluster with one deliberate straggler (10ms
+// node-local scans, queries cache-resident under the replica policy):
+// the "failover-only" mode routes every fragment to its primary and
+// simply waits out the straggler, the "hedged" mode re-scatters to the
+// next replica after a pinned 2ms hedge delay and takes the first
+// complete answer. Expect the hedge to cut p99 by roughly the
+// straggler's stall. When BENCH_JSON_DIR is set the run also measures
+// the K=1→K=2 throughput cost on a healthy cluster and writes
+// BENCH_replication.json; CI's strict benchdiff gate watches
+// p99RatioFailoverOverHedged (higher = hedging wins more).
+func BenchmarkReplicaHedging(b *testing.B) {
+	const slowDelay = 10 * time.Millisecond
+	for _, mode := range []struct {
+		name  string
+		hedge bool
+	}{
+		{name: "failover-only", hedge: false},
+		{name: "hedged", hedge: true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			qps, p99 := runReplicationScenario(b, 2, mode.hedge, slowDelay, b.N)
+			b.ReportMetric(qps, "queries/s")
+			b.ReportMetric(float64(p99.Microseconds()), "p99-µs")
+		})
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		writeReplicationJSON(b, dir)
+	}
+}
+
+// runReplicationScenario boots a 3-shard replicated cluster (repository
+// + shards + router on loopback), makes shard 0 a straggler when
+// slowDelay is set, drives n single-object queries from 16 concurrent
+// clients, and returns the measured q/s and client-observed p99.
+func runReplicationScenario(b *testing.B, replicas int, hedge bool, slowDelay time.Duration, n int) (float64, time.Duration) {
+	b.Helper()
+	const nClients = 16
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 16
+	scfg.TotalSize = 16 * cost.GB
+	scfg.MinObjectSize = 100 * cost.MB
+	scfg.MaxObjectSize = 4 * cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	lcfg := cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  survey.Objects(),
+		Shards:   3,
+		Mode:     cluster.HTMAware,
+		Replicas: replicas,
+		Hedge:    hedge,
+		// Pinned: the scenario measures the hedge mechanism, not the
+		// cold-histogram p99 derivation.
+		HedgeDelay: 2 * time.Millisecond,
+		// The replica policy keeps every object cache-resident, so the
+		// straggler's ExecDelay (cache-answer scan time) actually stalls.
+		Policy: func(int) core.Policy { return core.NewReplica() },
+		Scale:  netproto.PayloadScale{},
+	}
+	if slowDelay > 0 {
+		lcfg.ShardExecDelay = func(s int) time.Duration {
+			if s == 0 {
+				return slowDelay
+			}
+			return -1
+		}
+	}
+	lc, err := cluster.SpawnLocal(lcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+
+	ctx := context.Background()
+	clients := make([]*client.Client, nClients)
+	for i := range clients {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+	// Warm every shard's residents through its primaries (first touch
+	// ships from the repository without the scan delay).
+	for i, obj := range survey.Objects() {
+		if _, err := clients[0].Query(ctx, model.Query{
+			ID:        model.QueryID(i + 1),
+			Objects:   []model.ObjectID{obj.ID},
+			Cost:      cost.MB,
+			Tolerance: model.AnyStaleness,
+			Time:      time.Duration(i) * time.Millisecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	lats := make([][]time.Duration, nClients)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			for {
+				i := next.Add(1)
+				if i > int64(n) {
+					return
+				}
+				qStart := time.Now()
+				if _, err := cl.Query(ctx, model.Query{
+					ID:        model.QueryID(i + 16),
+					Objects:   []model.ObjectID{model.ObjectID(i%16 + 1)},
+					Cost:      cost.MB,
+					Tolerance: model.AnyStaleness,
+					Time:      time.Duration(i) * time.Millisecond,
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(qStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	slices.Sort(all)
+	var p99 time.Duration
+	if len(all) > 0 {
+		p99 = all[len(all)*99/100]
+	}
+	return float64(n) / elapsed.Seconds(), p99
+}
+
+// writeReplicationJSON measures the hedging tail cut and the
+// replication throughput cost at fixed iteration counts — independent
+// of b.N, so CI's -benchtime=1x trajectory run stays comparable — and
+// records them for the perf trajectory. p99RatioFailoverOverHedged is
+// higher-is-better (how many times worse the unhedged tail is) and is
+// what the strict benchdiff gate on main checks; qpsRatioK2OverK1 is
+// the throughput a healthy cluster pays for holding K=2 copies.
+func writeReplicationJSON(b *testing.B, dir string) {
+	b.Helper()
+	const (
+		itersLat = 600  // straggler serializes ~1/3 of these at 10ms
+		itersQPS = 1500 // healthy-cluster throughput measurement
+	)
+	const slowDelay = 10 * time.Millisecond
+	_, p99Failover := runReplicationScenario(b, 2, false, slowDelay, itersLat)
+	_, p99Hedged := runReplicationScenario(b, 2, true, slowDelay, itersLat)
+	qpsK1, _ := runReplicationScenario(b, 1, false, 0, itersQPS)
+	qpsK2, _ := runReplicationScenario(b, 2, false, 0, itersQPS)
+	out := struct {
+		Benchmark                  string    `json:"benchmark"`
+		Timestamp                  time.Time `json:"timestamp"`
+		P99FailoverOnlyMicros      float64   `json:"p99FailoverOnlyMicros"`
+		P99HedgedMicros            float64   `json:"p99HedgedMicros"`
+		P99RatioFailoverOverHedged float64   `json:"p99RatioFailoverOverHedged"`
+		QPSK1                      float64   `json:"qpsK1"`
+		QPSK2                      float64   `json:"qpsK2"`
+		QPSRatioK2OverK1           float64   `json:"qpsRatioK2OverK1"`
+	}{
+		Benchmark:             "BenchmarkReplicaHedging",
+		Timestamp:             time.Now().UTC(),
+		P99FailoverOnlyMicros: float64(p99Failover.Microseconds()),
+		P99HedgedMicros:       float64(p99Hedged.Microseconds()),
+		QPSK1:                 qpsK1,
+		QPSK2:                 qpsK2,
+	}
+	if p99Hedged > 0 {
+		out.P99RatioFailoverOverHedged = float64(p99Failover) / float64(p99Hedged)
+	}
+	if qpsK1 > 0 {
+		out.QPSRatioK2OverK1 = qpsK2 / qpsK1
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_replication.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (p99 failover/hedged %.2f×, K2/K1 qps %.3f)",
+		path, out.P99RatioFailoverOverHedged, out.QPSRatioK2OverK1)
 }
 
 // codecBenchConn returns a Conn whose writes and reads share one

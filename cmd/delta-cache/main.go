@@ -43,6 +43,7 @@ func run() error {
 		shardIdx    = flag.Int("shard-index", -1, "run as shard i of a cluster (-1: standalone)")
 		shardCount  = flag.Int("shard-count", 0, "total shards in the cluster (with -shard-index)")
 		shardMode   = flag.String("shard-mode", "htm", "cluster ownership mode: htm|rendezvous (must match the router)")
+		replicas    = flag.Int("replicas", 1, "cluster replication factor K: how many shards hold each object (with -shard-index; must match the router)")
 		wireVer     = flag.Int("wire-version", 0, "cap the negotiated wire version, both toward the repository and toward clients (0 = newest/v3 binary codec; 2 pins gob v2)")
 		dataDir     = flag.String("data-dir", "", "directory for warm-state snapshots and the decision journal; restarts rejoin warm from it (empty = no persistence)")
 		snapEvery   = flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -data-dir (0 = 30s default)")
@@ -70,11 +71,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		own, err := cluster.NewOwnership(survey.Objects(), *shardCount, mode)
+		if *replicas < 1 {
+			return fmt.Errorf("-replicas must be at least 1, got %d", *replicas)
+		}
+		own, err := cluster.NewOwnershipReplicated(survey.Objects(), *shardCount, *replicas, mode)
 		if err != nil {
 			return err
 		}
 		filter = own.Filter(*shardIdx)
+		// ShardObjects spans every replica rank, so a K≥2 shard sizes
+		// its cache for the replica copies it holds too.
 		ownedSize = 0
 		for _, id := range own.ShardObjects(*shardIdx) {
 			obj, err := survey.Object(id)
@@ -127,6 +133,7 @@ func run() error {
 		// Across live reshards the cache keeps holding the same
 		// fraction of whatever it currently owns.
 		ReshardCapacity:  cache.FractionalCapacity(*cacheFrac),
+		Replicas:         *replicas,
 		Scale:            netproto.PayloadScale{BytesPerGB: *bytesPerGB},
 		Serialized:       *serialized,
 		ExecDelay:        *execDelay,

@@ -54,6 +54,7 @@ func run() error {
 		seed      = flag.Int64("seed", 2, "survey seed (must match deployment)")
 		wireVer   = flag.Int("wire-version", 0, "cap the negotiated wire version (0 = newest/v3 binary codec; 2 forces gob v2)")
 		region    = flag.String("region", "", "query a sky region \"ra,dec,radiusDeg\" resolved server-side (no local universe needed)")
+		expectK   = flag.Int("replicas", 0, "expected replication factor K; with -stats/-cluster-stats, fail if the deployment reports a different K (0 = don't check)")
 		trace     = flag.Bool("trace", false, "stamp queries with a trace ID and print the per-hop fan-out tree (router scatter, shard fragments, repository work)")
 	)
 	flag.Parse()
@@ -160,6 +161,9 @@ func run() error {
 		fmt.Printf("connection: negotiated wire version v%d (%s)\n",
 			cl.WireVersion(), wireName(cl.WireVersion()))
 		printStats(st)
+		if err := checkReplicas(*expectK, st.Replicas); err != nil {
+			return err
+		}
 	}
 	if *cstats {
 		cs, err := cl.ClusterStats(ctx)
@@ -167,6 +171,9 @@ func run() error {
 			return err
 		}
 		printClusterStats(cs)
+		if err := checkReplicas(*expectK, cs.Aggregate.Replicas); err != nil {
+			return err
+		}
 	}
 	if *rebStatus {
 		st, err := cl.RebalanceStatus(ctx)
@@ -263,7 +270,22 @@ func printStats(st *netproto.StatsMsg) {
 	fmt.Printf("cover cache: hits=%d misses=%d\n", st.CoverCacheHits, st.CoverCacheMisses)
 	fmt.Printf("persistence: snapshot-age=%v journal-records=%d recovered-warm=%d\n",
 		st.SnapshotAge.Round(time.Millisecond), st.JournalRecords, st.RecoveredWarm)
+	fmt.Printf("replication: K=%d\n", max(st.Replicas, 1))
 	fmt.Printf("cached objects: %v\n", st.Cached)
+}
+
+// checkReplicas audits the deployment's reported replication factor
+// against the -replicas expectation (a shard started with the wrong
+// -replicas silently computes a different ownership map — this is the
+// cheap way to catch it from the outside).
+func checkReplicas(want int, got int64) error {
+	if want <= 0 {
+		return nil
+	}
+	if reported := max(got, 1); reported != int64(want) {
+		return fmt.Errorf("deployment reports replication factor K=%d, expected K=%d", reported, want)
+	}
+	return nil
 }
 
 // runRegion submits one sky-region query resolved server-side: the

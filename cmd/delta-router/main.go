@@ -62,6 +62,9 @@ func run() error {
 		dialRetry = flag.Duration("dial-retry", 5*time.Second, "how long to retry refused shard dials (startup race)")
 		wireVer   = flag.Int("wire-version", 0, "cap the negotiated wire version, toward shards, the repository and clients (0 = newest/v3 binary codec; 2 pins gob v2)")
 		metrics   = flag.String("metrics-addr", "", "debug HTTP address serving /metrics, /healthz, /debug/traces and /debug/pprof (empty = off)")
+		replicas  = flag.Int("replicas", 1, "replication factor K: how many shards hold each object (must match the shards' -replicas)")
+		hedge     = flag.Bool("hedge", false, "enable hedged reads: re-scatter a slow fragment to the next replicas after the hedge delay (needs -replicas >= 2)")
+		hedgeGap  = flag.Duration("hedge-delay", 0, "pin the hedge delay (0 derives it from the observed fragment latency p99)")
 	)
 	flag.Parse()
 
@@ -81,7 +84,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	own, err := cluster.NewOwnership(survey.Objects(), len(addrs), mode)
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", *replicas)
+	}
+	own, err := cluster.NewOwnershipReplicated(survey.Objects(), len(addrs), *replicas, mode)
 	if err != nil {
 		return err
 	}
@@ -105,6 +111,8 @@ func run() error {
 			return nil
 		},
 		WireVersion: *wireVer,
+		Hedge:       *hedge,
+		HedgeDelay:  *hedgeGap,
 		MetricsAddr: *metrics,
 		Logf:        log.Printf,
 	})
@@ -121,7 +129,7 @@ func run() error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down; routed %d queries (%d scattered, %d degraded)",
-		router.Queries(), router.Scattered(), router.Degraded())
+	log.Printf("shutting down; routed %d queries (%d scattered, %d degraded, %d failed over, %d hedged)",
+		router.Queries(), router.Scattered(), router.Degraded(), router.Failover(), router.Hedged())
 	return router.Close()
 }

@@ -79,6 +79,13 @@ type Config struct {
 	// owned data, or exactly its size for the replicated shape). Nil
 	// keeps Capacity fixed across reshards.
 	ReshardCapacity func(owned []model.Object) cost.Bytes
+	// Replicas is the replication factor K the node serves under — how
+	// many shards hold each object it owns. Informational: the
+	// ownership math lives in the router's cluster.Ownership and
+	// reaches the node through ObjectFilter/reshard frames; this value
+	// surfaces in StatsMsg so operators and clients can audit the
+	// deployed K. 0 is treated as 1 (unreplicated).
+	Replicas int
 	// Scale converts logical sizes to physical payloads.
 	Scale netproto.PayloadScale
 	// SampleRows optionally provides catalog rows so locally answered
@@ -204,6 +211,7 @@ type Middleware struct {
 	migratedOut   atomic.Int64
 	bornObjects   atomic.Int64
 	recoveredWarm atomic.Int64
+	replicas      atomic.Int64 // deployed replication factor K (≥ 1)
 
 	// Observability (all nil under Config.DisableObs; every use is
 	// nil-safe).
@@ -280,6 +288,7 @@ func New(cfg Config) (*Middleware, error) {
 		byID:     make(map[model.ObjectID]model.Object, len(cfg.Objects)),
 		stop:     make(chan struct{}),
 	}
+	m.replicas.Store(int64(max(cfg.Replicas, 1)))
 	if cfg.Resolver != nil {
 		m.covers = htm.NewCoverCache(256)
 	}
@@ -648,6 +657,7 @@ func (m *Middleware) Stats() netproto.StatsMsg {
 		MigratedOut:          m.migratedOut.Load(),
 		ObjectsBorn:          m.bornObjects.Load(),
 		RecoveredWarm:        m.recoveredWarm.Load(),
+		Replicas:             m.replicas.Load(),
 	}
 	if m.covers != nil {
 		stats.CoverCacheHits, stats.CoverCacheMisses = m.covers.Stats()

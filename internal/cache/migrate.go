@@ -143,11 +143,18 @@ func (m *Middleware) handleReshard(body netproto.ReshardMsg) (netproto.Frame, er
 	if err != nil {
 		return netproto.Frame{}, err
 	}
+	if body.Replicas > 0 {
+		// The recut ownership's replication factor, so stats keep
+		// reporting the deployed K after a resize (0 = an older router
+		// that predates the field; keep the configured value).
+		m.replicas.Store(int64(body.Replicas))
+	}
 	m.snapshotNow()
 	return netproto.Frame{Type: netproto.MsgReshard, Body: netproto.ReshardMsg{
 		Epoch:    body.Epoch,
 		Resident: resident,
 		Dropped:  droppedCount,
+		Replicas: body.Replicas,
 	}}, nil
 }
 

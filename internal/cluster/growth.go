@@ -98,15 +98,18 @@ func (r *Router) adoptBirths(ctx context.Context, births []model.Birth) (int, er
 		return 0, fmt.Errorf("cluster: extend ownership: %w", err)
 	}
 
-	// Grant each newborn to its owning shard before any query can
-	// route there.
+	// Grant each newborn to every shard of its replica set before any
+	// query can route there (a failover or hedged read may land on any
+	// rank, so all K holders must admit the newborn).
 	byShard := make(map[int][]model.Birth)
 	for i, o := range fresh {
-		s, ok := ownNew.Owner(o.ID)
+		ranked, ok := ownNew.Owners(o.ID)
 		if !ok {
 			return 0, fmt.Errorf("cluster: extended ownership lost object %d", o.ID)
 		}
-		byShard[s] = append(byShard[s], freshBirths[i])
+		for _, s := range ranked {
+			byShard[s] = append(byShard[s], freshBirths[i])
+		}
 	}
 	shardIdxs := make([]int, 0, len(byShard))
 	for s := range byShard {

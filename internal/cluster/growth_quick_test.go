@@ -9,32 +9,63 @@ import (
 	"github.com/deltacache/delta/internal/model"
 )
 
-// checkPartition verifies the core ownership invariant: every universe
-// object has exactly one owner in [0, shards), and the per-shard lists
-// partition the universe exactly (no duplicates, nothing missing).
+// checkPartition verifies the core ownership invariant at any
+// replication factor: every universe object has a ranked replica set of
+// exactly min(K, shards) distinct shards in [0, shards), rank 0 agrees
+// with the primary owner map, and the per-shard held lists mirror the
+// replica sets exactly (sorted, no duplicates, no strays). At K=1 this
+// reduces to the original single-owner partition invariant.
 func checkPartition(o *Ownership) error {
 	if len(o.owner) != len(o.universe) {
 		return fmt.Errorf("owner map spans %d objects, universe %d", len(o.owner), len(o.universe))
 	}
-	seen := make(map[model.ObjectID]int, len(o.owner))
+	wantK := min(o.replicas, o.shards)
+	holders := make(map[model.ObjectID]map[int]bool, len(o.owner))
 	for s, objs := range o.byShard {
-		for _, id := range objs {
-			if prev, dup := seen[id]; dup {
-				return fmt.Errorf("object %d listed by shards %d and %d", id, prev, s)
+		for i, id := range objs {
+			if i > 0 && objs[i-1] >= id {
+				return fmt.Errorf("shard %d held list unsorted or duplicated around object %d", s, id)
 			}
-			seen[id] = s
-			if own, ok := o.owner[id]; !ok || own != s {
-				return fmt.Errorf("object %d listed by shard %d but owned by %d (known %v)", id, s, own, ok)
+			if _, ok := o.owner[id]; !ok {
+				return fmt.Errorf("shard %d holds object %d outside the universe", s, id)
 			}
+			if holders[id] == nil {
+				holders[id] = make(map[int]bool, wantK)
+			}
+			holders[id][s] = true
 		}
 	}
 	for _, u := range o.universe {
-		s, ok := o.owner[u.ID]
+		ranked, ok := o.owners[u.ID]
 		if !ok {
-			return fmt.Errorf("universe object %d has no owner", u.ID)
+			return fmt.Errorf("universe object %d has no replica set", u.ID)
 		}
-		if s < 0 || s >= o.shards {
-			return fmt.Errorf("object %d owned by out-of-range shard %d", u.ID, s)
+		if len(ranked) != wantK {
+			return fmt.Errorf("object %d has %d replicas, want min(K=%d, shards=%d)=%d",
+				u.ID, len(ranked), o.replicas, o.shards, wantK)
+		}
+		if ranked[0] != o.owner[u.ID] {
+			return fmt.Errorf("object %d rank-0 replica %d disagrees with primary %d",
+				u.ID, ranked[0], o.owner[u.ID])
+		}
+		distinct := make(map[int]bool, wantK)
+		for _, s := range ranked {
+			if s < 0 || s >= o.shards {
+				return fmt.Errorf("object %d replicated on out-of-range shard %d", u.ID, s)
+			}
+			if distinct[s] {
+				return fmt.Errorf("object %d replica set repeats shard %d", u.ID, s)
+			}
+			distinct[s] = true
+		}
+		held := holders[u.ID]
+		if len(held) != wantK {
+			return fmt.Errorf("object %d held by %d shards, replica set has %d", u.ID, len(held), wantK)
+		}
+		for s := range distinct {
+			if !held[s] {
+				return fmt.Errorf("object %d assigned to shard %d but absent from its held list", u.ID, s)
+			}
 		}
 	}
 	return nil
@@ -239,6 +270,198 @@ func TestQuickFragmentSharesSumToNu(t *testing.T) {
 			return true
 		}
 		if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+// TestQuickReplicatedGrowthResize is the replication property test:
+// across any growth sequence and any interleaved Resize, at any
+// replication factor K ∈ 1..3 and in both ownership modes, every live
+// object keeps exactly min(K, shards) distinct ranked owners per epoch
+// — Extend and Resize preserve K, never duplicate a replica, and keep
+// the per-shard held lists consistent with the replica sets.
+func TestQuickReplicatedGrowthResize(t *testing.T) {
+	base := testObjects(t, 16)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		prop := func(startShards, k uint8, ops []growthOp) bool {
+			n := int(startShards)%6 + 1
+			kk := int(k)%3 + 1
+			own, err := NewOwnershipReplicated(base, n, kk, mode)
+			if err != nil {
+				t.Logf("new ownership: %v", err)
+				return false
+			}
+			if err := checkPartition(own); err != nil {
+				t.Logf("K=%d initial: %v", kk, err)
+				return false
+			}
+			nextID := model.ObjectID(len(base) + 1)
+			if len(ops) > 16 {
+				ops = ops[:16]
+			}
+			for _, op := range ops {
+				var objs []model.Object
+				for i := 0; i < int(op.Births)%4; i++ {
+					objs = append(objs, model.Object{
+						ID:     nextID,
+						Size:   cost.Bytes(int64(op.Size)%(1<<20) + 1),
+						Trixel: op.Trixel % 4096,
+					})
+					nextID++
+				}
+				if own, err = own.Extend(objs); err != nil {
+					t.Logf("extend: %v", err)
+					return false
+				}
+				if own.Replicas() != kk {
+					t.Logf("extend changed K: %d → %d", kk, own.Replicas())
+					return false
+				}
+				if err := checkPartition(own); err != nil {
+					t.Logf("K=%d after extend: %v", kk, err)
+					return false
+				}
+				if m := int(op.Shards) % 8; m > 0 {
+					if own, err = own.Resize(m); err != nil {
+						t.Logf("resize to %d: %v", m, err)
+						return false
+					}
+					if own.Replicas() != kk {
+						t.Logf("resize changed K: %d → %d", kk, own.Replicas())
+						return false
+					}
+					if err := checkPartition(own); err != nil {
+						t.Logf("K=%d after resize to %d: %v", kk, m, err)
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", mode, err)
+		}
+	}
+}
+
+// TestQuickFailoverSharesSumToNu extends the cost-share property to
+// shard failure under replication: kill any one shard, re-route its
+// fragments through the ranked replica sets exactly as the router does
+// (rerouteTargets + the proportional split scatterGroups applies), and
+// the cost shares across surviving fragments and failover sub-fragments
+// still sum exactly to ν(q), with every object answered exactly once.
+func TestQuickFailoverSharesSumToNu(t *testing.T) {
+	base := testObjects(t, 16)
+	for _, mode := range []Mode{Rendezvous, HTMAware} {
+		prop := func(shards, dead uint8, nu uint32, picks []uint16) bool {
+			n := int(shards)%5 + 2 // ≥ 2 so a replica survives the kill
+			own, err := NewOwnershipReplicated(base, n, 2, mode)
+			if err != nil {
+				return false
+			}
+			links := make([]*shardLink, n)
+			for i := range links {
+				links[i] = &shardLink{index: i, addr: fmt.Sprintf("shard-%d", i)}
+			}
+			rt := &routing{own: own, links: links}
+			universe := own.Universe()
+			if len(picks) == 0 {
+				picks = []uint16{0}
+			}
+			if len(picks) > 12 {
+				picks = picks[:12]
+			}
+			seen := make(map[model.ObjectID]struct{})
+			var ids []model.ObjectID
+			for _, p := range picks {
+				id := universe[int(p)%len(universe)].ID
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+			q := &model.Query{ID: 1, Objects: ids, Cost: cost.Bytes(nu)}
+			parts, err := own.Split(ids)
+			if err != nil {
+				return false
+			}
+			deadShard := int(dead) % n
+			var (
+				sum     cost.Bytes
+				covered = make(map[model.ObjectID]struct{})
+			)
+			answer := func(ids []model.ObjectID) bool {
+				for _, id := range ids {
+					if _, dup := covered[id]; dup {
+						t.Logf("object %d answered twice", id)
+						return false
+					}
+					covered[id] = struct{}{}
+				}
+				return true
+			}
+			for _, fr := range fragmentsFor(rt, q, parts) {
+				if fr.link.index != deadShard {
+					sum += fr.query.Cost
+					if !answer(fr.query.Objects) {
+						return false
+					}
+					continue
+				}
+				// The dead shard's fragment fails over: group objects by
+				// their surviving replica and split ν proportionally, the
+				// rounding remainder charged to the first group — the exact
+				// arithmetic scatterGroups performs.
+				groups, stranded, viaReplica := rerouteTargets(rt, fr)
+				if len(stranded) > 0 {
+					t.Logf("K=2 stranded %d objects on single-shard death", len(stranded))
+					return false
+				}
+				if !viaReplica {
+					t.Logf("failover of shard %d's fragment touched no replica", deadShard)
+					return false
+				}
+				targets := make([]*shardLink, 0, len(groups))
+				var groupSum cost.Bytes
+				for l, objs := range groups {
+					if l.index == deadShard {
+						t.Logf("failover re-targeted the dead shard %d", deadShard)
+						return false
+					}
+					targets = append(targets, l)
+					share := fr.query.Cost * cost.Bytes(len(objs)) / cost.Bytes(len(fr.query.Objects))
+					groupSum += share
+					if !answer(objs) {
+						return false
+					}
+				}
+				if len(targets) == 0 {
+					return false
+				}
+				// The remainder scatterGroups charges to the first group is
+				// the truncation loss of the proportional splits: it must be
+				// a small non-negative correction (< one unit per group), not
+				// a sign the shares drifted.
+				remainder := fr.query.Cost - groupSum
+				if remainder < 0 || remainder >= cost.Bytes(len(targets)) {
+					t.Logf("failover remainder %d out of range for %d groups", remainder, len(targets))
+					return false
+				}
+				sum += groupSum + remainder
+			}
+			if sum != q.Cost {
+				t.Logf("shares sum %d under failover, ν(q) %d", sum, q.Cost)
+				return false
+			}
+			if len(covered) != len(ids) {
+				t.Logf("failover covered %d of %d objects", len(covered), len(ids))
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 			t.Errorf("%s: %v", mode, err)
 		}
 	}

@@ -143,31 +143,54 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 		linksNew[i] = link
 	}
 
-	// The ownership diff, by address: an object whose owner address
-	// changes must move; everything else stays put no matter how the
-	// indices shifted.
-	movingPre := make(map[model.ObjectID]*shardLink)  // pre-flip alternate: the new owner
-	movingPost := make(map[model.ObjectID]*shardLink) // post-flip alternate: the old owner
+	// The ownership diff, by address set: with replication an object is
+	// held by K shards on each side of the recut, so the diff compares
+	// the old and new holder ADDRESS sets rank by address. Every new
+	// holder not already warm is seeded from the old primary; an object
+	// with any new holder double-routes to the first of them pre-flip,
+	// and to a still-warm departing holder post-flip. At K=1 this
+	// reduces exactly to the old owner-address comparison.
+	movingPre := make(map[model.ObjectID]*shardLink)  // pre-flip alternate: a new holder
+	movingPost := make(map[model.ObjectID]*shardLink) // post-flip alternate: an old holder
 	moves := make(map[*shardLink]map[string][]model.ObjectID)
-	for id, s := range rt.own.owner {
-		d, ok := ownNew.Owner(id)
-		if !ok {
+	for id := range rt.own.owner {
+		oldRanked, _ := rt.own.Owners(id)
+		newRanked, ok := ownNew.Owners(id)
+		if !ok || len(oldRanked) == 0 {
 			return fail(fmt.Errorf("cluster: object %d lost by resize", id))
 		}
-		src, dst := rt.links[s], linksNew[d]
-		if src.addr == dst.addr {
-			continue
+		oldAddrs := make(map[string]bool, len(oldRanked))
+		for _, s := range oldRanked {
+			oldAddrs[rt.links[s].addr] = true
 		}
-		movingPre[id] = dst
-		movingPost[id] = src
-		group := moves[src]
-		if group == nil {
-			group = make(map[string][]model.ObjectID)
-			moves[src] = group
+		newAddrs := make(map[string]bool, len(newRanked))
+		for _, d := range newRanked {
+			newAddrs[linksNew[d].addr] = true
 		}
-		group[dst.addr] = append(group[dst.addr], id)
+		src := rt.links[oldRanked[0]] // old primary seeds the movers warm
+		for _, d := range newRanked {
+			dst := linksNew[d]
+			if oldAddrs[dst.addr] {
+				continue // already warm at some rank
+			}
+			if movingPre[id] == nil {
+				movingPre[id] = dst
+			}
+			group := moves[src]
+			if group == nil {
+				group = make(map[string][]model.ObjectID)
+				moves[src] = group
+			}
+			group[dst.addr] = append(group[dst.addr], id)
+		}
+		for _, s := range oldRanked {
+			if !newAddrs[rt.links[s].addr] {
+				movingPost[id] = rt.links[s]
+				break
+			}
+		}
 	}
-	r.cfg.Logf("resize %d→%d (epoch %d): %d objects moving across %d source shards",
+	r.cfg.Logf("resize %d→%d (epoch %d): %d objects gaining holders across %d source shards",
 		from, to, epoch, len(movingPre), len(moves))
 
 	// Phase 1: widen. Every shard of the new config accepts the union
@@ -292,7 +315,12 @@ func (r *Router) reshardAll(ctx context.Context, epoch int, own *Ownership, targ
 			defer cancel()
 			reply, err := link.sess.RoundTrip(ctx, netproto.Frame{
 				Type: netproto.MsgReshard,
-				Body: netproto.ReshardMsg{Epoch: epoch, Owned: owned, Universe: own.Objects(owned)},
+				Body: netproto.ReshardMsg{
+					Epoch:    epoch,
+					Owned:    owned,
+					Universe: own.Objects(owned),
+					Replicas: own.Replicas(),
+				},
 			})
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d (%s): %w", link.index, link.addr, err)

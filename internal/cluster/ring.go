@@ -70,8 +70,17 @@ func ParseMode(s string) (Mode, error) {
 type Ownership struct {
 	mode   Mode
 	shards int
-	owner  map[model.ObjectID]int
-	// byShard[s] lists shard s's objects, sorted by ID.
+	// replicas is the requested replication factor K (≥ 1); the
+	// effective per-object factor is min(replicas, shards).
+	replicas int
+	// owner maps each object to its rank-0 (primary) shard.
+	owner map[model.ObjectID]int
+	// owners maps each object to its ranked replica set: owners[id][0]
+	// is the primary, owners[id][r] the r-th failover target. Length is
+	// min(replicas, shards) and entries are distinct.
+	owners map[model.ObjectID][]int
+	// byShard[s] lists the objects shard s holds at any replica rank,
+	// sorted by ID.
 	byShard [][]model.ObjectID
 	// universe is the object set the assignment was computed over,
 	// retained so Resize can recompute ownership at a new shard count;
@@ -80,10 +89,24 @@ type Ownership struct {
 	meta     map[model.ObjectID]model.Object
 }
 
-// NewOwnership assigns every object in the universe to one of n shards.
+// NewOwnership assigns every object in the universe to one of n shards
+// without replication (K=1).
 func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) {
+	return NewOwnershipReplicated(objects, n, 1, mode)
+}
+
+// NewOwnershipReplicated assigns every object in the universe to a
+// ranked set of min(k, n) distinct shards. Rank 0 is the primary — the
+// shard queries route to first — and ranks 1..K-1 are failover and
+// hedging targets holding warm copies. Like the unreplicated form, the
+// assignment is a pure function of (universe, n, k, mode), so every
+// party computes identical replica sets with no coordination.
+func NewOwnershipReplicated(objects []model.Object, n, k int, mode Mode) (*Ownership, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: shard count must be positive, got %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: replication factor must be positive, got %d", k)
 	}
 	if len(objects) == 0 {
 		return nil, fmt.Errorf("cluster: empty object universe")
@@ -94,6 +117,7 @@ func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) 
 	o := &Ownership{
 		mode:     mode,
 		shards:   n,
+		replicas: k,
 		owner:    make(map[model.ObjectID]int, len(objects)),
 		byShard:  make([][]model.ObjectID, n),
 		universe: slices.Clone(objects),
@@ -110,9 +134,7 @@ func NewOwnership(objects []model.Object, n int, mode Mode) (*Ownership, error) 
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %d", int(mode))
 	}
-	for s := range o.byShard {
-		slices.Sort(o.byShard[s])
-	}
+	o.deriveReplicas()
 	return o, nil
 }
 
@@ -137,6 +159,79 @@ func rendezvousOwner(id model.ObjectID, shards int) int {
 		}
 	}
 	return best
+}
+
+// rendezvousRanked returns the k highest-random-weight shards for an
+// object, best first — the full ranked list rendezvous hashing induces,
+// truncated to the replication factor. rendezvousRanked(id, n, 1)[0]
+// equals rendezvousOwner(id, n); ties break toward the lower shard
+// index, matching rendezvousOwner's strict-greater comparison.
+func rendezvousRanked(id model.ObjectID, shards, k int) []int {
+	type scored struct {
+		shard int
+		score uint64
+	}
+	all := make([]scored, shards)
+	for s := 0; s < shards; s++ {
+		all[s] = scored{shard: s, score: mix64(uint64(id)<<32 | uint64(s)&0xFFFFFFFF)}
+	}
+	slices.SortFunc(all, func(a, b scored) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
+		}
+		return a.shard - b.shard
+	})
+	if k > shards {
+		k = shards
+	}
+	ranked := make([]int, k)
+	for i := 0; i < k; i++ {
+		ranked[i] = all[i].shard
+	}
+	return ranked
+}
+
+// deriveReplicas rebuilds the ranked replica sets and the per-shard
+// held lists from the primary assignment. Rendezvous takes the top-K
+// of the ranked score list; HTMAware assigns ranks to the K cuts
+// starting at the owning one and walking right along the spatial order
+// (mod shards), so a shard's replica set is its two spatially adjacent
+// neighbors' primaries — contiguity is preserved at every rank.
+func (o *Ownership) deriveReplicas() {
+	k := o.replicas
+	if k < 1 {
+		k = 1
+	}
+	if k > o.shards {
+		k = o.shards
+	}
+	o.owners = make(map[model.ObjectID][]int, len(o.owner))
+	o.byShard = make([][]model.ObjectID, o.shards)
+	for _, u := range o.universe {
+		id := u.ID
+		var ranked []int
+		switch o.mode {
+		case Rendezvous:
+			ranked = rendezvousRanked(id, o.shards, k)
+		default: // HTMAware: the owning cut plus its right neighbors
+			ranked = make([]int, k)
+			c := o.owner[id]
+			for r := 0; r < k; r++ {
+				ranked[r] = (c + r) % o.shards
+			}
+		}
+		o.owner[id] = ranked[0]
+		o.owners[id] = ranked
+		for _, s := range ranked {
+			o.byShard[s] = append(o.byShard[s], id)
+		}
+	}
+	for s := range o.byShard {
+		slices.Sort(o.byShard[s])
+	}
 }
 
 // assignHTMAware sorts the universe spatially (by trixel ID, which
@@ -212,7 +307,7 @@ func (o *Ownership) Resize(m int) (*Ownership, error) {
 	if m == o.shards {
 		return o, nil
 	}
-	n, err := NewOwnership(o.universe, m, o.mode)
+	n, err := NewOwnershipReplicated(o.universe, m, o.replicas, o.mode)
 	if err != nil {
 		return nil, err
 	}
@@ -286,11 +381,9 @@ func (n *Ownership) relabel(o *Ownership) {
 	for id, raw := range n.owner {
 		n.owner[id] = perm[raw]
 	}
-	relabeled := make([][]model.ObjectID, n.shards)
-	for raw, objs := range n.byShard {
-		relabeled[perm[raw]] = objs
-	}
-	n.byShard = relabeled
+	// The HTM replica rule is anchored to primary labels, so the
+	// permutation invalidates the derived sets — rebuild them.
+	n.deriveReplicas()
 }
 
 // Extend derives the ownership of the universe grown by newly born
@@ -316,8 +409,8 @@ func (o *Ownership) Extend(objs []model.Object) (*Ownership, error) {
 	n := &Ownership{
 		mode:     o.mode,
 		shards:   o.shards,
+		replicas: o.replicas,
 		owner:    make(map[model.ObjectID]int, len(o.owner)+len(objs)),
-		byShard:  make([][]model.ObjectID, o.shards),
 		universe: make([]model.Object, 0, len(o.universe)+len(objs)),
 		meta:     make(map[model.ObjectID]model.Object, len(o.universe)+len(objs)),
 	}
@@ -326,9 +419,6 @@ func (o *Ownership) Extend(objs []model.Object) (*Ownership, error) {
 	}
 	for id, obj := range o.meta {
 		n.meta[id] = obj
-	}
-	for s := range o.byShard {
-		n.byShard[s] = slices.Clone(o.byShard[s])
 	}
 	n.universe = append(n.universe, o.universe...)
 	for _, obj := range objs {
@@ -345,13 +435,10 @@ func (o *Ownership) Extend(objs []model.Object) (*Ownership, error) {
 			return nil, fmt.Errorf("cluster: unknown mode %d", int(o.mode))
 		}
 		n.owner[obj.ID] = s
-		n.byShard[s] = append(n.byShard[s], obj.ID)
 		n.universe = append(n.universe, obj)
 		n.meta[obj.ID] = obj
 	}
-	for s := range n.byShard {
-		slices.Sort(n.byShard[s])
-	}
+	n.deriveReplicas()
 	return n, nil
 }
 
@@ -434,14 +521,30 @@ func (o *Ownership) Mode() Mode { return o.mode }
 // Shards returns the shard count.
 func (o *Ownership) Shards() int { return o.shards }
 
-// Owner returns the shard owning an object, or false for an object
-// outside the universe.
+// Replicas returns the requested replication factor K (the effective
+// per-object factor is min(K, Shards())).
+func (o *Ownership) Replicas() int { return o.replicas }
+
+// Owner returns the primary shard owning an object, or false for an
+// object outside the universe.
 func (o *Ownership) Owner(id model.ObjectID) (int, bool) {
 	s, ok := o.owner[id]
 	return s, ok
 }
 
-// ShardObjects returns shard s's owned objects, sorted by ID.
+// Owners returns an object's ranked replica set — primary first, then
+// the failover order — or false for an object outside the universe.
+// The returned slice is a copy.
+func (o *Ownership) Owners(id model.ObjectID) ([]int, bool) {
+	ranked, ok := o.owners[id]
+	if !ok {
+		return nil, false
+	}
+	return slices.Clone(ranked), true
+}
+
+// ShardObjects returns the objects shard s holds at any replica rank,
+// sorted by ID.
 func (o *Ownership) ShardObjects(s int) []model.ObjectID {
 	out := make([]model.ObjectID, len(o.byShard[s]))
 	copy(out, o.byShard[s])
@@ -449,13 +552,18 @@ func (o *Ownership) ShardObjects(s int) []model.ObjectID {
 }
 
 // Filter returns the shard-local object predicate for
-// cache.Config.ObjectFilter. Objects outside the cluster's universe
-// are owned by nobody (a shard whose survey config disagrees with the
-// router's must reject the strays, not adopt them).
+// cache.Config.ObjectFilter: true for objects the shard holds at any
+// replica rank. Objects outside the cluster's universe are owned by
+// nobody (a shard whose survey config disagrees with the router's must
+// reject the strays, not adopt them).
 func (o *Ownership) Filter(s int) func(model.ObjectID) bool {
 	return func(id model.ObjectID) bool {
-		owner, ok := o.owner[id]
-		return ok && owner == s
+		for _, owner := range o.owners[id] {
+			if owner == s {
+				return true
+			}
+		}
+		return false
 	}
 }
 

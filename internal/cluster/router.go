@@ -74,6 +74,18 @@ type Config struct {
 	// both sides: announced to shards and the repository, granted to
 	// clients (0 = newest, i.e. the v3 binary codec; 2 pins gob v2).
 	WireVersion int
+	// Hedge enables hedged reads: when a fragment's primary shard has
+	// not answered within the hedge delay, the fragment is re-scattered
+	// to the objects' next replicas and the first complete answer wins
+	// (the loser is cancelled). Only effective with a replicated
+	// ownership (K ≥ 2); fragments without full replica coverage fall
+	// back to the plain single-attempt path.
+	Hedge bool
+	// HedgeDelay pins how long the primary may lag before the hedge
+	// fires. Zero derives the delay from the p99 of observed fragment
+	// round trips (so only true stragglers hedge), with a small fixed
+	// default while the latency histogram is cold.
+	HedgeDelay time.Duration
 	// MetricsAddr, when set, serves the debug HTTP mux (/metrics,
 	// /healthz, /debug/traces, /debug/pprof) on that address. The
 	// router's /metrics is the cluster view: the aggregate StatsMsg
@@ -136,6 +148,8 @@ type Router struct {
 	scattered atomic.Int64 // queries split across ≥2 shards
 	degraded  atomic.Int64 // queries answered without every fragment
 	rerouted  atomic.Int64 // fragments recovered via an alternate owner
+	failover  atomic.Int64 // fragments recovered via a non-primary replica
+	hedged    atomic.Int64 // hedged replica attempts fired
 	births    atomic.Int64 // born objects adopted into routing
 
 	// reg/traces/debug are the router's observability surface; all nil
@@ -144,6 +158,7 @@ type Router struct {
 	traces    *obs.TraceRing
 	debug     *obs.DebugServer
 	routerLat *obs.Histogram // end-to-end scatter/gather latency
+	fragLat   *obs.Histogram // per-fragment shard round-trip latency
 
 	wg sync.WaitGroup
 
@@ -223,6 +238,8 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.traces = obs.NewTraceRing(obs.DefaultTraceRing)
 		r.routerLat = r.reg.NewHistogram("delta_router_query_seconds",
 			"End-to-end scatter/gather latency of routed queries.", nil)
+		r.fragLat = r.reg.NewHistogram("delta_router_fragment_seconds",
+			"Per-fragment shard round-trip latency (successful attempts); its p99 derives the hedge delay.", nil)
 		r.reg.NewCounterFunc("delta_router_queries_total",
 			"Client queries routed by this router.",
 			func() float64 { return float64(r.queries.Load()) })
@@ -235,6 +252,12 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.reg.NewCounterFunc("delta_router_rerouted_total",
 			"Failed fragments fully recovered via an alternate owner.",
 			func() float64 { return float64(r.rerouted.Load()) })
+		r.reg.NewCounterFunc("delta_router_failover_total",
+			"Failed fragments fully recovered via a non-primary replica.",
+			func() float64 { return float64(r.failover.Load()) })
+		r.reg.NewCounterFunc("delta_router_hedged_total",
+			"Hedged replica attempts fired for slow primaries.",
+			func() float64 { return float64(r.hedged.Load()) })
 		r.reg.NewCounterFunc("delta_router_births_total",
 			"Born objects adopted into the routing universe.",
 			func() float64 { return float64(r.births.Load()) })
@@ -598,15 +621,19 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query, traceID uint64,
 		go func(i int, fr fragment) {
 			defer wg.Done()
 			outs[i].shard = fr.link.index
-			res, err := r.shardRoundTrip(ctx, fr)
+			results, err := r.dispatch(ctx, fr)
 			if err == nil {
-				outs[i].results = []netproto.QueryResultMsg{res}
+				outs[i].results = results
 				return
 			}
-			recovered, all := r.reroute(ctx, fr)
+			recovered, all, viaReplica := r.reroute(ctx, fr)
 			outs[i].results = recovered
 			if all {
-				r.rerouted.Add(1)
+				if viaReplica {
+					r.failover.Add(1)
+				} else {
+					r.rerouted.Add(1)
+				}
 				return
 			}
 			outs[i].err = err
@@ -691,10 +718,13 @@ func (r *Router) routeQuery(ctx context.Context, q *model.Query, traceID uint64,
 	return netproto.Frame{Type: netproto.MsgQueryResult, Body: merged}
 }
 
-// shardRoundTrip sends one fragment and decodes the reply.
+// shardRoundTrip sends one fragment and decodes the reply. Successful
+// round trips feed the fragment-latency histogram the hedge delay is
+// derived from.
 func (r *Router) shardRoundTrip(ctx context.Context, fr fragment) (netproto.QueryResultMsg, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
 	defer cancel()
+	start := time.Now()
 	reply, err := fr.link.sess.RoundTrip(ctx, netproto.Frame{
 		Type: netproto.MsgShardQuery,
 		Body: netproto.ShardQueryMsg{
@@ -711,51 +741,176 @@ func (r *Router) shardRoundTrip(ctx context.Context, fr fragment) (netproto.Quer
 	if !ok {
 		return netproto.QueryResultMsg{}, fmt.Errorf("shard %d replied %s", fr.link.index, reply.Type)
 	}
+	r.fragLat.Observe(time.Since(start))
 	return res, nil
 }
 
-// reroute re-sends a failed fragment's objects through the freshest
-// routing view, skipping the shard that just failed. During a resize
-// transition this is the double-routing path: every moving object has
-// an alternate owner (the migration destination before the flip, the
-// still-warm source after it). Outside a transition it covers the
-// stale-snapshot case where the owner changed while the fragment was
-// in flight. It returns the recovered partial results and whether
-// every object was recovered.
-func (r *Router) reroute(ctx context.Context, failed fragment) ([]netproto.QueryResultMsg, bool) {
-	rtNow := r.routing.Load()
-	groups := make(map[*shardLink][]model.ObjectID)
-	all := true
+// minimum hedge delay while the fragment-latency histogram is cold (or
+// observability is disabled): high enough that a healthy same-host
+// round trip never hedges, low enough to cut a straggler's tail.
+const defaultHedgeDelay = 2 * time.Millisecond
+
+// hedgeDelaySamples is how many fragment latencies must be observed
+// before the p99 derivation trusts the histogram over the default.
+const hedgeDelaySamples = 64
+
+// hedgeDelay returns how long the primary may lag before the hedge
+// fires: Config.HedgeDelay when pinned, else the observed fragment p99
+// so only true stragglers hedge.
+func (r *Router) hedgeDelay() time.Duration {
+	if r.cfg.HedgeDelay > 0 {
+		return r.cfg.HedgeDelay
+	}
+	if r.fragLat != nil && r.fragLat.Count() >= hedgeDelaySamples {
+		if p99 := r.fragLat.Quantile(0.99); p99 > 0 {
+			return max(time.Duration(p99*float64(time.Second)), defaultHedgeDelay)
+		}
+	}
+	return defaultHedgeDelay
+}
+
+// dispatch performs one fragment round trip. With hedging enabled and
+// every object of the fragment covered by a live replica, the primary
+// attempt races a delayed replica attempt: if the primary has not
+// answered within hedgeDelay, the fragment re-scatters to the next
+// replicas and the first complete answer wins; the loser is cancelled
+// through its context. Errors fall back to the caller's reroute path.
+func (r *Router) dispatch(ctx context.Context, fr fragment) ([]netproto.QueryResultMsg, error) {
+	if !r.cfg.Hedge {
+		res, err := r.shardRoundTrip(ctx, fr)
+		if err != nil {
+			return nil, err
+		}
+		return []netproto.QueryResultMsg{res}, nil
+	}
+	rt := r.routing.Load()
+	groups, stranded, _ := rerouteTargets(rt, fr)
+	if len(stranded) > 0 || len(groups) == 0 {
+		// No full replica coverage to hedge onto (K=1, or mid-resize).
+		res, err := r.shardRoundTrip(ctx, fr)
+		if err != nil {
+			return nil, err
+		}
+		return []netproto.QueryResultMsg{res}, nil
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels whichever attempt loses
+	type attempt struct {
+		results []netproto.QueryResultMsg
+		err     error
+	}
+	ch := make(chan attempt, 2)
+	go func() {
+		res, err := r.shardRoundTrip(hctx, fr)
+		if err != nil {
+			ch <- attempt{err: err}
+			return
+		}
+		ch <- attempt{results: []netproto.QueryResultMsg{res}}
+	}()
+	timer := time.NewTimer(r.hedgeDelay())
+	defer timer.Stop()
+	launched := false
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched {
+				continue
+			}
+			launched = true
+			pending++
+			r.hedged.Add(1)
+			go func() {
+				results, complete := r.scatterGroups(hctx, fr, groups)
+				if !complete {
+					ch <- attempt{err: fmt.Errorf("hedged replicas incomplete")}
+					return
+				}
+				ch <- attempt{results: results}
+			}()
+		case a := <-ch:
+			pending--
+			if a.err == nil {
+				return a.results, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if !launched || pending == 0 {
+				// The primary failed before the hedge fired (let the
+				// caller's reroute handle failover), or both attempts lost.
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// rerouteTargets groups a failed (or hedged) fragment's objects by
+// their best alternate link under rt: each object's ranked replica set
+// is walked primary-first, skipping the failed address, then the
+// resize-transition alt map is consulted. Objects with no alternate
+// are returned stranded. viaReplica reports whether any target was a
+// non-primary replica — a true failover rather than an
+// ownership-change reroute.
+func rerouteTargets(rt *routing, failed fragment) (groups map[*shardLink][]model.ObjectID, stranded []model.ObjectID, viaReplica bool) {
+	groups = make(map[*shardLink][]model.ObjectID)
 	for _, id := range failed.query.Objects {
 		var target *shardLink
-		if s, ok := rtNow.own.Owner(id); ok && rtNow.links[s].addr != failed.link.addr {
-			target = rtNow.links[s]
-		} else if alt := rtNow.alt[id]; alt != nil && alt.addr != failed.link.addr {
-			target = alt
+		if ranked, ok := rt.own.Owners(id); ok {
+			for rank, s := range ranked {
+				if s < len(rt.links) && rt.links[s].addr != failed.link.addr {
+					target = rt.links[s]
+					if rank > 0 {
+						viaReplica = true
+					}
+					break
+				}
+			}
 		}
 		if target == nil {
-			all = false
+			if alt := rt.alt[id]; alt != nil && alt.addr != failed.link.addr {
+				target = alt
+			}
+		}
+		if target == nil {
+			stranded = append(stranded, id)
 			continue
 		}
 		groups[target] = append(groups[target], id)
 	}
-	if len(groups) == 0 {
-		return nil, false
-	}
+	return groups, stranded, viaReplica
+}
+
+// scatterGroups re-sends a fragment's objects to their grouped
+// alternate links in shard order, splitting ν(q) proportionally by
+// object count. When every group answers, the rounding remainder is
+// charged to the first result so cost shares still sum exactly to the
+// fragment's share.
+func (r *Router) scatterGroups(ctx context.Context, failed fragment, groups map[*shardLink][]model.ObjectID) ([]netproto.QueryResultMsg, bool) {
 	links := make([]*shardLink, 0, len(groups))
 	for l := range groups {
 		links = append(links, l)
 	}
-	slices.SortFunc(links, func(a, b *shardLink) int { return a.index - b.index })
+	slices.SortFunc(links, func(a, b *shardLink) int {
+		if a.index != b.index {
+			return a.index - b.index
+		}
+		return cmp.Compare(a.addr, b.addr)
+	})
 	var (
 		results  []netproto.QueryResultMsg
 		assigned cost.Bytes
+		covered  int
+		all      = true
 	)
 	for _, link := range links {
 		sub := failed.query
 		sub.Objects = groups[link]
 		sub.Cost = failed.query.Cost * cost.Bytes(len(sub.Objects)) / cost.Bytes(len(failed.query.Objects))
 		assigned += sub.Cost
+		covered += len(sub.Objects)
 		res, err := r.shardRoundTrip(ctx, fragment{link: link, query: sub, traceID: failed.traceID})
 		if err != nil {
 			r.cfg.Logf("reroute of %d objects to shard %d failed: %v", len(sub.Objects), link.index, err)
@@ -764,12 +919,45 @@ func (r *Router) reroute(ctx context.Context, failed fragment) ([]netproto.Query
 		}
 		results = append(results, res)
 	}
-	if all && len(results) > 0 {
+	if all && covered == len(failed.query.Objects) && len(results) > 0 {
 		// Charge the rounding remainder to the first group so a fully
 		// recovered fragment keeps cost shares summing exactly.
 		results[0].Logical += failed.query.Cost - assigned
 	}
 	return results, all
+}
+
+// reroute re-sends a failed fragment's objects through the freshest
+// routing view, skipping the shard that just failed. With replication
+// each object's ranked replica set supplies the alternate (rank ≥ 1 is
+// a failover); during a resize transition the double-routing alt map
+// covers moving objects (the migration destination before the flip,
+// the still-warm source after it); and a partially stranded fragment
+// retries the stranded subset once on the original shard — an
+// ownership recut can make a shard reject a whole fragment for one
+// no-longer-owned object even though it still owns the rest. It
+// returns the recovered partial results, whether every object was
+// recovered, and whether any recovery used a non-primary replica.
+func (r *Router) reroute(ctx context.Context, failed fragment) ([]netproto.QueryResultMsg, bool, bool) {
+	rtNow := r.routing.Load()
+	groups, stranded, viaReplica := rerouteTargets(rtNow, failed)
+	strandedRetry := len(stranded) > 0 && len(stranded) < len(failed.query.Objects)
+	if strandedRetry {
+		// A strict subset with no alternate means the original shard
+		// likely rejected the fragment over its moved objects, not that
+		// it died: retry the stayers there as a narrower sub-fragment. A
+		// fully stranded fragment (shard death at K=1) degrades
+		// immediately, as before.
+		groups[failed.link] = stranded
+	}
+	if len(groups) == 0 {
+		return nil, false, viaReplica
+	}
+	results, all := r.scatterGroups(ctx, failed, groups)
+	if len(stranded) > 0 && !strandedRetry {
+		all = false
+	}
+	return results, all, viaReplica
 }
 
 // fragmentsFor builds the per-shard sub-queries for one routing epoch.
@@ -854,6 +1042,9 @@ func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
 		agg.CoverCacheMisses += st.Stats.CoverCacheMisses
 		agg.JournalRecords += st.Stats.JournalRecords
 		agg.RecoveredWarm += st.Stats.RecoveredWarm
+		// The cluster's replication factor, not a sum: every shard of a
+		// consistent deployment reports the same K.
+		agg.Replicas = max(agg.Replicas, st.Stats.Replicas)
 		// The aggregate snapshot age is the oldest shard's: it bounds
 		// how much journal any crash in the cluster would replay.
 		agg.SnapshotAge = max(agg.SnapshotAge, st.Stats.SnapshotAge)
@@ -925,3 +1116,11 @@ func (r *Router) Degraded() int64 { return r.degraded.Load() }
 // Rerouted returns how many failed fragments were fully recovered via
 // an alternate owner (the double-routing path of live resizes).
 func (r *Router) Rerouted() int64 { return r.rerouted.Load() }
+
+// Failover returns how many failed fragments were fully recovered via
+// a non-primary replica.
+func (r *Router) Failover() int64 { return r.failover.Load() }
+
+// Hedged returns how many hedged replica attempts were fired for slow
+// primaries.
+func (r *Router) Hedged() int64 { return r.hedged.Load() }

@@ -24,6 +24,16 @@ type LocalConfig struct {
 	Shards int
 	// Mode selects the ownership assignment. Defaults to HTMAware.
 	Mode Mode
+	// Replicas is the replication factor K: how many shards hold each
+	// object (0 and 1 both mean unreplicated). With K ≥ 2 the router
+	// fails fragments over to the next replica and may hedge reads.
+	Replicas int
+	// Hedge enables hedged reads at the router (requires Replicas ≥ 2
+	// to have any effect; see cluster.Config.Hedge).
+	Hedge bool
+	// HedgeDelay pins the router's hedge delay (0 derives it from the
+	// observed fragment latency p99; see cluster.Config.HedgeDelay).
+	HedgeDelay time.Duration
 	// ShardCapacity is each shard's cache size. Zero sizes every shard
 	// to hold its entire owned subset (the replicated-cluster shape),
 	// and keeps it sized that way across live resizes.
@@ -37,6 +47,10 @@ type LocalConfig struct {
 	// ExecDelay is each shard's simulated local scan time (see
 	// cache.Config.ExecDelay).
 	ExecDelay time.Duration
+	// ShardExecDelay, when non-nil, overrides ExecDelay per shard index
+	// — how tests and BenchmarkReplicaHedging make one shard a
+	// straggler. Return a negative duration for "no override".
+	ShardExecDelay func(shard int) time.Duration
 	// Clock paces each shard's ExecDelay; nil means the wall clock.
 	Clock clock.Clock
 	// RepoPool is each shard's repository session pool size.
@@ -91,7 +105,7 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 	if cfg.Shards <= 0 {
 		return nil, fmt.Errorf("cluster: shard count must be positive")
 	}
-	own, err := NewOwnership(cfg.Objects, cfg.Shards, cfg.Mode)
+	own, err := NewOwnershipReplicated(cfg.Objects, cfg.Shards, max(cfg.Replicas, 1), cfg.Mode)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +131,8 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 		Resolver:     cfg.Resolver,
 		ResolverGrow: cfg.ResolverGrow,
 		WireVersion:  cfg.WireVersion,
+		Hedge:        cfg.Hedge,
+		HedgeDelay:   cfg.HedgeDelay,
 		DisableObs:   cfg.DisableObs,
 		Logf:         cfg.Logf,
 	})
@@ -161,6 +177,12 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 	if cfg.ShardDataDir != nil {
 		dataDir = cfg.ShardDataDir(s)
 	}
+	execDelay := cfg.ExecDelay
+	if cfg.ShardExecDelay != nil {
+		if d := cfg.ShardExecDelay(s); d >= 0 {
+			execDelay = d
+		}
+	}
 	mw, err := cache.New(cache.Config{
 		RepoAddr:         cfg.RepoAddr,
 		RepoPool:         cfg.RepoPool,
@@ -170,8 +192,9 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 		Capacity:         capacity,
 		ReshardCapacity:  reshardCapacity,
 		Scale:            cfg.Scale,
-		ExecDelay:        cfg.ExecDelay,
+		ExecDelay:        execDelay,
 		Clock:            cfg.Clock,
+		Replicas:         max(cfg.Replicas, 1),
 		WireVersion:      wire,
 		DataDir:          dataDir,
 		SnapshotInterval: cfg.SnapshotInterval,

@@ -313,6 +313,7 @@ func encStats(e *encBuf, s *StatsMsg) {
 	e.varint(int64(s.SnapshotAge))
 	e.varint(s.JournalRecords)
 	e.varint(s.RecoveredWarm)
+	e.varint(s.Replicas)
 }
 
 func decStats(d *decBuf) StatsMsg {
@@ -338,6 +339,7 @@ func decStats(d *decBuf) StatsMsg {
 	s.SnapshotAge = time.Duration(d.varint())
 	s.JournalRecords = d.varint()
 	s.RecoveredWarm = d.varint()
+	s.Replicas = d.varint()
 	return s
 }
 
@@ -499,6 +501,12 @@ func encodeBodyV3(e *encBuf, t MsgType, body any) error {
 		}
 		e.varint(int64(b.Resident))
 		e.varint(int64(b.Dropped))
+		// Replicas rides the forward-compatible tail: encoded only when
+		// non-zero so replica-free frames stay byte-identical to v3
+		// peers that predate the field.
+		if b.Replicas != 0 {
+			e.varint(int64(b.Replicas))
+		}
 	case MigrateBeginMsg:
 		e.varint(int64(b.Epoch))
 		e.str(b.Dest)
@@ -697,6 +705,9 @@ func decodeBodyV3(d *decBuf, t MsgType) (any, error) {
 		}
 		b.Resident = int(d.varint())
 		b.Dropped = int(d.varint())
+		if d.err == nil && len(d.b) > 0 {
+			b.Replicas = int(d.varint())
+		}
 		body = b
 	case MsgMigrateBegin:
 		var b MigrateBeginMsg

@@ -97,6 +97,16 @@ func seedFrames() []Frame {
 					Objects: 1, Source: "cache", Elapsed: 300 * time.Microsecond},
 			},
 		}},
+		// Replica-bearing shapes: the ReshardMsg Replicas field rides a
+		// forward-compatible v3 frame tail (like the trace tails above),
+		// and StatsMsg.Replicas sits mid-frame — seed both so the fuzzer
+		// mutates the replicated encodings too.
+		{Type: MsgReshard, Body: ReshardMsg{
+			Epoch: 3, Owned: []model.ObjectID{1, 2, 69},
+			Universe: []model.Object{{ID: 69, Size: cost.GB, Trixel: 123}},
+			Replicas: 2,
+		}},
+		{Type: MsgStats, Body: StatsMsg{Queries: 12, ObjectsBorn: 3, Replicas: 2}},
 	}
 }
 
@@ -217,15 +227,21 @@ func TestWriteV3FuzzCorpus(t *testing.T) {
 	flipped[len(flipped)/2] ^= 0x55
 	traced := encodeFramesV3(t, seedFrames()[12]) // QueryResultMsg with TraceID+Spans tail
 	tracedFlip := bytes.Clone(traced)
-	tracedFlip[len(tracedFlip)-2] ^= 0x55 // corrupt inside the trace tail
+	tracedFlip[len(tracedFlip)-2] ^= 0x55           // corrupt inside the trace tail
+	reshardK := encodeFramesV3(t, seedFrames()[13]) // ReshardMsg with the Replicas tail
+	reshardKFlip := bytes.Clone(reshardK)
+	reshardKFlip[len(reshardKFlip)-1] ^= 0x55 // corrupt the Replicas tail byte
 	entries := map[string][]byte{
-		"valid-v3-stream":     valid,
-		"truncated-v3-birth":  oneBirth[:len(oneBirth)*2/3],
-		"bitflip-v3-birth":    flipped,
-		"v3-absurd-length":    {0xff, 0xff, 0xff, 0x7f, 0x01},
-		"valid-v3-traced":     traced,
-		"truncated-v3-traced": traced[:len(traced)*3/4],
-		"bitflip-v3-traced":   tracedFlip,
+		"valid-v3-stream":        valid,
+		"truncated-v3-birth":     oneBirth[:len(oneBirth)*2/3],
+		"bitflip-v3-birth":       flipped,
+		"v3-absurd-length":       {0xff, 0xff, 0xff, 0x7f, 0x01},
+		"valid-v3-traced":        traced,
+		"truncated-v3-traced":    traced[:len(traced)*3/4],
+		"bitflip-v3-traced":      tracedFlip,
+		"valid-v3-reshard-k":     reshardK,
+		"truncated-v3-reshard-k": reshardK[:len(reshardK)-1], // stream ends inside the Replicas tail
+		"bitflip-v3-reshard-k":   reshardKFlip,
 	}
 	for name, data := range entries {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)

@@ -447,6 +447,10 @@ type StatsMsg struct {
 	// its last startup (via the policy's Warm carry-over boundary);
 	// zero for a cold start.
 	RecoveredWarm int64
+	// Replicas is the replication factor K the node serves under (how
+	// many shards hold each object); 1 for an unreplicated deployment.
+	// On a cluster aggregate it is the cluster's K, not a sum.
+	Replicas int64
 }
 
 // ShardQueryMsg is the router→shard leg of a scattered query: the
@@ -534,6 +538,11 @@ type ReshardMsg struct {
 	// owned.
 	Resident int
 	Dropped  int
+	// Replicas is the replication factor K of the epoch's ownership
+	// (Owned spans every replica rank, not just primaries). Rides the
+	// v3 frame tail; 0 means unspecified and leaves the shard's K
+	// unchanged.
+	Replicas int
 }
 
 // MigrateBeginMsg commands a source shard to stream its cached state

@@ -52,6 +52,11 @@ type Config struct {
 	// peers (0 = newest, i.e. the v3 binary codec; 2 pins gob v2) —
 	// the -wire-version escape hatch for mixed-version deployments.
 	WireVersion int
+	// Replicas advertises the deployment's cache replication factor K
+	// in the repository's StatsMsg, so clients and operators can audit
+	// the intended K against what the cache tier reports. 0 is treated
+	// as 1 (unreplicated). Purely informational at the repository.
+	Replicas int
 	// DataDir, when set, makes repository growth durable: ingested
 	// births are journaled and snapshotted (internal/persist), and New
 	// replays them into the survey so the grown universe survives
@@ -572,6 +577,7 @@ func (r *Repository) Stats() netproto.StatsMsg {
 		DroppedInvalidations: r.droppedInvalidations.Load(),
 		ObjectsBorn:          r.objectsBorn.Load(),
 		RecoveredWarm:        r.recoveredBirths.Load(),
+		Replicas:             int64(max(r.cfg.Replicas, 1)),
 	}
 	if r.store != nil {
 		stats.SnapshotAge = r.store.SnapshotAge()
