@@ -27,6 +27,7 @@ import (
 	"github.com/deltacache/delta/internal/netproto"
 	"github.com/deltacache/delta/internal/obs"
 	"github.com/deltacache/delta/internal/sqlmini"
+	"github.com/deltacache/delta/internal/workload"
 )
 
 func main() {
@@ -56,9 +57,20 @@ func run() error {
 		region    = flag.String("region", "", "query a sky region \"ra,dec,radiusDeg\" resolved server-side (no local universe needed)")
 		expectK   = flag.Int("replicas", 0, "expected replication factor K; with -stats/-cluster-stats, fail if the deployment reports a different K (0 = don't check)")
 		trace     = flag.Bool("trace", false, "stamp queries with a trace ID and print the per-hop fan-out tree (router scatter, shard fragments, repository work)")
+		scenario  = flag.String("scenario", "", "replay a named workload scenario against the deployment (see -list-scenarios; fanned out over -workers)")
+		scnQ      = flag.Int("scenario-queries", 0, "query count for -scenario (0 = the scenario's default)")
+		scnU      = flag.Int("scenario-updates", 0, "update count for -scenario (0 = the scenario's default; repository-side updates are skipped by the client)")
+		listScens = flag.Bool("list-scenarios", false, "list the named workload scenarios and exit")
 	)
 	flag.Parse()
 	ctx := context.Background()
+
+	if *listScens {
+		for _, sc := range workload.Scenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name(), sc.Description())
+		}
+		return nil
+	}
 
 	scfg := catalog.DefaultConfig()
 	scfg.Seed = *seed
@@ -80,7 +92,7 @@ func run() error {
 	// wall-clock view including the network, where the per-result
 	// Elapsed is only server-side handling time.
 	var demoLat *obs.Histogram
-	if *demo > 0 {
+	if *demo > 0 || *scenario != "" {
 		demoLat = obs.NewRegistry().NewHistogram(
 			"client_query_seconds", "Client-observed query latency.", nil)
 		opts = append(opts, client.WithQueryObserver(demoLat.Observe))
@@ -105,11 +117,12 @@ func run() error {
 		if err := runDemo(ctx, cl, survey, *demo, *workers, start); err != nil {
 			return err
 		}
-		if demoLat.Count() > 0 {
-			fmt.Printf("client latency: p50=%s p90=%s p99=%s (%d samples)\n",
-				quantileDur(demoLat, 0.50), quantileDur(demoLat, 0.90),
-				quantileDur(demoLat, 0.99), demoLat.Count())
+		printLatency(demoLat)
+	case *scenario != "":
+		if err := runScenario(ctx, cl, survey, *scenario, *scnQ, *scnU, *workers); err != nil {
+			return err
 		}
+		printLatency(demoLat)
 	case *resize != "":
 		st, err := cl.Resize(ctx, strings.Split(*resize, ","))
 		if err != nil {
@@ -150,7 +163,7 @@ func run() error {
 		// handled below
 	default:
 		flag.Usage()
-		return fmt.Errorf("one of -sql, -region, -demo, -stats, -cluster-stats, -resize, -rebalance-status, -grow is required")
+		return fmt.Errorf("one of -sql, -region, -demo, -scenario, -list-scenarios, -stats, -cluster-stats, -resize, -rebalance-status, -grow is required")
 	}
 
 	if *stats || *demo > 0 {
@@ -395,4 +408,94 @@ func runDemo(ctx context.Context, cl *client.Client, survey *catalog.Survey, n, 
 	fmt.Printf("demo: %d queries via %d workers, %d answered at cache\n",
 		n, workers, atCache.Load())
 	return nil
+}
+
+// runScenario replays a named workload scenario against the live
+// deployment: queries fan out over the worker pool and births publish
+// through the router. Repository-side updates in the trace are skipped
+// — updates originate at the repository, not at clients — and reported
+// so the operator knows the replay is the read/birth half of the trace.
+func runScenario(ctx context.Context, cl *client.Client, survey *catalog.Survey, name string, nQueries, nUpdates, workers int) error {
+	sc, err := workload.Lookup(name)
+	if err != nil {
+		return err
+	}
+	events, err := sc.Events(survey, workload.Options{
+		Seed: survey.Config().Seed, Queries: nQueries, Updates: nUpdates,
+	})
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		atCache atomic.Int64
+		sent    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	queries := make(chan *model.Query, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range queries {
+				res, err := cl.Query(ctx, *q)
+				if err != nil {
+					errOnce.Do(func() { firstEr = err; cancel() })
+					continue
+				}
+				sent.Add(1)
+				if res.Source == "cache" {
+					atCache.Add(1)
+				}
+			}
+		}()
+	}
+	var births, skippedUpdates int
+	start := time.Now()
+	for i := range events {
+		if ctx.Err() != nil {
+			break
+		}
+		switch ev := &events[i]; ev.Kind {
+		case model.EventQuery:
+			queries <- ev.Query
+		case model.EventUpdate:
+			skippedUpdates++
+		case model.EventBirth:
+			if _, err := cl.AddObjects(ctx, []model.Birth{*ev.Birth}); err != nil {
+				errOnce.Do(func() { firstEr = err; cancel() })
+			} else {
+				births++
+			}
+		}
+	}
+	close(queries)
+	wg.Wait()
+	if firstEr != nil {
+		return fmt.Errorf("scenario %s: %w", name, firstEr)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("scenario %s: %d queries via %d workers in %v (%.0f q/s), %d answered at cache (%.1f%%), %d births published, %d repository-side updates skipped\n",
+		name, sent.Load(), workers, elapsed.Round(time.Millisecond),
+		float64(sent.Load())/elapsed.Seconds(), atCache.Load(),
+		100*float64(atCache.Load())/float64(max(sent.Load(), 1)),
+		births, skippedUpdates)
+	return nil
+}
+
+// printLatency reports the client-observed latency quantiles collected
+// by the query observer during -demo or -scenario runs.
+func printLatency(h *obs.Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	fmt.Printf("client latency: p50=%s p90=%s p99=%s (%d samples)\n",
+		quantileDur(h, 0.50), quantileDur(h, 0.90),
+		quantileDur(h, 0.99), h.Count())
 }

@@ -183,11 +183,11 @@ type Middleware struct {
 
 	// owned is the filtered object universe (nil when the node owns
 	// everything); guarded by mu since reshards replace it live.
-	owned map[model.ObjectID]struct{}
+	owned *idSet
 	// byID indexes the known universe for reshard and migration
 	// lookups; guarded by mu since births and reshard metadata extend
 	// it live.
-	byID map[model.ObjectID]model.Object
+	byID *objectTable
 
 	loads loadGroup
 
@@ -285,7 +285,7 @@ func New(cfg Config) (*Middleware, error) {
 		policy:   cfg.Policy,
 		resident: make(map[model.ObjectID]struct{}),
 		conns:    make(map[net.Conn]struct{}),
-		byID:     make(map[model.ObjectID]model.Object, len(cfg.Objects)),
+		byID:     newObjectTable(len(cfg.Objects)),
 		stop:     make(chan struct{}),
 	}
 	m.replicas.Store(int64(max(cfg.Replicas, 1)))
@@ -304,7 +304,7 @@ func New(cfg Config) (*Middleware, error) {
 		obs.RegisterStats(m.reg, func() (netproto.StatsMsg, error) { return m.Stats(), nil })
 	}
 	for _, o := range cfg.Objects {
-		m.byID[o.ID] = o
+		m.byID.put(o)
 	}
 
 	// Recover the previous incarnation's state before the policy sees
@@ -336,8 +336,8 @@ func New(cfg Config) (*Middleware, error) {
 	recoveredOwned := make(map[model.ObjectID]struct{})
 	if recovered != nil {
 		for _, o := range recovered.Universe {
-			if _, known := m.byID[o.ID]; !known {
-				m.byID[o.ID] = o
+			if !m.byID.has(o.ID) {
+				m.byID.put(o)
 				extras = append(extras, o)
 			}
 		}
@@ -350,11 +350,11 @@ func New(cfg Config) (*Middleware, error) {
 	universe := cfg.Objects
 	if cfg.ObjectFilter != nil {
 		universe = make([]model.Object, 0, len(cfg.Objects))
-		m.owned = make(map[model.ObjectID]struct{})
+		m.owned = newIDSet(len(cfg.Objects))
 		for _, o := range cfg.Objects {
 			if cfg.ObjectFilter(o.ID) {
 				universe = append(universe, o)
-				m.owned[o.ID] = struct{}{}
+				m.owned.add(o.ID)
 			}
 		}
 		if len(universe) == 0 {
@@ -372,7 +372,7 @@ func New(cfg Config) (*Middleware, error) {
 			if !granted && !cfg.ObjectFilter(o.ID) {
 				continue
 			}
-			m.owned[o.ID] = struct{}{}
+			m.owned.add(o.ID)
 		}
 		universe = append(universe, o)
 	}
@@ -474,10 +474,10 @@ func (m *Middleware) adoptRecovered(st *persist.State) {
 	carried := make([]model.ObjectID, 0, len(st.Resident))
 	for _, id := range st.Resident {
 		if m.owned != nil {
-			if _, ok := m.owned[id]; !ok {
+			if !m.owned.has(id) {
 				continue
 			}
-		} else if _, ok := m.byID[id]; !ok {
+		} else if !m.byID.has(id) {
 			continue
 		}
 		carried = append(carried, id)
@@ -514,15 +514,15 @@ func (m *Middleware) persistState() *persist.State {
 	st := &persist.State{
 		Epoch:    m.reshardEpoch,
 		Births:   slices.Clone(m.births),
-		Universe: make([]model.Object, 0, len(m.byID)),
+		Universe: make([]model.Object, 0, m.byID.len()),
 	}
-	for _, o := range m.byID {
+	for o := range m.byID.all() {
 		st.Universe = append(st.Universe, o)
 	}
 	slices.SortFunc(st.Universe, func(a, b model.Object) int { return cmp.Compare(a.ID, b.ID) })
 	if m.owned != nil {
-		st.Owned = make([]model.ObjectID, 0, len(m.owned))
-		for id := range m.owned {
+		st.Owned = make([]model.ObjectID, 0, m.owned.len())
+		for id := range m.owned.all() {
 			st.Owned = append(st.Owned, id)
 		}
 		slices.Sort(st.Owned)
@@ -753,7 +753,7 @@ func (m *Middleware) invalidationLoop(c *netproto.Conn) {
 		}
 		m.mu.Lock()
 		if m.owned != nil {
-			if _, ok := m.owned[inv.Update.Object]; !ok {
+			if !m.owned.has(inv.Update.Object) {
 				// Another shard's object: the repository's stream
 				// carries every update, ownership says this one is not
 				// our business (not a drop).
@@ -952,7 +952,7 @@ func (m *Middleware) handleQuery(ctx context.Context, q *model.Query, meta query
 	m.mu.Lock()
 	if m.owned != nil {
 		for _, id := range q.Objects {
-			if _, ok := m.owned[id]; !ok {
+			if !m.owned.has(id) {
 				m.mu.Unlock()
 				return netproto.ErrorFrame("query %d touches object %d not owned by this shard", q.ID, id)
 			}
@@ -1078,7 +1078,7 @@ func (m *Middleware) AddObjects(ctx context.Context, births []model.Birth) (int,
 	fresh := make([]model.Object, 0, len(births))
 	freshBirths := make([]model.Birth, 0, len(births))
 	for _, b := range births {
-		if _, dup := m.byID[b.Object.ID]; dup {
+		if m.byID.has(b.Object.ID) {
 			continue
 		}
 		fresh = append(fresh, b.Object)
@@ -1099,14 +1099,14 @@ func (m *Middleware) AddObjects(ctx context.Context, births []model.Birth) (int,
 		return 0, fmt.Errorf("cache: policy admit births: %w", err)
 	}
 	for _, o := range fresh {
-		m.byID[o.ID] = o
+		m.byID.put(o)
 		if m.owned != nil {
-			m.owned[o.ID] = struct{}{}
+			m.owned.add(o.ID)
 		}
 	}
 	m.births = append(m.births, freshBirths...)
 	p, err := m.commitDecisionLocked(d)
-	universe := len(m.byID)
+	universe := m.byID.len()
 	m.mu.Unlock()
 	if m.store != nil {
 		for _, b := range freshBirths {

@@ -64,22 +64,22 @@ func (m *Middleware) Reshard(epoch int, owned []model.ObjectID, meta []model.Obj
 	}
 	m.mu.Lock()
 	for _, o := range meta {
-		if _, ok := m.byID[o.ID]; !ok {
-			m.byID[o.ID] = o
+		if !m.byID.has(o.ID) {
+			m.byID.put(o)
 		}
 	}
-	want := make(map[model.ObjectID]struct{}, len(owned))
+	want := newIDSet(len(owned))
 	universe := make([]model.Object, 0, len(owned))
 	for _, id := range owned {
-		o, ok := m.byID[id]
+		o, ok := m.byID.get(id)
 		if !ok {
 			m.mu.Unlock()
 			return 0, 0, fmt.Errorf("cache: reshard names object %d outside the known universe", id)
 		}
-		if _, dup := want[id]; dup {
+		if want.has(id) {
 			continue
 		}
-		want[id] = struct{}{}
+		want.add(id)
 		universe = append(universe, o)
 	}
 	m.mu.Unlock()
@@ -110,7 +110,7 @@ func (m *Middleware) Reshard(epoch int, owned []model.ObjectID, meta []model.Obj
 	m.reshardEpoch = epoch
 	carried := make([]model.ObjectID, 0, len(m.resident))
 	for id := range m.resident {
-		if _, ok := want[id]; ok {
+		if want.has(id) {
 			carried = append(carried, id)
 		}
 	}
@@ -130,7 +130,7 @@ func (m *Middleware) Reshard(epoch int, owned []model.ObjectID, meta []model.Obj
 	m.policy = policy
 	m.owned = want
 	m.cfg.Logf("reshard epoch %d: %d objects owned, %d resident carried, %d dropped (capacity %v)",
-		epoch, len(want), len(adopted), dropped, capacity)
+		epoch, want.len(), len(adopted), dropped, capacity)
 	return len(adopted), dropped, nil
 }
 
@@ -173,7 +173,7 @@ func (m *Middleware) handleMigrateOut(ctx context.Context, body netproto.Migrate
 		if _, ok := m.resident[id]; !ok {
 			continue
 		}
-		if obj, ok := m.byID[id]; ok {
+		if obj, ok := m.byID.get(id); ok {
 			objs = append(objs, obj)
 		}
 	}
@@ -255,15 +255,13 @@ func (m *Middleware) handleMigrateChunk(body netproto.MigrateChunkMsg) (netproto
 	m.mu.Lock()
 	for _, mo := range body.Objects {
 		id := mo.Object.ID
-		if _, ok := m.byID[id]; !ok {
+		if !m.byID.has(id) {
 			// A migrated newborn this node has not met yet: the chunk
 			// carries full metadata, so register it before adoption.
-			m.byID[id] = mo.Object
+			m.byID.put(mo.Object)
 		}
-		if m.owned != nil {
-			if _, ok := m.owned[id]; !ok {
-				continue
-			}
+		if m.owned != nil && !m.owned.has(id) {
+			continue
 		}
 		if _, dup := m.resident[id]; dup {
 			continue

@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"github.com/deltacache/delta/internal/model"
+)
+
+func TestObjectTableDenseSparse(t *testing.T) {
+	tab := newObjectTable(4)
+	if tab.len() != 0 {
+		t.Fatalf("fresh table len = %d", tab.len())
+	}
+	if _, ok := tab.get(1); ok {
+		t.Fatal("empty table claims object 1")
+	}
+
+	// Sequential IDs land in the dense slice.
+	for id := model.ObjectID(1); id <= 8; id++ {
+		tab.put(model.Object{ID: id, Size: 10})
+	}
+	if tab.len() != 8 {
+		t.Fatalf("len = %d, want 8", tab.len())
+	}
+	if len(tab.sparse) != 0 {
+		t.Fatalf("sequential IDs spilled to sparse: %d entries", len(tab.sparse))
+	}
+
+	// A put is an upsert, not a duplicate.
+	tab.put(model.Object{ID: 3, Size: 99})
+	if tab.len() != 8 {
+		t.Fatalf("upsert changed len to %d", tab.len())
+	}
+	if o, ok := tab.get(3); !ok || o.Size != 99 {
+		t.Fatalf("get(3) = %+v, %v after upsert", o, ok)
+	}
+
+	// An ID within denseSlack of the range end grows the dense slice;
+	// one far beyond it overflows into the sparse map.
+	tab.put(model.Object{ID: model.ObjectID(8 + denseSlack)})
+	if len(tab.sparse) != 0 {
+		t.Fatalf("slack-range ID went sparse (dense len %d)", len(tab.dense))
+	}
+	far := model.ObjectID(len(tab.dense) + denseSlack + 7)
+	tab.put(model.Object{ID: far, Size: 5})
+	if _, inSparse := tab.sparse[far]; !inSparse {
+		t.Fatalf("far ID %d not in sparse overflow", far)
+	}
+	if o, ok := tab.get(far); !ok || o.Size != 5 {
+		t.Fatalf("get(far) = %+v, %v", o, ok)
+	}
+
+	// Growing the dense range absorbs the sparse entry and preserves
+	// membership.
+	before := tab.len()
+	tab.grow(int(far) + 10)
+	if len(tab.sparse) != 0 {
+		t.Fatalf("grow left %d sparse entries", len(tab.sparse))
+	}
+	if tab.len() != before {
+		t.Fatalf("grow changed len %d -> %d", before, tab.len())
+	}
+	if o, ok := tab.get(far); !ok || o.Size != 5 {
+		t.Fatalf("get(far) after grow = %+v, %v", o, ok)
+	}
+
+	// Unset slots inside the dense range stay absent.
+	if tab.has(9) {
+		t.Fatal("hole in the dense range reported present")
+	}
+
+	// Iteration yields each member exactly once, dense range ascending.
+	var ids []model.ObjectID
+	for o := range tab.all() {
+		ids = append(ids, o.ID)
+	}
+	if len(ids) != tab.len() {
+		t.Fatalf("all() yielded %d of %d members", len(ids), tab.len())
+	}
+	if !slices.IsSorted(ids) {
+		t.Fatal("all-dense iteration not in ascending ID order")
+	}
+}
+
+func TestIDSetDenseSparse(t *testing.T) {
+	s := newIDSet(64)
+	for _, id := range []model.ObjectID{1, 64, 65, 2, 64} {
+		s.add(id)
+	}
+	if s.len() != 4 {
+		t.Fatalf("len = %d, want 4 (re-add must not double-count)", s.len())
+	}
+	for _, id := range []model.ObjectID{1, 2, 64, 65} {
+		if !s.has(id) {
+			t.Fatalf("missing member %d", id)
+		}
+	}
+	if s.has(3) || s.has(66) {
+		t.Fatal("phantom member")
+	}
+
+	// A far-out ID overflows to sparse, and grow absorbs it.
+	far := model.ObjectID(len(s.bits)*64 + denseSlack*64 + 100)
+	s.add(far)
+	if _, inSparse := s.sparse[far]; !inSparse {
+		t.Fatalf("far ID %d not in sparse overflow", far)
+	}
+	s.grow(int(far)/64 + 1)
+	if len(s.sparse) != 0 {
+		t.Fatal("grow left sparse entries behind")
+	}
+	if !s.has(far) || s.len() != 5 {
+		t.Fatalf("membership broken after grow: has=%v len=%d", s.has(far), s.len())
+	}
+
+	var got []model.ObjectID
+	for id := range s.all() {
+		got = append(got, id)
+	}
+	slices.Sort(got)
+	want := []model.ObjectID{1, 2, 64, 65, far}
+	if !slices.Equal(got, want) {
+		t.Fatalf("all() = %v, want %v", got, want)
+	}
+}
+
+// TestIDSetMatchesMap drives idSet against the reference map
+// implementation with arbitrary ID streams: membership, cardinality,
+// and iteration must agree regardless of how adds split across the
+// dense bitset and the sparse overflow.
+func TestIDSetMatchesMap(t *testing.T) {
+	check := func(raw []uint32) bool {
+		s := newIDSet(8)
+		ref := make(map[model.ObjectID]struct{})
+		for _, r := range raw {
+			id := model.ObjectID(r%100000 + 1)
+			s.add(id)
+			ref[id] = struct{}{}
+		}
+		if s.len() != len(ref) {
+			return false
+		}
+		for id := range ref {
+			if !s.has(id) {
+				return false
+			}
+		}
+		seen := 0
+		for id := range s.all() {
+			if _, ok := ref[id]; !ok {
+				return false
+			}
+			seen++
+		}
+		return seen == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -141,6 +141,14 @@ type Config struct {
 	MaxObjectSize cost.Bytes
 	// Blobs is the number of density clusters on the sky.
 	Blobs int
+	// Uniform selects the complete uniform decomposition at a fixed HTM
+	// level instead of the adaptive keep-the-densest mesh. NumObjects
+	// must then be exactly 8·4^level (…, 32768, 131072, 524288,
+	// 2097152). This is the million-object path: the adaptive builder
+	// materializes the whole trixel tree and runs an O(n²) assignment
+	// pass, while the uniform partition stores one weight per object
+	// and resolves positions and covers on the implicit tree.
+	Uniform bool
 }
 
 // DefaultConfig mirrors the paper's server: 68 objects, 800 GB total,
@@ -169,13 +177,24 @@ func DefaultConfig() Config {
 type Survey struct {
 	cfg       Config
 	sky       *Sky
-	partition *htm.Partition
+	partition skyPartition
 	objects   []model.Object
 	maxDens   float64
 
 	mu         sync.RWMutex
 	born       []bornObject
 	bornByCell map[int][]int // partition cell index → born indexes
+}
+
+// skyPartition is what the survey needs from a sphere decomposition;
+// both the adaptive htm.Partition and the uniform htm.DensePartition
+// satisfy it.
+type skyPartition interface {
+	N() int
+	ObjectFor(geom.Vec3) int
+	Cover(geom.Cap) []int
+	Weights() []float64
+	ObjectTrixelID(int) uint64
 }
 
 // bornObject is one live-ingested object with its sky position, its
@@ -202,15 +221,31 @@ func NewSurvey(cfg Config) (*Survey, error) {
 		return nil, fmt.Errorf("catalog: min object size exceeds max")
 	}
 	sky := NewSky(cfg.Seed, cfg.Blobs)
-	weight := func(t htm.Trixel) float64 {
-		return integrateDensity(sky, t)
-	}
-	// Equi-area partitions at a fixed HTM level, keeping the N densest
-	// (the paper's construction); object sizes then follow density and
-	// span the paper's 50 MB – 90 GB range.
-	part, err := htm.BuildLeveled(weight, cfg.NumObjects)
-	if err != nil {
-		return nil, fmt.Errorf("catalog: build partition: %w", err)
+	var part skyPartition
+	if cfg.Uniform {
+		// Complete decomposition: one density sample per trixel keeps
+		// the build O(n) even at two million objects, where the 7-point
+		// quadrature would cost seven sky evaluations apiece.
+		weight := func(t htm.Trixel) float64 {
+			return sky.Density(t.Center()) * t.AreaSr()
+		}
+		dense, err := htm.BuildDense(weight, cfg.NumObjects)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: build partition: %w", err)
+		}
+		part = dense
+	} else {
+		weight := func(t htm.Trixel) float64 {
+			return integrateDensity(sky, t)
+		}
+		// Equi-area partitions at a fixed HTM level, keeping the N
+		// densest (the paper's construction); object sizes then follow
+		// density and span the paper's 50 MB – 90 GB range.
+		leveled, err := htm.BuildLeveled(weight, cfg.NumObjects)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: build partition: %w", err)
+		}
+		part = leveled
 	}
 	s := &Survey{cfg: cfg, sky: sky, partition: part}
 	s.sizeObjects()
@@ -244,7 +279,6 @@ func (s *Survey) sizeObjects() {
 	}
 	n := len(weights)
 	s.objects = make([]model.Object, n)
-	trixels := s.partition.Objects()
 	// First pass: proportional allocation with clamping.
 	var allocated cost.Bytes
 	for i, w := range weights {
@@ -258,7 +292,7 @@ func (s *Survey) sizeObjects() {
 		s.objects[i] = model.Object{
 			ID:     model.ObjectID(i + 1),
 			Size:   size,
-			Trixel: trixels[i].ID,
+			Trixel: s.partition.ObjectTrixelID(i),
 		}
 		allocated += size
 	}
@@ -372,7 +406,7 @@ func (s *Survey) AddObject(b model.Birth) error {
 	if obj.Trixel == 0 {
 		// Inherit the containing cell's trixel so spatial sorts place
 		// the newborn beside its neighbors.
-		obj.Trixel = s.partition.Objects()[cell].ID
+		obj.Trixel = s.partition.ObjectTrixelID(cell)
 	}
 	if s.bornByCell == nil {
 		s.bornByCell = make(map[int][]int)

@@ -26,7 +26,7 @@ func checkPartition(o *Ownership) error {
 			if i > 0 && objs[i-1] >= id {
 				return fmt.Errorf("shard %d held list unsorted or duplicated around object %d", s, id)
 			}
-			if _, ok := o.owner[id]; !ok {
+			if _, ok := o.pos(id); !ok {
 				return fmt.Errorf("shard %d holds object %d outside the universe", s, id)
 			}
 			if holders[id] == nil {
@@ -36,7 +36,7 @@ func checkPartition(o *Ownership) error {
 		}
 	}
 	for _, u := range o.universe {
-		ranked, ok := o.owners[u.ID]
+		ranked, ok := o.Owners(u.ID)
 		if !ok {
 			return fmt.Errorf("universe object %d has no replica set", u.ID)
 		}
@@ -44,9 +44,9 @@ func checkPartition(o *Ownership) error {
 			return fmt.Errorf("object %d has %d replicas, want min(K=%d, shards=%d)=%d",
 				u.ID, len(ranked), o.replicas, o.shards, wantK)
 		}
-		if ranked[0] != o.owner[u.ID] {
+		if primary, _ := o.Owner(u.ID); ranked[0] != primary {
 			return fmt.Errorf("object %d rank-0 replica %d disagrees with primary %d",
-				u.ID, ranked[0], o.owner[u.ID])
+				u.ID, ranked[0], primary)
 		}
 		distinct := make(map[int]bool, wantK)
 		for _, s := range ranked {
@@ -139,9 +139,11 @@ func TestQuickGrowthResizeSingleOwner(t *testing.T) {
 					}
 				}
 				// Determinism: the replayed schedule computes the same map.
-				for id, s := range own.owner {
-					if rs, ok := replay.owner[id]; !ok || rs != s {
-						t.Logf("replay diverged on object %d: %d vs %d", id, s, rs)
+				for p := range own.universe {
+					id := own.universe[p].ID
+					rs, ok := replay.Owner(id)
+					if !ok || rs != int(own.owner[p]) {
+						t.Logf("replay diverged on object %d: %d vs %d", id, own.owner[p], rs)
 						return false
 					}
 				}
@@ -172,8 +174,8 @@ func TestQuickExtendNeverMovesExisting(t *testing.T) {
 			nextID := model.ObjectID(len(base) + 1)
 			for _, tx := range trixels {
 				before := make(map[model.ObjectID]int, len(own.owner))
-				for id, s := range own.owner {
-					before[id] = s
+				for p := range own.universe {
+					before[own.universe[p].ID] = int(own.owner[p])
 				}
 				own, err = own.Extend([]model.Object{{ID: nextID, Size: cost.MB, Trixel: tx % 4096}})
 				if err != nil {
@@ -181,8 +183,8 @@ func TestQuickExtendNeverMovesExisting(t *testing.T) {
 				}
 				nextID++
 				for id, s := range before {
-					if own.owner[id] != s {
-						t.Logf("%s: object %d moved %d→%d on extension", mode, id, s, own.owner[id])
+					if got, _ := own.Owner(id); got != s {
+						t.Logf("%s: object %d moved %d→%d on extension", mode, id, s, got)
 						return false
 					}
 				}

@@ -153,7 +153,8 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 	movingPre := make(map[model.ObjectID]*shardLink)  // pre-flip alternate: a new holder
 	movingPost := make(map[model.ObjectID]*shardLink) // post-flip alternate: an old holder
 	moves := make(map[*shardLink]map[string][]model.ObjectID)
-	for id := range rt.own.owner {
+	for _, u := range rt.own.universe {
+		id := u.ID
 		oldRanked, _ := rt.own.Owners(id)
 		newRanked, ok := ownNew.Owners(id)
 		if !ok || len(oldRanked) == 0 {

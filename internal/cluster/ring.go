@@ -67,26 +67,38 @@ func ParseMode(s string) (Mode, error) {
 // router and every shard. It is immutable after construction and safe
 // for concurrent use; Resize derives a new Ownership rather than
 // mutating this one.
+//
+// The representation is position-indexed: survey universes carry dense
+// sequential IDs (1..N, births continuing the sequence), so the
+// primary owner and the ranked replica sets live in flat slices
+// indexed by universe position — 4 bytes and 4·K bytes per object —
+// instead of per-object map entries and ranked []int allocations,
+// which at a million objects cost hundreds of megabytes and dominated
+// construction time under the race detector. Universes with
+// non-sequential IDs fall back to an explicit index map.
 type Ownership struct {
 	mode   Mode
 	shards int
-	// replicas is the requested replication factor K (≥ 1); the
-	// effective per-object factor is min(replicas, shards).
+	// replicas is the requested replication factor K (≥ 1); kEff is
+	// the effective per-object factor min(replicas, shards).
 	replicas int
-	// owner maps each object to its rank-0 (primary) shard.
-	owner map[model.ObjectID]int
-	// owners maps each object to its ranked replica set: owners[id][0]
-	// is the primary, owners[id][r] the r-th failover target. Length is
-	// min(replicas, shards) and entries are distinct.
-	owners map[model.ObjectID][]int
+	kEff     int
+	// universe is the object set the assignment was computed over,
+	// retained so Resize can recompute ownership at a new shard count.
+	universe []model.Object
+	// seq records that universe[i].ID == i+1 for every i, making
+	// position lookup arithmetic; idx is the fallback index otherwise.
+	seq bool
+	idx map[model.ObjectID]int
+	// owner[i] is the rank-0 (primary) shard of universe[i].
+	owner []int32
+	// ownersFlat holds the ranked replica sets back to back:
+	// universe[i]'s set is ownersFlat[i*kEff : (i+1)*kEff], rank 0
+	// first, entries distinct.
+	ownersFlat []int32
 	// byShard[s] lists the objects shard s holds at any replica rank,
 	// sorted by ID.
 	byShard [][]model.ObjectID
-	// universe is the object set the assignment was computed over,
-	// retained so Resize can recompute ownership at a new shard count;
-	// meta indexes it by ID for the reshard-metadata lookups.
-	universe []model.Object
-	meta     map[model.ObjectID]model.Object
 }
 
 // NewOwnership assigns every object in the universe to one of n shards
@@ -118,19 +130,16 @@ func NewOwnershipReplicated(objects []model.Object, n, k int, mode Mode) (*Owner
 		mode:     mode,
 		shards:   n,
 		replicas: k,
-		owner:    make(map[model.ObjectID]int, len(objects)),
-		byShard:  make([][]model.ObjectID, n),
+		kEff:     min(k, n),
 		universe: slices.Clone(objects),
-		meta:     make(map[model.ObjectID]model.Object, len(objects)),
+		owner:    make([]int32, len(objects)),
 	}
-	for _, obj := range objects {
-		o.meta[obj.ID] = obj
-	}
+	o.reindex()
 	switch mode {
 	case Rendezvous:
-		o.assignRendezvous(objects)
+		o.assignRendezvous()
 	case HTMAware:
-		o.assignHTMAware(objects)
+		o.assignHTMAware()
 	default:
 		return nil, fmt.Errorf("cluster: unknown mode %d", int(mode))
 	}
@@ -138,11 +147,45 @@ func NewOwnershipReplicated(objects []model.Object, n, k int, mode Mode) (*Owner
 	return o, nil
 }
 
+// reindex establishes position lookup: the sequential fast path when
+// IDs are dense 1..N, an index map otherwise.
+func (o *Ownership) reindex() {
+	o.seq = true
+	for i := range o.universe {
+		if o.universe[i].ID != model.ObjectID(i+1) {
+			o.seq = false
+			break
+		}
+	}
+	if o.seq {
+		o.idx = nil
+		return
+	}
+	o.idx = make(map[model.ObjectID]int, len(o.universe))
+	for i := range o.universe {
+		o.idx[o.universe[i].ID] = i
+	}
+}
+
+// pos returns the universe position of an object, or false for an
+// object outside the universe.
+func (o *Ownership) pos(id model.ObjectID) (int, bool) {
+	if o.seq {
+		p := int(id) - 1
+		if p >= 0 && p < len(o.universe) {
+			return p, true
+		}
+		return 0, false
+	}
+	p, ok := o.idx[id]
+	return p, ok
+}
+
 // assignRendezvous gives each object to the shard with the highest
 // hash of (object, shard) — classic highest-random-weight hashing.
-func (o *Ownership) assignRendezvous(objects []model.Object) {
-	for _, obj := range objects {
-		o.place(obj.ID, rendezvousOwner(obj.ID, o.shards))
+func (o *Ownership) assignRendezvous() {
+	for i := range o.universe {
+		o.owner[i] = int32(rendezvousOwner(o.universe[i].ID, o.shards))
 	}
 }
 
@@ -161,37 +204,33 @@ func rendezvousOwner(id model.ObjectID, shards int) int {
 	return best
 }
 
-// rendezvousRanked returns the k highest-random-weight shards for an
-// object, best first — the full ranked list rendezvous hashing induces,
-// truncated to the replication factor. rendezvousRanked(id, n, 1)[0]
-// equals rendezvousOwner(id, n); ties break toward the lower shard
-// index, matching rendezvousOwner's strict-greater comparison.
-func rendezvousRanked(id model.ObjectID, shards, k int) []int {
-	type scored struct {
-		shard int
-		score uint64
-	}
-	all := make([]scored, shards)
-	for s := 0; s < shards; s++ {
-		all[s] = scored{shard: s, score: mix64(uint64(id)<<32 | uint64(s)&0xFFFFFFFF)}
-	}
-	slices.SortFunc(all, func(a, b scored) int {
-		if a.score != b.score {
-			if a.score > b.score {
-				return -1
+// rendezvousRankInto writes the len(out) highest-random-weight shards
+// for an object into out, best first — the ranked list rendezvous
+// hashing induces, truncated to the replication factor, computed
+// without any allocation. Ties break toward the lower shard index,
+// matching rendezvousOwner's strict-greater comparison, so
+// out[0] always equals rendezvousOwner(id, shards).
+func rendezvousRankInto(id model.ObjectID, shards int, out []int32) {
+	for r := range out {
+		best, bestScore := -1, uint64(0)
+		for s := 0; s < shards; s++ {
+			taken := false
+			for _, prev := range out[:r] {
+				if int(prev) == s {
+					taken = true
+					break
+				}
 			}
-			return 1
+			if taken {
+				continue
+			}
+			score := mix64(uint64(id)<<32 | uint64(s)&0xFFFFFFFF)
+			if best == -1 || score > bestScore {
+				best, bestScore = s, score
+			}
 		}
-		return a.shard - b.shard
-	})
-	if k > shards {
-		k = shards
+		out[r] = int32(best)
 	}
-	ranked := make([]int, k)
-	for i := 0; i < k; i++ {
-		ranked[i] = all[i].shard
-	}
-	return ranked
 }
 
 // deriveReplicas rebuilds the ranked replica sets and the per-shard
@@ -201,36 +240,41 @@ func rendezvousRanked(id model.ObjectID, shards, k int) []int {
 // (mod shards), so a shard's replica set is its two spatially adjacent
 // neighbors' primaries — contiguity is preserved at every rank.
 func (o *Ownership) deriveReplicas() {
-	k := o.replicas
-	if k < 1 {
-		k = 1
-	}
-	if k > o.shards {
-		k = o.shards
-	}
-	o.owners = make(map[model.ObjectID][]int, len(o.owner))
-	o.byShard = make([][]model.ObjectID, o.shards)
-	for _, u := range o.universe {
-		id := u.ID
-		var ranked []int
+	k := o.kEff
+	o.ownersFlat = make([]int32, len(o.universe)*k)
+	counts := make([]int, o.shards)
+	for i := range o.universe {
+		ranked := o.ownersFlat[i*k : (i+1)*k]
 		switch o.mode {
 		case Rendezvous:
-			ranked = rendezvousRanked(id, o.shards, k)
+			rendezvousRankInto(o.universe[i].ID, o.shards, ranked)
 		default: // HTMAware: the owning cut plus its right neighbors
-			ranked = make([]int, k)
-			c := o.owner[id]
+			c := o.owner[i]
 			for r := 0; r < k; r++ {
-				ranked[r] = (c + r) % o.shards
+				ranked[r] = (c + int32(r)) % int32(o.shards)
 			}
 		}
-		o.owner[id] = ranked[0]
-		o.owners[id] = ranked
+		o.owner[i] = ranked[0]
 		for _, s := range ranked {
+			counts[s]++
+		}
+	}
+	o.byShard = make([][]model.ObjectID, o.shards)
+	for s := range o.byShard {
+		o.byShard[s] = make([]model.ObjectID, 0, counts[s])
+	}
+	for i := range o.universe {
+		id := o.universe[i].ID
+		for _, s := range o.ownersFlat[i*k : (i+1)*k] {
 			o.byShard[s] = append(o.byShard[s], id)
 		}
 	}
 	for s := range o.byShard {
-		slices.Sort(o.byShard[s])
+		// Universe order already yields ascending IDs on the
+		// sequential fast path; sort only when it does not.
+		if !slices.IsSorted(o.byShard[s]) {
+			slices.Sort(o.byShard[s])
+		}
 	}
 }
 
@@ -239,42 +283,41 @@ func (o *Ownership) deriveReplicas() {
 // neighbors) and cuts it into n contiguous, size-balanced runs.
 // Objects without a trixel (a non-HTM universe) fall back to ID order,
 // which the survey builder also derives from sky position.
-func (o *Ownership) assignHTMAware(objects []model.Object) {
-	sorted := make([]model.Object, len(objects))
-	copy(sorted, objects)
-	sort.Slice(sorted, func(a, b int) bool {
-		if sorted[a].Trixel != sorted[b].Trixel {
-			return sorted[a].Trixel < sorted[b].Trixel
+func (o *Ownership) assignHTMAware() {
+	order := make([]int, len(o.universe))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		oa, ob := &o.universe[order[a]], &o.universe[order[b]]
+		if oa.Trixel != ob.Trixel {
+			return oa.Trixel < ob.Trixel
 		}
-		return sorted[a].ID < sorted[b].ID
+		return oa.ID < ob.ID
 	})
 	var total int64
-	for _, obj := range sorted {
-		total += int64(obj.Size)
+	for i := range o.universe {
+		total += int64(o.universe[i].Size)
 	}
 	// Greedy balanced cut: close the current run once it reaches its
 	// fair share of the remaining weight, always leaving enough
 	// objects to populate the remaining shards.
 	shard, acc := 0, int64(0)
 	remaining, remainingShards := total, int64(o.shards)
-	for i, obj := range sorted {
-		objectsLeft := len(sorted) - i
+	for i, p := range order {
+		size := int64(o.universe[p].Size)
+		objectsLeft := len(order) - i
 		shardsLeft := o.shards - shard
 		if shard < o.shards-1 && acc > 0 &&
-			(acc+int64(obj.Size)/2 >= remaining/remainingShards || objectsLeft <= shardsLeft) {
+			(acc+size/2 >= remaining/remainingShards || objectsLeft <= shardsLeft) {
 			remaining -= acc
 			remainingShards--
 			shard++
 			acc = 0
 		}
-		o.place(obj.ID, shard)
-		acc += int64(obj.Size)
+		o.owner[p] = int32(shard)
+		acc += size
 	}
-}
-
-func (o *Ownership) place(id model.ObjectID, shard int) {
-	o.owner[id] = shard
-	o.byShard[shard] = append(o.byShard[shard], id)
 }
 
 // mix64 is splitmix64's finalizer: a cheap, well-distributed 64-bit
@@ -324,25 +367,30 @@ func (o *Ownership) Resize(m int) (*Ownership, error) {
 // most a few old runs, and overlaps are nested along the spatial
 // order.
 func (n *Ownership) relabel(o *Ownership) {
-	size := make(map[model.ObjectID]cost.Bytes, len(n.universe))
-	for _, obj := range n.universe {
-		size[obj.ID] = obj.Size
+	// pairBytes[raw*n.shards+label] accumulates the object bytes that
+	// keep their owner if raw run index `raw` takes old label `label`.
+	pairBytes := make([]cost.Bytes, n.shards*n.shards)
+	for pos := range n.universe {
+		obj := &n.universe[pos]
+		oldPos, ok := o.pos(obj.ID)
+		if !ok {
+			continue
+		}
+		old := int(o.owner[oldPos])
+		if old >= n.shards {
+			continue
+		}
+		pairBytes[int(n.owner[pos])*n.shards+old] += obj.Size
 	}
 	type overlap struct {
 		raw, label int
 		bytes      cost.Bytes
 	}
-	byPair := make(map[[2]int]cost.Bytes)
-	for id, raw := range n.owner {
-		old, ok := o.owner[id]
-		if !ok || old >= n.shards {
-			continue
+	cands := make([]overlap, 0, len(pairBytes))
+	for i, b := range pairBytes {
+		if b > 0 {
+			cands = append(cands, overlap{raw: i / n.shards, label: i % n.shards, bytes: b})
 		}
-		byPair[[2]int{raw, old}] += size[id]
-	}
-	cands := make([]overlap, 0, len(byPair))
-	for pair, b := range byPair {
-		cands = append(cands, overlap{raw: pair[0], label: pair[1], bytes: b})
 	}
 	slices.SortFunc(cands, func(a, b overlap) int {
 		if a.bytes != b.bytes {
@@ -378,8 +426,8 @@ func (n *Ownership) relabel(o *Ownership) {
 		perm[raw] = next
 		labelUsed[next] = true
 	}
-	for id, raw := range n.owner {
-		n.owner[id] = perm[raw]
+	for pos := range n.owner {
+		n.owner[pos] = int32(perm[n.owner[pos]])
 	}
 	// The HTM replica rule is anchored to primary labels, so the
 	// permutation invalidates the derived sets — rebuild them.
@@ -406,37 +454,38 @@ func (o *Ownership) Extend(objs []model.Object) (*Ownership, error) {
 	if len(objs) == 0 {
 		return o, nil
 	}
+	added := make(map[model.ObjectID]struct{}, len(objs))
+	for _, obj := range objs {
+		if _, dup := o.pos(obj.ID); dup {
+			return nil, fmt.Errorf("cluster: extend with already-owned object %d", obj.ID)
+		}
+		if _, dup := added[obj.ID]; dup {
+			return nil, fmt.Errorf("cluster: extend with already-owned object %d", obj.ID)
+		}
+		added[obj.ID] = struct{}{}
+	}
 	n := &Ownership{
 		mode:     o.mode,
 		shards:   o.shards,
 		replicas: o.replicas,
-		owner:    make(map[model.ObjectID]int, len(o.owner)+len(objs)),
+		kEff:     o.kEff,
 		universe: make([]model.Object, 0, len(o.universe)+len(objs)),
-		meta:     make(map[model.ObjectID]model.Object, len(o.universe)+len(objs)),
-	}
-	for id, s := range o.owner {
-		n.owner[id] = s
-	}
-	for id, obj := range o.meta {
-		n.meta[id] = obj
+		owner:    make([]int32, len(o.universe)+len(objs)),
 	}
 	n.universe = append(n.universe, o.universe...)
-	for _, obj := range objs {
-		if _, dup := n.owner[obj.ID]; dup {
-			return nil, fmt.Errorf("cluster: extend with already-owned object %d", obj.ID)
-		}
-		var s int
+	n.universe = append(n.universe, objs...)
+	n.reindex()
+	copy(n.owner, o.owner)
+	for i, obj := range objs {
+		p := len(o.universe) + i
 		switch o.mode {
 		case Rendezvous:
-			s = rendezvousOwner(obj.ID, o.shards)
+			n.owner[p] = int32(rendezvousOwner(obj.ID, o.shards))
 		case HTMAware:
-			s = n.cutOwner(obj)
+			n.owner[p] = int32(n.cutOwner(obj, p))
 		default:
 			return nil, fmt.Errorf("cluster: unknown mode %d", int(o.mode))
 		}
-		n.owner[obj.ID] = s
-		n.universe = append(n.universe, obj)
-		n.meta[obj.ID] = obj
 	}
 	n.deriveReplicas()
 	return n, nil
@@ -445,8 +494,9 @@ func (o *Ownership) Extend(objs []model.Object) (*Ownership, error) {
 // cutOwner returns the shard whose contiguous HTM cut contains the
 // newborn: the owner of its predecessor in the (trixel, ID) order the
 // cuts were made over, falling back to the spatially first object for
-// a newborn before every cut.
-func (n *Ownership) cutOwner(obj model.Object) int {
+// a newborn before every cut. Only universe[:limit] — the objects
+// placed before this newborn — participates.
+func (n *Ownership) cutOwner(obj model.Object, limit int) int {
 	bestOwner, haveBest := -1, false
 	var bestT uint64
 	var bestID model.ObjectID
@@ -454,17 +504,18 @@ func (n *Ownership) cutOwner(obj model.Object) int {
 	var firstT uint64
 	var firstID model.ObjectID
 	haveFirst := false
-	for _, u := range n.universe {
+	for p := 0; p < limit; p++ {
+		u := &n.universe[p]
 		t, id := u.Trixel, u.ID
 		if !haveFirst || t < firstT || (t == firstT && id < firstID) {
-			firstT, firstID, firstOwner = t, id, n.owner[u.ID]
+			firstT, firstID, firstOwner = t, id, int(n.owner[p])
 			haveFirst = true
 		}
 		if t > obj.Trixel || (t == obj.Trixel && id > obj.ID) {
 			continue // past the newborn in cut order
 		}
 		if !haveBest || t > bestT || (t == bestT && id > bestID) {
-			bestT, bestID, bestOwner = t, id, n.owner[u.ID]
+			bestT, bestID, bestOwner = t, id, int(n.owner[p])
 			haveBest = true
 		}
 	}
@@ -480,8 +531,8 @@ func (n *Ownership) cutOwner(obj model.Object) int {
 func (o *Ownership) Objects(ids []model.ObjectID) []model.Object {
 	out := make([]model.Object, 0, len(ids))
 	for _, id := range ids {
-		if u, ok := o.meta[id]; ok {
-			out = append(out, u)
+		if p, ok := o.pos(id); ok {
+			out = append(out, o.universe[p])
 		}
 	}
 	return out
@@ -492,25 +543,30 @@ func (o *Ownership) Objects(ids []model.ObjectID) []model.Object {
 // a live resize must migrate. An object known to only one side is an
 // error: the ownerships describe different universes.
 func Moving(from, to *Ownership) ([]model.ObjectID, error) {
-	if len(from.owner) != len(to.owner) {
-		return nil, fmt.Errorf("cluster: ownerships span %d vs %d objects", len(from.owner), len(to.owner))
+	if len(from.universe) != len(to.universe) {
+		return nil, fmt.Errorf("cluster: ownerships span %d vs %d objects",
+			len(from.universe), len(to.universe))
 	}
 	var moving []model.ObjectID
-	for id, src := range from.owner {
-		dst, ok := to.owner[id]
+	for p := range from.universe {
+		id := from.universe[p].ID
+		tp, ok := to.pos(id)
 		if !ok {
 			return nil, fmt.Errorf("cluster: object %d missing from target ownership", id)
 		}
-		if src != dst {
+		if from.owner[p] != to.owner[tp] {
 			moving = append(moving, id)
 		}
 	}
-	slices.Sort(moving)
+	if !slices.IsSorted(moving) {
+		slices.Sort(moving)
+	}
 	return moving, nil
 }
 
-// Universe returns the object universe this ownership spans (base
-// objects plus any births it was extended with).
+// Universe returns a copy of the object universe this ownership spans
+// (base objects plus any births it was extended with). Same-package
+// callers on hot paths read o.universe directly instead of cloning.
 func (o *Ownership) Universe() []model.Object {
 	return slices.Clone(o.universe)
 }
@@ -528,19 +584,26 @@ func (o *Ownership) Replicas() int { return o.replicas }
 // Owner returns the primary shard owning an object, or false for an
 // object outside the universe.
 func (o *Ownership) Owner(id model.ObjectID) (int, bool) {
-	s, ok := o.owner[id]
-	return s, ok
+	p, ok := o.pos(id)
+	if !ok {
+		return 0, false
+	}
+	return int(o.owner[p]), true
 }
 
 // Owners returns an object's ranked replica set — primary first, then
 // the failover order — or false for an object outside the universe.
 // The returned slice is a copy.
 func (o *Ownership) Owners(id model.ObjectID) ([]int, bool) {
-	ranked, ok := o.owners[id]
+	p, ok := o.pos(id)
 	if !ok {
 		return nil, false
 	}
-	return slices.Clone(ranked), true
+	ranked := make([]int, o.kEff)
+	for r, s := range o.ownersFlat[p*o.kEff : (p+1)*o.kEff] {
+		ranked[r] = int(s)
+	}
+	return ranked, true
 }
 
 // ShardObjects returns the objects shard s holds at any replica rank,
@@ -558,8 +621,12 @@ func (o *Ownership) ShardObjects(s int) []model.ObjectID {
 // reject the strays, not adopt them).
 func (o *Ownership) Filter(s int) func(model.ObjectID) bool {
 	return func(id model.ObjectID) bool {
-		for _, owner := range o.owners[id] {
-			if owner == s {
+		p, ok := o.pos(id)
+		if !ok {
+			return false
+		}
+		for _, owner := range o.ownersFlat[p*o.kEff : (p+1)*o.kEff] {
+			if int(owner) == s {
 				return true
 			}
 		}
@@ -574,11 +641,11 @@ func (o *Ownership) Filter(s int) func(model.ObjectID) bool {
 func (o *Ownership) Split(objs []model.ObjectID) (map[int][]model.ObjectID, error) {
 	parts := make(map[int][]model.ObjectID)
 	for _, id := range objs {
-		s, ok := o.owner[id]
+		p, ok := o.pos(id)
 		if !ok {
 			return nil, fmt.Errorf("cluster: object %d is outside the cluster's universe", id)
 		}
-		parts[s] = append(parts[s], id)
+		parts[int(o.owner[p])] = append(parts[int(o.owner[p])], id)
 	}
 	return parts, nil
 }

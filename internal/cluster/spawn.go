@@ -158,7 +158,9 @@ func (lc *LocalCluster) spawnShard(s int, own *Ownership) (*cache.Middleware, er
 		}
 		return core.NewVCover(core.DefaultVCoverConfig())
 	}
-	universe := own.Universe()
+	// Shards treat the universe as read-only, so share the ownership's
+	// slice instead of cloning a million objects per shard.
+	universe := own.universe
 	capacity := cfg.ShardCapacity
 	var reshardCapacity func([]model.Object) cost.Bytes
 	if capacity == 0 {

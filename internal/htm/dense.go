@@ -1,0 +1,143 @@
+package htm
+
+import (
+	"fmt"
+
+	"github.com/deltacache/delta/internal/geom"
+)
+
+// DensePartition is the complete uniform HTM decomposition at a fixed
+// level: every trixel of that level is a data object, indexed by
+// `trixelID - firstID` so no per-object tree, map, or trixel vertex set
+// is ever materialized. BuildLeveled stores the whole adaptive tree
+// (one pnode per trixel, three vertices each) and assigns unchosen
+// leaves by an O(n²) nearest-object scan — fine at the paper's 68
+// objects, hopeless at a million. The dense form keeps only one float64
+// weight per object (8 bytes), and descends the implicit tree on the
+// fly for lookups and covers, which is what lets the million-object
+// soak build a catalog in O(n) time and O(n) small memory.
+type DensePartition struct {
+	level   int
+	n       int
+	first   uint64 // ID of the first trixel at this level: 8·4^level
+	weights []float64
+}
+
+// DenseLevelObjects returns the object count of the complete
+// decomposition at the given HTM level: 8·4^level.
+func DenseLevelObjects(level int) int { return 8 << (2 * uint(level)) }
+
+// BuildDense builds the complete uniform partition whose object count
+// is exactly n. Because the decomposition is complete, n must be of the
+// form 8·4^level (8, 32, 128, ..., 2097152 at level 9); anything else
+// is an error naming the nearest valid counts rather than a silent
+// round. The weight function is evaluated once per trixel in ID order.
+func BuildDense(weight WeightFunc, n int) (*DensePartition, error) {
+	level := -1
+	for l := 0; l <= 12; l++ {
+		c := DenseLevelObjects(l)
+		if c == n {
+			level = l
+			break
+		}
+		if c > n {
+			return nil, fmt.Errorf("htm: dense partition needs 8·4^level objects (%d or %d, not %d)",
+				DenseLevelObjects(max(l-1, 0)), c, n)
+		}
+	}
+	if level < 0 {
+		return nil, fmt.Errorf("htm: dense partition of %d objects exceeds level 12", n)
+	}
+	if weight == nil {
+		weight = func(t Trixel) float64 { return t.AreaSr() }
+	}
+	p := &DensePartition{
+		level:   level,
+		n:       n,
+		first:   8 << (2 * uint(level)),
+		weights: make([]float64, n),
+	}
+	var walk func(t Trixel)
+	walk = func(t Trixel) {
+		if t.Level() == level {
+			w := weight(t)
+			if w < 0 {
+				w = 0
+			}
+			p.weights[t.ID-p.first] = w
+			return
+		}
+		for _, ch := range t.Children() {
+			walk(ch)
+		}
+	}
+	for _, r := range Roots() {
+		walk(r)
+	}
+	return p, nil
+}
+
+// N returns the number of data objects.
+func (p *DensePartition) N() int { return p.n }
+
+// Level returns the uniform HTM level of the decomposition.
+func (p *DensePartition) Level() int { return p.level }
+
+// ObjectTrixelID returns the trixel ID of the object at index i.
+func (p *DensePartition) ObjectTrixelID(i int) uint64 { return p.first + uint64(i) }
+
+// Weights returns the build-time weight of each object, indexed by
+// object index.
+func (p *DensePartition) Weights() []float64 {
+	out := make([]float64, len(p.weights))
+	copy(out, p.weights)
+	return out
+}
+
+// ObjectFor returns the object index (0..N-1) owning the sky position
+// v, descending the implicit trixel tree with the same nearest-center
+// fallbacks as Partition.ObjectFor for points that land in numerical
+// cracks.
+func (p *DensePartition) ObjectFor(v geom.Vec3) int {
+	v = v.Normalize()
+	cur, err := Locate(v, p.level)
+	if err != nil {
+		// Numerically outside all roots; descend from the nearest root.
+		roots := Roots()
+		cur = roots[0]
+		for _, r := range roots[1:] {
+			if r.Center().Dot(v) > cur.Center().Dot(v) {
+				cur = r
+			}
+		}
+		for l := 0; l < p.level; l++ {
+			cur = nearestChild(cur.Children(), v)
+		}
+	}
+	return int(cur.ID - p.first)
+}
+
+// Cover returns the object indices whose trixels may intersect the cap.
+// The walk visits children in trixel-ID order, so the result is already
+// sorted and duplicate-free — no map or sort pass, which matters when
+// drift-heavy workloads churn the cover cache.
+func (p *DensePartition) Cover(c geom.Cap) []int {
+	var out []int
+	var walk func(t Trixel)
+	walk = func(t Trixel) {
+		if !t.IntersectsCap(c) {
+			return
+		}
+		if t.Level() == p.level {
+			out = append(out, int(t.ID-p.first))
+			return
+		}
+		for _, ch := range t.Children() {
+			walk(ch)
+		}
+	}
+	for _, r := range Roots() {
+		walk(r)
+	}
+	return out
+}

@@ -212,6 +212,11 @@ func (p *Partition) Objects() []Trixel {
 	return out
 }
 
+// ObjectTrixelID returns the trixel ID of the object at index i,
+// without copying the whole representative-trixel slice the way
+// Objects does — births at scale call this per ingested object.
+func (p *Partition) ObjectTrixelID(i int) uint64 { return p.objects[i].ID }
+
 // ObjectFor returns the object index (0..N-1) owning the sky position v.
 func (p *Partition) ObjectFor(v geom.Vec3) int {
 	v = v.Normalize()

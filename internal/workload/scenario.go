@@ -1,0 +1,977 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
+)
+
+// Scenario is a named, deterministic workload generator. Each scenario
+// encodes one access pattern the in-network-cache trace studies
+// measured on real scientific repositories — Zipf popularity with rank
+// drift, diurnal load cycles, batch pipelines vs interactive users,
+// flash crowds, growth spurts — and reduces it to the same
+// model.Event stream the base Generator produces, so the simulator,
+// the cluster soaks, and the live delta-client driver replay any
+// scenario unchanged.
+type Scenario interface {
+	// Name is the stable registry key (delta-client -scenario <name>).
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Events generates the scenario's event stream against the survey.
+	// The stream is deterministic for a fixed survey, scenario
+	// configuration, and options. Scenarios that grow the universe
+	// apply births to the survey as a side effect, exactly like
+	// Generator.Generate.
+	Events(survey *catalog.Survey, opts Options) ([]model.Event, error)
+}
+
+// Options are the scenario-independent knobs of a generated trace.
+// Zero values select per-scenario defaults.
+type Options struct {
+	// Seed drives every random choice; equal seeds give identical
+	// traces. Zero means seed 1.
+	Seed int64
+	// Queries and Updates set the event mix. Zero means the scenario
+	// default; negative is invalid.
+	Queries int
+	Updates int
+	// EventInterval is the base virtual time between consecutive
+	// events; scenarios with bursty or cyclic arrivals modulate it.
+	EventInterval time.Duration
+}
+
+func (o Options) withDefaults(defQueries, defUpdates int) Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Queries == 0 {
+		o.Queries = defQueries
+	}
+	if o.Updates == 0 {
+		o.Updates = defUpdates
+	}
+	if o.EventInterval == 0 {
+		o.EventInterval = 200 * time.Millisecond
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Queries < 0 || o.Updates < 0 {
+		return fmt.Errorf("workload: negative event counts q=%d u=%d", o.Queries, o.Updates)
+	}
+	if o.Queries+o.Updates == 0 {
+		return fmt.Errorf("workload: scenario needs at least one event")
+	}
+	if o.EventInterval < 0 {
+		return fmt.Errorf("workload: negative event interval")
+	}
+	return nil
+}
+
+// Scenarios returns every registered scenario with default knobs,
+// sorted by name.
+func Scenarios() []Scenario {
+	out := []Scenario{
+		BatchInteractive{},
+		Diurnal{},
+		FlashCrowd{},
+		GrowthSpurt{},
+		ZipfDrift{},
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name() < out[b].Name() })
+	return out
+}
+
+// Lookup resolves a scenario by registry name.
+func Lookup(name string) (Scenario, error) {
+	var known []string
+	for _, s := range Scenarios() {
+		if s.Name() == name {
+			return s, nil
+		}
+		known = append(known, s.Name())
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (have %s)", name, strings.Join(known, ", "))
+}
+
+// emitter is the shared event-construction machinery: it owns the
+// virtual clock, the ID counters, and the query/update/birth builders,
+// so each scenario only has to decide *where* and *when*.
+type emitter struct {
+	survey      *catalog.Survey
+	opts        Options
+	events      []model.Event
+	now         time.Duration
+	qID         model.QueryID
+	uID         model.UpdateID
+	meanDensity float64
+	horizon     time.Duration
+	born        []model.Birth
+}
+
+func newEmitter(survey *catalog.Survey, opts Options, totalEvents int) (*emitter, error) {
+	if survey == nil {
+		return nil, fmt.Errorf("workload: nil survey")
+	}
+	e := &emitter{
+		survey:  survey,
+		opts:    opts,
+		events:  make([]model.Event, 0, totalEvents),
+		horizon: time.Duration(totalEvents) * opts.EventInterval,
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x3a7d9))
+	sum := 0.0
+	const n = 200
+	for i := 0; i < n; i++ {
+		sum += survey.Density(randomUnit(rng))
+	}
+	e.meanDensity = sum / n
+	if e.meanDensity <= 0 {
+		e.meanDensity = 1
+	}
+	return e, nil
+}
+
+// tick advances the virtual clock by dt (floored so time stays
+// strictly increasing) and returns the new now.
+func (e *emitter) tick(dt time.Duration) time.Duration {
+	if dt < time.Microsecond {
+		dt = time.Microsecond
+	}
+	e.now += dt
+	return e.now
+}
+
+func (e *emitter) tolerance(rng *rand.Rand) time.Duration {
+	switch r := rng.Float64(); {
+	case r < 0.5:
+		return model.NoTolerance
+	case r < 0.7:
+		return model.AnyStaleness
+	default:
+		return time.Duration(rng.Float64() * 0.2 * float64(e.horizon))
+	}
+}
+
+// coneQuery emits a cone search around center.
+func (e *emitter) coneQuery(rng *rand.Rand, center geom.Vec3, radiusDeg float64, meanSize cost.Bytes) {
+	objects := e.survey.CoverCap(geom.NewCap(center, radiusDeg))
+	if len(objects) == 0 {
+		objects = []model.ObjectID{e.survey.ObjectAt(center)}
+	}
+	e.qID++
+	e.events = append(e.events, model.Event{
+		Seq:  int64(len(e.events)),
+		Kind: model.EventQuery,
+		Query: &model.Query{
+			ID:        e.qID,
+			Objects:   objects,
+			Cost:      lognormalBytes(rng, float64(meanSize), 1.6, 1024),
+			Tolerance: e.tolerance(rng),
+			Time:      e.now,
+		},
+	})
+}
+
+// update emits an update at a sky position, sized by local density.
+func (e *emitter) update(rng *rand.Rand, pos geom.Vec3, meanSize cost.Bytes) {
+	density := e.survey.Density(pos)
+	mean := float64(meanSize) * (density / e.meanDensity)
+	e.uID++
+	e.events = append(e.events, model.Event{
+		Seq:  int64(len(e.events)),
+		Kind: model.EventUpdate,
+		Update: &model.Update{
+			ID:     e.uID,
+			Object: e.survey.ObjectAt(pos),
+			Cost:   lognormalBytes(rng, mean, 0.8, 512),
+			Time:   e.now,
+		},
+	})
+}
+
+// birth publishes one new object at pos and emits its event.
+func (e *emitter) birth(rng *rand.Rand, pos geom.Vec3, meanSize cost.Bytes) error {
+	ra, dec := pos.RADec()
+	b := model.Birth{
+		Object: model.Object{
+			ID:   e.survey.NextID(),
+			Size: lognormalBytes(rng, float64(meanSize), 1.0, 1024),
+		},
+		RA:   ra,
+		Dec:  dec,
+		Time: e.now,
+	}
+	if err := e.survey.AddObject(b); err != nil {
+		return fmt.Errorf("workload: birth: %w", err)
+	}
+	// Carry the inherited trixel on the shipped birth.
+	obj, err := e.survey.Object(b.Object.ID)
+	if err != nil {
+		return err
+	}
+	b.Object = obj
+	e.born = append(e.born, b)
+	e.events = append(e.events, model.Event{
+		Seq:   int64(len(e.events)),
+		Kind:  model.EventBirth,
+		Birth: &b,
+	})
+	return nil
+}
+
+func lognormalBytes(rng *rand.Rand, mean, sigma float64, floor cost.Bytes) cost.Bytes {
+	mu := math.Log(math.Max(mean, float64(floor))) - sigma*sigma/2
+	size := math.Exp(mu + sigma*rng.NormFloat64())
+	if size < float64(floor) {
+		return floor
+	}
+	return cost.Bytes(size)
+}
+
+// queryAnchors draws n anchor points on the flanks of query-hot blobs.
+func queryAnchors(rng *rand.Rand, survey *catalog.Survey, n int) ([]geom.Vec3, error) {
+	blobs := survey.Sky().Blobs(catalog.QueryHot)
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("workload: survey sky lacks query blobs")
+	}
+	out := make([]geom.Vec3, n)
+	for i := range out {
+		b := blobs[rng.Intn(len(blobs))]
+		out[i] = perturb(rng, b.Center, b.Sigma*0.6)
+	}
+	return out, nil
+}
+
+// updatePos draws an update position near an update-hot blob.
+func updatePos(rng *rand.Rand, survey *catalog.Survey) (geom.Vec3, error) {
+	blobs := survey.Sky().Blobs(catalog.UpdateHot)
+	if len(blobs) == 0 {
+		return geom.Vec3{}, fmt.Errorf("workload: survey sky lacks update blobs")
+	}
+	b := blobs[rng.Intn(len(blobs))]
+	return perturb(rng, b.Center, b.Sigma), nil
+}
+
+// interleave runs the Bresenham query/update interleave over exactly
+// queries+updates slots, calling q or u per slot. The deterministic
+// proportional schedule keeps both streams evenly mixed regardless of
+// the ratio.
+func interleave(queries, updates int, q func(i int), u func(i int)) {
+	total := queries + updates
+	qIssued, uIssued := 0, 0
+	for slot := 0; slot < total; slot++ {
+		emitQuery := int64(qIssued)*int64(total) <= int64(slot)*int64(queries) && qIssued < queries
+		if uIssued >= updates {
+			emitQuery = true
+		}
+		if emitQuery {
+			q(qIssued)
+			qIssued++
+		} else {
+			u(uIssued)
+			uIssued++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// zipf-drift
+
+// ZipfDrift reproduces the headline finding of the access-trend
+// studies: object popularity is Zipf-distributed, but the *identity*
+// of the popular objects drifts over time. Queries draw an anchor rank
+// from a Zipf distribution; the rank→anchor mapping rotates once per
+// drift phase, so each phase has the same popularity curve over a
+// shifted set of sky regions.
+type ZipfDrift struct {
+	// Skew is the Zipf s parameter; must exceed 1. Default 1.25.
+	Skew float64
+	// Anchors is the number of ranked sky anchors. Default 16.
+	Anchors int
+	// DriftPhases is how many times the rank→anchor mapping rotates
+	// across the trace. Default 4.
+	DriftPhases int
+	// RadiusDeg is the cone radius of anchor queries. Default 0.7.
+	RadiusDeg float64
+	// BackgroundFrac is the fraction of queries aimed anywhere on the
+	// sky; zero keeps every query on an anchor, which is what makes
+	// rank-frequency measurable.
+	BackgroundFrac float64
+}
+
+func (z ZipfDrift) withDefaults() ZipfDrift {
+	if z.Skew == 0 {
+		z.Skew = 1.25
+	}
+	if z.Anchors == 0 {
+		z.Anchors = 16
+	}
+	if z.DriftPhases == 0 {
+		z.DriftPhases = 4
+	}
+	if z.RadiusDeg == 0 {
+		z.RadiusDeg = 0.7
+	}
+	return z
+}
+
+func (z ZipfDrift) validate() error {
+	if z.Skew <= 1 {
+		return fmt.Errorf("workload: zipf skew must exceed 1, got %v", z.Skew)
+	}
+	if z.Anchors < 2 {
+		return fmt.Errorf("workload: zipf needs at least 2 anchors, got %d", z.Anchors)
+	}
+	if z.DriftPhases < 1 {
+		return fmt.Errorf("workload: drift phases must be positive, got %d", z.DriftPhases)
+	}
+	if z.RadiusDeg <= 0 || z.RadiusDeg > 90 {
+		return fmt.Errorf("workload: anchor radius %v out of (0,90]", z.RadiusDeg)
+	}
+	if z.BackgroundFrac < 0 || z.BackgroundFrac > 1 {
+		return fmt.Errorf("workload: background fraction out of range")
+	}
+	return nil
+}
+
+// Name implements Scenario.
+func (ZipfDrift) Name() string { return "zipf-drift" }
+
+// Description implements Scenario.
+func (ZipfDrift) Description() string {
+	return "Zipf-skewed anchor popularity whose rank→region mapping rotates each drift phase"
+}
+
+// Events implements Scenario.
+func (z ZipfDrift) Events(survey *catalog.Survey, opts Options) ([]model.Event, error) {
+	z = z.withDefaults()
+	if err := z.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(6000, 2000)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEmitter(survey, opts, opts.Queries+opts.Updates)
+	if err != nil {
+		return nil, err
+	}
+	planRng := rand.New(rand.NewSource(opts.Seed))
+	qRng := rand.New(rand.NewSource(opts.Seed ^ 0x51ec5))
+	uRng := rand.New(rand.NewSource(opts.Seed ^ 0x0bda7e))
+	anchors, err := queryAnchors(planRng, survey, z.Anchors)
+	if err != nil {
+		return nil, err
+	}
+	zipf := rand.NewZipf(qRng, z.Skew, 1, uint64(z.Anchors-1))
+
+	interleave(opts.Queries, opts.Updates,
+		func(i int) {
+			e.tick(opts.EventInterval)
+			if qRng.Float64() < z.BackgroundFrac {
+				e.coneQuery(qRng, randomUnit(qRng), z.RadiusDeg, cost.MB)
+				return
+			}
+			phase := i * z.DriftPhases / max(opts.Queries, 1)
+			rank := int(zipf.Uint64())
+			anchor := anchors[(rank+phase)%len(anchors)]
+			// A tight wobble keeps each anchor's covered object set
+			// stable, so rank-frequency is measurable downstream.
+			e.coneQuery(qRng, perturb(qRng, anchor, 0.05*math.Pi/180), z.RadiusDeg, cost.MB)
+		},
+		func(int) {
+			e.tick(opts.EventInterval)
+			pos, uerr := updatePos(uRng, survey)
+			if uerr != nil {
+				err = uerr
+				return
+			}
+			e.update(uRng, pos, 232*cost.KB)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return e.events, nil
+}
+
+// ---------------------------------------------------------------------
+// diurnal
+
+// Diurnal reproduces the day/night load cycle: interactive queries
+// cluster in the working-hours peak, pipeline updates concentrate in
+// the quiet trough, and arrival intensity swings by PeakFactor between
+// them, modulating inter-event gaps sinusoidally.
+type Diurnal struct {
+	// PeriodEvents is the length of one virtual day in events.
+	// Default 2000.
+	PeriodEvents int
+	// PeakFactor is the day-peak arrival intensity over the night
+	// trough; must be at least 1. Default 4.
+	PeakFactor float64
+	// NightUpdateShare is the fraction of updates forced into the
+	// night half of each cycle. Default 0.8.
+	NightUpdateShare float64
+	// RadiusDeg is the cone radius of interactive queries.
+	// Default 1.0.
+	RadiusDeg float64
+}
+
+func (d Diurnal) withDefaults() Diurnal {
+	if d.PeriodEvents == 0 {
+		d.PeriodEvents = 2000
+	}
+	if d.PeakFactor == 0 {
+		d.PeakFactor = 4
+	}
+	if d.NightUpdateShare == 0 {
+		d.NightUpdateShare = 0.8
+	}
+	if d.RadiusDeg == 0 {
+		d.RadiusDeg = 1.0
+	}
+	return d
+}
+
+func (d Diurnal) validate() error {
+	if d.PeriodEvents < 8 {
+		return fmt.Errorf("workload: diurnal period must be at least 8 events, got %d", d.PeriodEvents)
+	}
+	if d.PeakFactor < 1 {
+		return fmt.Errorf("workload: peak factor must be at least 1, got %v", d.PeakFactor)
+	}
+	if d.NightUpdateShare < 0 || d.NightUpdateShare > 1 {
+		return fmt.Errorf("workload: night update share out of range")
+	}
+	if d.RadiusDeg <= 0 || d.RadiusDeg > 90 {
+		return fmt.Errorf("workload: query radius %v out of (0,90]", d.RadiusDeg)
+	}
+	return nil
+}
+
+// Name implements Scenario.
+func (Diurnal) Name() string { return "diurnal" }
+
+// Description implements Scenario.
+func (Diurnal) Description() string {
+	return "day/night cycles: interactive queries at the peak, pipeline updates in the trough"
+}
+
+// Events implements Scenario.
+func (d Diurnal) Events(survey *catalog.Survey, opts Options) ([]model.Event, error) {
+	d = d.withDefaults()
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(6000, 3000)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEmitter(survey, opts, opts.Queries+opts.Updates)
+	if err != nil {
+		return nil, err
+	}
+	planRng := rand.New(rand.NewSource(opts.Seed))
+	qRng := rand.New(rand.NewSource(opts.Seed ^ 0x51ec5))
+	uRng := rand.New(rand.NewSource(opts.Seed ^ 0x0bda7e))
+	anchors, err := queryAnchors(planRng, survey, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	total := opts.Queries + opts.Updates
+	// dayness(slot) ∈ [0,1]: 1 at the peak of the cycle, 0 in the
+	// trough.
+	dayness := func(slot int) float64 {
+		phase := 2 * math.Pi * float64(slot%d.PeriodEvents) / float64(d.PeriodEvents)
+		return (1 + math.Sin(phase)) / 2
+	}
+	// Assign kinds: updates claim the night-most slots first (their
+	// NightUpdateShare), the rest follow the plain interleave over
+	// what remains. Sorting slot indices by dayness is deterministic.
+	kind := make([]model.EventKind, total)
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dayness(order[a]) < dayness(order[b]) })
+	nightUpdates := int(float64(opts.Updates) * d.NightUpdateShare)
+	for _, slot := range order[:min(nightUpdates, total)] {
+		kind[slot] = model.EventUpdate
+	}
+	// Distribute the remaining events over unclaimed slots.
+	restQ, restU := opts.Queries, opts.Updates-nightUpdates
+	qLeft, uLeft := restQ, restU
+	seen := 0
+	for slot := 0; slot < total; slot++ {
+		if kind[slot] != 0 {
+			continue
+		}
+		emitQuery := int64(qLeft) > 0 &&
+			(uLeft == 0 || int64(restQ-qLeft)*int64(restQ+restU) <= int64(seen)*int64(restQ))
+		if emitQuery {
+			kind[slot] = model.EventQuery
+			qLeft--
+		} else {
+			kind[slot] = model.EventUpdate
+			uLeft--
+		}
+		seen++
+	}
+
+	for slot := 0; slot < total; slot++ {
+		// High intensity compresses inter-event gaps: a PeakFactor of 4
+		// makes peak arrivals 4× denser than trough arrivals.
+		intensity := 1 + (d.PeakFactor-1)*dayness(slot)
+		e.tick(time.Duration(float64(opts.EventInterval) / intensity))
+		if kind[slot] == model.EventQuery {
+			anchor := anchors[(slot/d.PeriodEvents)%len(anchors)]
+			if qRng.Float64() < 0.3 {
+				anchor = anchors[qRng.Intn(len(anchors))]
+			}
+			e.coneQuery(qRng, perturb(qRng, anchor, 0.5*math.Pi/180), d.RadiusDeg, cost.MB)
+		} else {
+			pos, uerr := updatePos(uRng, survey)
+			if uerr != nil {
+				return nil, uerr
+			}
+			e.update(uRng, pos, 232*cost.KB)
+		}
+	}
+	return e.events, nil
+}
+
+// ---------------------------------------------------------------------
+// batch-interactive
+
+// BatchInteractive alternates batch-pipeline bursts with an
+// interactive trickle: every BatchPeriod events a pipeline wakes up
+// and fires BatchLen events back to back (updates plus wide scans) at
+// BatchSpeedup× the base rate, then individual users trickle cone
+// searches at the base rate.
+type BatchInteractive struct {
+	// BatchPeriod is the distance between batch-burst starts, in
+	// events. Default 400.
+	BatchPeriod int
+	// BatchLen is how many events each burst carries; must be smaller
+	// than BatchPeriod. Default 80.
+	BatchLen int
+	// BatchSpeedup is how much faster events arrive inside a burst;
+	// must be at least 1. Default 20.
+	BatchSpeedup float64
+	// WideFrac is the fraction of burst queries that are wide-area
+	// scans. Default 0.3.
+	WideFrac float64
+}
+
+func (b BatchInteractive) withDefaults() BatchInteractive {
+	if b.BatchPeriod == 0 {
+		b.BatchPeriod = 400
+	}
+	if b.BatchLen == 0 {
+		b.BatchLen = 80
+	}
+	if b.BatchSpeedup == 0 {
+		b.BatchSpeedup = 20
+	}
+	if b.WideFrac == 0 {
+		b.WideFrac = 0.3
+	}
+	return b
+}
+
+func (b BatchInteractive) validate() error {
+	if b.BatchPeriod < 2 {
+		return fmt.Errorf("workload: batch period must be at least 2, got %d", b.BatchPeriod)
+	}
+	if b.BatchLen < 1 {
+		return fmt.Errorf("workload: batch length must be positive, got %d", b.BatchLen)
+	}
+	if b.BatchLen >= b.BatchPeriod {
+		return fmt.Errorf("workload: batch length %d must leave interactive room within period %d",
+			b.BatchLen, b.BatchPeriod)
+	}
+	if b.BatchSpeedup < 1 {
+		return fmt.Errorf("workload: batch speedup must be at least 1, got %v", b.BatchSpeedup)
+	}
+	if b.WideFrac < 0 || b.WideFrac > 1 {
+		return fmt.Errorf("workload: wide fraction out of range")
+	}
+	return nil
+}
+
+// Name implements Scenario.
+func (BatchInteractive) Name() string { return "batch-interactive" }
+
+// Description implements Scenario.
+func (BatchInteractive) Description() string {
+	return "pipeline bursts of updates+wide scans over an interactive cone-search trickle"
+}
+
+// Events implements Scenario.
+func (b BatchInteractive) Events(survey *catalog.Survey, opts Options) ([]model.Event, error) {
+	b = b.withDefaults()
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(5000, 3000)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEmitter(survey, opts, opts.Queries+opts.Updates)
+	if err != nil {
+		return nil, err
+	}
+	planRng := rand.New(rand.NewSource(opts.Seed))
+	qRng := rand.New(rand.NewSource(opts.Seed ^ 0x51ec5))
+	uRng := rand.New(rand.NewSource(opts.Seed ^ 0x0bda7e))
+	anchors, err := queryAnchors(planRng, survey, 6)
+	if err != nil {
+		return nil, err
+	}
+
+	total := opts.Queries + opts.Updates
+	qLeft, uLeft := opts.Queries, opts.Updates
+	for slot := 0; slot < total; slot++ {
+		inBatch := slot%b.BatchPeriod < b.BatchLen
+		if inBatch {
+			e.tick(time.Duration(float64(opts.EventInterval) / b.BatchSpeedup))
+		} else {
+			e.tick(opts.EventInterval)
+		}
+		// Bursts prefer updates; the trickle prefers queries. Quotas
+		// stay exact: when a stream runs dry the other fills in.
+		wantUpdate := inBatch && uRng.Float64() < 0.7
+		if wantUpdate && uLeft == 0 {
+			wantUpdate = false
+		}
+		if !wantUpdate && qLeft == 0 {
+			wantUpdate = true
+		}
+		if wantUpdate {
+			pos, uerr := updatePos(uRng, survey)
+			if uerr != nil {
+				return nil, uerr
+			}
+			e.update(uRng, pos, 232*cost.KB)
+			uLeft--
+			continue
+		}
+		if inBatch && qRng.Float64() < b.WideFrac {
+			// Pipeline re-derivation pass: wide scan over its stripe.
+			e.coneQuery(qRng, perturb(qRng, anchors[(slot/b.BatchPeriod)%len(anchors)], 0.5*math.Pi/180),
+				10+qRng.Float64()*20, 4*cost.MB)
+		} else {
+			e.coneQuery(qRng, perturb(qRng, anchors[qRng.Intn(len(anchors))], 1.5*math.Pi/180),
+				0.3+qRng.Float64()*1.2, cost.MB)
+		}
+		qLeft--
+	}
+	return e.events, nil
+}
+
+// ---------------------------------------------------------------------
+// flash-crowd
+
+// FlashCrowd runs a steady baseline mix until one sky region goes
+// viral mid-trace: the share of queries aimed at that region ramps
+// linearly from zero at StartFrac to PeakShare at PeakFrac, then
+// decays back to zero by EndFrac. This is the pinning harness for
+// autopilot elasticity: p99 on the viral region must recover without
+// operator action.
+type FlashCrowd struct {
+	// StartFrac, PeakFrac, and EndFrac position the ramp within the
+	// trace; they must be strictly ordered within [0,1].
+	// Defaults 0.3, 0.5, 0.8.
+	StartFrac float64
+	PeakFrac  float64
+	EndFrac   float64
+	// PeakShare is the fraction of queries hitting the viral region
+	// at the peak. Default 0.8.
+	PeakShare float64
+	// RadiusDeg is the viral query cone radius. Default 0.5.
+	RadiusDeg float64
+}
+
+func (f FlashCrowd) withDefaults() FlashCrowd {
+	if f.StartFrac == 0 {
+		f.StartFrac = 0.3
+	}
+	if f.PeakFrac == 0 {
+		f.PeakFrac = 0.5
+	}
+	if f.EndFrac == 0 {
+		f.EndFrac = 0.8
+	}
+	if f.PeakShare == 0 {
+		f.PeakShare = 0.8
+	}
+	if f.RadiusDeg == 0 {
+		f.RadiusDeg = 0.5
+	}
+	return f
+}
+
+func (f FlashCrowd) validate() error {
+	if f.StartFrac < 0 || f.EndFrac > 1 ||
+		f.StartFrac >= f.PeakFrac || f.PeakFrac >= f.EndFrac {
+		return fmt.Errorf("workload: flash-crowd ramp %v < %v < %v must be ordered within [0,1]",
+			f.StartFrac, f.PeakFrac, f.EndFrac)
+	}
+	if f.PeakShare <= 0 || f.PeakShare > 1 {
+		return fmt.Errorf("workload: peak share %v out of (0,1]", f.PeakShare)
+	}
+	if f.RadiusDeg <= 0 || f.RadiusDeg > 90 {
+		return fmt.Errorf("workload: viral radius %v out of (0,90]", f.RadiusDeg)
+	}
+	return nil
+}
+
+// Name implements Scenario.
+func (FlashCrowd) Name() string { return "flash-crowd" }
+
+// Description implements Scenario.
+func (FlashCrowd) Description() string {
+	return "steady baseline until one sky region goes viral mid-trace, then decays"
+}
+
+// Events implements Scenario.
+func (f FlashCrowd) Events(survey *catalog.Survey, opts Options) ([]model.Event, error) {
+	f = f.withDefaults()
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(8000, 2000)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEmitter(survey, opts, opts.Queries+opts.Updates)
+	if err != nil {
+		return nil, err
+	}
+	planRng := rand.New(rand.NewSource(opts.Seed))
+	qRng := rand.New(rand.NewSource(opts.Seed ^ 0x51ec5))
+	uRng := rand.New(rand.NewSource(opts.Seed ^ 0x0bda7e))
+	anchors, err := queryAnchors(planRng, survey, 8)
+	if err != nil {
+		return nil, err
+	}
+	viral := anchors[planRng.Intn(len(anchors))]
+
+	// viralShare is the ramp profile at trace position frac ∈ [0,1].
+	viralShare := func(frac float64) float64 {
+		switch {
+		case frac <= f.StartFrac || frac >= f.EndFrac:
+			return 0
+		case frac < f.PeakFrac:
+			return f.PeakShare * (frac - f.StartFrac) / (f.PeakFrac - f.StartFrac)
+		default:
+			return f.PeakShare * (f.EndFrac - frac) / (f.EndFrac - f.PeakFrac)
+		}
+	}
+
+	interleave(opts.Queries, opts.Updates,
+		func(i int) {
+			e.tick(opts.EventInterval)
+			frac := float64(i) / float64(max(opts.Queries, 1))
+			if qRng.Float64() < viralShare(frac) {
+				// The crowd all looks at the same thing: tight cones on
+				// the viral region.
+				e.coneQuery(qRng, perturb(qRng, viral, 0.1*math.Pi/180), f.RadiusDeg, cost.MB)
+				return
+			}
+			e.coneQuery(qRng, perturb(qRng, anchors[qRng.Intn(len(anchors))], 1.5*math.Pi/180),
+				0.3+qRng.Float64()*1.7, cost.MB)
+		},
+		func(int) {
+			e.tick(opts.EventInterval)
+			pos, uerr := updatePos(uRng, survey)
+			if uerr != nil {
+				err = uerr
+				return
+			}
+			e.update(uRng, pos, 232*cost.KB)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return e.events, nil
+}
+
+// ---------------------------------------------------------------------
+// growth-spurt
+
+// GrowthSpurt concentrates repository growth in time and sky: instead
+// of the base generator's evenly-spread births, data releases land as
+// storms — runs of consecutive births clustered around one sky region
+// — and the query stream piles onto the newborns, reproducing the
+// access concentration on newly released data.
+type GrowthSpurt struct {
+	// Births is the total number of objects published. Default 120.
+	Births int
+	// Storms is how many birth storms the births are concentrated
+	// into; must not exceed Births. Default 4.
+	Storms int
+	// StormRadiusDeg is the sky scatter of one storm's births around
+	// its region. Default 3.
+	StormRadiusDeg float64
+	// NewbornBias is the probability a query issued after the first
+	// storm targets a recent newborn. Default 0.5.
+	NewbornBias float64
+}
+
+func (g GrowthSpurt) withDefaults() GrowthSpurt {
+	if g.Births == 0 {
+		g.Births = 120
+	}
+	if g.Storms == 0 {
+		g.Storms = 4
+	}
+	if g.StormRadiusDeg == 0 {
+		g.StormRadiusDeg = 3
+	}
+	if g.NewbornBias == 0 {
+		g.NewbornBias = 0.5
+	}
+	return g
+}
+
+func (g GrowthSpurt) validate() error {
+	if g.Births < 1 {
+		return fmt.Errorf("workload: growth spurt needs births, got %d", g.Births)
+	}
+	if g.Storms < 1 {
+		return fmt.Errorf("workload: storms must be positive, got %d", g.Storms)
+	}
+	if g.Storms > g.Births {
+		return fmt.Errorf("workload: %d storms cannot carry only %d births", g.Storms, g.Births)
+	}
+	if g.StormRadiusDeg <= 0 || g.StormRadiusDeg > 90 {
+		return fmt.Errorf("workload: storm radius %v out of (0,90]", g.StormRadiusDeg)
+	}
+	if g.NewbornBias < 0 || g.NewbornBias > 1 {
+		return fmt.Errorf("workload: newborn bias out of range")
+	}
+	return nil
+}
+
+// Name implements Scenario.
+func (GrowthSpurt) Name() string { return "growth-spurt" }
+
+// Description implements Scenario.
+func (GrowthSpurt) Description() string {
+	return "birth storms concentrated in time and sky region, with access piling onto newborns"
+}
+
+// Events implements Scenario.
+func (g GrowthSpurt) Events(survey *catalog.Survey, opts Options) ([]model.Event, error) {
+	g = g.withDefaults()
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(5000, 2000)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	total := opts.Queries + opts.Updates + g.Births
+	e, err := newEmitter(survey, opts, total)
+	if err != nil {
+		return nil, err
+	}
+	planRng := rand.New(rand.NewSource(opts.Seed))
+	qRng := rand.New(rand.NewSource(opts.Seed ^ 0x51ec5))
+	uRng := rand.New(rand.NewSource(opts.Seed ^ 0x0bda7e))
+	bRng := rand.New(rand.NewSource(opts.Seed ^ 0x6b17f5))
+	anchors, err := queryAnchors(planRng, survey, 8)
+	if err != nil {
+		return nil, err
+	}
+	// Storm plan: start slots spread through the middle of the trace,
+	// each storm a run of consecutive birth slots near one region.
+	perStorm := g.Births / g.Storms
+	extra := g.Births % g.Storms
+	maxPerStorm := perStorm
+	if extra > 0 {
+		maxPerStorm++
+	}
+	if spacing := total / (g.Storms + 1); maxPerStorm >= spacing {
+		// Overlapping storm windows would silently swallow births.
+		return nil, fmt.Errorf("workload: %d births in %d storms do not fit a %d-event trace",
+			g.Births, g.Storms, total)
+	}
+	type storm struct {
+		start, count int
+		center       geom.Vec3
+	}
+	storms := make([]storm, g.Storms)
+	for i := range storms {
+		count := perStorm
+		if i < extra {
+			count++
+		}
+		storms[i] = storm{
+			start:  (i + 1) * total / (g.Storms + 1),
+			count:  count,
+			center: perturb(planRng, anchors[planRng.Intn(len(anchors))], 1*math.Pi/180),
+		}
+	}
+	stormAt := func(slot int) (storm, bool) {
+		for _, st := range storms {
+			if slot >= st.start && slot < st.start+st.count {
+				return st, true
+			}
+		}
+		return storm{}, false
+	}
+
+	meanBirthSize := 4 * cost.MB
+	qIssued, uIssued := 0, 0
+	quTotal := opts.Queries + opts.Updates
+	for slot := 0; slot < total; slot++ {
+		e.tick(opts.EventInterval)
+		if st, ok := stormAt(slot); ok {
+			pos := perturb(bRng, st.center, g.StormRadiusDeg*math.Pi/180)
+			if err := e.birth(bRng, pos, meanBirthSize); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		qu := qIssued + uIssued
+		emitQuery := int64(qIssued)*int64(quTotal) <= int64(qu)*int64(opts.Queries) &&
+			qIssued < opts.Queries
+		if uIssued >= opts.Updates {
+			emitQuery = true
+		}
+		if emitQuery {
+			if len(e.born) > 0 && qRng.Float64() < g.NewbornBias {
+				recent := e.born[max(0, len(e.born)-16):]
+				b := recent[qRng.Intn(len(recent))]
+				e.coneQuery(qRng, perturb(qRng, geom.FromRADec(b.RA, b.Dec), 0.2*math.Pi/180),
+					0.3+qRng.Float64()*0.7, cost.MB)
+			} else {
+				e.coneQuery(qRng, perturb(qRng, anchors[qRng.Intn(len(anchors))], 1.5*math.Pi/180),
+					0.3+qRng.Float64()*1.7, cost.MB)
+			}
+			qIssued++
+		} else {
+			pos, uerr := updatePos(uRng, survey)
+			if uerr != nil {
+				return nil, uerr
+			}
+			e.update(uRng, pos, 232*cost.KB)
+			uIssued++
+		}
+	}
+	return e.events, nil
+}

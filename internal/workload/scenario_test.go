@@ -1,0 +1,491 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/geom"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/sim"
+)
+
+func TestScenarioRegistry(t *testing.T) {
+	list := Scenarios()
+	if len(list) != 5 {
+		t.Fatalf("got %d scenarios, want 5", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Name() >= list[i].Name() {
+			t.Errorf("registry not sorted: %q before %q", list[i-1].Name(), list[i].Name())
+		}
+	}
+	for _, s := range list {
+		if s.Description() == "" {
+			t.Errorf("scenario %q lacks a description", s.Name())
+		}
+		got, err := Lookup(s.Name())
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", s.Name(), err)
+		} else if got.Name() != s.Name() {
+			t.Errorf("Lookup(%q) returned %q", s.Name(), got.Name())
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Error("unknown scenario should fail lookup")
+	}
+}
+
+// TestScenarioEventContract checks every scenario against the event
+// stream contract the replayers rely on: valid events, dense ascending
+// sequence numbers, strictly increasing times, exact query/update
+// conservation.
+func TestScenarioEventContract(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name(), func(t *testing.T) {
+			survey := testSurvey(t)
+			base := survey.NumObjects()
+			opts := Options{Seed: 3, Queries: 600, Updates: 300}
+			events, err := sc.Events(survey, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var q, u, b int
+			lastTime := time.Duration(-1)
+			for i := range events {
+				e := &events[i]
+				if err := e.Validate(); err != nil {
+					t.Fatalf("event %d invalid: %v", i, err)
+				}
+				if e.Seq != int64(i) {
+					t.Fatalf("event %d has seq %d", i, e.Seq)
+				}
+				if e.Time() <= lastTime {
+					t.Fatalf("event %d time %v not after %v", i, e.Time(), lastTime)
+				}
+				lastTime = e.Time()
+				switch e.Kind {
+				case model.EventQuery:
+					q++
+					for _, id := range e.Query.Objects {
+						if id < 1 || int(id) > survey.NumObjects() {
+							t.Fatalf("query %d touches unknown object %d", e.Query.ID, id)
+						}
+					}
+				case model.EventUpdate:
+					u++
+				case model.EventBirth:
+					b++
+				}
+			}
+			if q != opts.Queries || u != opts.Updates {
+				t.Errorf("conservation broken: %d/%d queries, %d/%d updates",
+					q, opts.Queries, u, opts.Updates)
+			}
+			if survey.NumObjects() != base+b {
+				t.Errorf("survey grew %d but trace carries %d births",
+					survey.NumObjects()-base, b)
+			}
+		})
+	}
+}
+
+// TestScenarioValidation drives every invalid knob of every scenario
+// (and the shared Options) through its error path.
+func TestScenarioValidation(t *testing.T) {
+	survey := testSurvey(t)
+	cases := []struct {
+		name string
+		sc   Scenario
+		opts Options
+	}{
+		{"options negative queries", ZipfDrift{}, Options{Queries: -1, Updates: 10}},
+		{"options negative updates", ZipfDrift{}, Options{Queries: 10, Updates: -1}},
+		{"options negative interval", ZipfDrift{}, Options{Queries: 10, Updates: 10, EventInterval: -time.Second}},
+		{"zipf skew at 1", ZipfDrift{Skew: 1}, Options{}},
+		{"zipf skew below 1", ZipfDrift{Skew: 0.5}, Options{}},
+		{"zipf one anchor", ZipfDrift{Anchors: 1}, Options{}},
+		{"zipf negative phases", ZipfDrift{DriftPhases: -1}, Options{}},
+		{"zipf radius negative", ZipfDrift{RadiusDeg: -2}, Options{}},
+		{"zipf radius too wide", ZipfDrift{RadiusDeg: 120}, Options{}},
+		{"zipf background above 1", ZipfDrift{BackgroundFrac: 1.5}, Options{}},
+		{"diurnal short period", Diurnal{PeriodEvents: 4}, Options{}},
+		{"diurnal peak below 1", Diurnal{PeakFactor: 0.5}, Options{}},
+		{"diurnal night share above 1", Diurnal{NightUpdateShare: 1.2}, Options{}},
+		{"diurnal radius negative", Diurnal{RadiusDeg: -1}, Options{}},
+		{"batch period too small", BatchInteractive{BatchPeriod: 1}, Options{}},
+		{"batch negative length", BatchInteractive{BatchLen: -3}, Options{}},
+		{"batch fills whole period", BatchInteractive{BatchPeriod: 50, BatchLen: 50}, Options{}},
+		{"batch speedup below 1", BatchInteractive{BatchSpeedup: 0.2}, Options{}},
+		{"batch wide frac above 1", BatchInteractive{WideFrac: 2}, Options{}},
+		{"flash ramp unordered", FlashCrowd{StartFrac: 0.6, PeakFrac: 0.5, EndFrac: 0.8}, Options{}},
+		{"flash ramp out of trace", FlashCrowd{StartFrac: 0.5, PeakFrac: 0.8, EndFrac: 1.2}, Options{}},
+		{"flash peak share above 1", FlashCrowd{PeakShare: 1.5}, Options{}},
+		{"flash radius negative", FlashCrowd{RadiusDeg: -0.5}, Options{}},
+		{"growth negative births", GrowthSpurt{Births: -5}, Options{}},
+		{"growth negative storms", GrowthSpurt{Storms: -1}, Options{}},
+		{"growth more storms than births", GrowthSpurt{Births: 3, Storms: 8}, Options{}},
+		{"growth storm radius negative", GrowthSpurt{StormRadiusDeg: -2}, Options{}},
+		{"growth newborn bias above 1", GrowthSpurt{NewbornBias: 1.5}, Options{}},
+		{"growth births overflow trace", GrowthSpurt{Births: 500, Storms: 1}, Options{Queries: 50, Updates: 50}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.sc.Events(survey, tt.opts); err == nil {
+				t.Errorf("expected error for %s", tt.name)
+			}
+		})
+	}
+	for _, sc := range Scenarios() {
+		if _, err := sc.Events(nil, Options{}); err == nil {
+			t.Errorf("%s: nil survey should fail", sc.Name())
+		}
+	}
+}
+
+// TestConfigValidationTable covers every invalid knob (and conflicting
+// knob combination) of the base generator Config.
+func TestConfigValidationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no events", func(c *Config) { c.NumQueries, c.NumUpdates = 0, 0 }},
+		{"negative queries", func(c *Config) { c.NumQueries = -1 }},
+		{"negative updates", func(c *Config) { c.NumUpdates = -1 }},
+		{"no campaigns", func(c *Config) { c.Campaigns = 0 }},
+		{"negative campaign spread", func(c *Config) { c.CampaignSpreadDeg = -1 }},
+		{"negative min radius", func(c *Config) { c.QueryRadiusMinDeg = -0.5 }},
+		{"zero max radius", func(c *Config) { c.QueryRadiusMaxDeg = 0 }},
+		{"radius min above max", func(c *Config) { c.QueryRadiusMinDeg, c.QueryRadiusMaxDeg = 5, 2 }},
+		{"wide scan frac above 1", func(c *Config) { c.WideScanFrac = 1.5 }},
+		{"background frac negative", func(c *Config) { c.BackgroundQueryFrac = -0.1 }},
+		{"zero mean result size", func(c *Config) { c.MeanResultSize = 0 }},
+		{"negative result sigma", func(c *Config) { c.ResultSigma = -1 }},
+		{"negative tolerance frac", func(c *Config) { c.ZeroTolFrac = -0.2 }},
+		{"tolerance fracs exceed 1", func(c *Config) { c.ZeroTolFrac, c.AnyTolFrac = 0.8, 0.5 }},
+		{"hotspot bias above 1", func(c *Config) { c.HotspotBias = 1.2 }},
+		{"query blob frac negative", func(c *Config) { c.QueryBlobUpdateFrac = -0.1 }},
+		{"hotspot+query blob exceed 1", func(c *Config) { c.HotspotBias, c.QueryBlobUpdateFrac = 0.8, 0.4 }},
+		{"zero scan step with updates", func(c *Config) { c.ScanStep = 0 }},
+		{"zero mean update size", func(c *Config) { c.MeanUpdateSize = 0 }},
+		{"warmup frac above 1", func(c *Config) { c.WarmupFrac = 1.5 }},
+		{"warmup scale conflicts", func(c *Config) { c.WarmupFrac, c.WarmupScale = 0.5, 0 }},
+		{"negative growth", func(c *Config) { c.GrowthObjects = -1 }},
+		{"birth bias above 1", func(c *Config) { c.BirthBias = 2 }},
+		{"zero event interval", func(c *Config) { c.EventInterval = 0 }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("expected error for %s", tt.name)
+			}
+		})
+	}
+	// Knobs that only conflict in combination stay valid alone.
+	okCases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"queries only skips update knobs", func(c *Config) { c.NumUpdates, c.ScanStep, c.MeanUpdateSize = 0, 0, 0 }},
+		{"no warmup skips scale", func(c *Config) { c.WarmupFrac, c.WarmupScale = 0, 0 }},
+		{"tolerance fracs at exactly 1", func(c *Config) { c.ZeroTolFrac, c.AnyTolFrac = 0.7, 0.3 }},
+	}
+	for _, tt := range okCases {
+		t.Run("ok/"+tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+// TestScenarioConservationProperty is the testing/quick half of the
+// conservation contract: random small event mixes always conserve
+// counts, for every scenario.
+func TestScenarioConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		if sc.Name() == "growth-spurt" {
+			// Pin births small enough to fit the random trace lengths.
+			sc = GrowthSpurt{Births: 8, Storms: 2}
+		}
+		prop := func(seed uint16, dq, du uint8) bool {
+			survey := quickSurvey()
+			opts := Options{
+				Seed:    int64(seed) + 1,
+				Queries: 100 + int(dq),
+				Updates: 50 + int(du),
+			}
+			events, err := sc.Events(survey, opts)
+			if err != nil {
+				t.Logf("%s: %v", sc.Name(), err)
+				return false
+			}
+			var q, u int
+			for i := range events {
+				switch events[i].Kind {
+				case model.EventQuery:
+					q++
+				case model.EventUpdate:
+					u++
+				}
+			}
+			return q == opts.Queries && u == opts.Updates
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+			t.Errorf("%s: %v", sc.Name(), err)
+		}
+	}
+}
+
+// TestZeroGrowthScenariosByteIdentical: scenarios that do not grow the
+// universe must produce byte-identical traces on repeated generation
+// against identical surveys.
+func TestZeroGrowthScenariosByteIdentical(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if sc.Name() == "growth-spurt" {
+			continue
+		}
+		t.Run(sc.Name(), func(t *testing.T) {
+			opts := Options{Seed: 11, Queries: 500, Updates: 250}
+			a, err := sc.Events(testSurvey(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sc.Events(testSurvey(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bufA, bufB bytes.Buffer
+			serializeEvents(&bufA, a)
+			serializeEvents(&bufB, b)
+			if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+				t.Error("repeated generation not byte-identical")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Error("repeated generation not deeply equal")
+			}
+		})
+	}
+}
+
+// TestGrowthSpurtDeterministic: the growing scenario is deterministic
+// too, and concentrates births into storm runs.
+func TestGrowthSpurtDeterministic(t *testing.T) {
+	sc := GrowthSpurt{Births: 24, Storms: 3}
+	opts := Options{Seed: 5, Queries: 800, Updates: 400}
+	a, err := sc.Events(testSurvey(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Events(testSurvey(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("growth-spurt not deterministic")
+	}
+	// Births arrive in exactly Storms consecutive runs.
+	runs, births := 0, 0
+	prevBirth := false
+	for i := range a {
+		isBirth := a[i].Kind == model.EventBirth
+		if isBirth {
+			births++
+			if !prevBirth {
+				runs++
+			}
+		}
+		prevBirth = isBirth
+	}
+	if births != 24 {
+		t.Errorf("got %d births, want 24", births)
+	}
+	if runs != 3 {
+		t.Errorf("births split into %d runs, want 3 storms", runs)
+	}
+}
+
+// TestZipfRankFrequency checks the measured anchor popularity against
+// the configured skew: with one drift phase, anchor k must be hit
+// approximately N·(k+1)^−s/H times. The survey is a fine uniform
+// partition so distinct anchors resolve to distinct object sets;
+// anchors whose covers still overlap (two ranks on the same sky) are
+// grouped and checked against their summed expectation.
+func TestZipfRankFrequency(t *testing.T) {
+	scfg := catalog.Config{
+		Seed:          1,
+		NumObjects:    8192,
+		TotalSize:     8 * cost.GB,
+		MinObjectSize: 64 * cost.KB,
+		MaxObjectSize: 16 * cost.MB,
+		Blobs:         10,
+		Uniform:       true,
+	}
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := ZipfDrift{Skew: 1.4, Anchors: 12, DriftPhases: 1, RadiusDeg: 0.4}
+	opts := Options{Seed: 9, Queries: 12000, Updates: 1}
+	events, err := z.Events(survey, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recreate the anchor plan: Events draws it from a fresh planRng
+	// before touching any other stream.
+	planRng := rand.New(rand.NewSource(opts.Seed))
+	anchors, err := queryAnchors(planRng, survey, z.Anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cone centers wobble only 0.05° around their anchor, so a
+	// query attributes to the anchor whose own cover its object set
+	// overlaps most.
+	anchorCover := make([][]model.ObjectID, len(anchors))
+	for a := range anchors {
+		anchorCover[a] = survey.CoverCap(geom.NewCap(anchors[a], z.RadiusDeg))
+	}
+	// Group anchors with overlapping covers: their queries are mutually
+	// unattributable, so they are validated against a pooled
+	// expectation.
+	group := make([]int, len(anchors))
+	for a := range group {
+		group[a] = a
+	}
+	find := func(a int) int {
+		for group[a] != a {
+			a = group[a]
+		}
+		return a
+	}
+	for a := 0; a < len(anchors); a++ {
+		for b := a + 1; b < len(anchors); b++ {
+			if overlapCount(anchorCover[a], anchorCover[b]) > 0 {
+				group[find(b)] = find(a)
+			}
+		}
+	}
+	counts := make(map[int]float64)
+	for i := range events {
+		if events[i].Kind != model.EventQuery {
+			continue
+		}
+		best, bestOverlap := 0, -1
+		for a := range anchors {
+			if overlap := overlapCount(events[i].Query.Objects, anchorCover[a]); overlap > bestOverlap {
+				best, bestOverlap = a, overlap
+			}
+		}
+		counts[find(best)]++
+	}
+	var h float64
+	for k := 0; k < z.Anchors; k++ {
+		h += math.Pow(float64(k+1), -z.Skew)
+	}
+	expected := make(map[int]float64)
+	for k := 0; k < z.Anchors; k++ {
+		expected[find(k)] += float64(opts.Queries) * math.Pow(float64(k+1), -z.Skew) / h
+	}
+	checked := 0
+	for g, exp := range expected {
+		if exp < 100 {
+			continue // too few samples for a tight relative bound
+		}
+		checked++
+		if got := counts[g]; math.Abs(got-exp) > 0.25*exp+30 {
+			t.Errorf("anchor group %d: %v queries, want ~%.0f (skew %v)", g, got, exp, z.Skew)
+		}
+	}
+	if checked < 3 {
+		t.Fatalf("only %d measurable anchor groups; test has no power", checked)
+	}
+}
+
+// TestScenarioReplaysThroughSimulator: the whole point of the common
+// event-stream contract — a scenario trace drives the simulator with
+// zero violations, births included.
+func TestScenarioReplaysThroughSimulator(t *testing.T) {
+	for _, sc := range []Scenario{FlashCrowd{}, GrowthSpurt{Births: 16, Storms: 2}} {
+		t.Run(sc.Name(), func(t *testing.T) {
+			survey := testSurvey(t)
+			objects := survey.Objects()
+			events, err := sc.Events(survey, Options{Seed: 2, Queries: 1500, Updates: 600})
+			if err != nil {
+				t.Fatal(err)
+			}
+			capacity := cost.Bytes(float64(survey.TotalSize()) * 0.3)
+			res, err := sim.Run(core.NewVCover(core.DefaultVCoverConfig()), objects, events,
+				sim.Config{CacheCapacity: capacity})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Errorf("violations: %v", res.Violations[:min(3, len(res.Violations))])
+			}
+		})
+	}
+}
+
+// serializeEvents writes a canonical byte form of an event stream; the
+// golden-trace hashes are computed over exactly this encoding.
+func serializeEvents(w io.Writer, events []model.Event) {
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case model.EventQuery:
+			fmt.Fprintf(w, "q %d %d %d %d %d", e.Seq, e.Query.ID, e.Query.Cost, e.Query.Tolerance, e.Query.Time)
+			for _, id := range e.Query.Objects {
+				fmt.Fprintf(w, " %d", id)
+			}
+			fmt.Fprint(w, "\n")
+		case model.EventUpdate:
+			fmt.Fprintf(w, "u %d %d %d %d %d\n", e.Seq, e.Update.ID, e.Update.Object, e.Update.Cost, e.Update.Time)
+		case model.EventBirth:
+			fmt.Fprintf(w, "b %d %d %d %d %.17g %.17g %d\n", e.Seq,
+				e.Birth.Object.ID, e.Birth.Object.Size, e.Birth.Object.Trixel, e.Birth.RA, e.Birth.Dec, e.Birth.Time)
+		}
+	}
+}
+
+func overlapCount(a, b []model.ObjectID) int {
+	seen := make(map[model.ObjectID]struct{}, len(a))
+	for _, id := range a {
+		seen[id] = struct{}{}
+	}
+	n := 0
+	for _, id := range b {
+		if _, ok := seen[id]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// quickSurvey builds a small survey without a testing.T (for
+// testing/quick properties).
+func quickSurvey() *catalog.Survey {
+	s, err := catalog.NewSurvey(catalog.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

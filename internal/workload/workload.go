@@ -152,31 +152,90 @@ type Generator struct {
 	cfg    Config
 }
 
+// Validate checks every knob and, crucially, knob *combinations*:
+// conflicting settings error out loudly instead of being silently
+// clamped into a workload that no longer means what it says.
+func (cfg Config) Validate() error {
+	if cfg.NumQueries < 0 || cfg.NumUpdates < 0 || cfg.NumQueries+cfg.NumUpdates == 0 {
+		return fmt.Errorf("workload: invalid event counts q=%d u=%d", cfg.NumQueries, cfg.NumUpdates)
+	}
+	if cfg.Campaigns <= 0 {
+		return fmt.Errorf("workload: need at least one campaign")
+	}
+	if cfg.CampaignSpreadDeg < 0 {
+		return fmt.Errorf("workload: campaign spread must be non-negative")
+	}
+	if cfg.QueryRadiusMinDeg < 0 || cfg.QueryRadiusMaxDeg <= 0 {
+		return fmt.Errorf("workload: query radii must be positive")
+	}
+	if cfg.QueryRadiusMinDeg > cfg.QueryRadiusMaxDeg {
+		return fmt.Errorf("workload: query radius min %v exceeds max %v",
+			cfg.QueryRadiusMinDeg, cfg.QueryRadiusMaxDeg)
+	}
+	if cfg.WideScanFrac < 0 || cfg.WideScanFrac > 1 {
+		return fmt.Errorf("workload: wide-scan fraction out of range")
+	}
+	if cfg.BackgroundQueryFrac < 0 || cfg.BackgroundQueryFrac > 1 {
+		return fmt.Errorf("workload: background query fraction out of range")
+	}
+	if cfg.NumQueries > 0 && cfg.MeanResultSize <= 0 {
+		return fmt.Errorf("workload: mean result size must be positive")
+	}
+	if cfg.ResultSigma < 0 {
+		return fmt.Errorf("workload: result sigma must be non-negative")
+	}
+	if cfg.ZeroTolFrac < 0 || cfg.AnyTolFrac < 0 || cfg.ToleranceMaxFrac < 0 {
+		return fmt.Errorf("workload: tolerance fractions must be non-negative")
+	}
+	if cfg.ZeroTolFrac+cfg.AnyTolFrac > 1 {
+		return fmt.Errorf("workload: tolerance fractions exceed 1")
+	}
+	if cfg.HotspotBias < 0 || cfg.HotspotBias > 1 {
+		return fmt.Errorf("workload: hotspot bias out of range")
+	}
+	if cfg.QueryBlobUpdateFrac < 0 || cfg.QueryBlobUpdateFrac > 1 {
+		return fmt.Errorf("workload: query-blob update fraction out of range")
+	}
+	if cfg.HotspotBias+cfg.QueryBlobUpdateFrac > 1 {
+		// Previously this silently starved the great-circle scan branch;
+		// the update stream then had no systematic component at all.
+		return fmt.Errorf("workload: hotspot bias %v + query-blob update fraction %v exceed 1",
+			cfg.HotspotBias, cfg.QueryBlobUpdateFrac)
+	}
+	if cfg.NumUpdates > 0 {
+		if cfg.ScanStep <= 0 {
+			return fmt.Errorf("workload: scan step must be positive when updates are generated")
+		}
+		if cfg.MeanUpdateSize <= 0 {
+			return fmt.Errorf("workload: mean update size must be positive")
+		}
+	}
+	if cfg.WarmupFrac < 0 || cfg.WarmupFrac > 1 {
+		return fmt.Errorf("workload: warmup fraction out of range")
+	}
+	if cfg.WarmupFrac > 0 && (cfg.WarmupScale <= 0 || cfg.WarmupScale > 1) {
+		return fmt.Errorf("workload: warmup scale %v conflicts with warmup fraction %v",
+			cfg.WarmupScale, cfg.WarmupFrac)
+	}
+	if cfg.GrowthObjects < 0 {
+		return fmt.Errorf("workload: growth objects must be non-negative")
+	}
+	if cfg.BirthBias < 0 || cfg.BirthBias > 1 {
+		return fmt.Errorf("workload: birth bias out of range")
+	}
+	if cfg.EventInterval <= 0 {
+		return fmt.Errorf("workload: event interval must be positive")
+	}
+	return nil
+}
+
 // NewGenerator validates the configuration and returns a generator.
 func NewGenerator(survey *catalog.Survey, cfg Config) (*Generator, error) {
 	if survey == nil {
 		return nil, fmt.Errorf("workload: nil survey")
 	}
-	if cfg.NumQueries < 0 || cfg.NumUpdates < 0 || cfg.NumQueries+cfg.NumUpdates == 0 {
-		return nil, fmt.Errorf("workload: invalid event counts q=%d u=%d", cfg.NumQueries, cfg.NumUpdates)
-	}
-	if cfg.Campaigns <= 0 {
-		return nil, fmt.Errorf("workload: need at least one campaign")
-	}
-	if cfg.ZeroTolFrac+cfg.AnyTolFrac > 1 {
-		return nil, fmt.Errorf("workload: tolerance fractions exceed 1")
-	}
-	if cfg.WarmupFrac < 0 || cfg.WarmupFrac > 1 {
-		return nil, fmt.Errorf("workload: warmup fraction out of range")
-	}
-	if cfg.GrowthObjects < 0 {
-		return nil, fmt.Errorf("workload: growth objects must be non-negative")
-	}
-	if cfg.BirthBias < 0 || cfg.BirthBias > 1 {
-		return nil, fmt.Errorf("workload: birth bias out of range")
-	}
-	if cfg.EventInterval <= 0 {
-		return nil, fmt.Errorf("workload: event interval must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &Generator{survey: survey, cfg: cfg}, nil
 }

@@ -1,0 +1,212 @@
+package delta_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/cluster"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/server"
+	"github.com/deltacache/delta/internal/workload"
+)
+
+// BenchmarkScenario replays every registered workload scenario through
+// a live 2-shard loopback cluster and measures what the paper's
+// evaluation cares about per traffic shape: cache hit rate, client-
+// observed p50/p99 latency, and aggregate q/s. The replay volume is
+// fixed (independent of b.N) so CI's -benchtime=1x trajectory runs
+// stay comparable; when BENCH_JSON_DIR is set each scenario writes its
+// own BENCH_scenario_<name>.json and the strict benchdiff gate on main
+// watches the hitRate key — the scenarios are deterministic, so a
+// hit-rate drop means the cache tier regressed, not the workload.
+func BenchmarkScenario(b *testing.B) {
+	for _, sc := range workload.Scenarios() {
+		b.Run(sc.Name(), func(b *testing.B) {
+			var last scenarioBenchResult
+			for i := 0; i < b.N; i++ {
+				last = runScenarioBench(b, sc)
+			}
+			b.ReportMetric(last.HitRate, "hitRate")
+			b.ReportMetric(last.QueriesPerSec, "queries/s")
+			b.ReportMetric(last.P99Micros, "p99-µs")
+			if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+				writeScenarioJSON(b, dir, last)
+			}
+		})
+	}
+}
+
+// scenarioBenchResult is one scenario replay's measurement, as
+// serialized into BENCH_scenario_<name>.json.
+type scenarioBenchResult struct {
+	Benchmark     string    `json:"benchmark"`
+	Scenario      string    `json:"scenario"`
+	Timestamp     time.Time `json:"timestamp"`
+	Queries       int       `json:"queries"`
+	Updates       int       `json:"updates"`
+	Births        int       `json:"births"`
+	HitRate       float64   `json:"hitRate"`
+	P50Micros     float64   `json:"p50Micros"`
+	P99Micros     float64   `json:"p99Micros"`
+	QueriesPerSec float64   `json:"queriesPerSec"`
+}
+
+// runScenarioBench stands up the replay topology (repository + 2 HTM
+// shards + router on loopback), drives one fixed-volume trace of the
+// scenario from 8 concurrent connections, and measures it.
+func runScenarioBench(b *testing.B, sc workload.Scenario) (res scenarioBenchResult) {
+	b.Helper()
+	const (
+		nClients = 8
+		nQueries = 600
+		nUpdates = 240
+	)
+	res = scenarioBenchResult{
+		Benchmark: "BenchmarkScenario",
+		Scenario:  sc.Name(),
+		Timestamp: time.Now().UTC(),
+	}
+	// A level-5 uniform mesh: fine enough that cone covers resolve to
+	// small object sets (like the deployed shape), coarse enough that
+	// the replay finishes in -benchtime=1x budget.
+	scfg := catalog.Config{
+		Seed:          7,
+		NumObjects:    8192,
+		TotalSize:     8 * cost.GB,
+		MinObjectSize: 64 * cost.KB,
+		MaxObjectSize: 16 * cost.MB,
+		Blobs:         10,
+		Uniform:       true,
+	}
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := sc.Events(survey, workload.Options{Seed: 7, Queries: nQueries, Updates: nUpdates})
+	if err != nil {
+		b.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  survey.Objects(),
+		Shards:   2,
+		Mode:     cluster.HTMAware,
+		// Room for growth-spurt births: newborns must stay cacheable.
+		ShardCapacity: 2 * scfg.TotalSize,
+		Scale:         netproto.PayloadScale{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+
+	ctx := context.Background()
+	clients := make([]*client.Client, nClients)
+	for i := range clients {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	var (
+		hits atomic.Int64
+		wg   sync.WaitGroup
+		lats = make([][]time.Duration, nClients)
+	)
+	queryCh := make(chan *model.Query, 4*nClients)
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			for q := range queryCh {
+				start := time.Now()
+				r, err := cl.Query(ctx, *q)
+				if err != nil {
+					b.Errorf("query %d: %v", q.ID, err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(start))
+				if r.Source == "cache" {
+					hits.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	adminCl := clients[0]
+	start := time.Now()
+	for i := range events {
+		switch ev := &events[i]; ev.Kind {
+		case model.EventQuery:
+			queryCh <- ev.Query
+			res.Queries++
+		case model.EventUpdate:
+			repo.ApplyUpdate(*ev.Update)
+			res.Updates++
+		case model.EventBirth:
+			if _, err := adminCl.AddObjects(ctx, []model.Birth{*ev.Birth}); err != nil {
+				b.Fatalf("publish birth %d: %v", ev.Birth.Object.ID, err)
+			}
+			res.Births++
+		}
+	}
+	close(queryCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	slices.Sort(all)
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[min(int(float64(len(all))*p), len(all)-1)]
+	}
+	res.HitRate = float64(hits.Load()) / float64(max(res.Queries, 1))
+	res.P50Micros = float64(pct(0.50).Microseconds())
+	res.P99Micros = float64(pct(0.99).Microseconds())
+	res.QueriesPerSec = float64(res.Queries) / elapsed.Seconds()
+	return res
+}
+
+// writeScenarioJSON records one scenario's replay for the CI perf
+// trajectory (one BENCH_scenario_*.json artifact per scenario).
+func writeScenarioJSON(b *testing.B, dir string, res scenarioBenchResult) {
+	b.Helper()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_scenario_"+res.Scenario+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (hitRate %.3f, p99 %.0fµs, %.0f q/s)",
+		path, res.HitRate, res.P99Micros, res.QueriesPerSec)
+}
