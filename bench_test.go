@@ -1226,6 +1226,222 @@ func writeReplicationJSON(b *testing.B, dir string) {
 		path, out.P99RatioFailoverOverHedged, out.QPSRatioK2OverK1)
 }
 
+// BenchmarkRouterHotPath prices the router's read-path deduplication —
+// the in-flight query coalescer plus the invalidation-aware result
+// cache — under a flash-crowd shape: 64 concurrent clients hammering a
+// handful of hot object sets (90% of queries hit the hottest one),
+// each with its own randomized cost and staleness, against a 3-shard
+// cluster whose shards dwell 2ms per scatter fragment. The "off" mode
+// disables the result cache (ResultCacheSize -1, every query
+// scatters); the "on" mode runs the default configuration. Both modes
+// run back to back in one process, so the on/off q/s ratio is stable
+// on shared runners; the acceptance bar is ≥2× and CI's strict
+// benchdiff gate watches qpsRatioOnOverOff in BENCH_router.json.
+func BenchmarkRouterHotPath(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		cacheOn bool
+	}{
+		{name: "off", cacheOn: false},
+		{name: "on", cacheOn: true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := runRouterHotPath(b, mode.cacheOn, b.N)
+			b.ReportMetric(m.qps, "queries/s")
+			b.ReportMetric(float64(m.p99.Microseconds()), "p99-µs")
+			b.ReportMetric(m.coalesceShare, "coalesced-share")
+			b.ReportMetric(m.hitRate, "cache-hit-rate")
+		})
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		writeRouterJSON(b, dir)
+	}
+}
+
+// routerHotPathMetrics is one mode's measurement: throughput, client
+// tail latency, and how the router answered (coalesced onto a live
+// flight / served from the result cache / scattered).
+type routerHotPathMetrics struct {
+	qps           float64
+	p99           time.Duration
+	coalesceShare float64 // coalesced follower answers / total queries
+	hitRate       float64 // result-cache hits / total queries
+}
+
+// runRouterHotPath boots the flash-crowd topology (repository + 3
+// shards + router on loopback), drives n hot-set queries from 64
+// concurrent clients, and returns the measured rates.
+func runRouterHotPath(b *testing.B, cacheOn bool, n int) routerHotPathMetrics {
+	b.Helper()
+	const (
+		nClients = 64
+		nShards  = 3
+		nShapes  = 8 // distinct hot object sets; shape 0 takes 90%
+	)
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 16
+	scfg.TotalSize = 16 * cost.GB
+	scfg.MinObjectSize = cost.GB
+	scfg.MaxObjectSize = cost.GB
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	size := 0
+	if !cacheOn {
+		size = -1
+	}
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  survey.Objects(),
+		Shards:   nShards,
+		Mode:     cluster.HTMAware,
+		// The replica policy keeps every object cache-resident at the
+		// shards, so ExecDelay (the simulated node-local scan) is the
+		// scatter's whole cost and the router-tier dedup is what the
+		// on/off ratio isolates.
+		Policy:          func(int) core.Policy { return core.NewReplica() },
+		Scale:           netproto.PayloadScale{},
+		ExecDelay:       2 * time.Millisecond,
+		ResultCacheSize: size,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lc.Close()
+
+	// The hot query shapes: spanning object sets (one object per shard,
+	// rotated), so every scatter costs every shard a dwell — the worst
+	// case a flash crowd inflicts without the router-tier cache.
+	objects := survey.Objects()
+	shapes := make([][]model.ObjectID, nShapes)
+	for s := range shapes {
+		for k := 0; k < nShards; k++ {
+			shapes[s] = append(shapes[s], objects[(s+k*nShapes/2)%len(objects)].ID)
+		}
+	}
+
+	ctx := context.Background()
+	clients := make([]*client.Client, nClients)
+	for i := range clients {
+		cl, err := client.DialCluster(lc.Router.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	lats := make([][]time.Duration, nClients)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			for {
+				i := next.Add(1)
+				if i > int64(n) {
+					return
+				}
+				// 90% of the crowd hammers shape 0; the rest spread over
+				// the remaining shapes. Cost and staleness vary per query
+				// — the signature keys on the object set alone, exactly
+				// because real crowds differ in everything else.
+				shape := 0
+				if i%10 == 9 {
+					shape = int(i/10)%(nShapes-1) + 1
+				}
+				qStart := time.Now()
+				if _, err := cl.Query(ctx, model.Query{
+					ID:        model.QueryID(i),
+					Objects:   shapes[shape],
+					Cost:      cost.Bytes(1+i%4) * cost.MB,
+					Tolerance: time.Hour + time.Duration(i%4)*time.Minute,
+					Time:      time.Duration(i) * time.Millisecond,
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(qStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	slices.Sort(all)
+	m := routerHotPathMetrics{qps: float64(n) / elapsed.Seconds()}
+	if len(all) > 0 {
+		m.p99 = all[len(all)*99/100]
+	}
+	if n > 0 {
+		m.coalesceShare = float64(lc.Router.Coalesced()) / float64(n)
+		m.hitRate = float64(lc.Router.ResultCacheHits()) / float64(n)
+	}
+	return m
+}
+
+// writeRouterJSON measures both modes back to back at a fixed
+// iteration count — independent of b.N, so CI's -benchtime=1x
+// trajectory run stays comparable — and records the flash-crowd
+// comparison for the perf trajectory. qpsRatioOnOverOff is
+// higher-is-better (≥2 is the acceptance bar) and is what the strict
+// benchdiff gate on main checks.
+func writeRouterJSON(b *testing.B, dir string) {
+	b.Helper()
+	const iters = 3000
+	off := runRouterHotPath(b, false, iters)
+	on := runRouterHotPath(b, true, iters)
+	out := struct {
+		Benchmark         string    `json:"benchmark"`
+		Timestamp         time.Time `json:"timestamp"`
+		QPSOff            float64   `json:"qpsCacheOff"`
+		QPSOn             float64   `json:"qpsCacheOn"`
+		QPSRatioOnOverOff float64   `json:"qpsRatioOnOverOff"`
+		P99OffMicros      float64   `json:"p99CacheOffMicros"`
+		P99OnMicros       float64   `json:"p99CacheOnMicros"`
+		CoalescedShareOn  float64   `json:"coalescedShareOn"`
+		CacheHitRateOn    float64   `json:"cacheHitRateOn"`
+	}{
+		Benchmark:        "BenchmarkRouterHotPath",
+		Timestamp:        time.Now().UTC(),
+		QPSOff:           off.qps,
+		QPSOn:            on.qps,
+		P99OffMicros:     float64(off.p99.Microseconds()),
+		P99OnMicros:      float64(on.p99.Microseconds()),
+		CoalescedShareOn: on.coalesceShare,
+		CacheHitRateOn:   on.hitRate,
+	}
+	if off.qps > 0 {
+		out.QPSRatioOnOverOff = on.qps / off.qps
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_router.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s (on/off qps ratio %.2f, hit rate %.2f, coalesced %.2f)",
+		path, out.QPSRatioOnOverOff, out.CacheHitRateOn, out.CoalescedShareOn)
+}
+
 // codecBenchConn returns a Conn whose writes and reads share one
 // buffer, so one goroutine can send a frame and immediately receive it
 // — the harness for codec round-trip measurement.

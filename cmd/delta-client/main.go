@@ -281,6 +281,8 @@ func printStats(st *netproto.StatsMsg) {
 	fmt.Printf("health: dropped-invalidations=%d singleflight-deduped-loads=%d migrated-in=%d migrated-out=%d objects-born=%d\n",
 		st.DroppedInvalidations, st.DedupedLoads, st.MigratedIn, st.MigratedOut, st.ObjectsBorn)
 	fmt.Printf("cover cache: hits=%d misses=%d\n", st.CoverCacheHits, st.CoverCacheMisses)
+	fmt.Printf("result cache: hits=%d misses=%d coalesced=%d grant-batches=%d\n",
+		st.ResultCacheHits, st.ResultCacheMisses, st.CoalescedQueries, st.GrantBatches)
 	fmt.Printf("persistence: snapshot-age=%v journal-records=%d recovered-warm=%d\n",
 		st.SnapshotAge.Round(time.Millisecond), st.JournalRecords, st.RecoveredWarm)
 	fmt.Printf("replication: K=%d\n", max(st.Replicas, 1))

@@ -866,6 +866,8 @@ func (m *Middleware) handleClientFrame(f netproto.Frame) (netproto.Frame, error)
 		return m.handleQuery(context.Background(), &body.Query, meta), nil
 	case netproto.ObjectBirthMsg:
 		return m.handleBirths(context.Background(), body)
+	case netproto.BirthGrantMsg:
+		return m.handleBirthGrant(context.Background(), body)
 	case netproto.StatsMsg:
 		return netproto.Frame{Type: netproto.MsgStats, Body: m.Stats()}, nil
 	case netproto.ReshardMsg:
@@ -1063,6 +1065,25 @@ func (m *Middleware) handleBirths(ctx context.Context, body netproto.ObjectBirth
 	return netproto.Frame{Type: netproto.MsgObjectBirth, Body: netproto.ObjectBirthMsg{
 		Births:   ack.Births,
 		Accepted: ack.Accepted,
+	}}, nil
+}
+
+// handleBirthGrant serves MsgBirthGrant, the router's batched
+// ownership grant: admit the whole batch into this shard's universe
+// and owned set in one call, with no repository forward — the router
+// grants only births the repository has already acknowledged or
+// announced, so re-publishing them upstream would be a pure no-op
+// round trip (K of them per birth on a replicated cluster). The reply
+// reports how many births were newly admitted; grants are idempotent
+// against the announcement stream and earlier grants.
+func (m *Middleware) handleBirthGrant(ctx context.Context, body netproto.BirthGrantMsg) (netproto.Frame, error) {
+	n, err := m.AddObjects(ctx, body.Births)
+	if err != nil {
+		return netproto.Frame{}, err
+	}
+	return netproto.Frame{Type: netproto.MsgBirthGrant, Body: netproto.BirthGrantMsg{
+		Accepted: n,
+		Epoch:    body.Epoch,
 	}}, nil
 }
 

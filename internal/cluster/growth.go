@@ -26,15 +26,18 @@ import (
 	"fmt"
 	"net"
 	"slices"
+	"sync"
 
 	"github.com/deltacache/delta/internal/model"
 	"github.com/deltacache/delta/internal/netproto"
 )
 
 // subscribeInvalidations dials the repository's invalidation stream so
-// the router hears new-object announcements (update notices ride the
-// same stream and are ignored here — freshness is the shards'
-// business). Called from NewRouter when Config.RepoAddr is set.
+// the router hears new-object announcements and update notices. Shard
+// freshness is still the shards' business; the router consumes update
+// notices only to evict its own result cache (a cached merged result
+// containing the updated object must never be served after the notice
+// lands). Called from NewRouter when Config.RepoAddr is set.
 func (r *Router) subscribeInvalidations() error {
 	nc, err := net.Dial("tcp", r.cfg.RepoAddr)
 	if err != nil {
@@ -53,18 +56,85 @@ func (r *Router) subscribeInvalidations() error {
 
 func (r *Router) invalidationLoop(c *netproto.Conn) {
 	defer r.wg.Done()
-	ctx := context.Background()
 	for {
 		f, err := c.Recv()
 		if err != nil {
 			return
 		}
-		birth, ok := f.Body.(netproto.ObjectBirthMsg)
-		if !ok {
-			continue // update notices are the shards' business
+		switch body := f.Body.(type) {
+		case netproto.ObjectBirthMsg:
+			// Hand the announcement to the batching worker: announcements
+			// arriving while an adoption is in flight pile up and adopt as
+			// one batch (one ownership extension, one grant per shard).
+			r.enqueueBirths(body.Births, nil)
+		case netproto.InvalidateMsg:
+			// Evict every cached result the updated object is part of, and
+			// poison in-flight scatters touching it, before the next query
+			// can be served stale. Shard-side freshness rides the shards'
+			// own subscriptions to this same stream.
+			r.results.invalidate(body.Update.Object)
 		}
-		if _, err := r.adoptBirths(ctx, birth.Births); err != nil {
+	}
+}
+
+// birthReq is one batch of births queued for the adoption worker. A
+// nil done is fire-and-forget (the announcement stream); the publish
+// path waits on done for the adoption's outcome.
+type birthReq struct {
+	births []model.Birth
+	done   chan error
+}
+
+// enqueueBirths hands births to the adoption worker, reporting false
+// if the router is shutting down.
+func (r *Router) enqueueBirths(births []model.Birth, done chan error) bool {
+	select {
+	case r.birthCh <- birthReq{births: births, done: done}:
+		return true
+	case <-r.birthQuit:
+		return false
+	}
+}
+
+// birthWorker serializes birth adoption and batches it for free: each
+// iteration drains every request currently queued and adopts the union
+// in one adoptBirths call — one ownership extension, one routing
+// snapshot, and one grant frame per owning shard, however many births
+// the repository announced while the previous round was in flight. An
+// idle channel adds no latency (the first request is adopted alone,
+// immediately), preserving the adopt-within-one-notification-round-trip
+// behavior single births have always had.
+func (r *Router) birthWorker() {
+	defer r.wg.Done()
+	for {
+		var reqs []birthReq
+		select {
+		case <-r.birthQuit:
+			return
+		case req := <-r.birthCh:
+			reqs = append(reqs, req)
+		}
+	drain:
+		for {
+			select {
+			case req := <-r.birthCh:
+				reqs = append(reqs, req)
+			default:
+				break drain
+			}
+		}
+		var births []model.Birth
+		for _, req := range reqs {
+			births = append(births, req.births...)
+		}
+		_, err := r.adoptBirths(context.Background(), births)
+		if err != nil {
 			r.cfg.Logf("adopt births: %v", err)
+		}
+		for _, req := range reqs {
+			if req.done != nil {
+				req.done <- err // buffered; never blocks the worker
+			}
 		}
 	}
 }
@@ -83,10 +153,18 @@ func (r *Router) adoptBirths(ctx context.Context, births []model.Birth) (int, er
 	rt := r.routing.Load()
 	fresh := make([]model.Object, 0, len(births))
 	freshBirths := make([]model.Birth, 0, len(births))
+	seen := make(map[model.ObjectID]struct{}, len(births))
 	for _, b := range births {
 		if _, known := rt.own.Owner(b.Object.ID); known {
 			continue
 		}
+		// A batched round can carry the same birth twice — the publish
+		// path's copy and the announcement stream's — so dedup within
+		// the round too, not just against settled ownership.
+		if _, dup := seen[b.Object.ID]; dup {
+			continue
+		}
+		seen[b.Object.ID] = struct{}{}
 		fresh = append(fresh, b.Object)
 		freshBirths = append(freshBirths, b)
 	}
@@ -116,26 +194,52 @@ func (r *Router) adoptBirths(ctx context.Context, births []model.Birth) (int, er
 		shardIdxs = append(shardIdxs, s)
 	}
 	slices.Sort(shardIdxs)
+	// One batched grant frame per owning shard, shipped in parallel:
+	// however many births this round accumulated, each shard costs one
+	// round trip (MsgBirthGrant carries the whole batch; the shard
+	// admits the births directly, with no repository re-forward — the
+	// grant only ever follows the repository's own ack or announcement).
+	grantErrs := make([]error, len(shardIdxs))
+	var wg sync.WaitGroup
+	for i, s := range shardIdxs {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			link := rt.links[s]
+			ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+			defer cancel()
+			_, err := link.sess.RoundTrip(ctx, netproto.Frame{
+				Type: netproto.MsgBirthGrant,
+				Body: netproto.BirthGrantMsg{Births: byShard[s], Epoch: rt.epoch},
+			})
+			if err != nil {
+				// The shard missed its grant: queries for the newborn will
+				// fail on it until the next reshard re-grants the owned set
+				// explicitly. Surface the failure; routing still flips so
+				// the rest of the batch serves.
+				grantErrs[i] = fmt.Errorf("shard %d (%s): %w", link.index, link.addr, err)
+				r.cfg.Logf("birth grant to shard %d failed: %v", link.index, err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	r.grantBatches.Add(int64(len(shardIdxs)))
 	var pushErrs []error
-	for _, s := range shardIdxs {
-		link := rt.links[s]
-		ctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
-		_, err := link.sess.RoundTrip(ctx, netproto.Frame{
-			Type: netproto.MsgObjectBirth,
-			Body: netproto.ObjectBirthMsg{Births: byShard[s]},
-		})
-		cancel()
+	for _, err := range grantErrs {
 		if err != nil {
-			// The shard missed its grant: queries for the newborn will
-			// fail on it until the next reshard re-grants the owned set
-			// explicitly. Surface the failure; routing still flips so
-			// the rest of the batch serves.
-			pushErrs = append(pushErrs, fmt.Errorf("shard %d (%s): %w", link.index, link.addr, err))
-			r.cfg.Logf("birth grant to shard %d failed: %v", link.index, err)
+			pushErrs = append(pushErrs, err)
 		}
 	}
 
 	r.routing.Store(&routing{epoch: rt.epoch, own: ownNew, links: rt.links, alt: rt.alt})
+	// Routing grew under any result in motion: wipe the result cache
+	// and poison in-flight scatters. (Cached entries for pre-birth
+	// object sets are strictly still correct — a birth touches no
+	// existing object — but region covers re-resolve to new ID sets
+	// now, and a wholesale clear keeps the birth path's cache
+	// interaction trivially auditable; growth-heavy workloads cache
+	// little at the router anyway.)
+	r.results.clear()
 	r.births.Add(int64(len(fresh)))
 	if r.covers != nil {
 		// Extend the resolver's universe before dropping memoized
@@ -178,15 +282,26 @@ func (r *Router) handleBirths(ctx context.Context, body netproto.ObjectBirthMsg)
 	}
 	// Adopt the repository's canonical copies into routing before
 	// replying (idempotent against the announcement stream, which may
-	// race us here). A failed adoption — typically an owning shard
+	// race us here) — through the batching worker, so concurrent
+	// publishers coalesce into one ownership extension and one grant
+	// frame per shard. A failed adoption — typically an owning shard
 	// missing its grant — fails the publish: the reply's contract is
 	// "queryable on ack", and an unwarned publisher would see its
 	// newborn degrade every query until the next reshard re-grants
 	// owned sets explicitly. The births stay ingested at the
 	// repository and routing stays deterministic, so the publisher can
 	// simply retry or alert.
-	if _, err := r.adoptBirths(ctx, ack.Births); err != nil {
-		return netproto.ErrorFrame("cluster: births published but adoption incomplete: %v", err)
+	done := make(chan error, 1)
+	if !r.enqueueBirths(ack.Births, done) {
+		return netproto.ErrorFrame("cluster: router is closing")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			return netproto.ErrorFrame("cluster: births published but adoption incomplete: %v", err)
+		}
+	case <-r.birthQuit:
+		return netproto.ErrorFrame("cluster: router is closing")
 	}
 	return netproto.Frame{Type: netproto.MsgObjectBirth, Body: netproto.ObjectBirthMsg{
 		Births:   ack.Births,

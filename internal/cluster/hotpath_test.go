@@ -1,0 +1,307 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/deltacache/delta/internal/catalog"
+	"github.com/deltacache/delta/internal/client"
+	"github.com/deltacache/delta/internal/cluster"
+	"github.com/deltacache/delta/internal/core"
+	"github.com/deltacache/delta/internal/cost"
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+	"github.com/deltacache/delta/internal/server"
+)
+
+// TestRouterResultCacheInvalidation is the staleness contract test for
+// the router's result cache: a cached merged result must stop being
+// served the moment the repository publishes an update to any member
+// object — the re-query scatters again instead of answering from the
+// now-evicted entry.
+func TestRouterResultCacheInvalidation(t *testing.T) {
+	_, repo, lc := startCluster(t, 2, func(int) core.Policy { return core.NewReplica() })
+	cl, err := client.DialCluster(lc.Router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	objs := spanningObjects(t, lc)
+	q := model.Query{
+		Objects:   objs,
+		Cost:      cost.Bytes(len(objs)) * cost.MB,
+		Tolerance: model.AnyStaleness,
+		Time:      time.Second,
+	}
+	if _, err := cl.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.Router.ResultCacheHits(); got < 1 {
+		t.Fatalf("repeat of an identical query recorded %d cache hits, want >= 1", got)
+	}
+	// The shared answer is re-stamped per client: its Logical must be
+	// this query's declared ν(q), keeping cost shares exact.
+	if res.Logical != int64(q.Cost) {
+		t.Errorf("cached result logical = %d, want the declared cost %d", res.Logical, q.Cost)
+	}
+
+	// An update to one member object must evict the cached entry via
+	// the invalidation stream (asynchronous, so poll).
+	repo.ApplyUpdate(model.Update{ID: 1, Object: objs[0], Cost: cost.MB, Time: 2 * time.Second})
+	deadline := time.Now().Add(5 * time.Second)
+	for lc.Router.ResultCacheInvalidations() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("result cache never saw the member-object invalidation")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	hits, misses := lc.Router.ResultCacheHits(), lc.Router.ResultCacheMisses()
+	if _, err := cl.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.Router.ResultCacheHits(); got != hits {
+		t.Errorf("query after invalidation hit the cache (%d -> %d hits): stale answer", hits, got)
+	}
+	if got := lc.Router.ResultCacheMisses(); got != misses+1 {
+		t.Errorf("query after invalidation recorded %d misses, want %d", got, misses+1)
+	}
+}
+
+// TestRouterResultCacheEpochFlipClears pins the resize interaction:
+// flipping the routing epoch clears the result cache wholesale, so a
+// query warm in the cache before the resize scatters afresh after it.
+func TestRouterResultCacheEpochFlipClears(t *testing.T) {
+	_, _, lc := startCluster(t, 2, func(int) core.Policy { return core.NewReplica() })
+	cl, err := client.DialCluster(lc.Router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	objs := spanningObjects(t, lc)
+	q := model.Query{
+		Objects:   objs,
+		Cost:      cost.Bytes(len(objs)) * cost.MB,
+		Tolerance: model.AnyStaleness,
+		Time:      time.Second,
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Query(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := lc.Router.ResultCacheHits(); got < 1 {
+		t.Fatalf("warmup recorded %d cache hits, want >= 1", got)
+	}
+
+	if _, err := lc.Resize(ctx, 3, false); err != nil {
+		t.Fatal(err)
+	}
+
+	hits := lc.Router.ResultCacheHits()
+	res, err := cl.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Error("post-resize query degraded")
+	}
+	if got := lc.Router.ResultCacheHits(); got != hits {
+		t.Errorf("query after the epoch flip hit the cache (%d -> %d hits): resize must clear it", hits, got)
+	}
+}
+
+// TestRouterCoalescesIdenticalQueries pins the singleflight contract:
+// a flash crowd of identical concurrent queries costs one scatter —
+// followers join the leader's flight (or hit the cache it populates)
+// and every client still gets its own exact cost share.
+func TestRouterCoalescesIdenticalQueries(t *testing.T) {
+	scfg := catalog.DefaultConfig()
+	scfg.NumObjects = 16
+	survey, err := catalog.NewSurvey(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: survey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  survey.Objects(),
+		Shards:   2,
+		Policy:   func(int) core.Policy { return core.NewReplica() },
+		Scale:    netproto.PayloadScale{},
+		// Each shard dwells on its serial execution lock, so the
+		// followers reliably arrive while the leader's scatter is in
+		// flight.
+		ExecDelay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	objs := spanningObjects(t, lc)
+	const crowd = 8
+	q := model.Query{
+		Objects:   objs,
+		Cost:      cost.Bytes(len(objs)) * cost.MB,
+		Tolerance: model.AnyStaleness,
+		Time:      time.Second,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, crowd)
+	results := make([]*client.Result, crowd)
+	for i := 0; i < crowd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := client.DialCluster(lc.Router.Addr())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			results[i], errs[i] = cl.Query(ctx, q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("crowd client %d: %v", i, err)
+		}
+		if results[i].Degraded {
+			t.Errorf("crowd client %d got a degraded answer", i)
+		}
+		if results[i].Logical != int64(q.Cost) {
+			t.Errorf("crowd client %d logical = %d, want %d", i, results[i].Logical, q.Cost)
+		}
+	}
+	shared := lc.Router.Coalesced() + lc.Router.ResultCacheHits()
+	if shared < crowd/2 {
+		t.Errorf("only %d of %d identical queries were answered shared (coalesced=%d hits=%d)",
+			shared, crowd, lc.Router.Coalesced(), lc.Router.ResultCacheHits())
+	}
+}
+
+// TestBatchedBirthGrants pins the grant-batching contract: concurrent
+// birth publications are adopted in batches — one multi-object grant
+// frame per owning shard per adoption round, not one frame per object
+// — and every born object is queryable once its publish call returns.
+func TestBatchedBirthGrants(t *testing.T) {
+	const nBase = 16
+	mirror, err := catalog.NewSurvey(growthSurveyConfig(nBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repoSurvey, err := catalog.NewSurvey(growthSurveyConfig(nBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := server.New(server.Config{Survey: repoSurvey, Scale: netproto.PayloadScale{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	lc, err := cluster.SpawnLocal(cluster.LocalConfig{
+		RepoAddr: repo.Addr(),
+		Objects:  repoSurvey.Objects(),
+		Shards:   3,
+		Mode:     cluster.HTMAware,
+		Scale:    netproto.PayloadScale{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	// Publish through the router's publish path in bursts (the catalog
+	// assigns sequential IDs, so bursts are ordered; concurrency rides
+	// the announcement stream, soaked elsewhere). The batching contract
+	// under test: a K-birth burst ships at most one grant frame per
+	// owning shard — not one frame per object.
+	const (
+		bursts   = 2
+		perBurst = 8
+	)
+	growRng := rand.New(rand.NewSource(11))
+	cl, err := client.DialCluster(lc.Router.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < bursts; i++ {
+		births, err := mirror.GrowObjects(growRng, perBurst, time.Duration(i)*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := cl.AddObjects(ctx, births)
+		if err != nil {
+			t.Fatalf("burst %d: %v", i, err)
+		}
+		if n != perBurst {
+			t.Errorf("burst %d: accepted %d births, want %d", i, n, perBurst)
+		}
+
+		// The publish contract: once AddObjects returns, the burst's
+		// objects are queryable through the router — batching must not
+		// defer adoption past the publish ack.
+		for _, b := range births {
+			res, qerr := cl.Query(ctx, model.Query{
+				Objects: []model.ObjectID{b.Object.ID}, Cost: cost.KB,
+				Tolerance: model.AnyStaleness, Time: time.Minute,
+			})
+			if qerr != nil {
+				t.Errorf("burst %d: born object %d not queryable: %v", i, b.Object.ID, qerr)
+			} else if res.Degraded {
+				t.Errorf("burst %d: born object %d answered degraded", i, b.Object.ID)
+			}
+		}
+	}
+
+	const total = int64(bursts * perBurst)
+	if got := lc.Router.Births(); got != total {
+		t.Errorf("router adopted %d births, want %d", got, total)
+	}
+	batches := lc.Router.GrantBatches()
+	if batches < 1 {
+		t.Fatal("no batched grant frames were shipped")
+	}
+	// Batching bound: each adoption round grants at most one frame per
+	// shard, and each burst is at most one round (fewer frames when a
+	// burst's births all land on a subset of shards). 16 births in 2
+	// bursts across 3 shards must ship at most 6 grant frames — the
+	// unbatched path would have shipped 16.
+	if maxFrames := int64(bursts * lc.Ownership.Shards()); batches > maxFrames {
+		t.Errorf("shipped %d grant frames for %d bursts across %d shards (max %d)",
+			batches, bursts, lc.Ownership.Shards(), maxFrames)
+	}
+
+	// The shards admitted every birth through the grant frames.
+	cs, err := cl.ClusterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Aggregate.ObjectsBorn != total {
+		t.Errorf("shards admitted %d births, want %d", cs.Aggregate.ObjectsBorn, total)
+	}
+	if cs.Aggregate.GrantBatches != batches {
+		t.Errorf("aggregate stats report %d grant batches, router counted %d", cs.Aggregate.GrantBatches, batches)
+	}
+}

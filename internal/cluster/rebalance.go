@@ -208,8 +208,14 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 		return fail(fmt.Errorf("cluster: widen: %w", err))
 	}
 
-	// Double-route moving objects while their state is in flight.
+	// Double-route moving objects while their state is in flight. The
+	// result cache clears with every routing snapshot a resize
+	// publishes (here, at the flip, and after narrow): cached merged
+	// payloads stay bytewise valid across placement changes, but a
+	// resize is rare and wholesale invalidation keeps the cache's
+	// epoch semantics trivially auditable.
 	r.routing.Store(&routing{epoch: rt.epoch, own: rt.own, links: rt.links, alt: movingPre})
+	r.results.clear()
 
 	// Phase 2: migrate warm state, shard to shard.
 	if !spec.SkipMigration && len(moves) > 0 {
@@ -268,6 +274,7 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 	// owners stay warm alternates until narrow completes.
 	r.setStatus(func(st *netproto.RebalanceStatusMsg) { st.Phase = "flip" })
 	r.routing.Store(&routing{epoch: epoch, own: ownNew, links: linksNew, alt: movingPost})
+	r.results.clear()
 
 	// Phase 4: narrow continuing shards to exactly their new sets
 	// (new shards already are exact — their union had no old half).
@@ -287,6 +294,7 @@ func (r *Router) Resize(ctx context.Context, spec ResizeSpec) (netproto.Rebalanc
 	}
 
 	r.routing.Store(&routing{epoch: epoch, own: ownNew, links: linksNew})
+	r.results.clear()
 	for addr := range oldIndexByAddr {
 		if !slices.Contains(spec.Shards, addr) {
 			r.dropLink(addr)

@@ -66,7 +66,13 @@ func startReplicated(t *testing.T, shards, replicas int, mutate func(*cluster.Lo
 // replicas. Contrast TestClusterShardFailureDegrades, the same kill at
 // K=1, where degradation is the best the router can do.
 func TestReplicatedShardKillSoak(t *testing.T) {
-	_, lc := startReplicated(t, 3, 2, nil)
+	_, lc := startReplicated(t, 3, 2, func(cfg *cluster.LocalConfig) {
+		// The soak replays a handful of fixed query shapes, which the
+		// router's result cache would happily answer without ever
+		// scattering again — masking the kill this test exists to
+		// exercise. Disable it so every query reaches the shards.
+		cfg.ResultCacheSize = -1
+	})
 
 	// One query shape per shard: that shard's primaries (the fragment
 	// the kill orphans), plus one spanning all shards.

@@ -1,0 +1,300 @@
+// Router-tier read-path deduplication: the in-flight query coalescer
+// and the invalidation-aware result cache, one structure under one
+// mutex.
+//
+// Both layers key on the same canonical query signature — a hash of
+// the query's sorted object ID set, nothing else. Cost, tolerance, and
+// the virtual clock deliberately stay out of the key: the workload
+// generators (and real survey clients) randomize per-query cost and
+// staleness around the same hot region, and the answer the router
+// assembles — which shards hold which fragments, the merged payload —
+// depends only on which objects the query touches. Region queries
+// resolve to object lists through the cover cache before they get
+// here, so one keying covers both query forms; a birth that changes a
+// region's cover changes the resolved list and therefore the
+// signature, and the stale entry simply stops being addressed.
+//
+// Correctness edges (the reason this lives behind the repository's
+// invalidation stream, and is disabled without one):
+//
+//   - An update to any member object evicts every cached result whose
+//     ID set contains it, and poisons any in-flight scatter touching
+//     it: the poisoned flight's result is neither inserted into the
+//     cache nor shared with followers (a follower may have joined after
+//     the invalidation arrived), so each follower falls back to its own
+//     scatter.
+//   - Birth adoption and resize epoch flips clear the cache wholesale
+//     and poison every flight — routing changed under them.
+//   - Degraded or failed leader results are never shared with
+//     followers and never cached; each follower falls back to its own
+//     scatter.
+//
+// Sharing respects the v3 frame ownership contract: the cached value
+// is the router's merged QueryResultMsg, whose Payload/Rows/Spans
+// slices the router itself assembled (never a pooled or per-connection
+// scratch buffer), held read-only and re-stamped per client at serve
+// time (fresh QueryID, cost-share Logical, trace spans).
+package cluster
+
+import (
+	"container/list"
+	"hash/maphash"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"github.com/deltacache/delta/internal/model"
+	"github.com/deltacache/delta/internal/netproto"
+)
+
+// DefaultResultCacheSize bounds the router's result cache when
+// Config.ResultCacheSize is zero. Entries hold merged result payloads
+// (each capped at netproto.MaxFrame/2), so the bound is entry-count,
+// not bytes; 1024 covers the hot set of every trace-realistic scenario
+// while staying far under the shards' own capacity.
+const DefaultResultCacheSize = 1024
+
+// sigSeed keys the signature hash for the process lifetime: signatures
+// never cross the wire, so they need no cross-process stability.
+var sigSeed = maphash.MakeSeed()
+
+// querySignature canonicalizes a query's object set: the IDs sorted
+// (callers may list them in any order) and hashed. The sorted set is
+// returned too — entries keep it both to verify a hash hit against
+// collisions and to answer "does this result contain object X" during
+// invalidation scans.
+func querySignature(objects []model.ObjectID) (uint64, []model.ObjectID) {
+	ids := slices.Clone(objects)
+	slices.Sort(ids)
+	var h maphash.Hash
+	h.SetSeed(sigSeed)
+	var buf [8]byte
+	for _, id := range ids {
+		v := uint64(id)
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64(), ids
+}
+
+// flight is one in-flight leader scatter that identical concurrent
+// queries coalesce onto. The leader closes done after setting res and
+// shared; followers block on done. A poisoned flight (an invalidation
+// or routing change arrived mid-scatter) neither enters the cache nor
+// shares its result — its followers fall back to their own scatters.
+type flight struct {
+	sig      uint64
+	ids      []model.ObjectID // sorted member set, for invalidation scans
+	done     chan struct{}
+	res      netproto.QueryResultMsg // valid only when shared
+	shared   bool                    // leader succeeded undegraded
+	poisoned bool                    // guarded by the owning cache's mu
+}
+
+// cacheEntry is one cached merged result, addressed by signature and
+// held on the LRU list.
+type cacheEntry struct {
+	sig uint64
+	ids []model.ObjectID // sorted member set
+	res netproto.QueryResultMsg
+	elt *list.Element
+}
+
+// resultCache is the router's combined singleflight + LRU result
+// cache. All methods are nil-receiver safe no-ops so an unconfigured
+// router (no repository, hence no invalidation stream) costs nothing
+// on the query path.
+type resultCache struct {
+	mu      sync.Mutex
+	size    int
+	entries map[uint64]*cacheEntry
+	lru     *list.List // front = most recent; values are *cacheEntry
+	flights map[uint64]*flight
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	invalidations atomic.Int64
+}
+
+func newResultCache(size int) *resultCache {
+	if size <= 0 {
+		size = DefaultResultCacheSize
+	}
+	return &resultCache{
+		size:    size,
+		entries: make(map[uint64]*cacheEntry),
+		lru:     list.New(),
+		flights: make(map[uint64]*flight),
+	}
+}
+
+// begin is the read-path entry point. It returns exactly one of:
+// a cached result (hit), an existing flight to wait on (coalesced
+// follower), or a fresh flight the caller now leads (it must call
+// complete exactly once). A hash collision — same signature, different
+// ID set — is treated as a miss that does not coalesce or cache, so a
+// collision can only cost performance, never correctness.
+func (c *resultCache) begin(objects []model.ObjectID) (cached *netproto.QueryResultMsg, f *flight, leader bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	sig, ids := querySignature(objects)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[sig]; ok {
+		if slices.Equal(e.ids, ids) {
+			c.lru.MoveToFront(e.elt)
+			c.hits.Add(1)
+			res := e.res
+			return &res, nil, false
+		}
+		// Collision: leave the resident entry alone and pass through.
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	c.misses.Add(1)
+	if fl, ok := c.flights[sig]; ok {
+		if slices.Equal(fl.ids, ids) {
+			return nil, fl, false
+		}
+		return nil, nil, false // collision with an in-flight leader
+	}
+	fl := &flight{sig: sig, ids: ids, done: make(chan struct{})}
+	c.flights[sig] = fl
+	return nil, fl, true
+}
+
+// complete finishes a led flight: publishes the result to the
+// followers, and — when the scatter succeeded undegraded and no
+// invalidation poisoned the flight meanwhile — inserts it into the
+// LRU. Must be called exactly once per flight begin returned with
+// leader=true.
+func (c *resultCache) complete(f *flight, res netproto.QueryResultMsg, ok bool) {
+	if c == nil || f == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.flights[f.sig] == f {
+		delete(c.flights, f.sig)
+	}
+	f.shared = ok && !f.poisoned
+	if f.shared {
+		f.res = res
+	}
+	if ok && !f.poisoned {
+		c.insertLocked(f.sig, f.ids, res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+func (c *resultCache) insertLocked(sig uint64, ids []model.ObjectID, res netproto.QueryResultMsg) {
+	if e, exists := c.entries[sig]; exists {
+		e.ids, e.res = ids, res
+		c.lru.MoveToFront(e.elt)
+		return
+	}
+	e := &cacheEntry{sig: sig, ids: ids, res: res}
+	e.elt = c.lru.PushFront(e)
+	c.entries[sig] = e
+	for c.lru.Len() > c.size {
+		oldest := c.lru.Back()
+		c.removeLocked(oldest.Value.(*cacheEntry))
+	}
+}
+
+func (c *resultCache) removeLocked(e *cacheEntry) {
+	c.lru.Remove(e.elt)
+	delete(c.entries, e.sig)
+}
+
+// invalidate evicts every cached result containing the updated object
+// and poisons matching in-flight scatters. The scan walks all resident
+// entries — bounded by the configured size — with a binary search per
+// entry; at the default size this is microseconds, far below one
+// scatter round trip.
+func (c *resultCache) invalidate(id model.ObjectID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	var evicted []*cacheEntry
+	for _, e := range c.entries {
+		if _, found := slices.BinarySearch(e.ids, id); found {
+			evicted = append(evicted, e)
+		}
+	}
+	for _, e := range evicted {
+		c.removeLocked(e)
+	}
+	for _, fl := range c.flights {
+		if _, found := slices.BinarySearch(fl.ids, id); found {
+			fl.poisoned = true
+		}
+	}
+	if len(evicted) > 0 {
+		c.invalidations.Add(int64(len(evicted)))
+	}
+	c.mu.Unlock()
+}
+
+// clear wipes the cache wholesale and poisons every in-flight scatter
+// — the response to birth adoption and resize epoch flips, where
+// routing itself changed under any result in motion.
+func (c *resultCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.entries = make(map[uint64]*cacheEntry)
+	c.lru.Init()
+	for _, fl := range c.flights {
+		fl.poisoned = true
+	}
+	if n > 0 {
+		c.invalidations.Add(int64(n))
+	}
+	c.mu.Unlock()
+}
+
+// Len reports the resident entry count (tests and debug).
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *resultCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+func (c *resultCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+func (c *resultCache) Coalesced() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.coalesced.Load()
+}
+
+func (c *resultCache) Invalidations() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.invalidations.Load()
+}

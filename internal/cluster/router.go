@@ -86,6 +86,14 @@ type Config struct {
 	// round trips (so only true stragglers hedge), with a small fixed
 	// default while the latency histogram is cold.
 	HedgeDelay time.Duration
+	// ResultCacheSize bounds the router's invalidation-aware result
+	// cache and in-flight query coalescer (entries, not bytes): repeated
+	// or concurrent queries over the same object set are answered from
+	// one scatter. Zero means DefaultResultCacheSize; negative disables
+	// the cache and coalescer entirely. Requires RepoAddr — without the
+	// repository's invalidation stream the router cannot evict stale
+	// results, so the cache stays off however this is set.
+	ResultCacheSize int
 	// MetricsAddr, when set, serves the debug HTTP mux (/metrics,
 	// /healthz, /debug/traces, /debug/pprof) on that address. The
 	// router's /metrics is the cluster view: the aggregate StatsMsg
@@ -144,13 +152,26 @@ type Router struct {
 	// Resolver is configured).
 	covers *htm.CoverCache
 
-	queries   atomic.Int64
-	scattered atomic.Int64 // queries split across ≥2 shards
-	degraded  atomic.Int64 // queries answered without every fragment
-	rerouted  atomic.Int64 // fragments recovered via an alternate owner
-	failover  atomic.Int64 // fragments recovered via a non-primary replica
-	hedged    atomic.Int64 // hedged replica attempts fired
-	births    atomic.Int64 // born objects adopted into routing
+	// results is the invalidation-aware result cache + in-flight query
+	// coalescer; nil when disabled or when no RepoAddr supplies the
+	// invalidation stream it depends on (all uses are nil-safe).
+	results *resultCache
+
+	// birthCh feeds the birth adoption worker, which drains whatever
+	// announcements and publications have queued and adopts them as one
+	// batch — one ownership extension, one grant frame per shard.
+	// birthQuit stops the worker; both are nil without RepoAddr.
+	birthCh   chan birthReq
+	birthQuit chan struct{}
+
+	queries      atomic.Int64
+	scattered    atomic.Int64 // queries split across ≥2 shards
+	degraded     atomic.Int64 // queries answered without every fragment
+	rerouted     atomic.Int64 // fragments recovered via an alternate owner
+	failover     atomic.Int64 // fragments recovered via a non-primary replica
+	hedged       atomic.Int64 // hedged replica attempts fired
+	births       atomic.Int64 // born objects adopted into routing
+	grantBatches atomic.Int64 // batched birth-grant frames shipped to shards
 
 	// reg/traces/debug are the router's observability surface; all nil
 	// under Config.DisableObs (every use is nil-safe).
@@ -261,6 +282,21 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.reg.NewCounterFunc("delta_router_births_total",
 			"Born objects adopted into the routing universe.",
 			func() float64 { return float64(r.births.Load()) })
+		r.reg.NewCounterFunc("delta_router_grant_batches_total",
+			"Batched birth-grant frames shipped to shards (each may carry many births).",
+			func() float64 { return float64(r.grantBatches.Load()) })
+		r.reg.NewCounterFunc("delta_router_result_cache_hits_total",
+			"Routed queries answered from the router's invalidation-aware result cache.",
+			func() float64 { return float64(r.results.Hits()) })
+		r.reg.NewCounterFunc("delta_router_result_cache_misses_total",
+			"Routed queries that missed the result cache and scattered (or coalesced).",
+			func() float64 { return float64(r.results.Misses()) })
+		r.reg.NewCounterFunc("delta_router_result_cache_invalidations_total",
+			"Cached results evicted by the invalidation stream, birth adoptions, or epoch flips.",
+			func() float64 { return float64(r.results.Invalidations()) })
+		r.reg.NewCounterFunc("delta_router_coalesced_total",
+			"Queries that joined an identical in-flight query's scatter instead of scattering.",
+			func() float64 { return float64(r.results.Coalesced()) })
 		r.reg.NewGaugeFunc("delta_router_shards",
 			"Shards in the current routing epoch.",
 			func() float64 { return float64(len(r.routing.Load().links)) })
@@ -302,11 +338,22 @@ func NewRouter(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("cluster: dial repository: %w", err)
 		}
 		r.repo = repo
+		// The result cache is safe only with the invalidation stream
+		// feeding evictions, so it rides the same RepoAddr gate. Create
+		// it before the subscription so no invalidation can race the
+		// cache into existence.
+		if cfg.ResultCacheSize >= 0 {
+			r.results = newResultCache(cfg.ResultCacheSize)
+		}
 		if err := r.subscribeInvalidations(); err != nil {
 			repo.Close()
 			r.closeLinks()
 			return nil, err
 		}
+		r.birthCh = make(chan birthReq, 64)
+		r.birthQuit = make(chan struct{})
+		r.wg.Add(1)
+		go r.birthWorker()
 	}
 	return r, nil
 }
@@ -428,6 +475,7 @@ func (r *Router) Close() error {
 	}
 	r.debug.Close()
 	r.connMu.Lock()
+	again := r.closing
 	r.closing = true
 	for c := range r.conns {
 		c.Close()
@@ -438,6 +486,9 @@ func (r *Router) Close() error {
 	}
 	if r.invRaw != nil {
 		r.invRaw.Close()
+	}
+	if r.birthQuit != nil && !again {
+		close(r.birthQuit)
 	}
 	r.closeLinks()
 	r.wg.Wait()
@@ -581,7 +632,97 @@ type fragment struct {
 	traceID   uint64 // propagated to the shard so its span joins the trace
 }
 
-// routeQuery scatters a query to the shards owning its objects under
+// routeQuery answers a client query, doing identical work at most
+// once: a signature-matching cached result answers immediately, a
+// signature-matching in-flight scatter is joined as a coalesced
+// follower, and only a genuinely novel query scatters to the shards.
+// Degraded or failed leader results are never shared — each follower
+// falls back to its own scatter — and without a result cache (no
+// repository invalidation stream, or disabled by size) every query
+// scatters as before.
+func (r *Router) routeQuery(ctx context.Context, q *model.Query, traceID uint64, detail string) netproto.Frame {
+	r.queries.Add(1)
+	start := time.Now()
+	if len(q.Objects) == 0 {
+		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
+	}
+	if r.results == nil {
+		return r.scatterQuery(ctx, q, traceID, detail, start)
+	}
+	cached, fl, leader := r.results.begin(q.Objects)
+	switch {
+	case cached != nil:
+		return r.serveShared(q, cached, traceID, joinDetail(detail, "result-cache=hit"), start)
+	case fl != nil && !leader:
+		<-fl.done
+		if fl.shared {
+			r.results.coalesced.Add(1)
+			return r.serveShared(q, &fl.res, traceID, joinDetail(detail, "coalesced=follower"), start)
+		}
+		// The leader's scatter failed or degraded: not shareable, so
+		// answer with a scatter of our own.
+		return r.scatterQuery(ctx, q, traceID, detail, start)
+	case fl != nil:
+		// Leading: scatter, then publish to the followers (and, if the
+		// result is clean and no invalidation raced it, to the cache).
+		frame := r.scatterQuery(ctx, q, traceID, detail, start)
+		res, ok := frame.Body.(netproto.QueryResultMsg)
+		r.results.complete(fl, res, ok && !res.Degraded)
+		return frame
+	default:
+		// Signature collision: pass through uncached.
+		return r.scatterQuery(ctx, q, traceID, detail, start)
+	}
+}
+
+// joinDetail merges the cover-cache detail of region resolution with a
+// result-cache detail into one trace-span annotation.
+func joinDetail(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + " " + b
+}
+
+// serveShared answers a query from a cached or coalesced merged
+// result, re-stamped for this client: its own QueryID, its own ν(q) as
+// Logical (cost-share accounting keeps summing exactly to what each
+// client declared), Source "cache" (the routing tier answered without
+// repository work), and — when traced — a fresh router span, since the
+// original scatter's shard spans belong to another request. Payload
+// and Rows are shared read-only, which respects the frame ownership
+// contract: the router assembled both itself when merging (decoded v3
+// frames own their memory, and merges append into fresh slices), they
+// are never pooled, and nothing downstream mutates a result body.
+func (r *Router) serveShared(q *model.Query, res *netproto.QueryResultMsg, traceID uint64, detail string, start time.Time) netproto.Frame {
+	out := netproto.QueryResultMsg{
+		QueryID: q.ID,
+		Logical: q.Cost,
+		Rows:    res.Rows,
+		Payload: res.Payload,
+		Source:  "cache",
+		Elapsed: res.Elapsed,
+	}
+	elapsed := time.Since(start)
+	r.routerLat.Observe(elapsed)
+	if traceID != 0 {
+		out.TraceID = traceID
+		out.Spans = []netproto.TraceSpan{{
+			Name:    "router",
+			Node:    r.Addr(),
+			Shard:   -1,
+			Epoch:   r.routing.Load().epoch,
+			Objects: len(q.Objects),
+			Source:  out.Source,
+			Detail:  detail,
+			Elapsed: elapsed,
+		}}
+		r.traces.Add(traceID, out.Spans)
+	}
+	return netproto.Frame{Type: netproto.MsgQueryResult, Body: out}
+}
+
+// scatterQuery scatters a query to the shards owning its objects under
 // the current routing epoch, gathers the fragments, and merges them
 // into one result. A failed fragment is first re-routed through the
 // freshest routing view (during a resize transition every moving
@@ -590,12 +731,7 @@ type fragment struct {
 // answer. If some — but not all — objects' fragments fail, the merged
 // result is returned with Degraded set and the failed shards listed,
 // so a dead shard degrades answers instead of failing them.
-func (r *Router) routeQuery(ctx context.Context, q *model.Query, traceID uint64, detail string) netproto.Frame {
-	r.queries.Add(1)
-	start := time.Now()
-	if len(q.Objects) == 0 {
-		return netproto.ErrorFrame("query %d accesses no objects", q.ID)
-	}
+func (r *Router) scatterQuery(ctx context.Context, q *model.Query, traceID uint64, detail string, start time.Time) netproto.Frame {
 	rt := r.routing.Load()
 	parts, err := rt.own.Split(q.Objects)
 	if err != nil {
@@ -1060,6 +1196,13 @@ func (r *Router) clusterStats(ctx context.Context) netproto.ClusterStatsMsg {
 		out.Aggregate.CoverCacheHits += hits
 		out.Aggregate.CoverCacheMisses += misses
 	}
+	// The result cache, coalescer, and grant batcher are routing-tier
+	// structures too: their counters join the aggregate here (shards
+	// always report zeroes for them).
+	out.Aggregate.ResultCacheHits += r.results.Hits()
+	out.Aggregate.ResultCacheMisses += r.results.Misses()
+	out.Aggregate.CoalescedQueries += r.results.Coalesced()
+	out.Aggregate.GrantBatches += r.grantBatches.Load()
 	slices.SortFunc(out.Aggregate.Cached, func(a, b model.ObjectID) int { return cmp.Compare(a, b) })
 	return out
 }
@@ -1124,3 +1267,23 @@ func (r *Router) Failover() int64 { return r.failover.Load() }
 // Hedged returns how many hedged replica attempts were fired for slow
 // primaries.
 func (r *Router) Hedged() int64 { return r.hedged.Load() }
+
+// ResultCacheHits returns how many routed queries were answered from
+// the router's result cache (zero when the cache is disabled).
+func (r *Router) ResultCacheHits() int64 { return r.results.Hits() }
+
+// ResultCacheMisses returns how many routed queries missed the result
+// cache and scattered or coalesced.
+func (r *Router) ResultCacheMisses() int64 { return r.results.Misses() }
+
+// Coalesced returns how many queries joined an identical in-flight
+// query's scatter instead of scattering themselves.
+func (r *Router) Coalesced() int64 { return r.results.Coalesced() }
+
+// ResultCacheInvalidations returns how many cached results were
+// evicted by the invalidation stream, birth adoptions, or epoch flips.
+func (r *Router) ResultCacheInvalidations() int64 { return r.results.Invalidations() }
+
+// GrantBatches returns how many batched birth-grant frames the router
+// has shipped to shards.
+func (r *Router) GrantBatches() int64 { return r.grantBatches.Load() }

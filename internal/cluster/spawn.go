@@ -57,6 +57,10 @@ type LocalConfig struct {
 	RepoPool int
 	// RouterPool is the router's per-shard session pool size.
 	RouterPool int
+	// ResultCacheSize bounds the router's result cache + coalescer
+	// (see cluster.Config.ResultCacheSize: 0 = default, negative
+	// disables; only effective with a RepoAddr).
+	ResultCacheSize int
 	// Resolver, when set, lets the router answer sky-region queries
 	// (typically catalog.Survey.CoverCap; see cluster.Config.Resolver).
 	Resolver func(geom.Cap) []model.ObjectID
@@ -124,17 +128,18 @@ func SpawnLocal(cfg LocalConfig) (*LocalCluster, error) {
 		addrs[s] = mw.Addr()
 	}
 	router, err := NewRouter(Config{
-		Shards:       addrs,
-		Ownership:    own,
-		RepoAddr:     cfg.RepoAddr,
-		ShardPool:    cfg.RouterPool,
-		Resolver:     cfg.Resolver,
-		ResolverGrow: cfg.ResolverGrow,
-		WireVersion:  cfg.WireVersion,
-		Hedge:        cfg.Hedge,
-		HedgeDelay:   cfg.HedgeDelay,
-		DisableObs:   cfg.DisableObs,
-		Logf:         cfg.Logf,
+		Shards:          addrs,
+		Ownership:       own,
+		RepoAddr:        cfg.RepoAddr,
+		ShardPool:       cfg.RouterPool,
+		ResultCacheSize: cfg.ResultCacheSize,
+		Resolver:        cfg.Resolver,
+		ResolverGrow:    cfg.ResolverGrow,
+		WireVersion:     cfg.WireVersion,
+		Hedge:           cfg.Hedge,
+		HedgeDelay:      cfg.HedgeDelay,
+		DisableObs:      cfg.DisableObs,
+		Logf:            cfg.Logf,
 	})
 	if err != nil {
 		return fail(err)

@@ -314,6 +314,10 @@ func encStats(e *encBuf, s *StatsMsg) {
 	e.varint(s.JournalRecords)
 	e.varint(s.RecoveredWarm)
 	e.varint(s.Replicas)
+	e.varint(s.ResultCacheHits)
+	e.varint(s.ResultCacheMisses)
+	e.varint(s.CoalescedQueries)
+	e.varint(s.GrantBatches)
 }
 
 func decStats(d *decBuf) StatsMsg {
@@ -340,6 +344,10 @@ func decStats(d *decBuf) StatsMsg {
 	s.JournalRecords = d.varint()
 	s.RecoveredWarm = d.varint()
 	s.Replicas = d.varint()
+	s.ResultCacheHits = d.varint()
+	s.ResultCacheMisses = d.varint()
+	s.CoalescedQueries = d.varint()
+	s.GrantBatches = d.varint()
 	return s
 }
 
@@ -532,6 +540,18 @@ func encodeBodyV3(e *encBuf, t MsgType, body any) error {
 			encBirth(e, &b.Births[i])
 		}
 		e.varint(int64(b.Accepted))
+	case BirthGrantMsg:
+		e.uvarint(uint64(len(b.Births)))
+		for i := range b.Births {
+			encBirth(e, &b.Births[i])
+		}
+		e.varint(int64(b.Accepted))
+		// Epoch rides the forward-compatible tail: encoded only when
+		// non-zero, like ReshardMsg.Replicas, so epoch-free grants stay
+		// byte-identical to v3 peers that predate the field.
+		if b.Epoch != 0 {
+			e.varint(int64(b.Epoch))
+		}
 	default:
 		return fmt.Errorf("netproto: v3 cannot encode %T as %s", body, t)
 	}
@@ -745,6 +765,20 @@ func decodeBodyV3(d *decBuf, t MsgType) (any, error) {
 			}
 		}
 		b.Accepted = int(d.varint())
+		body = b
+	case MsgBirthGrant:
+		var b BirthGrantMsg
+		if n := d.length(20); n > 0 {
+			b.Births = make([]model.Birth, n)
+			for i := range b.Births {
+				b.Births[i] = decBirth(d)
+			}
+		}
+		b.Accepted = int(d.varint())
+		// Forward-compatible tail, as on MsgReshard's Replicas.
+		if d.err == nil && len(d.b) > 0 {
+			b.Epoch = int(d.varint())
+		}
 		body = b
 	default:
 		return nil, fmt.Errorf("netproto: v3 decode: unknown frame type %d", uint8(t))

@@ -86,6 +86,7 @@ var quickBodies = []struct {
 	{MsgMigrateChunk, MigrateChunkMsg{}},
 	{MsgMigrateDone, MigrateDoneMsg{}},
 	{MsgObjectBirth, ObjectBirthMsg{}},
+	{MsgBirthGrant, BirthGrantMsg{}},
 }
 
 // TestGobV3RoundTripProperty is the gob↔v3 equivalence property:

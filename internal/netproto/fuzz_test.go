@@ -107,6 +107,22 @@ func seedFrames() []Frame {
 			Replicas: 2,
 		}},
 		{Type: MsgStats, Body: StatsMsg{Queries: 12, ObjectsBorn: 3, Replicas: 2}},
+		// Batched birth-grant shapes: the multi-birth grant frame with
+		// its forward-compatible Epoch tail, and one with the tail
+		// elided (Epoch 0), so the fuzzer mutates both encodings.
+		{Type: MsgBirthGrant, RequestID: 10, Body: BirthGrantMsg{Births: []model.Birth{
+			{Object: model.Object{ID: 70, Size: cost.GB, Trixel: 321}, RA: 10.5, Dec: 42.0, Time: time.Hour},
+			{Object: model.Object{ID: 71, Size: cost.MB, Trixel: 322}, RA: 11.5, Dec: -42.0, Time: 2 * time.Hour},
+		}, Epoch: 3}},
+		{Type: MsgBirthGrant, RequestID: 11, Body: BirthGrantMsg{Births: []model.Birth{
+			{Object: model.Object{ID: 72, Size: cost.KB, Trixel: 323}, RA: 0.25, Dec: 0.5, Time: time.Minute},
+		}, Accepted: 1}},
+		// StatsMsg carrying the router hot-path counters appended for
+		// the result cache + batched grants.
+		{Type: MsgStats, Body: StatsMsg{
+			Queries: 12, ResultCacheHits: 5, ResultCacheMisses: 2,
+			CoalescedQueries: 3, GrantBatches: 1,
+		}},
 	}
 }
 
@@ -230,7 +246,10 @@ func TestWriteV3FuzzCorpus(t *testing.T) {
 	tracedFlip[len(tracedFlip)-2] ^= 0x55           // corrupt inside the trace tail
 	reshardK := encodeFramesV3(t, seedFrames()[13]) // ReshardMsg with the Replicas tail
 	reshardKFlip := bytes.Clone(reshardK)
-	reshardKFlip[len(reshardKFlip)-1] ^= 0x55 // corrupt the Replicas tail byte
+	reshardKFlip[len(reshardKFlip)-1] ^= 0x55    // corrupt the Replicas tail byte
+	grant := encodeFramesV3(t, seedFrames()[15]) // BirthGrantMsg with the Epoch tail
+	grantFlip := bytes.Clone(grant)
+	grantFlip[len(grantFlip)/2] ^= 0x55 // corrupt mid-batch
 	entries := map[string][]byte{
 		"valid-v3-stream":        valid,
 		"truncated-v3-birth":     oneBirth[:len(oneBirth)*2/3],
@@ -242,6 +261,9 @@ func TestWriteV3FuzzCorpus(t *testing.T) {
 		"valid-v3-reshard-k":     reshardK,
 		"truncated-v3-reshard-k": reshardK[:len(reshardK)-1], // stream ends inside the Replicas tail
 		"bitflip-v3-reshard-k":   reshardKFlip,
+		"valid-v3-grant":         grant,
+		"truncated-v3-grant":     grant[:len(grant)*2/3], // stream ends inside the birth batch
+		"bitflip-v3-grant":       grantFlip,
 	}
 	for name, data := range entries {
 		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)

@@ -216,6 +216,13 @@ const (
 	// repository broadcasts on the invalidation stream so caches and
 	// routers extend their universes live.
 	MsgObjectBirth
+	// MsgBirthGrant is the router→shard ownership grant for a batch of
+	// adopted births: one frame per shard per adoption round, however
+	// many objects were born, instead of one MsgObjectBirth round trip
+	// per object. The births already live at the repository (the grant
+	// follows the repository's ack or announcement), so the shard admits
+	// them directly without re-forwarding upstream.
+	MsgBirthGrant
 )
 
 // String implements fmt.Stringer.
@@ -231,7 +238,7 @@ func (t MsgType) String() string {
 		MsgAdminResize: "admin-resize", MsgRebalanceStatus: "rebalance-status",
 		MsgReshard: "reshard", MsgMigrateBegin: "migrate-begin",
 		MsgMigrateChunk: "migrate-chunk", MsgMigrateDone: "migrate-done",
-		MsgObjectBirth: "object-birth",
+		MsgObjectBirth: "object-birth", MsgBirthGrant: "birth-grant",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -451,6 +458,19 @@ type StatsMsg struct {
 	// many shards hold each object); 1 for an unreplicated deployment.
 	// On a cluster aggregate it is the cluster's K, not a sum.
 	Replicas int64
+	// ResultCacheHits / ResultCacheMisses count router-tier query
+	// signatures answered from the router's invalidation-aware result
+	// cache versus scattered to the shards. Always zero on a single
+	// cache (the result cache is a routing-tier structure).
+	ResultCacheHits   int64
+	ResultCacheMisses int64
+	// CoalescedQueries counts queries that joined an identical
+	// in-flight query's scatter (singleflight followers) instead of
+	// scattering themselves.
+	CoalescedQueries int64
+	// GrantBatches counts batched birth-grant frames (MsgBirthGrant)
+	// the router shipped to shards; each may carry many births.
+	GrantBatches int64
 }
 
 // ShardQueryMsg is the router→shard leg of a scattered query: the
@@ -598,6 +618,24 @@ type ObjectBirthMsg struct {
 	Accepted int
 }
 
+// BirthGrantMsg grants a batch of adopted births to one owning shard
+// (router → shard). Unlike MsgObjectBirth, the receiving shard does
+// not forward the births to the repository — the router grants only
+// births the repository has already acknowledged or announced — so a
+// grant costs one router→shard round trip regardless of batch size.
+// The reply echoes the frame with Accepted set to how many births the
+// shard newly admitted (already-known births are skipped; grants are
+// idempotent).
+type BirthGrantMsg struct {
+	Births []model.Birth
+	// Accepted is a reply field: how many births were newly admitted.
+	Accepted int
+	// Epoch is the routing epoch the grant extends, advisory logging
+	// context only (births extend an epoch in place; they never flip
+	// it). Rides the v3 frame tail; 0 means unspecified.
+	Epoch int
+}
+
 // ErrorMsg carries a failure description.
 type ErrorMsg struct {
 	Message string
@@ -640,6 +678,7 @@ func init() {
 	gob.Register(MigrateChunkMsg{})
 	gob.Register(MigrateDoneMsg{})
 	gob.Register(ObjectBirthMsg{})
+	gob.Register(BirthGrantMsg{})
 }
 
 // Conn wraps a stream with framed messages. Connections start on the
